@@ -1,0 +1,63 @@
+// Command kairos-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	kairos-bench -run all            # every experiment at quick scale
+//	kairos-bench -run fig8 -scale full
+//	kairos-bench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"kairos/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment id (e.g. fig8) or 'all'")
+	scaleName := flag.String("scale", "quick", "fidelity: quick or full")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	seed := flag.Int64("seed", 0, "override the random seed (0 keeps the default)")
+	budget := flag.Float64("budget", 0, "override the cost budget in $/hr (0 keeps the default)")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		return
+	}
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "quick":
+		scale = experiments.QuickScale()
+	case "full":
+		scale = experiments.FullScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want quick or full)\n", *scaleName)
+		os.Exit(2)
+	}
+	if *seed != 0 {
+		scale.Seed = *seed
+	}
+	if *budget != 0 {
+		scale.Budget = *budget
+	}
+
+	ids := []string{*run}
+	if *run == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		out, err := experiments.Run(id, scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s (%s scale, %.1fs) ===\n%s\n", id, *scaleName, time.Since(start).Seconds(), out)
+	}
+}

@@ -1,0 +1,116 @@
+// Command kairos-trace generates, converts and summarizes query traces —
+// the stand-in tooling for the production trace artifact the paper replays
+// (Sec. 7).
+//
+// Usage:
+//
+//	kairos-trace -gen -n 10000 -rate 100 -dist lognormal -o trace.csv
+//	kairos-trace -summary trace.csv
+//	kairos-trace -convert trace.csv -o trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+
+	"kairos/internal/workload"
+)
+
+func main() {
+	gen := flag.Bool("gen", false, "generate a synthetic trace")
+	n := flag.Int("n", 10000, "number of queries to generate")
+	rate := flag.Float64("rate", 100, "Poisson arrival rate (QPS)")
+	distName := flag.String("dist", "lognormal", "batch distribution: lognormal or gaussian")
+	seed := flag.Int64("seed", 42, "random seed")
+	out := flag.String("o", "", "output path (.csv or .json); empty = stdout csv")
+	summary := flag.String("summary", "", "summarize an existing trace file")
+	convert := flag.String("convert", "", "convert an existing trace file to the -o format")
+	flag.Parse()
+
+	switch {
+	case *gen:
+		var dist workload.BatchDistribution
+		switch *distName {
+		case "lognormal":
+			dist = workload.DefaultTrace()
+		case "gaussian":
+			dist = workload.DefaultGaussian()
+		default:
+			log.Fatalf("unknown distribution %q", *distName)
+		}
+		tr := workload.Synthesize(*seed, dist, *rate, *n)
+		if err := writeTrace(tr, *out); err != nil {
+			log.Fatal(err)
+		}
+	case *summary != "":
+		tr, err := readTrace(*summary)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printSummary(tr)
+	case *convert != "":
+		tr, err := readTrace(*convert)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *out == "" {
+			log.Fatal("kairos-trace: -convert needs -o")
+		}
+		if err := writeTrace(tr, *out); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func writeTrace(tr workload.Trace, path string) error {
+	if path == "" {
+		return tr.WriteCSV(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".json") {
+		return tr.WriteJSON(f)
+	}
+	return tr.WriteCSV(f)
+}
+
+func readTrace(path string) (workload.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return workload.Trace{}, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".json") {
+		return workload.ReadJSON(f)
+	}
+	return workload.ReadCSV(f)
+}
+
+func printSummary(tr workload.Trace) {
+	batches := tr.Batches()
+	if len(batches) == 0 {
+		fmt.Println("empty trace")
+		return
+	}
+	sort.Ints(batches)
+	sum := 0
+	for _, b := range batches {
+		sum += b
+	}
+	q := func(p float64) int { return batches[int(p*float64(len(batches)-1))] }
+	duration := tr.Arrivals[len(tr.Arrivals)-1].AtMS / 1000
+	fmt.Printf("trace: %s\n", tr.Description)
+	fmt.Printf("queries: %d over %.1fs (%.1f QPS)\n", len(batches), duration, float64(len(batches))/duration)
+	fmt.Printf("batch size: mean %.1f  p50 %d  p90 %d  p99 %d  max %d\n",
+		float64(sum)/float64(len(batches)), q(0.5), q(0.9), q(0.99), batches[len(batches)-1])
+}

@@ -1,0 +1,91 @@
+// Command kairosctl runs the Kairos central controller against running
+// kairosd instance servers and drives a Poisson query load through it,
+// reporting the end-to-end tail latency (the real-process counterpart of
+// the simulator experiments).
+//
+// Usage (after starting kairosd daemons):
+//
+//	kairosctl -model RM2 -addrs 127.0.0.1:7001,127.0.0.1:7002 -rate 20 -queries 200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"kairos/internal/core"
+	"kairos/internal/metrics"
+	"kairos/internal/models"
+	"kairos/internal/predictor"
+	"kairos/internal/server"
+	"kairos/internal/workload"
+)
+
+func main() {
+	modelName := flag.String("model", "RM2", "served model")
+	addrList := flag.String("addrs", "", "comma-separated kairosd addresses")
+	rate := flag.Float64("rate", 20, "Poisson arrival rate (queries/second, model time)")
+	queries := flag.Int("queries", 200, "number of queries to send")
+	timeScale := flag.Float64("timescale", 1.0, "must match the kairosd daemons")
+	seed := flag.Int64("seed", 42, "random seed for the load")
+	flag.Parse()
+
+	model, err := models.ByName(*modelName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	addrs := strings.Split(*addrList, ",")
+	if *addrList == "" || len(addrs) == 0 {
+		log.Fatal("kairosctl: -addrs required")
+	}
+
+	policy := core.NewDistributor(core.DistributorOptions{
+		QoS:       model.QoS,
+		BaseType:  "g4dn.xlarge",
+		Predictor: predictor.Oracle{Latency: model.Latency},
+	})
+	ctrl, err := server.NewController(policy, *timeScale, model.Latency, addrs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ctrl.Close()
+	fmt.Printf("kairosctl: connected to %v\n", ctrl.InstanceTypes())
+
+	rng := rand.New(rand.NewSource(*seed))
+	dist := workload.DefaultTrace()
+	rec := metrics.NewLatencyRecorder(*queries)
+	served := map[string]int{}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+
+	start := time.Now()
+	for i := 0; i < *queries; i++ {
+		gapModelMS := rng.ExpFloat64() * 1000 / *rate
+		time.Sleep(time.Duration(gapModelMS * *timeScale * float64(time.Millisecond)))
+		batch := dist.Sample(rng)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res := ctrl.SubmitWait(batch)
+			mu.Lock()
+			defer mu.Unlock()
+			if res.Err != nil {
+				served["error"]++
+				return
+			}
+			rec.Record(res.LatencyMS)
+			served[res.Instance]++
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	fmt.Printf("sent %d queries in %.1fs wall time\n", *queries, elapsed.Seconds())
+	fmt.Printf("latency (model ms): %s\n", rec.Summarize())
+	fmt.Printf("p99 %.1fms vs QoS %.0fms -> meets QoS: %v\n", rec.Percentile(99), model.QoS, rec.MeetsQoS(model.QoS, 99))
+	fmt.Printf("served by: %v\n", served)
+}

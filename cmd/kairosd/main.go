@@ -1,0 +1,50 @@
+// Command kairosd runs one emulated inference instance server: it binds a
+// TCP port, announces its instance type and model, and serves one batched
+// query at a time with the calibrated latency (Sec. 6's instance-side
+// inference server).
+//
+// Usage:
+//
+//	kairosd -addr 127.0.0.1:7001 -type g4dn.xlarge -model RM2
+//	kairosd -addr 127.0.0.1:7002 -type r5n.large  -model RM2 -timescale 0.1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"kairos/internal/models"
+	"kairos/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7001", "listen address")
+	typeName := flag.String("type", "g4dn.xlarge", "instance type to emulate")
+	modelName := flag.String("model", "RM2", "served model (see kairos-bench -run table3)")
+	timeScale := flag.Float64("timescale", 1.0, "real seconds per simulated second (0.1 = 10x faster)")
+	flag.Parse()
+
+	model, err := models.ByName(*modelName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := server.NewInstanceServer(*typeName, model, *timeScale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := s.Start(*addr); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("kairosd: %s serving %s on %s (timescale %.2f)\n", *typeName, model.Name, s.Addr(), *timeScale)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("kairosd: shutting down")
+	if err := s.Close(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,68 @@
+// Planner example: pick a heterogeneous configuration for a cost budget
+// without any online evaluation (Sec. 5.2).
+//
+// The planner watches recent traffic (here: synthetic trace-like batch
+// sizes), computes the throughput upper bound of every configuration that
+// fits the budget, and picks one with the similarity criterion. The
+// example then verifies the pick against the simulator and against the
+// budget-scaled homogeneous alternative.
+//
+// Run with: go run ./examples/planner
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"kairos"
+)
+
+func main() {
+	const budget = 2.5 // $/hr, the paper's default
+	pool := kairos.DefaultPool()
+	model, err := kairos.ModelByName("RM2")
+	if err != nil {
+		panic(err)
+	}
+
+	// Observe traffic: in production this is Monitor.Snapshot() over live
+	// queries; here we synthesize 10k batch sizes from the default mix.
+	rng := rand.New(rand.NewSource(1))
+	trace := kairos.DefaultTrace()
+	samples := make([]int, 10000)
+	for i := range samples {
+		samples[i] = trace.Sample(rng)
+	}
+
+	planner, err := kairos.NewPlanner(pool, model, samples)
+	if err != nil {
+		panic(err)
+	}
+
+	ranked := planner.Rank(budget)
+	fmt.Printf("%d configurations fit $%.2f/hr; top 5 by throughput upper bound:\n", len(ranked), budget)
+	for _, rc := range ranked[:5] {
+		fmt.Printf("  %-12v cost $%.3f/hr  UB %.1f QPS\n", rc.Config, pool.Cost(rc.Config), rc.UpperBound)
+	}
+
+	pick := planner.Plan(budget)
+	fmt.Printf("\none-shot pick: %v (no online evaluation)\n", pick)
+
+	// Verify against the simulator.
+	cluster, err := kairos.NewCluster(pool, pick, model)
+	if err != nil {
+		panic(err)
+	}
+	factory := func() kairos.Distributor { return kairos.NewWarmedKairosDistributor(pool, model, nil) }
+	qps := cluster.AllowableThroughput(factory, 1)
+
+	hom := pool.Homogeneous(budget)
+	homCluster, err := kairos.NewCluster(pool, hom, model)
+	if err != nil {
+		panic(err)
+	}
+	homQPS := homCluster.AllowableThroughput(factory, 1) * pool.HomogeneousScale(budget)
+
+	fmt.Printf("measured: %.1f QPS vs homogeneous %v at %.1f QPS -> %.2fx gain\n",
+		qps, hom, homQPS, qps/homQPS)
+}

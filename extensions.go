@@ -1,0 +1,40 @@
+package kairos
+
+import (
+	"kairos/internal/adapt"
+	"kairos/internal/pop"
+	"kairos/internal/workload"
+)
+
+// Replanner watches the query monitor for batch-size distribution drift
+// and replans the configuration in one shot when the mix moves — the
+// Fig. 12 adaptation loop as a component.
+type Replanner = adapt.Replanner
+
+// NewReplanner plans an initial configuration from the (already warmed)
+// monitor and arms drift detection. threshold is the total-variation
+// trigger in (0,1); 0 uses the default (0.15).
+func NewReplanner(pool Pool, model Model, budgetPerHour, threshold float64, monitor *Monitor) (*Replanner, error) {
+	return adapt.NewReplanner(pool, model, budgetPerHour, threshold, monitor)
+}
+
+// NewPartitionedDistributor wraps k independent Kairos controllers over a
+// partitioned pool — the POP-style scaling path of Sec. 6. Instances are
+// split round-robin per type; queries hash to partitions by arrival ID.
+func NewPartitionedDistributor(k int, pool Pool, model Model) Distributor {
+	return pop.NewPartitioned(k, func(int) Distributor {
+		return NewWarmedKairosDistributor(pool, model, nil)
+	})
+}
+
+// SynthesizeTrace builds a reproducible query trace (arrivals + batch
+// sizes) for replay and tooling; see cmd/kairos-trace.
+func SynthesizeTrace(seed int64, dist BatchDistribution, ratePerSec float64, n int) workload.Trace {
+	return workload.Synthesize(seed, dist, ratePerSec, n)
+}
+
+// Gaussian returns a truncated Gaussian batch-size distribution (the
+// paper's alternative workload shape, Sec. 7).
+func Gaussian(mean, std float64) BatchDistribution {
+	return workload.Gaussian{Mean: mean, Std: std}
+}

@@ -1,0 +1,53 @@
+package kairos
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFacadeReplanner(t *testing.T) {
+	pool := DefaultPool()
+	m, _ := ModelByName("RM2")
+	mon := NewMonitor()
+	rng := rand.New(rand.NewSource(2))
+	d := DefaultTrace()
+	for i := 0; i < 8000; i++ {
+		mon.Observe(d.Sample(rng))
+	}
+	r, err := NewReplanner(pool, m, 2.5, 0, mon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Current().Total() == 0 {
+		t.Fatal("empty plan")
+	}
+	if _, changed, err := r.Check(); err != nil || changed {
+		t.Fatalf("no drift expected: changed=%v err=%v", changed, err)
+	}
+}
+
+func TestFacadePartitionedDistributor(t *testing.T) {
+	t.Parallel()
+	pool := DefaultPool()
+	m, _ := ModelByName("RM2")
+	cl, err := NewCluster(pool, Config{2, 0, 10, 0}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := cl.Run(NewPartitionedDistributor(2, pool, m), RunOptions{
+		RatePerSec: 40, DurationMS: 20000, WarmupMS: 4000, Seed: 5,
+	})
+	if res.Measured.Count == 0 {
+		t.Fatal("nothing measured")
+	}
+	if !res.MeetsQoS {
+		t.Fatalf("partitioned controller violates QoS at light load: p99=%.1f", res.P99)
+	}
+}
+
+func TestFacadeSynthesizeTrace(t *testing.T) {
+	tr := SynthesizeTrace(3, DefaultTrace(), 50, 200)
+	if len(tr.Arrivals) != 200 {
+		t.Fatalf("trace length %d", len(tr.Arrivals))
+	}
+}

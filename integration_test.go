@@ -1,0 +1,89 @@
+package kairos
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestAdoptionLifecycle walks the full downstream-user journey through the
+// public API alone: observe traffic -> plan -> deploy -> serve -> detect a
+// workload shift -> replan -> redeploy, asserting the paper's value
+// proposition at each step.
+func TestAdoptionLifecycle(t *testing.T) {
+	t.Parallel()
+	const budget = 2.5
+	pool := DefaultPool()
+	model, err := ModelByName("RM2")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 1. Observe production traffic.
+	monitor := NewMonitor()
+	rng := rand.New(rand.NewSource(99))
+	mix := DefaultTrace()
+	for i := 0; i < 10000; i++ {
+		monitor.Observe(mix.Sample(rng))
+	}
+
+	// 2. Plan without any online evaluation.
+	planner, err := NewPlanner(pool, model, monitor.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := planner.Plan(budget)
+	if !pool.WithinBudget(cfg, budget) {
+		t.Fatalf("plan %v busts the budget", cfg)
+	}
+
+	// 3. Deploy and measure: the pick must beat budget-scaled homogeneous.
+	cluster, err := NewCluster(pool, cfg, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory := func() Distributor { return NewWarmedKairosDistributor(pool, model, monitor) }
+	qps := cluster.AllowableThroughput(factory, 99)
+	hom, err := NewCluster(pool, pool.Homogeneous(budget), model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	homQPS := hom.AllowableThroughput(factory, 99) * pool.HomogeneousScale(budget)
+	if qps < 1.5*homQPS {
+		t.Fatalf("planned config %v at %.1f QPS does not clearly beat homogeneous %.1f", cfg, qps, homQPS)
+	}
+
+	// 4. The workload shifts; the replanner reacts in one shot.
+	replanner, err := NewReplanner(pool, model, budget, 0, monitor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shift := Gaussian(550, 150)
+	for i := 0; i < 10000; i++ {
+		monitor.Observe(shift.Sample(rng))
+	}
+	next, changed, err := replanner.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed {
+		t.Fatalf("replanner missed the shift (still %v)", next)
+	}
+
+	// 5. The new plan must serve the new mix; the old plan must not.
+	newCluster, err := NewCluster(pool, next, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := func(c *Cluster, rate float64) bool {
+		res := c.Run(NewWarmedKairosDistributor(pool, model, nil), RunOptions{
+			RatePerSec: rate, DurationMS: 20000, WarmupMS: 4000, Seed: 99, Batches: shift,
+		})
+		return res.MeetsQoS
+	}
+	if !probe(newCluster, 20) {
+		t.Fatalf("fresh plan %v cannot sustain 20 QPS of the new mix", next)
+	}
+	if probe(cluster, 20) {
+		t.Fatalf("stale plan %v unexpectedly sustains the new mix — the shift is not stressing it", cfg)
+	}
+}

@@ -1,0 +1,177 @@
+// Package adapt operationalizes the paper's Fig. 12 story as a reusable
+// component: Kairos "adapts when the batch size distribution changes and
+// continues to be effective" (Sec. 5.2) because its planner needs only the
+// query monitor's recent window — no exploration. The Replanner watches
+// the monitored batch-size mix, detects distribution drift, and produces a
+// fresh one-shot configuration when the mix has genuinely moved.
+package adapt
+
+import (
+	"fmt"
+
+	"kairos/internal/cloud"
+	"kairos/internal/core"
+	"kairos/internal/models"
+	"kairos/internal/workload"
+)
+
+// DefaultBins is the histogram resolution used for drift detection.
+const DefaultBins = 20
+
+// DefaultThreshold is the total-variation distance above which the mix is
+// considered drifted (0 = identical, 1 = disjoint).
+const DefaultThreshold = 0.15
+
+// DriftDetector measures how far the current batch-size mix has moved from
+// a reference snapshot, using total-variation distance over a fixed
+// histogram of the [1, MaxBatch] range.
+type DriftDetector struct {
+	bins      int
+	reference []float64
+}
+
+// NewDriftDetector builds a detector from a reference sample of batch
+// sizes (e.g. the monitor snapshot at planning time).
+func NewDriftDetector(reference []int, bins int) (*DriftDetector, error) {
+	if bins <= 0 {
+		bins = DefaultBins
+	}
+	if len(reference) == 0 {
+		return nil, fmt.Errorf("adapt: empty reference sample")
+	}
+	d := &DriftDetector{bins: bins}
+	var err error
+	d.reference, err = histogram(reference, bins)
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// histogram builds a normalized histogram over [1, MaxBatch].
+func histogram(samples []int, bins int) ([]float64, error) {
+	h := make([]float64, bins)
+	for _, b := range samples {
+		if b < 1 || b > models.MaxBatch {
+			return nil, fmt.Errorf("adapt: batch %d outside [1,%d]", b, models.MaxBatch)
+		}
+		idx := (b - 1) * bins / models.MaxBatch
+		if idx >= bins {
+			idx = bins - 1
+		}
+		h[idx]++
+	}
+	n := float64(len(samples))
+	for i := range h {
+		h[i] /= n
+	}
+	return h, nil
+}
+
+// Distance returns the total-variation distance in [0, 1] between the
+// reference mix and the current sample.
+func (d *DriftDetector) Distance(current []int) (float64, error) {
+	cur, err := histogram(current, d.bins)
+	if err != nil {
+		return 0, err
+	}
+	tv := 0.0
+	for i := range cur {
+		diff := cur[i] - d.reference[i]
+		if diff < 0 {
+			diff = -diff
+		}
+		tv += diff
+	}
+	return tv / 2, nil
+}
+
+// Drifted reports whether the current mix exceeds the threshold distance.
+func (d *DriftDetector) Drifted(current []int, threshold float64) (bool, error) {
+	dist, err := d.Distance(current)
+	if err != nil {
+		return false, err
+	}
+	return dist > threshold, nil
+}
+
+// Replanner couples the query monitor to the one-shot planner: when the
+// monitored mix drifts past the threshold, it replans and rebases the
+// reference (the Fig. 12 one-shot response, no online evaluation).
+type Replanner struct {
+	// Pool, Model and Budget parametrize the planner.
+	Pool   cloud.Pool
+	Model  models.Model
+	Budget float64
+	// Threshold is the drift trigger; zero defaults to DefaultThreshold.
+	Threshold float64
+
+	monitor  *workload.Monitor
+	detector *DriftDetector
+	current  cloud.Config
+}
+
+// NewReplanner plans an initial configuration from the monitor's current
+// view and arms the drift detector on it. The monitor must already have
+// observed traffic.
+func NewReplanner(pool cloud.Pool, model models.Model, budget float64, threshold float64, monitor *workload.Monitor) (*Replanner, error) {
+	if monitor == nil || monitor.Count() == 0 {
+		return nil, fmt.Errorf("adapt: replanner needs a warmed monitor")
+	}
+	if threshold == 0 {
+		threshold = DefaultThreshold
+	}
+	if threshold <= 0 || threshold >= 1 {
+		return nil, fmt.Errorf("adapt: threshold %v outside (0,1)", threshold)
+	}
+	r := &Replanner{Pool: pool, Model: model, Budget: budget, Threshold: threshold, monitor: monitor}
+	snap := monitor.Snapshot()
+	cfg, err := plan(pool, model, budget, snap)
+	if err != nil {
+		return nil, err
+	}
+	r.current = cfg
+	r.detector, err = NewDriftDetector(snap, DefaultBins)
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// plan runs the one-shot pipeline.
+func plan(pool cloud.Pool, model models.Model, budget float64, samples []int) (cloud.Config, error) {
+	est, err := core.NewEstimator(pool, model, samples, core.EstimatorOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return est.Plan(budget), nil
+}
+
+// Current returns the configuration in force.
+func (r *Replanner) Current() cloud.Config { return r.current }
+
+// Check compares the monitor's present view with the reference; on drift
+// it replans, rebases the detector, and returns the new configuration with
+// changed=true. Call it periodically (e.g. every few thousand queries).
+func (r *Replanner) Check() (cfg cloud.Config, changed bool, err error) {
+	snap := r.monitor.Snapshot()
+	drifted, err := r.detector.Drifted(snap, r.Threshold)
+	if err != nil {
+		return nil, false, err
+	}
+	if !drifted {
+		return r.current, false, nil
+	}
+	next, err := plan(r.Pool, r.Model, r.Budget, snap)
+	if err != nil {
+		return nil, false, err
+	}
+	det, err := NewDriftDetector(snap, DefaultBins)
+	if err != nil {
+		return nil, false, err
+	}
+	r.detector = det
+	changed = !next.Equal(r.current)
+	r.current = next
+	return r.current, changed, nil
+}

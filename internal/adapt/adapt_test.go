@@ -1,0 +1,142 @@
+package adapt
+
+import (
+	"math/rand"
+	"testing"
+
+	"kairos/internal/cloud"
+	"kairos/internal/models"
+	"kairos/internal/workload"
+)
+
+func draws(d workload.BatchDistribution, n int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int, n)
+	for i := range out {
+		out[i] = d.Sample(rng)
+	}
+	return out
+}
+
+func TestDriftDetectorValidation(t *testing.T) {
+	if _, err := NewDriftDetector(nil, 10); err == nil {
+		t.Fatal("empty reference must error")
+	}
+	if _, err := NewDriftDetector([]int{0}, 10); err == nil {
+		t.Fatal("out-of-range batch must error")
+	}
+	d, err := NewDriftDetector([]int{50, 60, 70}, 0) // bins default
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Distance([]int{2000}); err == nil {
+		t.Fatal("out-of-range current must error")
+	}
+}
+
+func TestDistanceIdenticalAndDisjoint(t *testing.T) {
+	same := draws(workload.DefaultTrace(), 5000, 1)
+	d, err := NewDriftDetector(same, DefaultBins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := d.Distance(same)
+	if err != nil || dist != 0 {
+		t.Fatalf("self distance = %v, %v", dist, err)
+	}
+	// Disjoint supports: tiny queries vs huge queries.
+	small, _ := NewDriftDetector([]int{1, 2, 3, 4, 5}, DefaultBins)
+	dist, err = small.Distance([]int{990, 995, 1000})
+	if err != nil || dist != 1 {
+		t.Fatalf("disjoint distance = %v, %v", dist, err)
+	}
+}
+
+func TestDistanceSamplingNoiseIsSmall(t *testing.T) {
+	a := draws(workload.DefaultTrace(), 8000, 2)
+	b := draws(workload.DefaultTrace(), 8000, 3) // same law, fresh sample
+	d, err := NewDriftDetector(a, DefaultBins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := d.Distance(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist > 0.05 {
+		t.Fatalf("same-law distance %v too large", dist)
+	}
+	// And a genuine shift is far larger.
+	shift := draws(workload.Gaussian{Mean: 550, Std: 150}, 8000, 4)
+	dist2, _ := d.Distance(shift)
+	if dist2 < 0.4 {
+		t.Fatalf("shifted distance %v too small", dist2)
+	}
+}
+
+func TestReplannerNeedsWarmMonitor(t *testing.T) {
+	mon := workload.NewMonitor(100)
+	if _, err := NewReplanner(cloud.DefaultPool(), models.MustByName("RM2"), 2.5, 0, mon); err == nil {
+		t.Fatal("cold monitor must error")
+	}
+	if _, err := NewReplanner(cloud.DefaultPool(), models.MustByName("RM2"), 2.5, 2, warmMonitor(1)); err == nil {
+		t.Fatal("threshold >= 1 must error")
+	}
+}
+
+func warmMonitor(seed int64) *workload.Monitor {
+	mon := workload.NewMonitor(workload.DefaultWindow)
+	mon.Warm(rand.New(rand.NewSource(seed)), workload.DefaultTrace(), 8000)
+	return mon
+}
+
+func TestReplannerStableWithoutDrift(t *testing.T) {
+	mon := warmMonitor(5)
+	r, err := NewReplanner(cloud.DefaultPool(), models.MustByName("RM2"), 2.5, 0, mon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := r.Current()
+	if initial.Total() == 0 {
+		t.Fatal("empty initial plan")
+	}
+	// More traffic from the same law: no replanning.
+	mon.Warm(rand.New(rand.NewSource(6)), workload.DefaultTrace(), 5000)
+	cfg, changed, err := r.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed || !cfg.Equal(initial) {
+		t.Fatalf("spurious replan: %v -> %v", initial, cfg)
+	}
+}
+
+func TestReplannerReactsToShift(t *testing.T) {
+	mon := warmMonitor(7)
+	r, err := NewReplanner(cloud.DefaultPool(), models.MustByName("RM2"), 2.5, 0, mon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := r.Current()
+	// The Fig. 12 shift, exaggerated toward large queries: the optimal mix
+	// needs more base instances.
+	mon.Warm(rand.New(rand.NewSource(8)), workload.Gaussian{Mean: 550, Std: 150}, workload.DefaultWindow)
+	cfg, changed, err := r.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed {
+		t.Fatalf("replanner ignored a gross distribution shift (still %v)", cfg)
+	}
+	if cfg.Base() <= initial.Base() {
+		t.Fatalf("large-query shift should add base instances: %v -> %v", initial, cfg)
+	}
+	// After rebasing, the same mix must not retrigger.
+	_, changed, err = r.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed {
+		t.Fatal("detector not rebased after replanning")
+	}
+}

@@ -1,0 +1,148 @@
+package assignment
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrInfeasible is returned when no complete matching of the smaller side
+// exists. With finite costs this cannot happen; it is kept for safety.
+var ErrInfeasible = errors.New("assignment: infeasible cost matrix")
+
+// Solve computes a minimum-cost assignment of the smaller side of the
+// bipartite graph described by cost. If cost has m rows and n columns, the
+// returned pairing matches min(m, n) row/column pairs; rows[k] is matched to
+// cols[k]. The total cost of the matching is returned alongside.
+//
+// The implementation is the Jonker-Volgenant shortest augmenting path
+// algorithm for dense rectangular problems (Crouse, 2016), the algorithm
+// used by scipy.optimize.linear_sum_assignment that the paper's
+// implementation calls (Sec. 6). Complexity is O(min(m,n)^2 * max(m,n)).
+func Solve(cost Matrix) (rows, cols []int, total float64, err error) {
+	if err := cost.validate(); err != nil {
+		return nil, nil, 0, err
+	}
+	if cost.R == 0 || cost.C == 0 {
+		return nil, nil, 0, nil
+	}
+	transposed := false
+	m := cost
+	if m.R > m.C {
+		m = m.Transpose()
+		transposed = true
+	}
+	col4row, err := solveRect(m)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	rows = make([]int, m.R)
+	cols = make([]int, m.R)
+	for i := 0; i < m.R; i++ {
+		rows[i] = i
+		cols[i] = col4row[i]
+	}
+	if transposed {
+		rows, cols = cols, rows
+	}
+	total = cost.Cost(rows, cols)
+	return rows, cols, total, nil
+}
+
+// solveRect runs the augmenting path algorithm assuming m.R <= m.C and
+// returns col4row, the matched column for every row.
+func solveRect(m Matrix) ([]int, error) {
+	nr, nc := m.R, m.C
+
+	u := make([]float64, nr) // row duals
+	v := make([]float64, nc) // column duals
+	shortest := make([]float64, nc)
+	path := make([]int, nc) // predecessor row on the shortest path to each column
+	col4row := make([]int, nr)
+	row4col := make([]int, nc)
+	for i := range col4row {
+		col4row[i] = -1
+	}
+	for j := range row4col {
+		row4col[j] = -1
+	}
+	inSR := make([]bool, nr)
+	inSC := make([]bool, nc)
+	// remaining holds the columns not yet scanned in the current augmentation.
+	remaining := make([]int, nc)
+
+	for curRow := 0; curRow < nr; curRow++ {
+		for i := range inSR {
+			inSR[i] = false
+		}
+		for j := range inSC {
+			inSC[j] = false
+		}
+		for j := range shortest {
+			shortest[j] = math.Inf(1)
+			path[j] = -1
+			remaining[j] = j
+		}
+		numRemaining := nc
+
+		minVal := 0.0
+		i := curRow
+		sink := -1
+		for sink == -1 {
+			inSR[i] = true
+			indexLowest := -1
+			lowest := math.Inf(1)
+			for it := 0; it < numRemaining; it++ {
+				j := remaining[it]
+				r := minVal + m.At(i, j) - u[i] - v[j]
+				if r < shortest[j] {
+					shortest[j] = r
+					path[j] = i
+				}
+				// Tie-break toward already-free columns so augmentation paths
+				// stay short (mirrors the scipy implementation).
+				if shortest[j] < lowest || (shortest[j] == lowest && row4col[j] == -1) {
+					lowest = shortest[j]
+					indexLowest = it
+				}
+			}
+			minVal = lowest
+			if math.IsInf(minVal, 1) {
+				return nil, ErrInfeasible
+			}
+			j := remaining[indexLowest]
+			if row4col[j] == -1 {
+				sink = j
+			} else {
+				i = row4col[j]
+			}
+			inSC[j] = true
+			numRemaining--
+			remaining[indexLowest] = remaining[numRemaining]
+		}
+
+		// Dual updates.
+		u[curRow] += minVal
+		for ii := 0; ii < nr; ii++ {
+			if inSR[ii] && ii != curRow {
+				u[ii] += minVal - shortest[col4row[ii]]
+			}
+		}
+		for j := 0; j < nc; j++ {
+			if inSC[j] {
+				v[j] -= minVal - shortest[j]
+			}
+		}
+
+		// Augment along the alternating path ending at sink.
+		j := sink
+		for {
+			ii := path[j]
+			row4col[j] = ii
+			col4row[ii], j = j, col4row[ii]
+			if ii == curRow {
+				break
+			}
+		}
+	}
+	return col4row, nil
+}

@@ -1,0 +1,268 @@
+// Package bayesopt implements Gaussian-process Bayesian optimization with
+// the expected-improvement acquisition function over a discrete candidate
+// set. It reproduces Ribbon's configuration allocator ([16], "Bayesian
+// Optimization for allocation") as the RIBBON search baseline of Fig. 11.
+package bayesopt
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Point is a candidate location in the (low-dimensional, discrete) search
+// space — for Kairos, an instance-count vector.
+type Point []float64
+
+// GP is a Gaussian-process regressor with an RBF kernel.
+type GP struct {
+	// LengthScale is the RBF kernel length scale.
+	LengthScale float64
+	// Noise is the observation noise variance added to the diagonal.
+	Noise float64
+
+	xs   []Point
+	ys   []float64
+	mean float64
+	l    [][]float64 // Cholesky factor of K + noise*I
+	a    []float64   // alpha = K^-1 (y - mean)
+}
+
+// NewGP builds an empty regressor.
+func NewGP(lengthScale, noise float64) *GP {
+	if lengthScale <= 0 || noise <= 0 {
+		panic("bayesopt: lengthScale and noise must be positive")
+	}
+	return &GP{LengthScale: lengthScale, Noise: noise}
+}
+
+func (g *GP) kernel(a, b Point) float64 {
+	d := 0.0
+	for i := range a {
+		diff := a[i] - b[i]
+		d += diff * diff
+	}
+	return math.Exp(-d / (2 * g.LengthScale * g.LengthScale))
+}
+
+// Fit conditions the GP on observations.
+func (g *GP) Fit(xs []Point, ys []float64) error {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return fmt.Errorf("bayesopt: need matching non-empty observations, got %d/%d", len(xs), len(ys))
+	}
+	n := len(xs)
+	g.xs = xs
+	g.ys = ys
+	g.mean = 0
+	for _, y := range ys {
+		g.mean += y
+	}
+	g.mean /= float64(n)
+
+	k := make([][]float64, n)
+	for i := range k {
+		k[i] = make([]float64, n)
+		for j := range k[i] {
+			k[i][j] = g.kernel(xs[i], xs[j])
+		}
+		k[i][i] += g.Noise
+	}
+	l, err := cholesky(k)
+	if err != nil {
+		return err
+	}
+	g.l = l
+	resid := make([]float64, n)
+	for i := range resid {
+		resid[i] = ys[i] - g.mean
+	}
+	g.a = choleskySolve(l, resid)
+	return nil
+}
+
+// Predict returns the posterior mean and standard deviation at x.
+func (g *GP) Predict(x Point) (mu, sigma float64) {
+	if len(g.xs) == 0 {
+		return 0, 1
+	}
+	n := len(g.xs)
+	kstar := make([]float64, n)
+	for i := range kstar {
+		kstar[i] = g.kernel(x, g.xs[i])
+	}
+	mu = g.mean
+	for i := range kstar {
+		mu += kstar[i] * g.a[i]
+	}
+	v := forwardSolve(g.l, kstar)
+	varx := g.kernel(x, x)
+	for _, vi := range v {
+		varx -= vi * vi
+	}
+	if varx < 0 {
+		varx = 0
+	}
+	return mu, math.Sqrt(varx)
+}
+
+// cholesky factors a symmetric positive-definite matrix (lower triangular).
+func cholesky(a [][]float64) ([][]float64, error) {
+	n := len(a)
+	l := make([][]float64, n)
+	for i := range l {
+		l[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a[i][j]
+			for k := 0; k < j; k++ {
+				sum -= l[i][k] * l[j][k]
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, fmt.Errorf("bayesopt: matrix not positive definite at %d (%.3g)", i, sum)
+				}
+				l[i][i] = math.Sqrt(sum)
+			} else {
+				l[i][j] = sum / l[j][j]
+			}
+		}
+	}
+	return l, nil
+}
+
+// forwardSolve solves L v = b.
+func forwardSolve(l [][]float64, b []float64) []float64 {
+	n := len(b)
+	v := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= l[i][k] * v[k]
+		}
+		v[i] = sum / l[i][i]
+	}
+	return v
+}
+
+// choleskySolve solves (L L^T) x = b.
+func choleskySolve(l [][]float64, b []float64) []float64 {
+	n := len(b)
+	v := forwardSolve(l, b)
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := v[i]
+		for k := i + 1; k < n; k++ {
+			sum -= l[k][i] * x[k]
+		}
+		x[i] = sum / l[i][i]
+	}
+	return x
+}
+
+// ExpectedImprovement computes EI at x against the incumbent best.
+func (g *GP) ExpectedImprovement(x Point, best float64) float64 {
+	mu, sigma := g.Predict(x)
+	if sigma < 1e-12 {
+		if mu > best {
+			return mu - best
+		}
+		return 0
+	}
+	z := (mu - best) / sigma
+	return (mu-best)*stdNormCDF(z) + sigma*stdNormPDF(z)
+}
+
+func stdNormPDF(z float64) float64 { return math.Exp(-z*z/2) / math.Sqrt(2*math.Pi) }
+func stdNormCDF(z float64) float64 { return 0.5 * math.Erfc(-z/math.Sqrt2) }
+
+// Optimizer runs EI-guided Bayesian optimization over a discrete candidate
+// set, the way Ribbon allocates heterogeneous instances.
+type Optimizer struct {
+	// Candidates is the discrete search space.
+	Candidates []Point
+	// InitSamples seeds the GP with random candidates before the EI loop
+	// (default 3).
+	InitSamples int
+	// LengthScale and Noise parametrize the GP (defaults 2.0 and 1e-4
+	// relative to normalized observations).
+	LengthScale, Noise float64
+	// Seed drives the random initialization.
+	Seed int64
+}
+
+// Suggest is called by the optimization loop with the observation history
+// and returns the next candidate index to evaluate, or -1 when the space
+// is exhausted.
+func (o *Optimizer) Suggest(evaluatedIdx []int, ys []float64) int {
+	if len(o.Candidates) == 0 {
+		return -1
+	}
+	init := o.InitSamples
+	if init == 0 {
+		init = 3
+	}
+	seen := make(map[int]bool, len(evaluatedIdx))
+	for _, i := range evaluatedIdx {
+		seen[i] = true
+	}
+	if len(seen) >= len(o.Candidates) {
+		return -1
+	}
+	rng := rand.New(rand.NewSource(o.Seed + int64(len(evaluatedIdx))))
+	if len(evaluatedIdx) < init {
+		for {
+			i := rng.Intn(len(o.Candidates))
+			if !seen[i] {
+				return i
+			}
+		}
+	}
+	ls := o.LengthScale
+	if ls == 0 {
+		ls = 2
+	}
+	noise := o.Noise
+	if noise == 0 {
+		noise = 1e-4
+	}
+	// Normalize observations to zero-mean unit-ish scale for GP stability.
+	best := math.Inf(-1)
+	scale := 1.0
+	for _, y := range ys {
+		if y > best {
+			best = y
+		}
+		if math.Abs(y) > scale {
+			scale = math.Abs(y)
+		}
+	}
+	xs := make([]Point, len(evaluatedIdx))
+	norm := make([]float64, len(ys))
+	for i, idx := range evaluatedIdx {
+		xs[i] = o.Candidates[idx]
+		norm[i] = ys[i] / scale
+	}
+	gp := NewGP(ls, noise)
+	if err := gp.Fit(xs, norm); err != nil {
+		// Degenerate fit (e.g. duplicate points): fall back to random.
+		for {
+			i := rng.Intn(len(o.Candidates))
+			if !seen[i] {
+				return i
+			}
+		}
+	}
+	bestIdx, bestEI := -1, -1.0
+	for i, c := range o.Candidates {
+		if seen[i] {
+			continue
+		}
+		ei := gp.ExpectedImprovement(c, best/scale)
+		if ei > bestEI {
+			bestEI = ei
+			bestIdx = i
+		}
+	}
+	return bestIdx
+}

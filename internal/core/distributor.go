@@ -1,0 +1,290 @@
+// Package core implements the paper's primary contribution: the Kairos
+// query-distribution mechanism (Sec. 5.1) that maps waiting queries onto
+// heterogeneous instances through min-cost bipartite matching, the
+// throughput upper-bound estimator (Sec. 5.2, Eqs. 9-15), the one-shot
+// similarity-based configuration selection, and the Kairos+ upper-bound-
+// assisted pruning search (Algorithm 1).
+package core
+
+import (
+	"kairos/internal/assignment"
+	"kairos/internal/models"
+	"kairos/internal/predictor"
+	"kairos/internal/sim"
+	"kairos/internal/workload"
+)
+
+// DefaultXi is the paper's noise safeguard: a completion time predicted
+// within 2% of the QoS target is already treated as a violation (Sec. 5.1).
+const DefaultXi = 0.98
+
+// DefaultPenaltyFactor is the Eq. 8 penalty: infeasible pairs cost 10x the
+// QoS target.
+const DefaultPenaltyFactor = 10
+
+// DefaultLateBindSlackMS bounds how far into the future Kairos commits a
+// query to a busy instance (see DistributorOptions.LateBindSlackMS).
+const DefaultLateBindSlackMS = 10
+
+// DistributorOptions configure the Kairos query distributor.
+type DistributorOptions struct {
+	// QoS is the tail latency target T_qos in ms.
+	QoS float64
+	// BaseType is the base instance type name used to normalize the
+	// heterogeneity coefficients (Def. 1).
+	BaseType string
+	// Predictor supplies latency estimates for the L matrix. Nil defaults
+	// to a fresh online learner (the paper's no-prior-knowledge mode).
+	Predictor predictor.Predictor
+	// Xi is the QoS safety factor; 0 defaults to DefaultXi.
+	Xi float64
+	// PenaltyFactor scales the Eq. 8 penalty; 0 defaults to 10.
+	PenaltyFactor float64
+	// Monitor, when non-nil, receives every completed query's batch size so
+	// the planner can track the workload mix (Sec. 5.2).
+	Monitor *workload.Monitor
+	// DisableCoefficients turns off the heterogeneity weighting (C_j = 1
+	// for all types); used by the ablation benchmarks.
+	DisableCoefficients bool
+	// AgingFactor weights the W_i starvation-avoidance term: each feasible
+	// cost is reduced by AgingFactor*W_i. Subtracting a row constant never
+	// changes which instance a query prefers — it only promotes
+	// long-waiting queries into the matched set when queries outnumber
+	// instances, the starvation concern Eq. 3 raises. Zero defaults to 1;
+	// negative disables aging (the ablation benchmarks use this).
+	AgingFactor float64
+	// MaxPending caps how many dispatched-but-unstarted queries an
+	// instance may hold before it stops being matched (Eq. 6 limits one
+	// assignment per round; the L matrix's remaining-time term covers the
+	// queued backlog). Zero defaults to 1; the ablation benchmarks explore
+	// deeper commitment.
+	MaxPending int
+	// LateBindSlackMS keeps instances out of the matching until their
+	// in-flight query is within this many milliseconds of completion.
+	// Early commitment to a busy instance forgoes better placements that
+	// appear before it frees; a small slack preserves pipelining without
+	// that cost. Zero defaults to DefaultLateBindSlackMS; negative disables
+	// late binding (matching sees every instance, the literal Eq. 4 setup,
+	// explored by the ablation benchmarks).
+	LateBindSlackMS float64
+}
+
+// Distributor is Kairos's query-distribution mechanism. It implements
+// sim.Distributor and sim.Observer.
+type Distributor struct {
+	opts DistributorOptions
+	pred predictor.Predictor
+}
+
+// NewDistributor validates options and builds the distributor.
+func NewDistributor(opts DistributorOptions) *Distributor {
+	if opts.QoS <= 0 {
+		panic("core: QoS target must be positive")
+	}
+	if opts.BaseType == "" {
+		panic("core: BaseType required")
+	}
+	if opts.Xi == 0 {
+		opts.Xi = DefaultXi
+	}
+	if opts.Xi <= 0 || opts.Xi > 1 {
+		panic("core: Xi must be in (0,1]")
+	}
+	if opts.PenaltyFactor == 0 {
+		opts.PenaltyFactor = DefaultPenaltyFactor
+	}
+	if opts.PenaltyFactor <= 1 {
+		panic("core: PenaltyFactor must exceed 1")
+	}
+	if opts.AgingFactor == 0 {
+		opts.AgingFactor = 1
+	}
+	if opts.AgingFactor < 0 {
+		opts.AgingFactor = 0
+	}
+	if opts.MaxPending == 0 {
+		opts.MaxPending = 1
+	}
+	if opts.MaxPending < 1 {
+		panic("core: MaxPending must be at least 1")
+	}
+	if opts.LateBindSlackMS == 0 {
+		opts.LateBindSlackMS = DefaultLateBindSlackMS
+	}
+	d := &Distributor{opts: opts, pred: opts.Predictor}
+	if d.pred == nil {
+		d.pred = predictor.NewOnline()
+	}
+	return d
+}
+
+// Name implements sim.Distributor.
+func (d *Distributor) Name() string { return "KAIROS" }
+
+// Observe implements sim.Observer: completed queries train the online
+// latency model and the workload monitor.
+func (d *Distributor) Observe(instance string, batch int, serviceMS float64) {
+	d.pred.Observe(instance, batch, serviceMS)
+	if d.opts.Monitor != nil {
+		d.opts.Monitor.Observe(batch)
+	}
+}
+
+// Coefficient returns the heterogeneity coefficient C_j of Def. 1 for the
+// named type: the ratio of the largest query's latency on the base type to
+// its latency on type j, normalized so the base type (fastest at the
+// largest query) has coefficient 1. Falls back to 1 while the predictor
+// has no data.
+func (d *Distributor) Coefficient(typeName string) float64 {
+	if d.opts.DisableCoefficients || typeName == d.opts.BaseType {
+		return 1
+	}
+	baseLat := d.pred.Predict(d.opts.BaseType, models.MaxBatch)
+	lat := d.pred.Predict(typeName, models.MaxBatch)
+	if baseLat <= 0 || lat <= 0 {
+		return 1
+	}
+	c := baseLat / lat
+	if c > 1 {
+		c = 1
+	}
+	return c
+}
+
+// Assign implements sim.Distributor: it builds the weighted, QoS-penalized
+// L matrix over (waiting queries) x (instances with an empty local slot)
+// and dispatches the min-cost matching (Eqs. 4-8).
+func (d *Distributor) Assign(nowMS float64, waiting []sim.QueryView, instances []sim.InstanceView) []sim.Assignment {
+	// Eligible instances have pending-queue headroom; the one-to-one
+	// mapping constraint (Eq. 6) still admits at most one new dispatch per
+	// instance per round, and the drain term below prices the backlog.
+	slack := d.opts.LateBindSlackMS
+	if slack < 0 {
+		slack = 1e18 // late binding disabled: every instance is matchable
+	}
+	eligible := instances[:0:0]
+	for _, in := range instances {
+		if len(in.QueuedBatches) < d.opts.MaxPending && in.RemainingMS <= slack {
+			eligible = append(eligible, in)
+		}
+	}
+	if len(eligible) == 0 || len(waiting) == 0 {
+		return nil
+	}
+
+	m, n := len(waiting), len(eligible)
+	cost := assignment.NewMatrix(m, n)
+	penalty := d.opts.PenaltyFactor * d.opts.QoS
+	deadline := d.opts.Xi * d.opts.QoS
+	penalized := make([]bool, m*n)
+	for j, in := range eligible {
+		cj := d.Coefficient(in.TypeName)
+		drain := in.RemainingMS
+		for _, b := range in.QueuedBatches {
+			drain += d.pred.Predict(in.TypeName, b)
+		}
+		for i, q := range waiting {
+			l := drain + d.pred.Predict(in.TypeName, q.Batch)
+			if l+q.WaitMS > deadline {
+				// Eq. 8 penalty. Unlike the paper's formulation we keep the
+				// penalty outside the C_j weighting: with strongly
+				// heterogeneous coefficients (C_j down to ~0.06 here) a
+				// weighted penalty C_j*10*T_qos can undercut a feasible
+				// base placement (1*T_qos) and the matching would prefer
+				// the QoS-violating pair. An unweighted penalty preserves
+				// the intended semantics: feasible pairs always win.
+				cost.Set(i, j, penalty)
+				penalized[i*n+j] = true
+				continue
+			}
+			cost.Set(i, j, cj*l-d.opts.AgingFactor*q.WaitMS)
+		}
+	}
+	rows, cols, _, err := assignment.Solve(cost)
+	if err != nil {
+		// Finite costs cannot be infeasible; a failure here is a bug.
+		panic("core: matching failed: " + err.Error())
+	}
+	out := make([]sim.Assignment, 0, len(rows))
+	used := make([]bool, n)
+	var doomed []int // waiting indices that can no longer meet QoS anywhere
+	for k := range rows {
+		i, j := rows[k], cols[k]
+		if penalized[i*n+j] {
+			// The min-cost solution could not find a QoS-respecting spot
+			// for this query. If some instance (busy ones included) will
+			// still be able to serve it within QoS once its backlog
+			// drains, hold the query in the central queue and retry (the
+			// paper's "wait in a queue until more resources become
+			// available and restart another round of query distribution").
+			// Waiting is free with respect to that claim: W_i grows exactly
+			// as fast as the target's remaining time shrinks. A doomed
+			// query — no feasible future slot anywhere — is
+			// force-dispatched below.
+			if d.feasibleSlotExists(waiting[i], instances) {
+				continue
+			}
+			doomed = append(doomed, i)
+			continue
+		}
+		used[j] = true
+		out = append(out, sim.Assignment{
+			Query:    waiting[i].Index,
+			Instance: eligible[j].Index,
+		})
+	}
+	// Doomed queries burn capacity no matter what; clear each on the
+	// fastest-completing instance still free this round.
+	for _, i := range doomed {
+		j := d.fastestClearing(waiting[i], eligible, used)
+		if j == -1 {
+			break // every slot taken; retry next round
+		}
+		used[j] = true
+		out = append(out, sim.Assignment{
+			Query:    waiting[i].Index,
+			Instance: eligible[j].Index,
+		})
+	}
+	return out
+}
+
+// feasibleSlotExists reports whether any instance — counting its full
+// in-flight plus pending drain — could still serve the query within QoS.
+func (d *Distributor) feasibleSlotExists(q sim.QueryView, instances []sim.InstanceView) bool {
+	deadline := d.opts.Xi * d.opts.QoS
+	for _, in := range instances {
+		drain := in.RemainingMS
+		for _, b := range in.QueuedBatches {
+			drain += d.pred.Predict(in.TypeName, b)
+		}
+		if drain+d.pred.Predict(in.TypeName, q.Batch)+q.WaitMS <= deadline {
+			return true
+		}
+	}
+	return false
+}
+
+// fastestClearing picks the unused eligible instance with the earliest
+// real completion time for the batch, minimizing the capacity a doomed
+// query burns. Returns -1 when every eligible instance is taken.
+func (d *Distributor) fastestClearing(q sim.QueryView, eligible []sim.InstanceView, used []bool) int {
+	best, bestAt := -1, 0.0
+	for j, in := range eligible {
+		if used[j] {
+			continue
+		}
+		at := in.RemainingMS + d.pred.Predict(in.TypeName, q.Batch)
+		for _, b := range in.QueuedBatches {
+			at += d.pred.Predict(in.TypeName, b)
+		}
+		if best == -1 || at < bestAt {
+			best, bestAt = j, at
+		}
+	}
+	return best
+}
+
+// Predictor exposes the distributor's latency model so callers can warm it
+// or inspect it.
+func (d *Distributor) Predictor() predictor.Predictor { return d.pred }

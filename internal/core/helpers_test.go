@@ -1,0 +1,16 @@
+package core
+
+import (
+	"kairos/internal/cloud"
+	"kairos/internal/models"
+	"kairos/internal/sim"
+)
+
+// simOracle evaluates the clairvoyant ORCL throughput for a configuration;
+// shared by the upper-bound property tests.
+func simOracle(m models.Model, pool cloud.Pool, cfg cloud.Config) float64 {
+	return sim.OracleThroughput(
+		sim.ClusterSpec{Pool: pool, Config: cfg, Model: m},
+		sim.OracleOptions{Queries: 20000, Seed: 20},
+	)
+}

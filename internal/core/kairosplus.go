@@ -1,0 +1,75 @@
+package core
+
+import (
+	"kairos/internal/cloud"
+)
+
+// EvalFunc measures the actual allowable throughput of a configuration
+// (an expensive online evaluation in the paper: allocate instances, ramp
+// load, watch the tail).
+type EvalFunc func(cloud.Config) float64
+
+// EvalRecord is one online evaluation performed by a search.
+type EvalRecord struct {
+	Config cloud.Config
+	QPS    float64
+}
+
+// PlusResult reports a Kairos+ run.
+type PlusResult struct {
+	// Best is the highest-throughput configuration found.
+	Best cloud.Config
+	// BestQPS is its measured throughput.
+	BestQPS float64
+	// Evaluations is the number of online evaluations spent.
+	Evaluations int
+	// History lists evaluations in order (Fig. 12's transient trace).
+	History []EvalRecord
+}
+
+// KairosPlus runs Algorithm 1: walk configurations in descending
+// upper-bound order, evaluate survivors, and prune (a) every configuration
+// whose upper bound cannot beat the best measured throughput and (b) every
+// sub-configuration of an evaluated configuration (adding instances never
+// lowers throughput, so a sub-configuration cannot beat its evaluated
+// super-configuration).
+func KairosPlus(ranked []RankedConfig, eval EvalFunc) PlusResult {
+	res := PlusResult{}
+	alive := make(map[string]bool, len(ranked))
+	for _, rc := range ranked {
+		alive[rc.Config.Key()] = true
+	}
+	var evaluated []cloud.Config
+	for _, rc := range ranked {
+		if !alive[rc.Config.Key()] {
+			continue
+		}
+		// The ranking is sorted: once the bound cannot beat the best
+		// measured value, nothing later can either.
+		if res.Evaluations > 0 && rc.UpperBound <= res.BestQPS {
+			break
+		}
+		// Sub-configuration pruning against everything already evaluated.
+		pruned := false
+		for _, ev := range evaluated {
+			if rc.Config.IsSubConfigOf(ev) {
+				pruned = true
+				break
+			}
+		}
+		if pruned {
+			alive[rc.Config.Key()] = false
+			continue
+		}
+		qps := eval(rc.Config)
+		res.Evaluations++
+		res.History = append(res.History, EvalRecord{Config: rc.Config, QPS: qps})
+		alive[rc.Config.Key()] = false
+		evaluated = append(evaluated, rc.Config)
+		if qps > res.BestQPS || res.Best == nil {
+			res.BestQPS = qps
+			res.Best = rc.Config
+		}
+	}
+	return res
+}

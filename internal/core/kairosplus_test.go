@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+
+	"kairos/internal/cloud"
+)
+
+// syntheticEval builds an EvalFunc over a fixed table, counting calls.
+func syntheticEval(table map[string]float64) (EvalFunc, *int) {
+	calls := 0
+	return func(c cloud.Config) float64 {
+		calls++
+		return table[c.Key()]
+	}, &calls
+}
+
+func TestKairosPlusFindsArgmaxWithTightBounds(t *testing.T) {
+	// Bounds equal to the truth: the first evaluation is the optimum and
+	// every other configuration prunes immediately.
+	ranked := []RankedConfig{
+		rc(100, 3, 1, 3),
+		rc(90, 2, 0, 9),
+		rc(80, 4, 0, 0),
+	}
+	eval, calls := syntheticEval(map[string]float64{
+		"(3,1,3)": 100, "(2,0,9)": 90, "(4,0,0)": 80,
+	})
+	res := KairosPlus(ranked, eval)
+	if !res.Best.Equal(cloud.Config{3, 1, 3}) || res.BestQPS != 100 {
+		t.Fatalf("best = %v @ %v", res.Best, res.BestQPS)
+	}
+	if *calls != 1 || res.Evaluations != 1 {
+		t.Fatalf("evaluations = %d, want 1 (UB filter prunes the rest)", res.Evaluations)
+	}
+}
+
+func TestKairosPlusLooseBoundsNeedMoreEvals(t *testing.T) {
+	// The top bound is loose (actual much lower), so the search must keep
+	// going until the UB filter closes.
+	ranked := []RankedConfig{
+		rc(100, 1, 0, 9), // loose: actual 40
+		rc(95, 3, 1, 3),  // actual 90
+		rc(85, 2, 0, 9),  // UB 85 <= 90: pruned after (3,1,3) evaluates
+		rc(80, 4, 0, 0),
+	}
+	eval, calls := syntheticEval(map[string]float64{
+		"(1,0,9)": 40, "(3,1,3)": 90, "(2,0,9)": 70, "(4,0,0)": 60,
+	})
+	res := KairosPlus(ranked, eval)
+	if !res.Best.Equal(cloud.Config{3, 1, 3}) || res.BestQPS != 90 {
+		t.Fatalf("best = %v @ %v", res.Best, res.BestQPS)
+	}
+	if *calls != 2 {
+		t.Fatalf("evaluations = %d, want 2", *calls)
+	}
+	if len(res.History) != 2 || res.History[0].QPS != 40 || res.History[1].QPS != 90 {
+		t.Fatalf("history = %v", res.History)
+	}
+}
+
+func TestKairosPlusSubConfigPruning(t *testing.T) {
+	// (2,1,3) is a sub-configuration of the already-evaluated (3,1,3); it
+	// must be pruned without evaluation even though its UB is high.
+	ranked := []RankedConfig{
+		rc(100, 3, 1, 3), // actual 50 (loose bound keeps the search alive)
+		rc(99, 2, 1, 3),  // sub-config of the evaluated (3,1,3): pruned
+		rc(98, 2, 0, 9),  // actual 60: evaluated, becomes best
+		rc(55, 4, 0, 0),  // UB below best: never evaluated
+	}
+	eval, calls := syntheticEval(map[string]float64{
+		"(3,1,3)": 50, "(2,1,3)": 45, "(2,0,9)": 60, "(4,0,0)": 52,
+	})
+	res := KairosPlus(ranked, eval)
+	if *calls != 2 {
+		t.Fatalf("evaluations = %d, want 2 (sub-config and UB pruning)", *calls)
+	}
+	if !res.Best.Equal(cloud.Config{2, 0, 9}) {
+		t.Fatalf("best = %v", res.Best)
+	}
+	for _, h := range res.History {
+		if h.Config.Equal(cloud.Config{2, 1, 3}) {
+			t.Fatal("pruned sub-configuration was evaluated")
+		}
+	}
+}
+
+func TestKairosPlusEmptyRanking(t *testing.T) {
+	res := KairosPlus(nil, func(cloud.Config) float64 { return 0 })
+	if res.Evaluations != 0 || res.Best != nil {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+// TestKairosPlusNeverWorseThanOneShot: Kairos+ evaluates the actual
+// throughput, so its final choice can only match or beat the value of any
+// single configuration it saw, including Kairos's one-shot pick when that
+// pick is in the ranking.
+func TestKairosPlusNeverWorseThanEvaluatedConfigs(t *testing.T) {
+	e := newRM2Estimator(t)
+	ranked := e.Rank(2.5)[:20]
+	eval, _ := syntheticEval(nil)
+	_ = eval
+	// Synthetic truth: monotone transform of UB with dips, so argmax is
+	// known to be the config with highest synthetic value among evaluated.
+	truth := func(c cloud.Config) float64 {
+		v := 0.0
+		for i, n := range c {
+			v += float64((i+1)*n) * 3.7
+		}
+		return v
+	}
+	res := KairosPlus(ranked, truth)
+	for _, h := range res.History {
+		if h.QPS > res.BestQPS {
+			t.Fatalf("best %v below an evaluated config %v", res.BestQPS, h.QPS)
+		}
+	}
+	if res.Evaluations != len(res.History) {
+		t.Fatal("evaluation count mismatch")
+	}
+}

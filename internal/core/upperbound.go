@@ -1,0 +1,231 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"kairos/internal/cloud"
+	"kairos/internal/models"
+)
+
+// UpperBoundRaw evaluates Eq. 15 from aggregated quantities:
+//
+//	u       – number of base instances,
+//	qB      – one base instance's QPS over the full query mix,
+//	qBSPlus – one base instance's QPS over queries larger than the shared
+//	          auxiliary region (the s+ queries),
+//	vQa     – per auxiliary type, count times standalone QPS over queries
+//	          inside the shared region (v_i * Q_a^i),
+//	fPrime  – fraction of queries inside the shared auxiliary region.
+//
+// The return value is the throughput upper bound QPS_max: no distribution
+// policy can exceed it on this hardware (Def. 2).
+func UpperBoundRaw(u int, qB, qBSPlus float64, vQa []float64, fPrime float64) float64 {
+	sumAux := 0.0
+	for _, v := range vQa {
+		sumAux += v
+	}
+	if fPrime <= 0 || sumAux == 0 {
+		// No auxiliary coverage: the base instances serve everything.
+		return float64(u) * qB
+	}
+	if fPrime >= 1 {
+		// Every query fits the auxiliary region; the offload stream to the
+		// base vanishes (C = 0) and the base contributes its full rate.
+		return sumAux + float64(u)*qB
+	}
+	base := float64(u) * qBSPlus
+	c := sumAux * (1 - fPrime) / fPrime // Eq. 14
+	if base <= c {
+		// Base is the bottleneck (Eq. 12).
+		return base / (1 - fPrime)
+	}
+	// Auxiliary is the bottleneck; add the base slack throughput (Eq. 13).
+	slack := 0.0
+	if base > 0 {
+		slack = (base - c) / base * float64(u) * qB
+	}
+	return sumAux/fPrime + slack
+}
+
+// Estimator computes throughput upper bounds for configurations of a pool
+// serving one model under an observed workload mix. It needs only the
+// latency surface (predicted or ground truth) and a sample of recent batch
+// sizes from the query monitor — no online evaluation (Sec. 5.2).
+type Estimator struct {
+	pool    cloud.Pool
+	model   models.Model
+	qos     float64
+	latency func(instance string, batch int) float64
+
+	sorted []int // ascending batch samples
+
+	// Per-pool-type cached aggregates (lazily built): cutoffs and, per
+	// candidate shared region, conditional mean latencies.
+	cutoffs []int
+	// qpsCache memoizes meanQPS by (instance, lo, hi); the shared region
+	// boundary takes one of at most len(pool) values, so ranking a
+	// 100k-configuration space (Fig. 15a's 4x budget) stays cheap.
+	qpsCache map[qpsKey]float64
+}
+
+type qpsKey struct {
+	instance string
+	lo, hi   int
+}
+
+// EstimatorOptions configure NewEstimator.
+type EstimatorOptions struct {
+	// Latency overrides the model's ground-truth surface (e.g. with the
+	// online predictor's view). Nil uses the model.
+	Latency func(instance string, batch int) float64
+	// QoS overrides the model's QoS target (Fig. 15b). Zero uses the model.
+	QoS float64
+}
+
+// NewEstimator builds an estimator from recent batch-size samples (the
+// query monitor's snapshot; Sec. 5.2 uses the last ~10000 queries).
+func NewEstimator(pool cloud.Pool, model models.Model, samples []int, opts EstimatorOptions) (*Estimator, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("core: estimator needs batch samples")
+	}
+	e := &Estimator{
+		pool:    pool,
+		model:   model,
+		qos:     opts.QoS,
+		latency: opts.Latency,
+	}
+	if e.qos == 0 {
+		e.qos = model.QoS
+	}
+	if e.latency == nil {
+		e.latency = model.Latency
+	}
+	e.sorted = make([]int, len(samples))
+	copy(e.sorted, samples)
+	sort.Ints(e.sorted)
+	if e.sorted[0] < 1 || e.sorted[len(e.sorted)-1] > models.MaxBatch {
+		return nil, fmt.Errorf("core: batch samples outside [1,%d]", models.MaxBatch)
+	}
+	e.cutoffs = make([]int, len(pool))
+	for i, t := range pool {
+		e.cutoffs[i] = e.cutoffBatch(t.Name)
+	}
+	return e, nil
+}
+
+// cutoffBatch finds the largest batch within QoS on the instance type by
+// bisection over the monotone latency curve.
+func (e *Estimator) cutoffBatch(instance string) int {
+	if e.latency(instance, 1) > e.qos {
+		return 0
+	}
+	lo, hi := 1, models.MaxBatch
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if e.latency(instance, mid) <= e.qos {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// Cutoff returns the QoS cutoff batch size s for pool type index i.
+func (e *Estimator) Cutoff(i int) int { return e.cutoffs[i] }
+
+// fractionAtMost computes f(s) over the samples.
+func (e *Estimator) fractionAtMost(s int) float64 {
+	idx := sort.SearchInts(e.sorted, s+1)
+	return float64(idx) / float64(len(e.sorted))
+}
+
+// meanQPS returns the standalone QPS of one instance of the type over the
+// sample batches in the half-open index range [lo, hi) of the sorted
+// samples: 1000 / mean latency. Returns 0 for an empty range.
+func (e *Estimator) meanQPS(instance string, lo, hi int) float64 {
+	if lo >= hi {
+		return 0
+	}
+	key := qpsKey{instance, lo, hi}
+	if v, ok := e.qpsCache[key]; ok {
+		return v
+	}
+	sum := 0.0
+	for _, b := range e.sorted[lo:hi] {
+		sum += e.latency(instance, b)
+	}
+	mean := sum / float64(hi-lo)
+	v := 0.0
+	if mean > 0 {
+		v = 1000 / mean
+	}
+	if e.qpsCache == nil {
+		e.qpsCache = make(map[qpsKey]float64)
+	}
+	e.qpsCache[key] = v
+	return v
+}
+
+// UpperBound computes QPS_max for one configuration (Eq. 15 with the
+// shared-region approximation for multiple auxiliary types).
+func (e *Estimator) UpperBound(cfg cloud.Config) float64 {
+	if len(cfg) != len(e.pool) {
+		panic(fmt.Sprintf("core: config %v does not match pool of %d types", cfg, len(e.pool)))
+	}
+	u := cfg[cloud.BaseIndex]
+	// Shared auxiliary region: the maximum cutoff among allocated
+	// auxiliary types (the paper's optimistic simplification).
+	sMax := 0
+	for i := range e.pool {
+		if i == cloud.BaseIndex || cfg[i] == 0 {
+			continue
+		}
+		if e.cutoffs[i] > sMax {
+			sMax = e.cutoffs[i]
+		}
+	}
+	base := e.pool.Base().Name
+	qB := e.meanQPS(base, 0, len(e.sorted))
+	if sMax == 0 {
+		return UpperBoundRaw(u, qB, 0, nil, 0)
+	}
+	split := sort.SearchInts(e.sorted, sMax+1) // samples[:split] are <= sMax
+	fPrime := float64(split) / float64(len(e.sorted))
+	qBSPlus := e.meanQPS(base, split, len(e.sorted))
+	var vQa []float64
+	for i := range e.pool {
+		if i == cloud.BaseIndex || cfg[i] == 0 {
+			continue
+		}
+		qa := e.meanQPS(e.pool[i].Name, 0, split)
+		vQa = append(vQa, float64(cfg[i])*qa)
+	}
+	return UpperBoundRaw(u, qB, qBSPlus, vQa, fPrime)
+}
+
+// RankedConfig pairs a configuration with its upper bound.
+type RankedConfig struct {
+	Config     cloud.Config
+	UpperBound float64
+}
+
+// Rank computes upper bounds for every configuration within the budget and
+// returns them sorted by descending bound (ties broken by config key for
+// determinism). This is the paper's warmup-phase computation: an
+// order-1000-configuration space ranks in well under two seconds (Sec. 5.2).
+func (e *Estimator) Rank(budget float64) []RankedConfig {
+	configs := e.pool.Enumerate(budget)
+	ranked := make([]RankedConfig, len(configs))
+	for i, cfg := range configs {
+		ranked[i] = RankedConfig{Config: cfg, UpperBound: e.UpperBound(cfg)}
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].UpperBound != ranked[j].UpperBound {
+			return ranked[i].UpperBound > ranked[j].UpperBound
+		}
+		return ranked[i].Config.Key() < ranked[j].Config.Key()
+	})
+	return ranked
+}

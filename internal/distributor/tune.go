@@ -1,0 +1,54 @@
+package distributor
+
+// TuneDRSThreshold performs the hill-climbing sweep DeepRecSys uses to find
+// its query-size routing threshold (Sec. 7: "a hill-climbing sweep is used
+// ... to find the threshold that yields the highest throughput"). eval
+// measures the allowable throughput of a threshold; the climb starts at
+// start and moves in steps of step within [0, maxBatch] until neither
+// neighbor improves. It returns the best threshold, its value, and the
+// number of distinct threshold evaluations spent — the per-configuration
+// tuning overhead Kairos avoids.
+func TuneDRSThreshold(eval func(threshold int) float64, start, step, maxBatch int) (best int, bestVal float64, evals int) {
+	if step <= 0 {
+		panic("distributor: step must be positive")
+	}
+	clamp := func(t int) int {
+		if t < 0 {
+			return 0
+		}
+		if t > maxBatch {
+			return maxBatch
+		}
+		return t
+	}
+	memo := map[int]float64{}
+	measure := func(t int) float64 {
+		if v, ok := memo[t]; ok {
+			return v
+		}
+		v := eval(t)
+		memo[t] = v
+		evals++
+		return v
+	}
+	cur := clamp(start)
+	curVal := measure(cur)
+	for {
+		up, down := clamp(cur+step), clamp(cur-step)
+		upVal, downVal := curVal, curVal
+		if up != cur {
+			upVal = measure(up)
+		}
+		if down != cur {
+			downVal = measure(down)
+		}
+		switch {
+		case upVal > curVal && upVal >= downVal:
+			cur, curVal = up, upVal
+		case downVal > curVal:
+			cur, curVal = down, downVal
+		default:
+			return cur, curVal, evals
+		}
+	}
+}

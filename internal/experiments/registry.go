@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner executes one experiment at the given scale and returns a
+// renderable result.
+type Runner func(Scale) fmt.Stringer
+
+type stringResult string
+
+func (s stringResult) String() string { return string(s) }
+
+// Registry maps experiment identifiers (the paper's table/figure numbers)
+// to their regenerators.
+var Registry = map[string]Runner{
+	"table3": func(Scale) fmt.Stringer { return stringResult("Table 3: models and QoS targets\n" + Table3()) },
+	"table4": func(Scale) fmt.Stringer { return stringResult("Table 4: instance types\n" + Table4()) },
+	"fig1":   func(s Scale) fmt.Stringer { return Fig1(s) },
+	"fig2":   func(s Scale) fmt.Stringer { return Fig2(s) },
+	"fig3":   func(s Scale) fmt.Stringer { return Fig3(s) },
+	"fig5":   func(Scale) fmt.Stringer { return Fig5() },
+	"fig7":   func(Scale) fmt.Stringer { return Fig7() },
+	"fig8":   func(s Scale) fmt.Stringer { return Fig8(s) },
+	"fig9":   func(s Scale) fmt.Stringer { return Fig9(s) },
+	"fig10":  func(s Scale) fmt.Stringer { return Fig10(s) },
+	"fig11":  func(s Scale) fmt.Stringer { return Fig11(s) },
+	"fig12":  func(s Scale) fmt.Stringer { return Fig12(s) },
+	"fig13":  func(s Scale) fmt.Stringer { return Fig13(s, 20) },
+	"fig14":  func(s Scale) fmt.Stringer { return Fig14(s, 12) },
+	"fig15":  func(s Scale) fmt.Stringer { return Fig15(s) },
+	"fig16":  func(s Scale) fmt.Stringer { return Fig16(s) },
+}
+
+// IDs lists the registered experiment identifiers in stable order.
+func IDs() []string {
+	out := make([]string, 0, len(Registry))
+	for id := range Registry {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		// tables first, then figures by number.
+		ti, tj := out[i][0] == 't', out[j][0] == 't'
+		if ti != tj {
+			return ti
+		}
+		var ni, nj int
+		fmt.Sscanf(out[i], "fig%d", &ni)
+		fmt.Sscanf(out[j], "fig%d", &nj)
+		fmt.Sscanf(out[i], "table%d", &ni)
+		fmt.Sscanf(out[j], "table%d", &nj)
+		return ni < nj
+	})
+	return out
+}
+
+// Run executes the named experiment.
+func Run(id string, scale Scale) (fmt.Stringer, error) {
+	r, ok := Registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return r(scale), nil
+}

@@ -1,0 +1,154 @@
+// Package metrics provides the latency/throughput accounting used by the
+// serving simulator and the network controller: percentile computation with
+// the nearest-rank method (the paper's QoS is a 99th-percentile tail-latency
+// target) and violation-rate bookkeeping.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Percentile returns the p-th percentile (0 < p <= 100) of the samples using
+// the nearest-rank method: the smallest value v such that at least p% of
+// samples are <= v. It sorts a copy; the input is not modified.
+func Percentile(samples []float64, p float64) float64 {
+	if len(samples) == 0 {
+		return math.NaN()
+	}
+	if p <= 0 || p > 100 {
+		panic(fmt.Sprintf("metrics: percentile %v outside (0,100]", p))
+	}
+	sorted := make([]float64, len(samples))
+	copy(sorted, samples)
+	sort.Float64s(sorted)
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// LatencyRecorder accumulates per-query latencies and answers tail-latency
+// questions. It is not safe for concurrent use; the simulator is
+// single-threaded per run and the network controller guards it with a lock.
+type LatencyRecorder struct {
+	samples []float64
+	sorted  bool
+}
+
+// NewLatencyRecorder returns an empty recorder with the given capacity hint.
+func NewLatencyRecorder(capacityHint int) *LatencyRecorder {
+	return &LatencyRecorder{samples: make([]float64, 0, capacityHint)}
+}
+
+// Record adds one end-to-end query latency (milliseconds).
+func (r *LatencyRecorder) Record(latencyMS float64) {
+	r.samples = append(r.samples, latencyMS)
+	r.sorted = false
+}
+
+// Count returns the number of recorded samples.
+func (r *LatencyRecorder) Count() int { return len(r.samples) }
+
+// ensureSorted keeps an amortized sorted view for repeated percentile reads.
+func (r *LatencyRecorder) ensureSorted() {
+	if !r.sorted {
+		sort.Float64s(r.samples)
+		r.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile of the recorded latencies, or NaN
+// if no samples were recorded.
+func (r *LatencyRecorder) Percentile(p float64) float64 {
+	if len(r.samples) == 0 {
+		return math.NaN()
+	}
+	if p <= 0 || p > 100 {
+		panic(fmt.Sprintf("metrics: percentile %v outside (0,100]", p))
+	}
+	r.ensureSorted()
+	rank := int(math.Ceil(p / 100 * float64(len(r.samples))))
+	if rank < 1 {
+		rank = 1
+	}
+	return r.samples[rank-1]
+}
+
+// Mean returns the average latency, or NaN if empty.
+func (r *LatencyRecorder) Mean() float64 {
+	if len(r.samples) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, v := range r.samples {
+		sum += v
+	}
+	return sum / float64(len(r.samples))
+}
+
+// Max returns the largest latency, or NaN if empty.
+func (r *LatencyRecorder) Max() float64 {
+	if len(r.samples) == 0 {
+		return math.NaN()
+	}
+	r.ensureSorted()
+	return r.samples[len(r.samples)-1]
+}
+
+// ViolationRate returns the fraction of samples strictly above the QoS
+// target.
+func (r *LatencyRecorder) ViolationRate(qos float64) float64 {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	r.ensureSorted()
+	// First index with sample > qos.
+	idx := sort.SearchFloat64s(r.samples, math.Nextafter(qos, math.Inf(1)))
+	return float64(len(r.samples)-idx) / float64(len(r.samples))
+}
+
+// MeetsQoS reports whether the paper's service condition holds: the p-th
+// percentile latency is within the QoS target.
+func (r *LatencyRecorder) MeetsQoS(qos, p float64) bool {
+	if len(r.samples) == 0 {
+		return true
+	}
+	return r.Percentile(p) <= qos
+}
+
+// Reset discards all samples, retaining capacity.
+func (r *LatencyRecorder) Reset() {
+	r.samples = r.samples[:0]
+	r.sorted = false
+}
+
+// Summary is a compact distribution digest for reporting.
+type Summary struct {
+	Count          int
+	Mean, P50, P95 float64
+	P99, Max       float64
+}
+
+// Summarize returns the digest of the recorder's samples.
+func (r *LatencyRecorder) Summarize() Summary {
+	if len(r.samples) == 0 {
+		return Summary{}
+	}
+	return Summary{
+		Count: len(r.samples),
+		Mean:  r.Mean(),
+		P50:   r.Percentile(50),
+		P95:   r.Percentile(95),
+		P99:   r.Percentile(99),
+		Max:   r.Max(),
+	}
+}
+
+// String renders the summary for logs.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.2fms p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms",
+		s.Count, s.Mean, s.P50, s.P95, s.P99, s.Max)
+}

@@ -1,0 +1,125 @@
+// Package pop implements POP-style partitioned serving, the scaling path
+// the paper sketches in Sec. 6: "inference service frameworks like Kairos
+// can scale to extremely large systems by dividing the system into
+// multiple sub-systems and running a Kairos instance on each sub-system"
+// (citing POP [65]).
+//
+// Partitioned wraps k inner distributors, splits the instances into k
+// balanced sub-pools (round-robin per type so each partition keeps the
+// same heterogeneity mix — POP's key requirement), and hashes each query
+// to a partition by its stable arrival ID. Each sub-controller then runs
+// its policy over an O(n/k) matching instead of O(n), cutting the
+// per-round solve cost while approximating the global solution.
+package pop
+
+import (
+	"fmt"
+
+	"kairos/internal/sim"
+)
+
+// Factory builds one inner distributor per partition.
+type Factory func(partition int) sim.Distributor
+
+// Partitioned is a sim.Distributor that delegates to per-partition inner
+// policies.
+type Partitioned struct {
+	k     int
+	inner []sim.Distributor
+	// instancePartition maps instance index -> partition; built lazily
+	// from the first Assign call and kept consistent afterwards (instance
+	// sets are fixed for a cluster's lifetime).
+	instancePartition map[int]int
+}
+
+// NewPartitioned builds a k-way partitioned distributor.
+func NewPartitioned(k int, factory Factory) *Partitioned {
+	if k < 1 {
+		panic("pop: need at least one partition")
+	}
+	p := &Partitioned{k: k, inner: make([]sim.Distributor, k), instancePartition: map[int]int{}}
+	for i := 0; i < k; i++ {
+		p.inner[i] = factory(i)
+		if p.inner[i] == nil {
+			panic(fmt.Sprintf("pop: factory returned nil for partition %d", i))
+		}
+	}
+	return p
+}
+
+// Name implements sim.Distributor.
+func (p *Partitioned) Name() string { return fmt.Sprintf("POP-%dx(%s)", p.k, p.inner[0].Name()) }
+
+// Partitions returns k.
+func (p *Partitioned) Partitions() int { return p.k }
+
+// partitionInstances assigns instances to partitions round-robin per type
+// so every partition sees the same heterogeneity mix.
+func (p *Partitioned) partitionInstances(instances []sim.InstanceView) {
+	counterByType := map[string]int{}
+	for _, in := range instances {
+		if _, done := p.instancePartition[in.Index]; done {
+			continue
+		}
+		c := counterByType[in.TypeName]
+		p.instancePartition[in.Index] = c % p.k
+		counterByType[in.TypeName] = c + 1
+	}
+}
+
+// Assign implements sim.Distributor: split views, delegate, merge.
+func (p *Partitioned) Assign(nowMS float64, waiting []sim.QueryView, instances []sim.InstanceView) []sim.Assignment {
+	if p.k == 1 {
+		return p.inner[0].Assign(nowMS, waiting, instances)
+	}
+	p.partitionInstances(instances)
+
+	queriesByPart := make([][]sim.QueryView, p.k)
+	// originalQueryIdx[part][i] maps the partition-local index back to the
+	// caller's waiting index.
+	originalQueryIdx := make([][]int, p.k)
+	for _, q := range waiting {
+		part := q.ID % p.k
+		if part < 0 {
+			part = -part
+		}
+		local := q
+		local.Index = len(queriesByPart[part])
+		queriesByPart[part] = append(queriesByPart[part], local)
+		originalQueryIdx[part] = append(originalQueryIdx[part], q.Index)
+	}
+	instByPart := make([][]sim.InstanceView, p.k)
+	originalInstIdx := make([][]int, p.k)
+	for _, in := range instances {
+		part := p.instancePartition[in.Index]
+		local := in
+		local.Index = len(instByPart[part])
+		instByPart[part] = append(instByPart[part], local)
+		originalInstIdx[part] = append(originalInstIdx[part], in.Index)
+	}
+
+	var out []sim.Assignment
+	for part := 0; part < p.k; part++ {
+		if len(queriesByPart[part]) == 0 || len(instByPart[part]) == 0 {
+			continue
+		}
+		sub := p.inner[part].Assign(nowMS, queriesByPart[part], instByPart[part])
+		for _, a := range sub {
+			out = append(out, sim.Assignment{
+				Query:    originalQueryIdx[part][a.Query],
+				Instance: originalInstIdx[part][a.Instance],
+			})
+		}
+	}
+	return out
+}
+
+// Observe implements sim.Observer by fanning feedback out to every inner
+// policy that accepts it (latency observations are global knowledge).
+func (p *Partitioned) Observe(instance string, batch int, serviceMS float64) {
+	for _, in := range p.inner {
+		if obs, ok := in.(sim.Observer); ok {
+			obs.Observe(instance, batch, serviceMS)
+		}
+	}
+}

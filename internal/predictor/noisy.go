@@ -1,0 +1,51 @@
+package predictor
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// Noisy wraps a predictor with additive Gaussian white noise on every
+// prediction, reproducing the Fig. 16b robustness study: the paper injects
+// 5% Gaussian noise "in latency prediction to emulate performance
+// variability in the cloud" while the serving substrate itself stays
+// deterministic.
+type Noisy struct {
+	// Base supplies the clean estimates.
+	Base Predictor
+	// StdDevFrac is the noise standard deviation as a fraction of the
+	// clean prediction (0.05 reproduces the paper's setting).
+	StdDevFrac float64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewNoisy builds a Noisy predictor with a deterministic seed.
+func NewNoisy(base Predictor, stdDevFrac float64, seed int64) *Noisy {
+	if base == nil {
+		panic("predictor: Noisy needs a base predictor")
+	}
+	if stdDevFrac < 0 {
+		panic("predictor: negative noise fraction")
+	}
+	return &Noisy{Base: base, StdDevFrac: stdDevFrac, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Predict implements Predictor: clean estimate times (1 + N(0, sigma)),
+// clamped positive.
+func (n *Noisy) Predict(instance string, batch int) float64 {
+	clean := n.Base.Predict(instance, batch)
+	n.mu.Lock()
+	factor := 1 + n.rng.NormFloat64()*n.StdDevFrac
+	n.mu.Unlock()
+	if factor < 0.1 {
+		factor = 0.1
+	}
+	return clean * factor
+}
+
+// Observe implements Predictor, feeding the base learner untouched.
+func (n *Noisy) Observe(instance string, batch int, latencyMS float64) {
+	n.Base.Observe(instance, batch, latencyMS)
+}

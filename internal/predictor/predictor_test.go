@@ -1,0 +1,181 @@
+package predictor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kairos/internal/cloud"
+	"kairos/internal/models"
+)
+
+func TestOracleIsExact(t *testing.T) {
+	m := models.MustByName("RM2")
+	o := Oracle{Latency: m.Latency}
+	for _, b := range []int{1, 57, 400, 1000} {
+		if got := o.Predict(cloud.G4dnXlarge.Name, b); got != m.Latency(cloud.G4dnXlarge.Name, b) {
+			t.Fatalf("oracle mismatch at batch %d", b)
+		}
+	}
+	o.Observe("x", 1, 1) // must be a no-op
+}
+
+func TestOnlineColdStartIsOptimisticZero(t *testing.T) {
+	p := NewOnline()
+	if got := p.Predict("g4dn.xlarge", 100); got != 0 {
+		t.Fatalf("cold-start prediction = %v, want 0", got)
+	}
+	if p.Known("g4dn.xlarge", 100) {
+		t.Fatal("nothing should be known yet")
+	}
+}
+
+func TestOnlineSinglePointFlat(t *testing.T) {
+	p := NewOnline()
+	p.Observe("inst", 100, 50)
+	if got := p.Predict("inst", 100); got != 50 {
+		t.Fatalf("exact lookup = %v", got)
+	}
+	if got := p.Predict("inst", 500); got != 50 {
+		t.Fatalf("single-point extrapolation = %v, want flat 50", got)
+	}
+}
+
+func TestOnlineLearnsLinearModelExactly(t *testing.T) {
+	// Two observations of a deterministic linear surface pin the line;
+	// every other batch size must then be predicted exactly (Sec. 5.1:
+	// latency "highly predictable").
+	m := models.MustByName("WND")
+	inst := cloud.C5n2xlarge.Name
+	p := NewOnline()
+	p.Observe(inst, 10, m.Latency(inst, 10))
+	p.Observe(inst, 800, m.Latency(inst, 800))
+	for _, b := range []int{1, 50, 123, 456, 1000} {
+		got := p.Predict(inst, b)
+		want := m.Latency(inst, b)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("batch %d: predicted %v, want %v", b, got, want)
+		}
+	}
+}
+
+func TestOnlineTransitionsToLookupTable(t *testing.T) {
+	// After observing a batch size, the exact (mean) measurement wins over
+	// the fitted line — the paper's lookup-table transition.
+	p := NewOnline()
+	p.Observe("inst", 10, 100)
+	p.Observe("inst", 20, 200)
+	// A nonlinear outlier at batch 15: the line predicts 150 but the
+	// lookup must serve the observed 999.
+	p.Observe("inst", 15, 999)
+	if got := p.Predict("inst", 15); got != 999 {
+		t.Fatalf("lookup = %v, want 999", got)
+	}
+	if !p.Known("inst", 15) || p.Known("inst", 16) {
+		t.Fatal("Known bookkeeping wrong")
+	}
+	if p.Observations("inst") != 3 {
+		t.Fatalf("Observations = %d", p.Observations("inst"))
+	}
+	if p.Observations("other") != 0 {
+		t.Fatal("unknown instance should have 0 observations")
+	}
+}
+
+func TestOnlineLookupAveragesNoise(t *testing.T) {
+	p := NewOnline()
+	rng := rand.New(rand.NewSource(8))
+	true0 := 80.0
+	n := 5000
+	for i := 0; i < n; i++ {
+		p.Observe("inst", 42, true0*(1+0.05*rng.NormFloat64()))
+	}
+	got := p.Predict("inst", 42)
+	if math.Abs(got-true0)/true0 > 0.01 {
+		t.Fatalf("noisy lookup mean = %v, want ~%v", got, true0)
+	}
+}
+
+func TestOnlineSameBatchTwiceNoLine(t *testing.T) {
+	// Two observations at the same batch size cannot pin a slope; distinct
+	// batch sizes must fall back to the mean, not a degenerate fit.
+	p := NewOnline()
+	p.Observe("inst", 100, 10)
+	p.Observe("inst", 100, 30)
+	if got := p.Predict("inst", 500); got != 20 {
+		t.Fatalf("degenerate fit prediction = %v, want mean 20", got)
+	}
+}
+
+func TestOnlineNeverPredictsNegative(t *testing.T) {
+	p := NewOnline()
+	// Steep decreasing observations would extrapolate below zero for large
+	// batches if unclamped.
+	p.Observe("inst", 10, 1000)
+	p.Observe("inst", 20, 1)
+	if got := p.Predict("inst", 1000); got < 0 {
+		t.Fatalf("negative prediction %v", got)
+	}
+}
+
+func TestOnlineConvergesOnAllCatalogSurfaces(t *testing.T) {
+	pool := cloud.DefaultPool()
+	rng := rand.New(rand.NewSource(10))
+	for _, m := range models.Catalog() {
+		p := NewOnline()
+		for i := 0; i < 50; i++ {
+			inst := pool[rng.Intn(len(pool))].Name
+			b := rng.Intn(models.MaxBatch) + 1
+			p.Observe(inst, b, m.Latency(inst, b))
+		}
+		f := func(instIdx uint8, batch uint16) bool {
+			inst := pool[int(instIdx)%len(pool)].Name
+			b := int(batch%models.MaxBatch) + 1
+			if p.Observations(inst) < 2 {
+				return true // not enough data for that type; nothing to check
+			}
+			return math.Abs(p.Predict(inst, b)-m.Latency(inst, b)) < 1e-6
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestWarmed(t *testing.T) {
+	m := models.MustByName("DIEN")
+	insts := []string{cloud.G4dnXlarge.Name, cloud.R5nLarge.Name}
+	p := Warmed(m.Latency, insts, []int{1, 500, 1000})
+	for _, inst := range insts {
+		if p.Observations(inst) != 3 {
+			t.Fatalf("%s observations = %d", inst, p.Observations(inst))
+		}
+		if math.Abs(p.Predict(inst, 777)-m.Latency(inst, 777)) > 1e-9 {
+			t.Fatalf("%s prediction off after warmup", inst)
+		}
+	}
+}
+
+func TestObservePanicsOnInvalid(t *testing.T) {
+	p := NewOnline()
+	cases := []struct {
+		batch int
+		lat   float64
+	}{
+		{0, 10},
+		{5, -1},
+		{5, math.NaN()},
+		{5, math.Inf(1)},
+	}
+	for _, tc := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic for batch=%d lat=%v", tc.batch, tc.lat)
+				}
+			}()
+			p.Observe("inst", tc.batch, tc.lat)
+		}()
+	}
+}

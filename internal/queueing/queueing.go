@@ -1,0 +1,149 @@
+// Package queueing implements classical M/M/c queueing analysis (Erlang C)
+// as the analytic alternative the paper considered and rejected for
+// throughput estimation (Sec. 5.2: "we have also explored other options
+// such as queuing theory to analytically calculate the actual throughput.
+// However, due to the dynamic service time (varying batch size), the
+// heterogeneity in hardware, and unconventional queue discipline, we
+// cannot fit the problem into a classical M/M/c queue framework").
+//
+// It exists both as a reference substrate and as the negative control: the
+// tests demonstrate where its homogeneous-exponential assumptions break on
+// the heterogeneous serving problem, justifying Kairos's upper-bound
+// approach.
+package queueing
+
+import (
+	"fmt"
+	"math"
+)
+
+// MMc models an M/M/c queue: Poisson arrivals at rate Lambda, c identical
+// servers with exponential service at rate Mu each.
+type MMc struct {
+	// Lambda is the arrival rate (per unit time).
+	Lambda float64
+	// Mu is one server's service rate (per unit time).
+	Mu float64
+	// C is the number of servers.
+	C int
+}
+
+// Valid reports whether the parameters describe a well-posed queue.
+func (q MMc) Valid() error {
+	if q.Lambda <= 0 || q.Mu <= 0 || q.C < 1 {
+		return fmt.Errorf("queueing: invalid M/M/c parameters %+v", q)
+	}
+	return nil
+}
+
+// Rho is the per-server utilization lambda/(c*mu).
+func (q MMc) Rho() float64 { return q.Lambda / (float64(q.C) * q.Mu) }
+
+// Stable reports rho < 1.
+func (q MMc) Stable() bool { return q.Rho() < 1 }
+
+// ErlangC returns the probability an arriving query waits (all servers
+// busy), computed with the numerically stable iterative form.
+func (q MMc) ErlangC() (float64, error) {
+	if err := q.Valid(); err != nil {
+		return 0, err
+	}
+	if !q.Stable() {
+		return 1, nil
+	}
+	a := q.Lambda / q.Mu // offered load in Erlangs
+	// Iterative Erlang B, then convert to Erlang C.
+	b := 1.0
+	for k := 1; k <= q.C; k++ {
+		b = a * b / (float64(k) + a*b)
+	}
+	rho := q.Rho()
+	c := b / (1 - rho*(1-b))
+	return c, nil
+}
+
+// MeanWait returns the expected time in queue (not counting service).
+func (q MMc) MeanWait() (float64, error) {
+	pw, err := q.ErlangC()
+	if err != nil {
+		return 0, err
+	}
+	if !q.Stable() {
+		return math.Inf(1), nil
+	}
+	return pw / (float64(q.C)*q.Mu - q.Lambda), nil
+}
+
+// WaitTailProbability returns P(wait > t): for M/M/c this is
+// ErlangC * exp(-(c*mu - lambda) t).
+func (q MMc) WaitTailProbability(t float64) (float64, error) {
+	pw, err := q.ErlangC()
+	if err != nil {
+		return 0, err
+	}
+	if !q.Stable() {
+		return 1, nil
+	}
+	return pw * math.Exp(-(float64(q.C)*q.Mu-q.Lambda)*t), nil
+}
+
+// ResponseTailProbability approximates P(response > t) for an M/M/c queue:
+// the response time is the queue wait plus an exponential service. The
+// closed form (for c*mu - lambda != mu) follows from convolving the two
+// exponentials.
+func (q MMc) ResponseTailProbability(t float64) (float64, error) {
+	pw, err := q.ErlangC()
+	if err != nil {
+		return 0, err
+	}
+	if !q.Stable() {
+		return 1, nil
+	}
+	theta := float64(q.C)*q.Mu - q.Lambda // wait decay rate
+	mu := q.Mu
+	if math.Abs(theta-mu) < 1e-12 {
+		// Degenerate case: identical rates.
+		return math.Exp(-mu*t) * (1 + pw*mu*t), nil
+	}
+	// P(R > t) = (1-pw) e^{-mu t} + pw [ (theta e^{-mu t} - mu e^{-theta t}) / (theta - mu) ]
+	tail := (1-pw)*math.Exp(-mu*t) +
+		pw*(theta*math.Exp(-mu*t)-mu*math.Exp(-theta*t))/(theta-mu)
+	if tail < 0 {
+		tail = 0
+	}
+	if tail > 1 {
+		tail = 1
+	}
+	return tail, nil
+}
+
+// AllowableThroughput inverts the model: the largest lambda such that
+// P(response > qos) <= 1-percentile (e.g. percentile 0.99). Bisection over
+// lambda in (0, c*mu).
+func AllowableThroughput(mu float64, c int, qos, percentile float64) (float64, error) {
+	if mu <= 0 || c < 1 || qos <= 0 || percentile <= 0 || percentile >= 1 {
+		return 0, fmt.Errorf("queueing: invalid inversion parameters")
+	}
+	budget := 1 - percentile
+	feasible := func(lambda float64) bool {
+		q := MMc{Lambda: lambda, Mu: mu, C: c}
+		tail, err := q.ResponseTailProbability(qos)
+		return err == nil && tail <= budget
+	}
+	lo, hi := 1e-9, float64(c)*mu*(1-1e-9)
+	if !feasible(lo) {
+		return 0, nil
+	}
+	if feasible(hi) {
+		return hi, nil
+	}
+	for i := 0; i < 80; i++ {
+		mid := (lo + hi) / 2
+		if feasible(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}

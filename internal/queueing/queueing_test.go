@@ -1,0 +1,162 @@
+package queueing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"kairos/internal/cloud"
+	"kairos/internal/models"
+	"kairos/internal/sim"
+	"kairos/internal/workload"
+)
+
+func TestErlangCKnownValues(t *testing.T) {
+	// Classic textbook value: lambda=2, mu=1, c=3 -> P(wait) = 0.4444...
+	q := MMc{Lambda: 2, Mu: 1, C: 3}
+	pw, err := q.ErlangC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pw-4.0/9.0) > 1e-9 {
+		t.Fatalf("ErlangC = %v, want 4/9", pw)
+	}
+	// Single server: Erlang C reduces to rho.
+	one := MMc{Lambda: 0.3, Mu: 1, C: 1}
+	pw, _ = one.ErlangC()
+	if math.Abs(pw-0.3) > 1e-9 {
+		t.Fatalf("M/M/1 P(wait) = %v, want rho", pw)
+	}
+}
+
+func TestErlangCUnstable(t *testing.T) {
+	q := MMc{Lambda: 5, Mu: 1, C: 3}
+	if q.Stable() {
+		t.Fatal("rho > 1 must be unstable")
+	}
+	pw, _ := q.ErlangC()
+	if pw != 1 {
+		t.Fatalf("unstable P(wait) = %v, want 1", pw)
+	}
+	w, _ := q.MeanWait()
+	if !math.IsInf(w, 1) {
+		t.Fatalf("unstable mean wait = %v", w)
+	}
+}
+
+func TestMeanWaitLittle(t *testing.T) {
+	// Cross-check the M/M/1 closed form: W = rho / (mu - lambda).
+	q := MMc{Lambda: 0.6, Mu: 1, C: 1}
+	w, err := q.MeanWait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.6 / (1 - 0.6)
+	if math.Abs(w-want) > 1e-9 {
+		t.Fatalf("W = %v, want %v", w, want)
+	}
+}
+
+func TestTailProbabilitiesMonotone(t *testing.T) {
+	q := MMc{Lambda: 2.4, Mu: 1, C: 3}
+	prevW, prevR := 2.0, 2.0
+	for ts := 0.0; ts < 6; ts += 0.25 {
+		w, err := q.WaitTailProbability(ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := q.ResponseTailProbability(ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w < 0 || w > 1 || r < 0 || r > 1 {
+			t.Fatalf("tails out of range at t=%v: %v %v", ts, w, r)
+		}
+		if w > prevW+1e-12 || r > prevR+1e-12 {
+			t.Fatalf("tails not monotone at t=%v", ts)
+		}
+		if r < w-1e-12 {
+			t.Fatalf("response tail below wait tail at t=%v", ts)
+		}
+		prevW, prevR = w, r
+	}
+}
+
+func TestValidation(t *testing.T) {
+	for _, q := range []MMc{{0, 1, 1}, {1, 0, 1}, {1, 1, 0}} {
+		if _, err := q.ErlangC(); err == nil {
+			t.Fatalf("expected error for %+v", q)
+		}
+	}
+	if _, err := AllowableThroughput(0, 1, 1, 0.99); err == nil {
+		t.Fatal("expected inversion validation error")
+	}
+}
+
+func TestAllowableThroughputInversion(t *testing.T) {
+	// qos must leave exponential-service tail headroom: P(S > qos) =
+	// exp(-qos*mu) has to sit below the 1% budget before waits even start.
+	mu, c, qos := 1.0, 3, 6.0
+	lambda, err := AllowableThroughput(mu, c, qos, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lambda <= 0 || lambda >= float64(c)*mu {
+		t.Fatalf("lambda = %v outside (0, c*mu)", lambda)
+	}
+	// At the returned rate the tail constraint binds (within tolerance).
+	q := MMc{Lambda: lambda, Mu: mu, C: c}
+	tail, _ := q.ResponseTailProbability(qos)
+	if tail > 0.0101 {
+		t.Fatalf("tail %v exceeds budget at the returned rate", tail)
+	}
+}
+
+// TestMMcOverestimatesHeterogeneousServing is the paper's Sec. 5.2 point
+// as an executable artifact: treating the heterogeneous pool as c identical
+// exponential servers with the pool's average service rate produces an
+// allowable-throughput estimate far from the simulated truth, while
+// Kairos's upper bound stays in range.
+func TestMMcOverestimatesHeterogeneousServing(t *testing.T) {
+	t.Parallel()
+	pool := cloud.ThreeTypePool()
+	m := models.MustByName("RM2")
+	cfg := cloud.Config{2, 0, 9}
+	spec := sim.ClusterSpec{Pool: pool, Config: cfg, Model: m}
+
+	// Homogenized M/M/c view: every instance serves the mean batch at its
+	// own mean rate; take the pool-average service rate.
+	mix := workload.DefaultTrace()
+	mon := workload.NewMonitor(4000)
+	mon.Warm(rand.New(rand.NewSource(1)), mix, 4000)
+	meanBatch := int(mon.MeanBatch())
+	totalRate := 0.0
+	n := 0
+	for _, tn := range spec.InstanceTypes() {
+		totalRate += 1000 / m.Latency(tn, meanBatch)
+		n++
+	}
+	muPerServer := totalRate / float64(n) // queries per second
+	mmcEstimate, err := AllowableThroughput(muPerServer/1000, n, m.QoS, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mmcEstimate *= 1000 // per-ms -> per-second
+
+	measured := sim.FindAllowableThroughput(spec, sim.Static(sim.FCFSAny{}), sim.FindOptions{
+		ProbeQueries: 1000, Seed: 1, PrecisionFrac: 0.06,
+	})
+	// The M/M/c abstraction is wrong in both of its core assumptions here:
+	// service times are deterministic (not exponential — the exponential
+	// tail alone can blow a p99 budget at any load) and servers are
+	// heterogeneous with per-type QoS feasibility. Either way the estimate
+	// must be grossly off the simulated truth — the Sec. 5.2 rejection.
+	if measured <= 0 {
+		t.Fatalf("simulated FCFS throughput %v", measured)
+	}
+	ratio := mmcEstimate / measured
+	if ratio > 0.5 && ratio < 2 {
+		t.Fatalf("M/M/c estimate %.1f within 2x of measured %.1f — the Sec. 5.2 rejection would not hold",
+			mmcEstimate, measured)
+	}
+}

@@ -1,0 +1,45 @@
+package search
+
+import (
+	"kairos/internal/bayesopt"
+	"kairos/internal/cloud"
+)
+
+// Bayesian explores with Gaussian-process expected improvement, Ribbon's
+// allocation strategy (the RIBBON bars of Fig. 11). Pruned candidates are
+// skipped without spending evaluations, mirroring the advantage the paper
+// grants the competing algorithms.
+func Bayesian(s *Session, configs []cloud.Config, seed int64) Result {
+	if len(configs) == 0 {
+		return s.Result()
+	}
+	candidates := make([]bayesopt.Point, len(configs))
+	for i, c := range configs {
+		p := make(bayesopt.Point, len(c))
+		for j, n := range c {
+			p[j] = float64(n)
+		}
+		candidates[i] = p
+	}
+	opt := &bayesopt.Optimizer{Candidates: candidates, Seed: seed}
+	var evaluatedIdx []int
+	var ys []float64
+	skipped := make(map[int]bool)
+	for !s.Done() {
+		idx := opt.Suggest(evaluatedIdx, ys)
+		for idx != -1 && (skipped[idx] || s.Prunable(configs[idx])) {
+			// Mark as seen for the optimizer without spending an eval.
+			skipped[idx] = true
+			evaluatedIdx = append(evaluatedIdx, idx)
+			ys = append(ys, 0)
+			idx = opt.Suggest(evaluatedIdx, ys)
+		}
+		if idx == -1 {
+			break
+		}
+		qps := s.Measure(configs[idx])
+		evaluatedIdx = append(evaluatedIdx, idx)
+		ys = append(ys, qps)
+	}
+	return s.Result()
+}

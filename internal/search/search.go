@@ -1,0 +1,347 @@
+// Package search implements the configuration-space exploration algorithms
+// the paper compares Kairos+ against (Sec. 8.3, Fig. 10-11): random search,
+// simulated annealing (the Sec. 4 motivation experiment), a genetic
+// algorithm, and exhaustive sweep — all instrumented to count expensive
+// online evaluations, and all optionally granted Kairos+'s
+// sub-configuration pruning ("we purposely provide these competing
+// algorithms with the same sub-configuration pruning mechanism").
+package search
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"kairos/internal/cloud"
+)
+
+// Evaluator measures the actual allowable throughput of a configuration —
+// the expensive operation every online search spends (Sec. 4).
+type Evaluator func(cloud.Config) float64
+
+// Record is one online evaluation.
+type Record struct {
+	Config cloud.Config
+	QPS    float64
+}
+
+// Result summarizes a search run.
+type Result struct {
+	// Best is the highest-throughput configuration evaluated.
+	Best cloud.Config
+	// BestQPS is its measured throughput.
+	BestQPS float64
+	// Evaluations is the number of distinct online evaluations spent.
+	Evaluations int
+	// History lists evaluations in order.
+	History []Record
+	// ReachedTarget reports whether the stop target was hit before the
+	// evaluation budget ran out.
+	ReachedTarget bool
+}
+
+// Session tracks evaluations across one search run: memoization (repeat
+// visits are free, matching how a real system would cache a measured
+// configuration), sub-configuration pruning, a stop target, and a hard
+// evaluation budget.
+type Session struct {
+	// Eval is the underlying expensive evaluator.
+	Eval Evaluator
+	// Target stops the search once a configuration with QPS >= Target has
+	// been evaluated; zero disables.
+	Target float64
+	// MaxEvals caps spending; zero means unlimited.
+	MaxEvals int
+	// Prune enables sub-configuration pruning against evaluated configs.
+	Prune bool
+
+	res       Result
+	memo      map[string]float64
+	evaluated []cloud.Config
+}
+
+// NewSession builds a session.
+func NewSession(eval Evaluator, target float64, maxEvals int, prune bool) *Session {
+	if eval == nil {
+		panic("search: nil evaluator")
+	}
+	return &Session{
+		Eval:     eval,
+		Target:   target,
+		MaxEvals: maxEvals,
+		Prune:    prune,
+		memo:     make(map[string]float64),
+	}
+}
+
+// Done reports whether the search should stop (target hit or budget spent).
+func (s *Session) Done() bool {
+	if s.res.ReachedTarget {
+		return true
+	}
+	return s.MaxEvals > 0 && s.res.Evaluations >= s.MaxEvals
+}
+
+// Prunable reports whether the configuration is dominated by an evaluated
+// one (a sub-configuration can never do better), so skipping it is free.
+func (s *Session) Prunable(c cloud.Config) bool {
+	if !s.Prune {
+		return false
+	}
+	for _, ev := range s.evaluated {
+		if c.IsSubConfigOf(ev) {
+			return true
+		}
+	}
+	return false
+}
+
+// Measure evaluates a configuration (memoized) and updates the running
+// result. It returns the throughput.
+func (s *Session) Measure(c cloud.Config) float64 {
+	key := c.Key()
+	if v, ok := s.memo[key]; ok {
+		return v
+	}
+	if s.Done() {
+		// Out of budget: report the memoized floor without spending.
+		return 0
+	}
+	v := s.Eval(c)
+	s.memo[key] = v
+	s.evaluated = append(s.evaluated, c.Clone())
+	s.res.Evaluations++
+	s.res.History = append(s.res.History, Record{Config: c.Clone(), QPS: v})
+	if v > s.res.BestQPS || s.res.Best == nil {
+		s.res.BestQPS = v
+		s.res.Best = c.Clone()
+	}
+	if s.Target > 0 && v >= s.Target {
+		s.res.ReachedTarget = true
+	}
+	return v
+}
+
+// Result returns the accumulated outcome.
+func (s *Session) Result() Result { return s.res }
+
+// Exhaustive evaluates every configuration (subject to the session's
+// budget and pruning) and is the offline ground truth the paper's
+// "optimal configuration determined via exhaustive offline search" uses.
+func Exhaustive(s *Session, configs []cloud.Config) Result {
+	for _, c := range configs {
+		if s.Done() {
+			break
+		}
+		if s.Prunable(c) {
+			continue
+		}
+		s.Measure(c)
+	}
+	return s.Result()
+}
+
+// Random explores configurations in a seeded random order (RAND in
+// Fig. 11).
+func Random(s *Session, configs []cloud.Config, seed int64) Result {
+	rng := rand.New(rand.NewSource(seed))
+	order := rng.Perm(len(configs))
+	for _, idx := range order {
+		if s.Done() {
+			break
+		}
+		c := configs[idx]
+		if s.Prunable(c) {
+			continue
+		}
+		s.Measure(c)
+	}
+	return s.Result()
+}
+
+// AnnealingOptions tune SimulatedAnnealing.
+type AnnealingOptions struct {
+	// InitialTemp and Cooling control acceptance of downhill moves:
+	// T_{k+1} = Cooling * T_k. Zero values default to 30 and 0.9.
+	InitialTemp, Cooling float64
+	// Steps is the number of annealing iterations (default 60).
+	Steps int
+}
+
+func (o AnnealingOptions) withDefaults() AnnealingOptions {
+	if o.InitialTemp == 0 {
+		o.InitialTemp = 30
+	}
+	if o.Cooling == 0 {
+		o.Cooling = 0.9
+	}
+	if o.Steps == 0 {
+		o.Steps = 60
+	}
+	return o
+}
+
+// SimulatedAnnealing explores by local moves (add/remove one instance)
+// within the budget, accepting worse configurations with Boltzmann
+// probability. It reproduces the Sec. 4 motivation experiment (Fig. 2).
+func SimulatedAnnealing(s *Session, pool cloud.Pool, budget float64, start cloud.Config, seed int64, opts AnnealingOptions) Result {
+	opts = opts.withDefaults()
+	if len(start) != len(pool) {
+		panic(fmt.Sprintf("search: start config %v does not match pool", start))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	cur := start.Clone()
+	curVal := s.Measure(cur)
+	temp := opts.InitialTemp
+	for step := 0; step < opts.Steps && !s.Done(); step++ {
+		next, ok := neighbor(rng, pool, budget, cur)
+		if !ok {
+			break
+		}
+		if s.Prunable(next) {
+			temp *= opts.Cooling
+			continue
+		}
+		nextVal := s.Measure(next)
+		if nextVal >= curVal || rng.Float64() < math.Exp((nextVal-curVal)/temp) {
+			cur, curVal = next, nextVal
+		}
+		temp *= opts.Cooling
+	}
+	return s.Result()
+}
+
+// neighbor proposes a single-instance add/remove staying within budget and
+// non-empty.
+func neighbor(rng *rand.Rand, pool cloud.Pool, budget float64, cur cloud.Config) (cloud.Config, bool) {
+	for attempt := 0; attempt < 64; attempt++ {
+		next := cur.Clone()
+		i := rng.Intn(len(pool))
+		if rng.Intn(2) == 0 {
+			next[i]++
+			if !pool.WithinBudget(next, budget) {
+				continue
+			}
+		} else {
+			if next[i] == 0 {
+				continue
+			}
+			next[i]--
+			if next.Total() == 0 {
+				continue
+			}
+		}
+		return next, true
+	}
+	return nil, false
+}
+
+// GeneticOptions tune Genetic.
+type GeneticOptions struct {
+	// Population and Generations size the run (defaults 12 and 10).
+	Population, Generations int
+	// MutationRate is the per-gene mutation probability (default 0.25).
+	MutationRate float64
+}
+
+func (o GeneticOptions) withDefaults() GeneticOptions {
+	if o.Population == 0 {
+		o.Population = 12
+	}
+	if o.Generations == 0 {
+		o.Generations = 10
+	}
+	if o.MutationRate == 0 {
+		o.MutationRate = 0.25
+	}
+	return o
+}
+
+// Genetic runs a steady genetic algorithm over the budgeted space (GENE in
+// Fig. 11): tournament selection, uniform crossover, +/-1 mutation, budget
+// repair by random removal.
+func Genetic(s *Session, pool cloud.Pool, budget float64, configs []cloud.Config, seed int64, opts GeneticOptions) Result {
+	opts = opts.withDefaults()
+	if len(configs) == 0 {
+		return s.Result()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pop := make([]cloud.Config, opts.Population)
+	fit := make([]float64, opts.Population)
+	for i := range pop {
+		pop[i] = configs[rng.Intn(len(configs))].Clone()
+	}
+	measure := func(c cloud.Config) float64 {
+		if s.Prunable(c) {
+			return 0
+		}
+		return s.Measure(c)
+	}
+	for i := range pop {
+		if s.Done() {
+			return s.Result()
+		}
+		fit[i] = measure(pop[i])
+	}
+	tournament := func() cloud.Config {
+		a, b := rng.Intn(len(pop)), rng.Intn(len(pop))
+		if fit[a] >= fit[b] {
+			return pop[a]
+		}
+		return pop[b]
+	}
+	for gen := 0; gen < opts.Generations && !s.Done(); gen++ {
+		next := make([]cloud.Config, 0, len(pop))
+		for len(next) < len(pop) {
+			child := crossover(rng, tournament(), tournament())
+			mutate(rng, child, opts.MutationRate)
+			repair(rng, pool, budget, child)
+			next = append(next, child)
+		}
+		pop = next
+		for i := range pop {
+			if s.Done() {
+				return s.Result()
+			}
+			fit[i] = measure(pop[i])
+		}
+	}
+	return s.Result()
+}
+
+func crossover(rng *rand.Rand, a, b cloud.Config) cloud.Config {
+	child := a.Clone()
+	for i := range child {
+		if rng.Intn(2) == 1 {
+			child[i] = b[i]
+		}
+	}
+	return child
+}
+
+func mutate(rng *rand.Rand, c cloud.Config, rate float64) {
+	for i := range c {
+		if rng.Float64() >= rate {
+			continue
+		}
+		if rng.Intn(2) == 0 {
+			c[i]++
+		} else if c[i] > 0 {
+			c[i]--
+		}
+	}
+}
+
+// repair removes random instances until the configuration fits the budget
+// and is non-empty.
+func repair(rng *rand.Rand, pool cloud.Pool, budget float64, c cloud.Config) {
+	for !pool.WithinBudget(c, budget) {
+		i := rng.Intn(len(c))
+		if c[i] > 0 {
+			c[i]--
+		}
+	}
+	if c.Total() == 0 {
+		c[rng.Intn(len(c))] = 1
+	}
+}

@@ -1,0 +1,312 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"kairos/internal/sim"
+)
+
+// Controller is the central controller of Sec. 6: it accepts queries,
+// keeps the central queue, runs a query-distribution policy (normally
+// Kairos's matching) in real time, and sends dispatched queries to the
+// instance servers over the wire.
+type Controller struct {
+	// Policy decides dispatches; it sees times in model milliseconds.
+	Policy sim.Distributor
+	// TimeScale must match the instance servers' scale.
+	TimeScale float64
+	// Predict estimates service latency (model ms) for busy-time tracking.
+	Predict func(typeName string, batch int) float64
+
+	mu        sync.Mutex
+	instances []*remoteInstance
+	waiting   []*pendingQuery
+	nextID    int64
+	kick      chan struct{}
+	closed    chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+type remoteInstance struct {
+	typeName  string
+	conn      net.Conn
+	writeMu   sync.Mutex
+	busyUntil time.Time
+	// pending holds dispatched-but-unfinished queries in dispatch order.
+	pending []*pendingQuery
+}
+
+type pendingQuery struct {
+	id        int64
+	batch     int
+	enqueued  time.Time
+	done      chan QueryResult
+	completed bool // guarded by Controller.mu: first completion wins
+}
+
+// QueryResult reports one served query.
+type QueryResult struct {
+	// LatencyMS is the end-to-end latency in model milliseconds
+	// (wall-clock divided by TimeScale).
+	LatencyMS float64
+	// Instance is the serving instance type.
+	Instance string
+	// Err is non-nil if the query failed (connection loss, server error).
+	Err error
+}
+
+// NewController dials the instance servers and starts the scheduling loop.
+func NewController(policy sim.Distributor, timeScale float64, predict func(string, int) float64, addrs []string) (*Controller, error) {
+	if policy == nil || predict == nil {
+		return nil, errors.New("server: controller needs a policy and a predictor")
+	}
+	if timeScale <= 0 {
+		timeScale = 1
+	}
+	if len(addrs) == 0 {
+		return nil, errors.New("server: controller needs at least one instance address")
+	}
+	c := &Controller{
+		Policy:    policy,
+		TimeScale: timeScale,
+		Predict:   predict,
+		kick:      make(chan struct{}, 1),
+		closed:    make(chan struct{}),
+	}
+	for _, addr := range addrs {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("server: dialing %s: %w", addr, err)
+		}
+		var hello Hello
+		if err := ReadFrame(conn, &hello); err != nil {
+			conn.Close()
+			c.Close()
+			return nil, fmt.Errorf("server: handshake with %s: %w", addr, err)
+		}
+		ri := &remoteInstance{typeName: hello.TypeName, conn: conn, busyUntil: time.Now()}
+		c.instances = append(c.instances, ri)
+		c.wg.Add(1)
+		go c.readLoop(ri)
+	}
+	c.wg.Add(1)
+	go c.scheduleLoop()
+	return c, nil
+}
+
+// InstanceTypes lists the connected instance types in index order.
+func (c *Controller) InstanceTypes() []string {
+	out := make([]string, len(c.instances))
+	for i, ri := range c.instances {
+		out[i] = ri.typeName
+	}
+	return out
+}
+
+// Submit enqueues one query and returns a channel delivering its result.
+func (c *Controller) Submit(batch int) <-chan QueryResult {
+	done := make(chan QueryResult, 1)
+	c.mu.Lock()
+	c.nextID++
+	q := &pendingQuery{id: c.nextID, batch: batch, enqueued: time.Now(), done: done}
+	c.waiting = append(c.waiting, q)
+	c.mu.Unlock()
+	c.wake()
+	return done
+}
+
+// SubmitWait submits and blocks for the result.
+func (c *Controller) SubmitWait(batch int) QueryResult { return <-c.Submit(batch) }
+
+// wake nudges the scheduler without blocking.
+func (c *Controller) wake() {
+	select {
+	case c.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Close shuts down the controller and fails outstanding queries, both the
+// centrally-waiting and the dispatched-but-unfinished ones.
+func (c *Controller) Close() {
+	c.closeOnce.Do(func() {
+		close(c.closed)
+		c.mu.Lock()
+		errClosed := errors.New("server: controller closed")
+		for _, ri := range c.instances {
+			ri.conn.Close()
+			for _, q := range ri.pending {
+				if !q.completed {
+					q.completed = true
+					q.done <- QueryResult{Err: errClosed, Instance: ri.typeName}
+				}
+			}
+			ri.pending = nil
+		}
+		for _, q := range c.waiting {
+			if !q.completed {
+				q.completed = true
+				q.done <- QueryResult{Err: errClosed}
+			}
+		}
+		c.waiting = nil
+		c.mu.Unlock()
+	})
+	c.wg.Wait()
+}
+
+// scheduleLoop runs distribution rounds whenever kicked.
+func (c *Controller) scheduleLoop() {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-c.closed:
+			return
+		case <-c.kick:
+			c.scheduleRound()
+		}
+	}
+}
+
+// scheduleRound builds the policy's views and dispatches its assignments.
+func (c *Controller) scheduleRound() {
+	c.mu.Lock()
+	if len(c.waiting) == 0 {
+		c.mu.Unlock()
+		return
+	}
+	now := time.Now()
+	toModelMS := func(d time.Duration) float64 {
+		if d < 0 {
+			return 0
+		}
+		return float64(d) / float64(time.Millisecond) / c.TimeScale
+	}
+	qviews := make([]sim.QueryView, len(c.waiting))
+	for i, q := range c.waiting {
+		qviews[i] = sim.QueryView{Index: i, Batch: q.batch, WaitMS: toModelMS(now.Sub(q.enqueued))}
+	}
+	iviews := make([]sim.InstanceView, len(c.instances))
+	for i, ri := range c.instances {
+		var queued []int
+		// The head of pending is in flight; the rest are queued behind it.
+		for k := 1; k < len(ri.pending); k++ {
+			queued = append(queued, ri.pending[k].batch)
+		}
+		remaining := 0.0
+		if len(ri.pending) > 0 {
+			remaining = toModelMS(ri.busyUntil.Sub(now))
+			if len(queued) > 0 {
+				// busyUntil covers the whole backlog; attribute the queued
+				// service to QueuedBatches and keep the remainder here.
+				for _, b := range queued {
+					remaining -= c.Predict(ri.typeName, b)
+				}
+				if remaining < 0 {
+					remaining = 0
+				}
+			}
+		}
+		iviews[i] = sim.InstanceView{Index: i, TypeName: ri.typeName, RemainingMS: remaining, QueuedBatches: queued}
+	}
+	assignments := c.Policy.Assign(toModelMS(time.Duration(now.UnixNano())), qviews, iviews)
+
+	var dispatch []struct {
+		q  *pendingQuery
+		ri *remoteInstance
+	}
+	taken := make(map[int]bool, len(assignments))
+	for _, a := range assignments {
+		if a.Query < 0 || a.Query >= len(c.waiting) || a.Instance < 0 || a.Instance >= len(c.instances) || taken[a.Query] {
+			continue
+		}
+		taken[a.Query] = true
+		q := c.waiting[a.Query]
+		ri := c.instances[a.Instance]
+		service := c.Predict(ri.typeName, q.batch)
+		scaled := time.Duration(service * c.TimeScale * float64(time.Millisecond))
+		if ri.busyUntil.Before(now) {
+			ri.busyUntil = now
+		}
+		ri.busyUntil = ri.busyUntil.Add(scaled)
+		ri.pending = append(ri.pending, q)
+		dispatch = append(dispatch, struct {
+			q  *pendingQuery
+			ri *remoteInstance
+		}{q, ri})
+	}
+	if len(taken) > 0 {
+		next := c.waiting[:0]
+		for i, q := range c.waiting {
+			if !taken[i] {
+				next = append(next, q)
+			}
+		}
+		c.waiting = next
+	}
+	c.mu.Unlock()
+
+	for _, d := range dispatch {
+		d.ri.writeMu.Lock()
+		err := WriteFrame(d.ri.conn, Request{ID: d.q.id, Batch: d.q.batch})
+		d.ri.writeMu.Unlock()
+		if err != nil {
+			c.mu.Lock()
+			if !d.q.completed {
+				d.q.completed = true
+				d.q.done <- QueryResult{Err: err, Instance: d.ri.typeName}
+			}
+			c.mu.Unlock()
+		}
+	}
+}
+
+// readLoop consumes replies from one instance and completes queries.
+func (c *Controller) readLoop(ri *remoteInstance) {
+	defer c.wg.Done()
+	for {
+		var reply Reply
+		if err := ReadFrame(ri.conn, &reply); err != nil {
+			select {
+			case <-c.closed:
+			default:
+			}
+			return
+		}
+		now := time.Now()
+		c.mu.Lock()
+		var q *pendingQuery
+		for k, p := range ri.pending {
+			if p.id == reply.ID {
+				q = p
+				ri.pending = append(ri.pending[:k], ri.pending[k+1:]...)
+				break
+			}
+		}
+		if q != nil && q.completed {
+			q = nil
+		}
+		if q != nil {
+			q.completed = true
+		}
+		c.mu.Unlock()
+		if q == nil {
+			continue // stale reply or already failed by Close
+		}
+		res := QueryResult{
+			LatencyMS: float64(now.Sub(q.enqueued)) / float64(time.Millisecond) / c.TimeScale,
+			Instance:  ri.typeName,
+		}
+		if reply.Err != "" {
+			res.Err = errors.New(reply.Err)
+		}
+		q.done <- res
+		c.wake()
+	}
+}

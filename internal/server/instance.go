@@ -1,0 +1,124 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"kairos/internal/models"
+)
+
+// InstanceServer emulates one cloud instance hosting a model copy: it
+// accepts a controller connection and serves one query at a time (the
+// paper's no-contention serving rule, Sec. 6), sleeping the model's
+// calibrated latency scaled by TimeScale.
+type InstanceServer struct {
+	// TypeName is the instance type this server emulates.
+	TypeName string
+	// Model is the served model.
+	Model models.Model
+	// TimeScale compresses real time: service sleeps TimeScale * latency.
+	// 1.0 is real time; tests use small fractions. Zero defaults to 1.
+	TimeScale float64
+
+	mu sync.Mutex // serializes service: one query at a time
+
+	listener net.Listener
+	wg       sync.WaitGroup
+	closed   chan struct{}
+}
+
+// NewInstanceServer validates the fields and prepares a server.
+func NewInstanceServer(typeName string, model models.Model, timeScale float64) (*InstanceServer, error) {
+	if typeName == "" {
+		return nil, errors.New("server: empty instance type")
+	}
+	if _, ok := model.Curves[typeName]; !ok {
+		return nil, fmt.Errorf("server: model %s has no curve for %s", model.Name, typeName)
+	}
+	if timeScale < 0 {
+		return nil, errors.New("server: negative time scale")
+	}
+	if timeScale == 0 {
+		timeScale = 1
+	}
+	return &InstanceServer{TypeName: typeName, Model: model, TimeScale: timeScale, closed: make(chan struct{})}, nil
+}
+
+// Start listens on addr ("127.0.0.1:0" for an ephemeral test port) and
+// serves connections until Close.
+func (s *InstanceServer) Start(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.listener = l
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return nil
+}
+
+// Addr returns the bound address; only valid after Start.
+func (s *InstanceServer) Addr() string { return s.listener.Addr().String() }
+
+// Close stops the listener and waits for in-flight connections.
+func (s *InstanceServer) Close() error {
+	close(s.closed)
+	err := s.listener.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *InstanceServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+				return
+			}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// serveConn handles one controller connection: banner, then a request
+// loop. Service is serialized across every connection so the instance
+// truly serves one query at a time.
+func (s *InstanceServer) serveConn(conn net.Conn) {
+	defer conn.Close()
+	if err := WriteFrame(conn, Hello{TypeName: s.TypeName, Model: s.Model.Name}); err != nil {
+		return
+	}
+	for {
+		var req Request
+		if err := ReadFrame(conn, &req); err != nil {
+			return
+		}
+		reply := s.serve(req)
+		if err := WriteFrame(conn, reply); err != nil {
+			return
+		}
+	}
+}
+
+// serve performs the (emulated) inference.
+func (s *InstanceServer) serve(req Request) Reply {
+	if req.Batch < 1 || req.Batch > models.MaxBatch {
+		return Reply{ID: req.ID, Err: fmt.Sprintf("batch %d outside [1,%d]", req.Batch, models.MaxBatch)}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	serviceMS := s.Model.Latency(s.TypeName, req.Batch)
+	time.Sleep(time.Duration(serviceMS * s.TimeScale * float64(time.Millisecond)))
+	return Reply{ID: req.ID, ServiceMS: serviceMS}
+}

@@ -1,0 +1,83 @@
+// Package server is the network serving path of the reproduction: the
+// paper's central controller sends optimized inference requests to
+// individual instance servers over gRPC (Sec. 6); here the transport is a
+// length-prefixed JSON protocol over TCP built only on the standard
+// library. It exists so the system runs end to end as real processes — the
+// throughput experiments use the deterministic simulator instead.
+package server
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// MaxFrame bounds a protocol frame; requests and replies are tiny, so
+// anything larger indicates a corrupted stream.
+const MaxFrame = 1 << 16
+
+// Request asks an instance server to serve one batched query.
+type Request struct {
+	// ID correlates the reply.
+	ID int64 `json:"id"`
+	// Batch is the query batch size.
+	Batch int `json:"batch"`
+}
+
+// Reply reports a served query.
+type Reply struct {
+	// ID echoes the request.
+	ID int64 `json:"id"`
+	// ServiceMS is the server-side service time in milliseconds.
+	ServiceMS float64 `json:"service_ms"`
+	// Err carries a server-side failure, empty on success.
+	Err string `json:"err,omitempty"`
+}
+
+// Hello is the banner an instance server sends on connect, announcing what
+// it is.
+type Hello struct {
+	// TypeName is the cloud instance type, e.g. "g4dn.xlarge".
+	TypeName string `json:"type_name"`
+	// Model is the served model name.
+	Model string `json:"model"`
+}
+
+// WriteFrame writes one length-prefixed JSON message.
+func WriteFrame(w io.Writer, v interface{}) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("server: encoding frame: %w", err)
+	}
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("server: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed JSON message into v.
+func ReadFrame(r io.Reader, v interface{}) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return fmt.Errorf("server: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return err
+	}
+	if err := json.Unmarshal(payload, v); err != nil {
+		return fmt.Errorf("server: decoding frame: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,250 @@
+package server
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"kairos/internal/cloud"
+	"kairos/internal/core"
+	"kairos/internal/models"
+	"kairos/internal/predictor"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := Request{ID: 42, Batch: 777}
+	if err := WriteFrame(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	var out Request
+	if err := ReadFrame(&buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+}
+
+func TestFrameRejectsOversized(t *testing.T) {
+	var buf bytes.Buffer
+	big := struct {
+		Payload string `json:"payload"`
+	}{Payload: strings.Repeat("x", MaxFrame+1)}
+	if err := WriteFrame(&buf, big); err == nil {
+		t.Fatal("expected write error for oversized frame")
+	}
+	// A forged oversized header must be rejected on read.
+	buf.Reset()
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	var out Request
+	if err := ReadFrame(&buf, &out); err == nil {
+		t.Fatal("expected read error for oversized header")
+	}
+}
+
+func TestFrameRejectsGarbage(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 2})
+	buf.WriteString("{{")
+	var out Request
+	if err := ReadFrame(&buf, &out); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestNewInstanceServerValidation(t *testing.T) {
+	m := models.MustByName("NCF")
+	if _, err := NewInstanceServer("", m, 1); err == nil {
+		t.Fatal("empty type must error")
+	}
+	if _, err := NewInstanceServer("p3.2xlarge", m, 1); err == nil {
+		t.Fatal("unknown curve must error")
+	}
+	if _, err := NewInstanceServer(cloud.G4dnXlarge.Name, m, -1); err == nil {
+		t.Fatal("negative scale must error")
+	}
+}
+
+// startCluster boots instance servers for NCF (millisecond-scale real
+// latencies) and returns their addresses plus a cleanup function.
+func startCluster(t *testing.T, types []string, timeScale float64) []string {
+	t.Helper()
+	m := models.MustByName("NCF")
+	addrs := make([]string, len(types))
+	for i, tn := range types {
+		s, err := NewInstanceServer(tn, m, timeScale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Start("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		addrs[i] = s.Addr()
+	}
+	return addrs
+}
+
+func kairosPolicy(m models.Model, types []string) *core.Distributor {
+	return core.NewDistributor(core.DistributorOptions{
+		QoS:       m.QoS,
+		BaseType:  cloud.G4dnXlarge.Name,
+		Predictor: predictor.Warmed(m.Latency, types, []int{1, 500, 1000}),
+	})
+}
+
+func TestEndToEndSingleQuery(t *testing.T) {
+	t.Parallel()
+	m := models.MustByName("NCF")
+	types := []string{cloud.G4dnXlarge.Name}
+	addrs := startCluster(t, types, 1)
+	ctrl, err := NewController(kairosPolicy(m, types), 1, m.Latency, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+	res := ctrl.SubmitWait(100)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Instance != cloud.G4dnXlarge.Name {
+		t.Fatalf("served by %s", res.Instance)
+	}
+	// True service is 1.35ms; end-to-end must be at least that and within
+	// a loose multiple (scheduler + loopback overhead).
+	want := m.Latency(types[0], 100)
+	if res.LatencyMS < want || res.LatencyMS > want+50 {
+		t.Fatalf("latency %.2fms, want >= %.2fms and < %.2fms", res.LatencyMS, want, want+50)
+	}
+}
+
+func TestEndToEndHeterogeneousPlacement(t *testing.T) {
+	t.Parallel()
+	m := models.MustByName("NCF")
+	types := []string{cloud.G4dnXlarge.Name, cloud.R5nLarge.Name}
+	addrs := startCluster(t, types, 1)
+	ctrl, err := NewController(kairosPolicy(m, types), 1, m.Latency, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+	if got := ctrl.InstanceTypes(); len(got) != 2 {
+		t.Fatalf("instance types = %v", got)
+	}
+	// A max-size query violates QoS on the idle CPU; it must be served by
+	// the GPU even with both idle.
+	res := ctrl.SubmitWait(1000)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Instance != cloud.G4dnXlarge.Name {
+		t.Fatalf("max-size query served by %s, want the base GPU", res.Instance)
+	}
+	// A tiny query prefers the cheap CPU (weighted matching).
+	res = ctrl.SubmitWait(10)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Instance != cloud.R5nLarge.Name {
+		t.Fatalf("tiny query served by %s, want the CPU", res.Instance)
+	}
+}
+
+func TestEndToEndConcurrentLoad(t *testing.T) {
+	t.Parallel()
+	m := models.MustByName("NCF")
+	types := []string{cloud.G4dnXlarge.Name, cloud.R5nLarge.Name, cloud.R5nLarge.Name}
+	// Dilate time 5x so OS timer granularity is small relative to NCF's
+	// millisecond latencies.
+	const scale = 5.0
+	addrs := startCluster(t, types, scale)
+	ctrl, err := NewController(kairosPolicy(m, types), scale, m.Latency, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+
+	// ~1 query per model-millisecond against ~1.5/ms of capacity.
+	const n = 60
+	var wg sync.WaitGroup
+	results := make([]QueryResult, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			batch := 20 + (i%7)*25 // up to 170, feasible on every type
+			results[i] = ctrl.SubmitWait(batch)
+		}(i)
+		time.Sleep(scale * time.Millisecond)
+	}
+	wg.Wait()
+	violations := 0
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("query %d failed: %v", i, r.Err)
+		}
+		if r.LatencyMS > m.QoS {
+			violations++
+		}
+	}
+	// Moderate load on three instances: the vast majority must meet QoS.
+	if violations > n/6 {
+		t.Fatalf("%d/%d QoS violations under moderate load", violations, n)
+	}
+}
+
+func TestControllerValidation(t *testing.T) {
+	m := models.MustByName("NCF")
+	if _, err := NewController(nil, 1, m.Latency, []string{"x"}); err == nil {
+		t.Fatal("nil policy must error")
+	}
+	pol := kairosPolicy(m, []string{cloud.G4dnXlarge.Name})
+	if _, err := NewController(pol, 1, m.Latency, nil); err == nil {
+		t.Fatal("no addresses must error")
+	}
+	if _, err := NewController(pol, 1, m.Latency, []string{"127.0.0.1:1"}); err == nil {
+		t.Fatal("dial failure must error")
+	}
+}
+
+func TestControllerCloseFailsOutstanding(t *testing.T) {
+	t.Parallel()
+	m := models.MustByName("RM2") // slow model: queries outlast the close
+	types := []string{cloud.G4dnXlarge.Name}
+	s, err := NewInstanceServer(types[0], m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctrl, err := NewController(kairosPolicy(m, types), 1, m.Latency, []string{s.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Saturate: several slow queries so some are still waiting.
+	var chans []<-chan QueryResult
+	for i := 0; i < 5; i++ {
+		chans = append(chans, ctrl.Submit(1000))
+	}
+	time.Sleep(10 * time.Millisecond)
+	ctrl.Close()
+	failures := 0
+	for _, ch := range chans {
+		select {
+		case r := <-ch:
+			if r.Err != nil {
+				failures++
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("query neither served nor failed after close")
+		}
+	}
+	if failures == 0 {
+		t.Fatal("expected at least one failed outstanding query")
+	}
+}

@@ -1,0 +1,60 @@
+package sim
+
+// FCFSAny is the naive scheme of Fig. 5: first come, first served onto any
+// idle instance with no QoS awareness and no heterogeneity awareness. It is
+// the engine's simplest policy and the contrast case for the quickstart
+// example.
+type FCFSAny struct{}
+
+// Name implements Distributor.
+func (FCFSAny) Name() string { return "FCFS" }
+
+// Assign implements Distributor: oldest query first onto the lowest-index
+// idle instance.
+func (FCFSAny) Assign(_ float64, waiting []QueryView, instances []InstanceView) []Assignment {
+	var out []Assignment
+	used := make(map[int]bool)
+	for _, q := range waiting {
+		idx := -1
+		for _, in := range instances {
+			if in.Backlog() == 0 && !used[in.Index] {
+				idx = in.Index
+				break
+			}
+		}
+		if idx == -1 {
+			break
+		}
+		used[idx] = true
+		out = append(out, Assignment{Query: q.Index, Instance: idx})
+	}
+	return out
+}
+
+// LeastLoaded dispatches every arriving query immediately to the instance
+// with the fewest backlogged queries (ties to lower index). It is a
+// heterogeneity-oblivious load balancer used as an ablation baseline.
+type LeastLoaded struct{}
+
+// Name implements Distributor.
+func (LeastLoaded) Name() string { return "LeastLoaded" }
+
+// Assign implements Distributor.
+func (LeastLoaded) Assign(_ float64, waiting []QueryView, instances []InstanceView) []Assignment {
+	out := make([]Assignment, 0, len(waiting))
+	backlog := make(map[int]int, len(instances))
+	for _, in := range instances {
+		backlog[in.Index] = in.Backlog()
+	}
+	for _, q := range waiting {
+		best, bestLoad := -1, int(^uint(0)>>1)
+		for _, in := range instances {
+			if backlog[in.Index] < bestLoad {
+				best, bestLoad = in.Index, backlog[in.Index]
+			}
+		}
+		backlog[best]++
+		out = append(out, Assignment{Query: q.Index, Instance: best})
+	}
+	return out
+}

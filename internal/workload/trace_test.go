@@ -1,0 +1,116 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSynthesizeTrace(t *testing.T) {
+	tr := Synthesize(42, DefaultTrace(), 100, 500)
+	if len(tr.Arrivals) != 500 {
+		t.Fatalf("trace length = %d", len(tr.Arrivals))
+	}
+	prev := 0.0
+	for _, a := range tr.Arrivals {
+		if a.AtMS < prev {
+			t.Fatal("arrivals out of order")
+		}
+		prev = a.AtMS
+	}
+	// Deterministic per seed.
+	tr2 := Synthesize(42, DefaultTrace(), 100, 500)
+	for i := range tr.Arrivals {
+		if tr.Arrivals[i] != tr2.Arrivals[i] {
+			t.Fatal("synthesis not deterministic")
+		}
+	}
+}
+
+func TestTraceCSVRoundTrip(t *testing.T) {
+	tr := Synthesize(7, DefaultTrace(), 200, 300)
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Arrivals) != len(tr.Arrivals) {
+		t.Fatalf("round trip length %d, want %d", len(back.Arrivals), len(tr.Arrivals))
+	}
+	for i := range tr.Arrivals {
+		if back.Arrivals[i].Batch != tr.Arrivals[i].Batch {
+			t.Fatalf("batch mismatch at %d", i)
+		}
+		// Arrival times survive at millisecond precision (3 decimals).
+		if diff := back.Arrivals[i].AtMS - tr.Arrivals[i].AtMS; diff > 0.001 || diff < -0.001 {
+			t.Fatalf("arrival mismatch at %d: %v", i, diff)
+		}
+	}
+}
+
+func TestTraceJSONRoundTrip(t *testing.T) {
+	tr := Synthesize(9, DefaultGaussian(), 50, 100)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Description != tr.Description || len(back.Arrivals) != len(tr.Arrivals) {
+		t.Fatal("json round trip mismatch")
+	}
+	for i := range tr.Arrivals {
+		if back.Arrivals[i] != tr.Arrivals[i] {
+			t.Fatalf("arrival mismatch at %d", i)
+		}
+	}
+}
+
+func TestReadCSVRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"empty":         "",
+		"no header":     "1.0,5\n2.0,6\n",
+		"bad batch":     "arrival_ms,batch\n1.0,zero\n",
+		"range batch":   "arrival_ms,batch\n1.0,5000\n",
+		"unordered":     "arrival_ms,batch\n5.0,10\n1.0,10\n",
+		"bad arrival":   "arrival_ms,batch\nabc,10\n",
+		"missing field": "arrival_ms,batch\n1.0\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestReadJSONRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"garbage":   "{",
+		"bad batch": `{"arrivals":[{"AtMS":1,"Batch":0}]}`,
+		"unordered": `{"arrivals":[{"AtMS":5,"Batch":1},{"AtMS":1,"Batch":1}]}`,
+	}
+	for name, in := range cases {
+		if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestTraceDistributionBootstrap(t *testing.T) {
+	tr := Synthesize(11, DefaultTrace(), 100, 1000)
+	d, err := tr.Distribution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(d.Name(), "trace:") {
+		t.Fatalf("name = %s", d.Name())
+	}
+	if len(tr.Batches()) != 1000 {
+		t.Fatalf("batches = %d", len(tr.Batches()))
+	}
+}

@@ -1,0 +1,237 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistributionsStayInRange(t *testing.T) {
+	dists := []BatchDistribution{
+		DefaultTrace(),
+		DefaultGaussian(),
+		LogNormal{Mu: 7, Sigma: 2}, // pushes past MaxBatch often; must clamp
+		Gaussian{Mean: -50, Std: 10},
+		Uniform{Min: 1, Max: 1000},
+		Fixed(500),
+	}
+	rng := rand.New(rand.NewSource(1))
+	for _, d := range dists {
+		for i := 0; i < 5000; i++ {
+			b := d.Sample(rng)
+			if b < 1 || b > MaxBatch {
+				t.Fatalf("%s sampled %d outside [1,%d]", d.Name(), b, MaxBatch)
+			}
+		}
+		if d.Name() == "" {
+			t.Fatalf("%T has empty name", d)
+		}
+	}
+}
+
+func TestDefaultTraceShape(t *testing.T) {
+	// The trace stand-in must be dominated by small queries with a real
+	// large-query tail, the regime the paper's heterogeneity argument needs.
+	rng := rand.New(rand.NewSource(2))
+	d := DefaultTrace()
+	n := 50000
+	small, large := 0, 0
+	for i := 0; i < n; i++ {
+		b := d.Sample(rng)
+		if b <= 100 {
+			small++
+		}
+		if b >= 500 {
+			large++
+		}
+	}
+	fSmall := float64(small) / float64(n)
+	fLarge := float64(large) / float64(n)
+	if fSmall < 0.55 || fSmall > 0.85 {
+		t.Errorf("fraction of batch<=100 = %v, want in [0.55,0.85]", fSmall)
+	}
+	if fLarge < 0.01 || fLarge > 0.15 {
+		t.Errorf("fraction of batch>=500 = %v, want in [0.01,0.15]", fLarge)
+	}
+}
+
+func TestUniformPanicsOnBadRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, d := range []Uniform{{Min: 0, Max: 10}, {Min: 5, Max: 4}, {Min: 1, Max: 2000}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic for %+v", d)
+				}
+			}()
+			d.Sample(rng)
+		}()
+	}
+}
+
+func TestEmpiricalValidation(t *testing.T) {
+	if _, err := NewEmpirical(nil, ""); err == nil {
+		t.Fatal("empty trace must error")
+	}
+	if _, err := NewEmpirical([]int{5, 0}, ""); err == nil {
+		t.Fatal("out-of-range batch must error")
+	}
+	e, err := NewEmpirical([]int{10, 20, 30}, "mytrace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Name() != "mytrace" {
+		t.Fatalf("name = %s", e.Name())
+	}
+	rng := rand.New(rand.NewSource(3))
+	seen := map[int]bool{}
+	for i := 0; i < 100; i++ {
+		seen[e.Sample(rng)] = true
+	}
+	for b := range seen {
+		if b != 10 && b != 20 && b != 30 {
+			t.Fatalf("sampled %d not in trace", b)
+		}
+	}
+}
+
+func TestPoissonStreamRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	rate := 150.0
+	durMS := 60000.0
+	arr := PoissonStream(rng, Fixed(10), rate, durMS)
+	got := float64(len(arr)) / (durMS / 1000)
+	if math.Abs(got-rate)/rate > 0.1 {
+		t.Fatalf("empirical rate %v, want ~%v", got, rate)
+	}
+	prev := 0.0
+	for _, a := range arr {
+		if a.AtMS < prev || a.AtMS >= durMS {
+			t.Fatal("arrivals must be ordered within [0,duration)")
+		}
+		prev = a.AtMS
+	}
+}
+
+func TestPoissonStreamDeterministic(t *testing.T) {
+	a := PoissonStream(rand.New(rand.NewSource(5)), DefaultTrace(), 100, 1000)
+	b := PoissonStream(rand.New(rand.NewSource(5)), DefaultTrace(), 100, 1000)
+	if len(a) != len(b) {
+		t.Fatal("same seed produced different stream lengths")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestPoissonStreamPanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	PoissonStream(rand.New(rand.NewSource(1)), Fixed(1), 0, 100)
+}
+
+func TestMonitorWindowEviction(t *testing.T) {
+	m := NewMonitor(3)
+	for _, b := range []int{10, 20, 30} {
+		m.Observe(b)
+	}
+	if m.Count() != 3 {
+		t.Fatalf("count = %d", m.Count())
+	}
+	m.Observe(40) // evicts 10
+	if m.Count() != 3 {
+		t.Fatalf("count after eviction = %d", m.Count())
+	}
+	if f := m.FractionAtMost(10); f != 0 {
+		t.Fatalf("evicted sample still visible: f(10)=%v", f)
+	}
+	if f := m.FractionAtMost(40); f != 1 {
+		t.Fatalf("f(40) = %v, want 1", f)
+	}
+}
+
+func TestMonitorFractionAndQuantile(t *testing.T) {
+	m := NewMonitor(100)
+	for b := 1; b <= 100; b++ {
+		m.Observe(b)
+	}
+	if f := m.FractionAtMost(50); f != 0.5 {
+		t.Fatalf("f(50) = %v", f)
+	}
+	if q := m.Quantile(0.99); q != 99 {
+		t.Fatalf("q99 = %d", q)
+	}
+	if q := m.Quantile(1.0); q != 100 {
+		t.Fatalf("q100 = %d", q)
+	}
+	if mean := m.MeanBatch(); mean != 50.5 {
+		t.Fatalf("mean = %v", mean)
+	}
+}
+
+func TestMonitorEmptyBehaviour(t *testing.T) {
+	m := NewMonitor(10)
+	if m.FractionAtMost(100) != 0 || m.MeanBatch() != 0 || m.Quantile(0.5) != 0 {
+		t.Fatal("empty monitor must return zeros")
+	}
+	if len(m.Snapshot()) != 0 {
+		t.Fatal("empty snapshot")
+	}
+}
+
+func TestMonitorAdaptsToDistributionShift(t *testing.T) {
+	// Fig. 12's premise: after the workload shifts, the monitor's view
+	// converges to the new distribution within one window.
+	m := NewMonitor(1000)
+	rng := rand.New(rand.NewSource(6))
+	m.Warm(rng, Fixed(50), 1000)
+	if f := m.FractionAtMost(100); f != 1 {
+		t.Fatalf("before shift f(100)=%v", f)
+	}
+	m.Warm(rng, Fixed(500), 1000) // shift: all large
+	if f := m.FractionAtMost(100); f != 0 {
+		t.Fatalf("after full window f(100)=%v, want 0", f)
+	}
+}
+
+func TestMonitorFractionMonotone(t *testing.T) {
+	m := NewMonitor(DefaultWindow)
+	rng := rand.New(rand.NewSource(7))
+	m.Warm(rng, DefaultTrace(), 5000)
+	f := func(a, b uint16) bool {
+		sa := int(a%MaxBatch) + 1
+		sb := int(b%MaxBatch) + 1
+		if sa > sb {
+			sa, sb = sb, sa
+		}
+		return m.FractionAtMost(sa) <= m.FractionAtMost(sb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMonitorObservePanics(t *testing.T) {
+	m := NewMonitor(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Observe(0)
+}
+
+func TestNewMonitorPanicsOnBadWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMonitor(0)
+}

@@ -1,0 +1,222 @@
+// Package kairos is a from-scratch reproduction of "Kairos: Building
+// Cost-Efficient Machine Learning Inference Systems with Heterogeneous
+// Cloud Resources" (HPDC 2023): a runtime framework that maximizes
+// inference query throughput under a QoS tail-latency target and a cost
+// budget by (1) distributing queries over heterogeneous cloud instances
+// with min-cost bipartite matching and (2) choosing the heterogeneous
+// configuration in one shot from throughput upper bounds, with no online
+// exploration.
+//
+// The package is a facade over the internal subsystems:
+//
+//   - Plan a deployment: NewPlanner -> Planner.Plan picks the instance
+//     counts for a budget from the observed batch-size mix.
+//   - Serve queries: NewKairosDistributor implements the paper's matching
+//     mechanism; baselines (Ribbon, DRS, Clockwork) are available for
+//     comparison.
+//   - Evaluate: NewCluster wraps the deterministic discrete-event
+//     simulator; Cluster.AllowableThroughput measures the paper's
+//     headline metric.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record.
+package kairos
+
+import (
+	"fmt"
+
+	"kairos/internal/cloud"
+	"kairos/internal/core"
+	"kairos/internal/distributor"
+	"kairos/internal/models"
+	"kairos/internal/predictor"
+	"kairos/internal/sim"
+	"kairos/internal/workload"
+)
+
+// Re-exported core types. The facade aliases them so applications never
+// import internal packages.
+type (
+	// Pool is an ordered set of instance types; index 0 is the base type.
+	Pool = cloud.Pool
+	// Config is a heterogeneous configuration: instance counts per type.
+	Config = cloud.Config
+	// InstanceType describes one rentable instance type.
+	InstanceType = cloud.InstanceType
+	// Model is one serving workload: QoS target plus latency surface.
+	Model = models.Model
+	// BatchDistribution samples query batch sizes.
+	BatchDistribution = workload.BatchDistribution
+	// Monitor tracks the recent batch-size mix (Sec. 5.2).
+	Monitor = workload.Monitor
+	// Distributor is a query-distribution policy.
+	Distributor = sim.Distributor
+	// DistributorFactory builds fresh policy instances per evaluation run.
+	DistributorFactory = sim.DistributorFactory
+	// RankedConfig pairs a configuration with its throughput upper bound.
+	RankedConfig = core.RankedConfig
+	// PlusResult reports a Kairos+ pruning search.
+	PlusResult = core.PlusResult
+	// Result summarizes one simulation run.
+	Result = sim.Result
+)
+
+// DefaultPool returns the paper's 4-type heterogeneous pool (Table 4).
+func DefaultPool() Pool { return cloud.DefaultPool() }
+
+// Models returns the five production models of Table 3.
+func Models() []Model { return models.Catalog() }
+
+// ModelByName looks up a catalog model.
+func ModelByName(name string) (Model, error) { return models.ByName(name) }
+
+// DefaultTrace returns the trace-like batch-size mix driving the default
+// evaluation.
+func DefaultTrace() BatchDistribution { return workload.DefaultTrace() }
+
+// NewMonitor creates a sliding-window query monitor (the paper tracks the
+// most recent 10000 queries).
+func NewMonitor() *Monitor { return workload.NewMonitor(workload.DefaultWindow) }
+
+// Planner chooses heterogeneous configurations without online evaluation
+// (Sec. 5.2): it ranks every configuration within the budget by its
+// throughput upper bound and applies the similarity-based one-shot pick.
+type Planner struct {
+	est *core.Estimator
+}
+
+// NewPlanner builds a planner for one model from a snapshot of recent
+// query batch sizes (use Monitor.Snapshot on live traffic).
+func NewPlanner(pool Pool, model Model, batchSamples []int) (*Planner, error) {
+	est, err := core.NewEstimator(pool, model, batchSamples, core.EstimatorOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return &Planner{est: est}, nil
+}
+
+// Plan returns the one-shot configuration for the budget.
+func (p *Planner) Plan(budgetPerHour float64) Config { return p.est.Plan(budgetPerHour) }
+
+// Rank returns every budgeted configuration sorted by descending
+// throughput upper bound.
+func (p *Planner) Rank(budgetPerHour float64) []RankedConfig { return p.est.Rank(budgetPerHour) }
+
+// UpperBound estimates the throughput ceiling of one configuration
+// (Eqs. 9-15).
+func (p *Planner) UpperBound(cfg Config) float64 { return p.est.UpperBound(cfg) }
+
+// PlanPlus runs the Kairos+ pruning search (Algorithm 1) using eval as the
+// expensive online measurement, returning the best configuration found and
+// the evaluation count.
+func (p *Planner) PlanPlus(budgetPerHour float64, eval func(Config) float64) PlusResult {
+	return core.KairosPlus(p.Rank(budgetPerHour), core.EvalFunc(eval))
+}
+
+// NewKairosDistributor builds the paper's query-distribution mechanism for
+// a model over a pool, learning latencies online from served queries. The
+// optional monitor receives every completed query's batch size.
+func NewKairosDistributor(pool Pool, model Model, monitor *Monitor) Distributor {
+	return core.NewDistributor(core.DistributorOptions{
+		QoS:      model.QoS,
+		BaseType: pool.Base().Name,
+		Monitor:  monitor,
+	})
+}
+
+// NewWarmedKairosDistributor is NewKairosDistributor with the latency
+// model pre-trained from the calibrated surfaces, skipping the cold start.
+func NewWarmedKairosDistributor(pool Pool, model Model, monitor *Monitor) Distributor {
+	names := make([]string, len(pool))
+	for i, t := range pool {
+		names[i] = t.Name
+	}
+	return core.NewDistributor(core.DistributorOptions{
+		QoS:       model.QoS,
+		BaseType:  pool.Base().Name,
+		Predictor: predictor.Warmed(model.Latency, names, []int{1, 250, 500, 750, 1000}),
+		Monitor:   monitor,
+	})
+}
+
+// baselineOptions wires the ground-truth latency oracle the paper grants
+// the competing schemes.
+func baselineOptions(pool Pool, model Model) distributor.Options {
+	return distributor.Options{
+		QoS:       model.QoS,
+		BaseType:  pool.Base().Name,
+		Predictor: predictor.Oracle{Latency: model.Latency},
+	}
+}
+
+// NewRibbonDistributor builds the RIBBON baseline (base-preferring FCFS).
+func NewRibbonDistributor(pool Pool, model Model) Distributor {
+	return distributor.NewRibbon(baselineOptions(pool, model))
+}
+
+// NewDRSDistributor builds the DeepRecSys-style threshold baseline.
+func NewDRSDistributor(pool Pool, model Model, threshold int) Distributor {
+	return distributor.NewDRS(baselineOptions(pool, model), threshold)
+}
+
+// NewClockworkDistributor builds the CLKWRK baseline.
+func NewClockworkDistributor(pool Pool, model Model) Distributor {
+	return distributor.NewClockwork(baselineOptions(pool, model))
+}
+
+// Cluster is a simulated deployment of one configuration serving one model.
+type Cluster struct {
+	spec sim.ClusterSpec
+}
+
+// NewCluster validates and assembles a simulated cluster.
+func NewCluster(pool Pool, cfg Config, model Model) (*Cluster, error) {
+	if len(cfg) != len(pool) {
+		return nil, fmt.Errorf("kairos: config %v does not match pool of %d types", cfg, len(pool))
+	}
+	if cfg.Total() == 0 {
+		return nil, fmt.Errorf("kairos: empty configuration")
+	}
+	return &Cluster{spec: sim.ClusterSpec{Pool: pool, Config: cfg, Model: model}}, nil
+}
+
+// RunOptions configure Cluster.Run.
+type RunOptions struct {
+	// RatePerSec is the Poisson arrival rate (queries per second).
+	RatePerSec float64
+	// DurationMS is the arrival horizon in virtual milliseconds.
+	DurationMS float64
+	// WarmupMS excludes the initial transient from measurement.
+	WarmupMS float64
+	// Seed fixes the random streams.
+	Seed int64
+	// Batches overrides the default trace-like batch mix.
+	Batches BatchDistribution
+}
+
+// Run simulates the cluster under the policy and returns latency/QoS
+// statistics.
+func (c *Cluster) Run(policy Distributor, opts RunOptions) Result {
+	return sim.Run(c.spec, policy, sim.Options{
+		RatePerSec: opts.RatePerSec,
+		DurationMS: opts.DurationMS,
+		WarmupMS:   opts.WarmupMS,
+		Seed:       opts.Seed,
+		Batches:    opts.Batches,
+	})
+}
+
+// AllowableThroughput measures the paper's headline metric: the maximum
+// arrival rate whose p99 latency stays within the model's QoS target.
+func (c *Cluster) AllowableThroughput(factory DistributorFactory, seed int64) float64 {
+	return sim.FindAllowableThroughput(c.spec, factory, sim.FindOptions{Seed: seed})
+}
+
+// OracleThroughput evaluates the clairvoyant ORCL reference scheduler on
+// this cluster (Sec. 7).
+func (c *Cluster) OracleThroughput(seed int64) float64 {
+	return sim.OracleThroughput(c.spec, sim.OracleOptions{Seed: seed})
+}
+
+// Static adapts a stateless distributor into a factory.
+func Static(d Distributor) DistributorFactory { return sim.Static(d) }

@@ -1,0 +1,146 @@
+package kairos
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func sampleBatches(n int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	d := DefaultTrace()
+	out := make([]int, n)
+	for i := range out {
+		out[i] = d.Sample(rng)
+	}
+	return out
+}
+
+func TestFacadeCatalogs(t *testing.T) {
+	if len(DefaultPool()) != 4 {
+		t.Fatal("default pool must have 4 types")
+	}
+	if len(Models()) != 5 {
+		t.Fatal("catalog must have 5 models")
+	}
+	if _, err := ModelByName("RM2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ModelByName("nope"); err == nil {
+		t.Fatal("unknown model must error")
+	}
+}
+
+func TestFacadePlannerPipeline(t *testing.T) {
+	t.Parallel()
+	pool := DefaultPool()
+	m, _ := ModelByName("RM2")
+	p, err := NewPlanner(pool, m, sampleBatches(5000, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pick := p.Plan(2.5)
+	if pick == nil || pick.Total() == 0 {
+		t.Fatalf("pick = %v", pick)
+	}
+	if !pool.WithinBudget(pick, 2.5) {
+		t.Fatalf("pick %v exceeds budget", pick)
+	}
+	ranked := p.Rank(2.5)
+	if len(ranked) < 100 {
+		t.Fatalf("ranking size %d", len(ranked))
+	}
+	if p.UpperBound(pick) <= 0 {
+		t.Fatal("pick upper bound must be positive")
+	}
+	// Kairos+ over a synthetic evaluator terminates and returns a best.
+	res := p.PlanPlus(2.5, func(c Config) float64 { return p.UpperBound(c) * 0.9 })
+	if res.Best == nil || res.Evaluations == 0 {
+		t.Fatalf("PlanPlus = %+v", res)
+	}
+}
+
+func TestFacadePlannerRejectsEmptySamples(t *testing.T) {
+	if _, err := NewPlanner(DefaultPool(), Models()[0], nil); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestFacadeClusterLifecycle(t *testing.T) {
+	t.Parallel()
+	pool := DefaultPool()
+	m, _ := ModelByName("DIEN")
+	if _, err := NewCluster(pool, Config{1, 0}, m); err == nil {
+		t.Fatal("mismatched config must error")
+	}
+	if _, err := NewCluster(pool, Config{0, 0, 0, 0}, m); err == nil {
+		t.Fatal("empty config must error")
+	}
+	cl, err := NewCluster(pool, Config{2, 0, 4, 0}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := NewMonitor()
+	res := cl.Run(NewWarmedKairosDistributor(pool, m, mon), RunOptions{
+		RatePerSec: 50, DurationMS: 20000, WarmupMS: 4000, Seed: 3,
+	})
+	if res.Measured.Count == 0 {
+		t.Fatal("nothing measured")
+	}
+	if mon.Count() == 0 {
+		t.Fatal("monitor not fed by served queries")
+	}
+	if qps := cl.AllowableThroughput(func() Distributor {
+		return NewWarmedKairosDistributor(pool, m, nil)
+	}, 3); qps <= 0 {
+		t.Fatal("allowable throughput must be positive")
+	}
+	if cl.OracleThroughput(3) <= 0 {
+		t.Fatal("oracle throughput must be positive")
+	}
+}
+
+func TestFacadeColdStartDistributorLearns(t *testing.T) {
+	t.Parallel()
+	pool := DefaultPool()
+	m, _ := ModelByName("RM2")
+	cl, err := NewCluster(pool, Config{2, 0, 4, 0}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := cl.Run(NewKairosDistributor(pool, m, nil), RunOptions{
+		RatePerSec: 20, DurationMS: 60000, WarmupMS: 20000, Seed: 4,
+	})
+	if !res.MeetsQoS {
+		t.Fatalf("cold-start Kairos did not converge: p99=%.1f", res.P99)
+	}
+}
+
+func TestFacadeBaselinesOrdering(t *testing.T) {
+	t.Parallel()
+	pool := DefaultPool()
+	m, _ := ModelByName("RM2")
+	cl, err := NewCluster(pool, Config{2, 0, 6, 0}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := int64(5)
+	kairos := cl.AllowableThroughput(func() Distributor {
+		return NewWarmedKairosDistributor(pool, m, nil)
+	}, seed)
+	ribbon := cl.AllowableThroughput(Static(NewRibbonDistributor(pool, m)), seed)
+	clkwrk := cl.AllowableThroughput(Static(NewClockworkDistributor(pool, m)), seed)
+	drs := cl.AllowableThroughput(Static(NewDRSDistributor(pool, m, 200)), seed)
+	orcl := cl.OracleThroughput(seed)
+	if !(kairos > ribbon) {
+		t.Errorf("KAIROS (%.1f) must beat RIBBON (%.1f)", kairos, ribbon)
+	}
+	if !(kairos >= clkwrk*0.98) {
+		t.Errorf("KAIROS (%.1f) must not trail CLKWRK (%.1f)", kairos, clkwrk)
+	}
+	if orcl < kairos {
+		t.Errorf("ORCL (%.1f) must dominate KAIROS (%.1f)", orcl, kairos)
+	}
+	if drs <= 0 {
+		t.Error("DRS must have positive throughput")
+	}
+}
