@@ -1,10 +1,13 @@
-// Command kairos-bench regenerates the paper's tables and figures.
+// Command kairos-bench regenerates the paper's tables and figures and
+// measures ad-hoc policy/configuration pairs through the engine.
 //
 // Usage:
 //
-//	kairos-bench -run all            # every experiment at quick scale
+//	kairos-bench -run all                  # every experiment at quick scale
 //	kairos-bench -run fig8 -scale full
+//	kairos-bench -run measure -policy ribbon -model RM2 -budget 2.5
 //	kairos-bench -list
+//	kairos-bench -list-policies
 package main
 
 import (
@@ -14,28 +17,36 @@ import (
 	"strings"
 	"time"
 
-	"kairos/internal/experiments"
+	"kairos"
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment id (e.g. fig8) or 'all'")
+	run := flag.String("run", "all", "experiment id (e.g. fig8), 'all', or 'measure'")
 	scaleName := flag.String("scale", "quick", "fidelity: quick or full")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	listPolicies := flag.Bool("list-policies", false, "list registered policy names and exit")
+	policy := flag.String("policy", kairos.DefaultPolicy,
+		"distribution policy for -run measure: one of "+strings.Join(kairos.Policies(), ", "))
+	modelName := flag.String("model", "RM2", "served model for -run measure")
 	seed := flag.Int64("seed", 0, "override the random seed (0 keeps the default)")
 	budget := flag.Float64("budget", 0, "override the cost budget in $/hr (0 keeps the default)")
 	flag.Parse()
 
 	if *list {
-		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		fmt.Println(strings.Join(kairos.ExperimentIDs(), "\n"))
+		return
+	}
+	if *listPolicies {
+		fmt.Println(strings.Join(kairos.Policies(), "\n"))
 		return
 	}
 
-	var scale experiments.Scale
+	var scale kairos.ExperimentScale
 	switch *scaleName {
 	case "quick":
-		scale = experiments.QuickScale()
+		scale = kairos.QuickScale()
 	case "full":
-		scale = experiments.FullScale()
+		scale = kairos.FullScale()
 	default:
 		fmt.Fprintf(os.Stderr, "unknown scale %q (want quick or full)\n", *scaleName)
 		os.Exit(2)
@@ -47,17 +58,69 @@ func main() {
 		scale.Budget = *budget
 	}
 
+	if *run == "measure" {
+		if err := measure(*policy, *modelName, scale); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	// The experiment runners fix their own policies and models; reject the
+	// measure-only flags rather than silently ignoring them.
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "policy" || f.Name == "model" {
+			fmt.Fprintf(os.Stderr, "-%s only applies to -run measure\n", f.Name)
+			os.Exit(2)
+		}
+	})
+
 	ids := []string{*run}
 	if *run == "all" {
-		ids = experiments.IDs()
+		ids = kairos.ExperimentIDs()
 	}
 	for _, id := range ids {
 		start := time.Now()
-		out, err := experiments.Run(id, scale)
+		out, err := kairos.RunExperiment(id, scale)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		fmt.Printf("=== %s (%s scale, %.1fs) ===\n%s\n", id, *scaleName, time.Since(start).Seconds(), out)
 	}
+}
+
+// measure plans a configuration for the budget and reports the policy's
+// allowable throughput on it — the engine lifecycle end to end, with the
+// policy resolved by name through the registry.
+func measure(policy, modelName string, scale kairos.ExperimentScale) error {
+	engine, err := kairos.New(
+		kairos.WithPool(kairos.DefaultPool()),
+		kairos.WithModelName(modelName),
+		kairos.WithBudget(scale.Budget),
+		kairos.WithPolicy(policy),
+		kairos.WithSeed(scale.Seed),
+		kairos.WithProbeQueries(scale.ProbeQueries),
+		kairos.WithPrecisionFrac(scale.PrecisionFrac),
+	)
+	if err != nil {
+		return err
+	}
+	cfg, err := engine.Plan()
+	if err != nil {
+		return err
+	}
+	ub, err := engine.UpperBound(cfg)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	qps, err := engine.AllowableThroughput(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("model %s, budget $%.2f/hr -> plan %v (cost $%.3f/hr, UB %.1f QPS)\n",
+		engine.Model().Name, engine.Budget(), cfg, engine.Pool().Cost(cfg), ub)
+	fmt.Printf("policy %-18s allowable throughput %.1f QPS (%.1fs)\n",
+		engine.Policy(), qps, time.Since(start).Seconds())
+	return nil
 }

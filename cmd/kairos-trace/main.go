@@ -17,7 +17,7 @@ import (
 	"sort"
 	"strings"
 
-	"kairos/internal/workload"
+	"kairos"
 )
 
 func main() {
@@ -33,16 +33,16 @@ func main() {
 
 	switch {
 	case *gen:
-		var dist workload.BatchDistribution
+		var dist kairos.BatchDistribution
 		switch *distName {
 		case "lognormal":
-			dist = workload.DefaultTrace()
+			dist = kairos.DefaultTrace()
 		case "gaussian":
-			dist = workload.DefaultGaussian()
+			dist = kairos.DefaultGaussian()
 		default:
 			log.Fatalf("unknown distribution %q", *distName)
 		}
-		tr := workload.Synthesize(*seed, dist, *rate, *n)
+		tr := kairos.SynthesizeTrace(*seed, dist, *rate, *n)
 		if err := writeTrace(tr, *out); err != nil {
 			log.Fatal(err)
 		}
@@ -69,7 +69,7 @@ func main() {
 	}
 }
 
-func writeTrace(tr workload.Trace, path string) error {
+func writeTrace(tr kairos.Trace, path string) error {
 	if path == "" {
 		return tr.WriteCSV(os.Stdout)
 	}
@@ -84,19 +84,19 @@ func writeTrace(tr workload.Trace, path string) error {
 	return tr.WriteCSV(f)
 }
 
-func readTrace(path string) (workload.Trace, error) {
+func readTrace(path string) (kairos.Trace, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return workload.Trace{}, err
+		return kairos.Trace{}, err
 	}
 	defer f.Close()
 	if strings.HasSuffix(path, ".json") {
-		return workload.ReadJSON(f)
+		return kairos.ReadTraceJSON(f)
 	}
-	return workload.ReadCSV(f)
+	return kairos.ReadTraceCSV(f)
 }
 
-func printSummary(tr workload.Trace) {
+func printSummary(tr kairos.Trace) {
 	batches := tr.Batches()
 	if len(batches) == 0 {
 		fmt.Println("empty trace")

@@ -1,11 +1,13 @@
 // Command kairosctl runs the Kairos central controller against running
 // kairosd instance servers and drives a Poisson query load through it,
 // reporting the end-to-end tail latency (the real-process counterpart of
-// the simulator experiments).
+// the simulator experiments). The distribution policy is selected by
+// registry name.
 //
 // Usage (after starting kairosd daemons):
 //
 //	kairosctl -model RM2 -addrs 127.0.0.1:7001,127.0.0.1:7002 -rate 20 -queries 200
+//	kairosctl -model RM2 -addrs 127.0.0.1:7001,127.0.0.1:7002 -policy clockwork
 package main
 
 import (
@@ -17,47 +19,46 @@ import (
 	"sync"
 	"time"
 
-	"kairos/internal/core"
-	"kairos/internal/metrics"
-	"kairos/internal/models"
-	"kairos/internal/predictor"
-	"kairos/internal/server"
-	"kairos/internal/workload"
+	"kairos"
 )
 
 func main() {
 	modelName := flag.String("model", "RM2", "served model")
 	addrList := flag.String("addrs", "", "comma-separated kairosd addresses")
+	policy := flag.String("policy", kairos.DefaultPolicy,
+		"distribution policy: one of "+strings.Join(kairos.Policies(), ", "))
 	rate := flag.Float64("rate", 20, "Poisson arrival rate (queries/second, model time)")
 	queries := flag.Int("queries", 200, "number of queries to send")
 	timeScale := flag.Float64("timescale", 1.0, "must match the kairosd daemons")
 	seed := flag.Int64("seed", 42, "random seed for the load")
 	flag.Parse()
 
-	model, err := models.ByName(*modelName)
-	if err != nil {
-		log.Fatal(err)
-	}
 	addrs := strings.Split(*addrList, ",")
 	if *addrList == "" || len(addrs) == 0 {
 		log.Fatal("kairosctl: -addrs required")
 	}
 
-	policy := core.NewDistributor(core.DistributorOptions{
-		QoS:       model.QoS,
-		BaseType:  "g4dn.xlarge",
-		Predictor: predictor.Oracle{Latency: model.Latency},
-	})
-	ctrl, err := server.NewController(policy, *timeScale, model.Latency, addrs)
+	engine, err := kairos.New(
+		kairos.WithPool(kairos.DefaultPool()),
+		kairos.WithModelName(*modelName),
+		kairos.WithPolicy(*policy),
+		kairos.WithSeed(*seed),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model := engine.Model()
+
+	ctrl, err := engine.Connect(*timeScale, addrs)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer ctrl.Close()
-	fmt.Printf("kairosctl: connected to %v\n", ctrl.InstanceTypes())
+	fmt.Printf("kairosctl: policy %s connected to %v\n", engine.Policy(), ctrl.InstanceTypes())
 
 	rng := rand.New(rand.NewSource(*seed))
-	dist := workload.DefaultTrace()
-	rec := metrics.NewLatencyRecorder(*queries)
+	dist := kairos.DefaultTrace()
+	rec := kairos.NewLatencyRecorder(*queries)
 	served := map[string]int{}
 	var mu sync.Mutex
 	var wg sync.WaitGroup

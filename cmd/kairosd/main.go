@@ -15,9 +15,9 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"syscall"
 
-	"kairos/internal/models"
-	"kairos/internal/server"
+	"kairos"
 )
 
 func main() {
@@ -27,11 +27,11 @@ func main() {
 	timeScale := flag.Float64("timescale", 1.0, "real seconds per simulated second (0.1 = 10x faster)")
 	flag.Parse()
 
-	model, err := models.ByName(*modelName)
+	model, err := kairos.ModelByName(*modelName)
 	if err != nil {
 		log.Fatal(err)
 	}
-	s, err := server.NewInstanceServer(*typeName, model, *timeScale)
+	s, err := kairos.NewInstanceServer(*typeName, model, *timeScale)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -41,7 +41,7 @@ func main() {
 	fmt.Printf("kairosd: %s serving %s on %s (timescale %.2f)\n", *typeName, model.Name, s.Addr(), *timeScale)
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("kairosd: shutting down")
 	if err := s.Close(); err != nil {

@@ -1,0 +1,344 @@
+package kairos
+
+import (
+	"fmt"
+	"math/rand"
+
+	"kairos/internal/adapt"
+	"kairos/internal/core"
+	"kairos/internal/sim"
+)
+
+// DefaultPolicy is the policy an engine uses when WithPolicy is absent.
+const DefaultPolicy = "kairos+warm"
+
+// defaultPlanSamples sizes the synthetic planning snapshot drawn from the
+// engine's trace when neither WithBatchSamples nor a warmed monitor is
+// available (the paper tracks ~10000 recent queries).
+const defaultPlanSamples = 10000
+
+// minPlanObservations guards the cold-to-warm handoff: the monitor must
+// hold at least this many samples (10% of the paper's window) before its
+// view replaces the synthetic snapshot, so a single early completion never
+// collapses planning onto a one-point mix.
+const minPlanObservations = 1000
+
+// Engine is the managed entry point to the reproduction: one object that
+// owns the deployment context (pool, model, budget), the shared query
+// monitor, and the selected distribution policy, and exposes the paper's
+// full plan -> serve -> evaluate -> adapt lifecycle as methods.
+//
+// Build it with New and functional options:
+//
+//	engine, err := kairos.New(
+//		kairos.WithPool(kairos.DefaultPool()),
+//		kairos.WithModelName("RM2"),
+//		kairos.WithBudget(2.5),
+//		kairos.WithPolicy("kairos+warm"),
+//	)
+//
+// Policies are resolved by name through the registry (see RegisterPolicy
+// and Policies), so callers select them as data — e.g. from a -policy
+// command-line flag — instead of hard-wiring constructors.
+type Engine struct {
+	pool     Pool
+	model    Model
+	hasModel bool
+	budget   float64
+	policy   string
+	monitor  *Monitor
+	batches  BatchDistribution
+	samples  []int
+	seed     int64
+
+	replanThreshold float64
+	drsThreshold    int
+	partitions      int
+
+	probeQueries  int
+	precisionFrac float64
+
+	// est caches the estimator while the planning snapshot is deterministic
+	// (pinned by WithBatchSamples, or synthesized from the trace while the
+	// monitor is still cold); once the monitor has observed traffic it is
+	// re-read on every planning call so a drifting mix is never planned
+	// from stale data.
+	est *core.Estimator
+}
+
+// New assembles and validates an engine from functional options.
+func New(opts ...Option) (*Engine, error) {
+	e := &Engine{
+		policy:  DefaultPolicy,
+		batches: DefaultTrace(),
+		seed:    42,
+	}
+	for _, opt := range opts {
+		if opt == nil {
+			return nil, fmt.Errorf("kairos: nil option")
+		}
+		if err := opt(e); err != nil {
+			return nil, err
+		}
+	}
+	if len(e.pool) == 0 {
+		return nil, fmt.Errorf("kairos: engine needs a pool (use WithPool)")
+	}
+	if !e.hasModel {
+		return nil, fmt.Errorf("kairos: engine needs a model (use WithModel or WithModelName)")
+	}
+	if e.monitor == nil {
+		e.monitor = NewMonitor()
+	}
+	return e, nil
+}
+
+// Pool returns the engine's instance pool.
+func (e *Engine) Pool() Pool { return e.pool }
+
+// Model returns the engine's served model.
+func (e *Engine) Model() Model { return e.model }
+
+// Budget returns the cost budget in $/hr (0 when unset).
+func (e *Engine) Budget() float64 { return e.budget }
+
+// Policy returns the selected policy's registry name.
+func (e *Engine) Policy() string { return e.policy }
+
+// Monitor returns the engine's shared query monitor. Distributors built by
+// Serve feed it (when the policy supports a monitor), and Plan and Replan
+// read it; callers may also warm it directly with Monitor.Observe.
+func (e *Engine) Monitor() *Monitor { return e.monitor }
+
+// policyContext assembles the registry context from the engine state.
+func (e *Engine) policyContext(monitor *Monitor) PolicyContext {
+	return PolicyContext{
+		Pool:         e.pool,
+		Model:        e.model,
+		Monitor:      monitor,
+		DRSThreshold: e.drsThreshold,
+		Partitions:   e.partitions,
+	}
+}
+
+// Serve builds the configured policy's distributor wired to the engine's
+// shared monitor — the live serving path.
+func (e *Engine) Serve() (Distributor, error) {
+	return NewPolicy(e.policy, e.policyContext(e.monitor))
+}
+
+// Factory returns a DistributorFactory building fresh instances of the
+// engine's policy per evaluation run, so stateful policies (online
+// learners) never leak knowledge across probes. Evaluation-run policies do
+// not feed the engine monitor. The factory panics if the policy factory
+// errors; Evaluate and AllowableThroughput probe one construction first
+// and surface the error instead.
+func (e *Engine) Factory() DistributorFactory {
+	ctx := e.policyContext(nil)
+	name := e.policy
+	return func() Distributor {
+		d, err := NewPolicy(name, ctx)
+		if err != nil {
+			panic(err)
+		}
+		return d
+	}
+}
+
+// evalFactory is the error-surfacing Factory used by the evaluation
+// methods: it builds one throwaway distributor to catch factories that
+// reject the evaluation context (e.g. a downstream policy requiring a
+// monitor), which New cannot see because it never invokes the factory.
+func (e *Engine) evalFactory() (DistributorFactory, error) {
+	if _, err := NewPolicy(e.policy, e.policyContext(nil)); err != nil {
+		return nil, err
+	}
+	return e.Factory(), nil
+}
+
+// monitorWarmed reports whether the monitor's view should drive planning.
+func (e *Engine) monitorWarmed() bool {
+	return e.samples == nil && e.monitor.Count() >= minPlanObservations
+}
+
+// planningSamples resolves the batch-size snapshot the planner consumes:
+// the pinned WithBatchSamples snapshot, else the warmed monitor's view,
+// else a synthetic draw from the engine's trace.
+func (e *Engine) planningSamples() []int {
+	if e.samples != nil {
+		return e.samples
+	}
+	if e.monitorWarmed() {
+		return e.monitor.Snapshot()
+	}
+	rng := rand.New(rand.NewSource(e.seed))
+	out := make([]int, defaultPlanSamples)
+	for i := range out {
+		out[i] = e.batches.Sample(rng)
+	}
+	return out
+}
+
+// estimator builds the throughput upper-bound estimator (Sec. 5.2).
+func (e *Engine) estimator() (*core.Estimator, error) {
+	if e.monitorWarmed() {
+		// Monitor-sourced: always plan from the live mix, and drop any
+		// cold-start cache built before traffic arrived.
+		e.est = nil
+		return core.NewEstimator(e.pool, e.model, e.planningSamples(), core.EstimatorOptions{})
+	}
+	// Pinned samples or the deterministic synthetic fallback: cacheable.
+	if e.est == nil {
+		est, err := core.NewEstimator(e.pool, e.model, e.planningSamples(), core.EstimatorOptions{})
+		if err != nil {
+			return nil, err
+		}
+		e.est = est
+	}
+	return e.est, nil
+}
+
+// needBudget guards the planning methods.
+func (e *Engine) needBudget() error {
+	if e.budget <= 0 {
+		return fmt.Errorf("kairos: planning needs a budget (use WithBudget)")
+	}
+	return nil
+}
+
+// Plan returns the one-shot configuration for the engine's budget from the
+// current batch-size snapshot — no online exploration (Sec. 5.2).
+func (e *Engine) Plan() (Config, error) {
+	if err := e.needBudget(); err != nil {
+		return nil, err
+	}
+	est, err := e.estimator()
+	if err != nil {
+		return nil, err
+	}
+	return est.Plan(e.budget), nil
+}
+
+// Rank returns every configuration within the engine's budget sorted by
+// descending throughput upper bound.
+func (e *Engine) Rank() ([]RankedConfig, error) {
+	if err := e.needBudget(); err != nil {
+		return nil, err
+	}
+	est, err := e.estimator()
+	if err != nil {
+		return nil, err
+	}
+	return est.Rank(e.budget), nil
+}
+
+// UpperBound estimates the throughput ceiling of one configuration
+// (Eqs. 9-15).
+func (e *Engine) UpperBound(cfg Config) (float64, error) {
+	if err := e.validConfig(cfg); err != nil {
+		return 0, err
+	}
+	est, err := e.estimator()
+	if err != nil {
+		return 0, err
+	}
+	return est.UpperBound(cfg), nil
+}
+
+// PlanPlus runs the Kairos+ pruning search (Algorithm 1) using eval as the
+// expensive online measurement.
+func (e *Engine) PlanPlus(eval func(Config) float64) (PlusResult, error) {
+	ranked, err := e.Rank()
+	if err != nil {
+		return PlusResult{}, err
+	}
+	return core.KairosPlus(ranked, core.EvalFunc(eval)), nil
+}
+
+// validConfig checks a configuration against the engine's pool.
+func (e *Engine) validConfig(cfg Config) error {
+	return validateConfig(e.pool, cfg)
+}
+
+// spec assembles the simulation spec for a configuration.
+func (e *Engine) spec(cfg Config) (sim.ClusterSpec, error) {
+	if err := e.validConfig(cfg); err != nil {
+		return sim.ClusterSpec{}, err
+	}
+	return sim.ClusterSpec{Pool: e.pool, Config: cfg, Model: e.model}, nil
+}
+
+// Evaluate simulates one run of cfg under a fresh instance of the engine's
+// policy. Zero-valued RunOptions fields fall back to the engine's seed and
+// trace.
+func (e *Engine) Evaluate(cfg Config, opts RunOptions) (Result, error) {
+	spec, err := e.spec(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	if opts.Seed == 0 {
+		opts.Seed = e.seed
+	}
+	if opts.Batches == nil {
+		opts.Batches = e.batches
+	}
+	factory, err := e.evalFactory()
+	if err != nil {
+		return Result{}, err
+	}
+	return sim.Run(spec, factory(), sim.Options{
+		RatePerSec: opts.RatePerSec,
+		DurationMS: opts.DurationMS,
+		WarmupMS:   opts.WarmupMS,
+		Seed:       opts.Seed,
+		Batches:    opts.Batches,
+	}), nil
+}
+
+// AllowableThroughput measures the paper's headline metric for cfg under
+// the engine's policy: the maximum arrival rate whose p99 latency stays
+// within the model's QoS target.
+func (e *Engine) AllowableThroughput(cfg Config) (float64, error) {
+	spec, err := e.spec(cfg)
+	if err != nil {
+		return 0, err
+	}
+	factory, err := e.evalFactory()
+	if err != nil {
+		return 0, err
+	}
+	return sim.FindAllowableThroughput(spec, factory, sim.FindOptions{
+		ProbeQueries:  e.probeQueries,
+		PrecisionFrac: e.precisionFrac,
+		Seed:          e.seed,
+		Batches:       e.batches,
+	}), nil
+}
+
+// OracleThroughput evaluates the clairvoyant ORCL reference scheduler on
+// cfg (Sec. 7).
+func (e *Engine) OracleThroughput(cfg Config) (float64, error) {
+	spec, err := e.spec(cfg)
+	if err != nil {
+		return 0, err
+	}
+	return sim.OracleThroughput(spec, sim.OracleOptions{
+		Seed:    e.seed,
+		Batches: e.batches,
+	}), nil
+}
+
+// Replan arms the Fig. 12 adaptation loop on the engine's monitor: it
+// plans an initial configuration from the monitored mix and returns a
+// Replanner whose Check replans in one shot when the mix drifts past the
+// engine's threshold (WithReplan). The monitor must already have observed
+// traffic — serve through Serve's distributor or warm it directly.
+func (e *Engine) Replan() (*Replanner, error) {
+	if err := e.needBudget(); err != nil {
+		return nil, err
+	}
+	if n := e.monitor.Count(); n < minPlanObservations {
+		return nil, fmt.Errorf("kairos: replanning needs a warmed monitor (%d/%d observations)", n, minPlanObservations)
+	}
+	return adapt.NewReplanner(e.pool, e.model, e.budget, e.replanThreshold, e.monitor)
+}

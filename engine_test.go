@@ -1,0 +1,379 @@
+package kairos
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// testEngine builds a small 2-type engine for fast lifecycle tests.
+func testEngine(t *testing.T, opts ...Option) *Engine {
+	t.Helper()
+	model, err := ModelByName("RM2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := []Option{WithPool(DefaultPool()), WithModel(model), WithSeed(3)}
+	e, err := New(append(base, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestEnginePlanLifecycle(t *testing.T) {
+	t.Parallel()
+	e := testEngine(t, WithBudget(2.5), WithBatchSamples(sampleBatches(5000, 1)))
+
+	pick, err := e.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pick.Total() == 0 {
+		t.Fatalf("empty plan %v", pick)
+	}
+	if !e.Pool().WithinBudget(pick, 2.5) {
+		t.Fatalf("plan %v exceeds budget", pick)
+	}
+	ranked, err := e.Rank()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) < 100 {
+		t.Fatalf("ranking size %d", len(ranked))
+	}
+	ub, err := e.UpperBound(pick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ub <= 0 {
+		t.Fatal("pick upper bound must be positive")
+	}
+	res, err := e.PlanPlus(func(c Config) float64 {
+		v, err := e.UpperBound(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v * 0.9
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil || res.Evaluations == 0 {
+		t.Fatalf("PlanPlus = %+v", res)
+	}
+}
+
+func TestEnginePlanMatchesDeprecatedPlanner(t *testing.T) {
+	t.Parallel()
+	samples := sampleBatches(5000, 1)
+	e := testEngine(t, WithBudget(2.5), WithBatchSamples(samples))
+
+	planner, err := NewPlanner(DefaultPool(), e.Model(), samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enginePick, err := e.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy := planner.Plan(2.5); !enginePick.Equal(legacy) {
+		t.Fatalf("engine plan %v != deprecated planner plan %v", enginePick, legacy)
+	}
+	engineRank, err := e.Rank()
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacyRank := planner.Rank(2.5)
+	if len(engineRank) != len(legacyRank) {
+		t.Fatalf("rank sizes differ: %d vs %d", len(engineRank), len(legacyRank))
+	}
+	for i := range engineRank {
+		if !engineRank[i].Config.Equal(legacyRank[i].Config) || engineRank[i].UpperBound != legacyRank[i].UpperBound {
+			t.Fatalf("rank[%d] differs: %+v vs %+v", i, engineRank[i], legacyRank[i])
+		}
+	}
+}
+
+func TestEngineServeWiresMonitor(t *testing.T) {
+	t.Parallel()
+	e := testEngine(t, WithPolicy("kairos+warm"))
+	d, err := e.Serve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs, ok := d.(Observer)
+	if !ok {
+		t.Fatal("kairos distributor must observe completions")
+	}
+	obs.Observe(e.Pool().Base().Name, 100, 5)
+	if e.Monitor().Count() != 1 {
+		t.Fatalf("monitor count = %d after one observation", e.Monitor().Count())
+	}
+}
+
+func TestEngineFactoryIsolatesRuns(t *testing.T) {
+	t.Parallel()
+	e := testEngine(t)
+	f := e.Factory()
+	if f() == f() {
+		t.Fatal("factory must build fresh policy instances")
+	}
+	if e.Monitor().Count() != 0 {
+		t.Fatal("factory policies must not feed the engine monitor")
+	}
+}
+
+// evaluateOpts is the shared small-run shape for equivalence tests.
+var evaluateOpts = RunOptions{RatePerSec: 30, DurationMS: 10000, WarmupMS: 2000, Seed: 5}
+
+// equivalent compares the deterministic fields two runs must share.
+func equivalent(t *testing.T, name string, a, b Result) {
+	t.Helper()
+	if a.TotalQueries != b.TotalQueries || a.P99 != b.P99 || a.QPS != b.QPS ||
+		a.Measured.Count != b.Measured.Count || a.MeanWaitMS != b.MeanWaitMS {
+		t.Fatalf("%s: engine result %+v != deprecated-wrapper result %+v", name, a, b)
+	}
+}
+
+// TestEngineMatchesDeprecatedDistributors replays the same deterministic
+// simulation through the engine path (policy resolved by registry name)
+// and the deprecated free-constructor path, and requires identical
+// results.
+func TestEngineMatchesDeprecatedDistributors(t *testing.T) {
+	t.Parallel()
+	pool := DefaultPool()
+	model, _ := ModelByName("RM2")
+	cfg := Config{1, 0, 4, 0}
+	cluster, err := NewCluster(pool, cfg, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		policy string
+		opts   []Option
+		legacy func() Distributor
+	}{
+		{
+			policy: "kairos+warm",
+			legacy: func() Distributor { return NewWarmedKairosDistributor(pool, model, nil) },
+		},
+		{
+			policy: "ribbon",
+			legacy: func() Distributor { return NewRibbonDistributor(pool, model) },
+		},
+		{
+			policy: "clockwork",
+			legacy: func() Distributor { return NewClockworkDistributor(pool, model) },
+		},
+		{
+			policy: "drs",
+			opts:   []Option{WithDRSThreshold(120)},
+			legacy: func() Distributor { return NewDRSDistributor(pool, model, 120) },
+		},
+		{
+			policy: "kairos+partitioned",
+			opts:   []Option{WithPartitions(2)},
+			legacy: func() Distributor { return NewPartitionedDistributor(2, pool, model) },
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.policy, func(t *testing.T) {
+			t.Parallel()
+			e, err := New(append([]Option{
+				WithPool(pool), WithModel(model), WithPolicy(tc.policy),
+			}, tc.opts...)...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			engineRes, err := e.Evaluate(cfg, evaluateOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			legacyRes := cluster.Run(tc.legacy(), evaluateOpts)
+			equivalent(t, tc.policy, engineRes, legacyRes)
+		})
+	}
+}
+
+func TestEngineReplanLifecycle(t *testing.T) {
+	t.Parallel()
+	e := testEngine(t, WithBudget(2.5), WithReplan(0.2))
+
+	// Replan needs observed traffic.
+	if _, err := e.Replan(); err == nil {
+		t.Fatal("Replan with a cold monitor must error")
+	}
+	rng := rand.New(rand.NewSource(2))
+	d := DefaultTrace()
+	for i := 0; i < 8000; i++ {
+		e.Monitor().Observe(d.Sample(rng))
+	}
+	rep, err := e.Replan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Current().Total() == 0 {
+		t.Fatal("empty initial plan")
+	}
+	if _, changed, err := rep.Check(); err != nil || changed {
+		t.Fatalf("no drift expected: changed=%v err=%v", changed, err)
+	}
+	// A shifted mix triggers a one-shot replan.
+	shifted := Gaussian(600, 100)
+	for i := 0; i < 12000; i++ {
+		e.Monitor().Observe(shifted.Sample(rng))
+	}
+	if _, changed, err := rep.Check(); err != nil || !changed {
+		t.Fatalf("drift expected: changed=%v err=%v", changed, err)
+	}
+}
+
+func TestEnginePlansFromMonitorFreshly(t *testing.T) {
+	t.Parallel()
+	e := testEngine(t, WithBudget(2.5))
+
+	// With a cold monitor the engine synthesizes a snapshot from its trace.
+	pick1, err := e.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A warmed monitor with a radically different mix changes the plan on
+	// the next call — monitor-sourced planning is never cached.
+	rng := rand.New(rand.NewSource(4))
+	shifted := Gaussian(600, 100)
+	for i := 0; i < 10000; i++ {
+		e.Monitor().Observe(shifted.Sample(rng))
+	}
+	pick2, err := e.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pick1.Equal(pick2) {
+		t.Fatalf("plan did not follow the monitor: %v == %v", pick1, pick2)
+	}
+}
+
+func TestEnginePlanIgnoresBarelyWarmMonitor(t *testing.T) {
+	t.Parallel()
+	e := testEngine(t, WithBudget(2.5))
+	pick1, err := e.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A handful of early completions must not replace the 10k-sample
+	// synthetic snapshot with a degenerate one-point mix.
+	for i := 0; i < 5; i++ {
+		e.Monitor().Observe(1000)
+	}
+	pick2, err := e.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pick1.Equal(pick2) {
+		t.Fatalf("plan flipped on a barely-warm monitor: %v -> %v", pick1, pick2)
+	}
+}
+
+func TestDeprecatedPartitionedRejectsZeroPartitions(t *testing.T) {
+	t.Parallel()
+	pool := DefaultPool()
+	model, _ := ModelByName("RM2")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewPartitionedDistributor(0, ...) must panic like the original constructor")
+		}
+	}()
+	NewPartitionedDistributor(0, pool, model)
+}
+
+func TestPartitionedServeFeedsMonitorOnce(t *testing.T) {
+	t.Parallel()
+	e := testEngine(t, WithPolicy("kairos+partitioned"), WithPartitions(2))
+	d, err := e.Serve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs, ok := d.(Observer)
+	if !ok {
+		t.Fatal("partitioned distributor must observe completions")
+	}
+	obs.Observe(e.Pool().Base().Name, 100, 5)
+	if got := e.Monitor().Count(); got != 1 {
+		t.Fatalf("monitor count = %d after one observation, want 1 (no multiply-counting)", got)
+	}
+}
+
+func TestEngineConnectFeedsPolicyAndMonitor(t *testing.T) {
+	t.Parallel()
+	model, err := ModelByName("NCF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const timeScale = 0.5
+	srv, err := NewInstanceServer("g4dn.xlarge", model, timeScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// The online-learning policy only works on the real path if the
+	// controller feeds it completions; the shared monitor proves it does.
+	e, err := New(WithPool(DefaultPool()), WithModel(model), WithPolicy("kairos"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := e.Connect(timeScale, []string{srv.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+	for i := 0; i < 3; i++ {
+		if res := ctrl.SubmitWait(10); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+	if got := e.Monitor().Count(); got != 3 {
+		t.Fatalf("monitor observed %d completions over the network path, want 3", got)
+	}
+}
+
+func TestEngineEvaluateAndThroughput(t *testing.T) {
+	t.Parallel()
+	e := testEngine(t, WithPolicy("kairos+warm"))
+	cfg := Config{1, 0, 4, 0}
+
+	res, err := e.Evaluate(cfg, RunOptions{RatePerSec: 20, DurationMS: 8000, WarmupMS: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Measured.Count == 0 {
+		t.Fatal("nothing measured")
+	}
+	qps, err := e.AllowableThroughput(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qps <= 0 {
+		t.Fatalf("allowable throughput = %v", qps)
+	}
+	orcl, err := e.OracleThroughput(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orcl < qps {
+		t.Fatalf("oracle %v below policy throughput %v", orcl, qps)
+	}
+}
+
+func TestDeprecatedDRSZeroThresholdIsLiteral(t *testing.T) {
+	t.Parallel()
+	pool := DefaultPool()
+	model, _ := ModelByName("RM2")
+	if got := NewDRSDistributor(pool, model, 0).Name(); got != "DRS(t=0)" {
+		t.Fatalf("NewDRSDistributor(..., 0) built %q, want literal DRS(t=0)", got)
+	}
+}

@@ -3,8 +3,8 @@
 // speaking a gRPC-like framed protocol) without the simulator.
 //
 // It boots three in-process instance servers (1x GPU + 2x CPU) for the NCF
-// model, connects a Kairos controller, pushes a Poisson load through
-// loopback sockets, and prints the measured tail latency.
+// model, connects the engine's controller over loopback sockets, pushes a
+// Poisson load through it, and prints the measured tail latency.
 //
 // Run with: go run ./examples/cluster
 package main
@@ -15,16 +15,19 @@ import (
 	"sync"
 	"time"
 
-	"kairos/internal/core"
-	"kairos/internal/metrics"
-	"kairos/internal/models"
-	"kairos/internal/predictor"
-	"kairos/internal/server"
-	"kairos/internal/workload"
+	"kairos"
 )
 
 func main() {
-	model := models.MustByName("NCF")
+	engine, err := kairos.New(
+		kairos.WithPool(kairos.DefaultPool()),
+		kairos.WithModelName("NCF"),
+		kairos.WithPolicy("kairos+warm"),
+	)
+	if err != nil {
+		panic(err)
+	}
+	model := engine.Model()
 	// Dilate time 8x so OS timer granularity stays small relative to NCF's
 	// millisecond-scale latencies.
 	const timeScale = 8.0
@@ -32,7 +35,7 @@ func main() {
 	types := []string{"g4dn.xlarge", "r5n.large", "r5n.large"}
 	var addrs []string
 	for _, tn := range types {
-		s, err := server.NewInstanceServer(tn, model, timeScale)
+		s, err := kairos.NewInstanceServer(tn, model, timeScale)
 		if err != nil {
 			panic(err)
 		}
@@ -44,22 +47,17 @@ func main() {
 		fmt.Printf("instance %-12s listening on %s\n", tn, s.Addr())
 	}
 
-	policy := core.NewDistributor(core.DistributorOptions{
-		QoS:       model.QoS,
-		BaseType:  "g4dn.xlarge",
-		Predictor: predictor.Oracle{Latency: model.Latency},
-	})
-	ctrl, err := server.NewController(policy, timeScale, model.Latency, addrs)
+	ctrl, err := engine.Connect(timeScale, addrs)
 	if err != nil {
 		panic(err)
 	}
 	defer ctrl.Close()
-	fmt.Printf("controller connected to %v\n\n", ctrl.InstanceTypes())
+	fmt.Printf("controller (policy %s) connected to %v\n\n", engine.Policy(), ctrl.InstanceTypes())
 
 	const n = 120
 	rng := rand.New(rand.NewSource(11))
-	mix := workload.DefaultTrace()
-	rec := metrics.NewLatencyRecorder(n)
+	mix := kairos.DefaultTrace()
+	rec := kairos.NewLatencyRecorder(n)
 	served := map[string]int{}
 	var mu sync.Mutex
 	var wg sync.WaitGroup

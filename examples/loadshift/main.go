@@ -1,7 +1,9 @@
 // Load-shift example: the Fig. 12 scenario — the query-size distribution
 // changes from the trace-like log-normal mix to a Gaussian mix, and Kairos
 // replans in one shot from the query monitor's fresh view while
-// search-based schemes would still be exploring.
+// search-based schemes would still be exploring. The whole loop runs
+// through one engine: its monitor observes traffic, Replan arms drift
+// detection, and Check replans when the mix moves.
 //
 // Run with: go run ./examples/loadshift
 package main
@@ -11,47 +13,54 @@ import (
 	"math/rand"
 
 	"kairos"
-	"kairos/internal/workload"
 )
 
 func main() {
 	const budget = 2.5
-	pool := kairos.DefaultPool()
-	model, err := kairos.ModelByName("RM2")
+	engine, err := kairos.New(
+		kairos.WithPool(kairos.DefaultPool()),
+		kairos.WithModelName("RM2"),
+		kairos.WithBudget(budget),
+		kairos.WithPolicy("kairos+warm"),
+		kairos.WithReplan(0.15),
+		kairos.WithSeed(9),
+	)
 	if err != nil {
 		panic(err)
 	}
 	rng := rand.New(rand.NewSource(9))
+	monitor := engine.Monitor()
 
-	// Phase 1: steady state under the log-normal mix.
-	monitor := kairos.NewMonitor()
+	// Phase 1: steady state under the log-normal mix; Replan plans the
+	// initial configuration and arms the drift detector on this mix.
 	before := kairos.DefaultTrace()
 	for i := 0; i < 10000; i++ {
 		monitor.Observe(before.Sample(rng))
 	}
-	p1, err := kairos.NewPlanner(pool, model, monitor.Snapshot())
+	replanner, err := engine.Replan()
 	if err != nil {
 		panic(err)
 	}
-	pick1 := p1.Plan(budget)
+	pick1 := replanner.Current()
 	fmt.Printf("log-normal mix: mean batch %.0f -> plan %v\n", monitor.MeanBatch(), pick1)
 
 	// Phase 2: the workload shifts to a large-query Gaussian mix; the
-	// monitor's sliding window turns over within ~10k queries.
-	after := workload.Gaussian{Mean: 550, Std: 150}
+	// monitor's sliding window turns over within ~10k queries and Check
+	// replans in one shot.
+	after := kairos.Gaussian(550, 150)
 	for i := 0; i < 10000; i++ {
 		monitor.Observe(after.Sample(rng))
 	}
-	p2, err := kairos.NewPlanner(pool, model, monitor.Snapshot())
+	pick2, changed, err := replanner.Check()
 	if err != nil {
 		panic(err)
 	}
-	pick2 := p2.Plan(budget)
-	fmt.Printf("gaussian mix:   mean batch %.0f -> plan %v\n", monitor.MeanBatch(), pick2)
+	fmt.Printf("gaussian mix:   mean batch %.0f -> plan %v (drift detected: %v)\n",
+		monitor.MeanBatch(), pick2, changed)
 
 	// Compare the stale and fresh plans under the NEW workload.
-	m1 := measureUnder(pool, model, pick1, after)
-	m2 := measureUnder(pool, model, pick2, after)
+	m1 := measureUnder(engine, pick1, after)
+	m2 := measureUnder(engine, pick2, after)
 	fmt.Printf("\nunder the new mix: stale plan %v sustains %.1f QPS, fresh plan %v sustains %.1f QPS\n",
 		pick1, m1, pick2, m2)
 	if m2 >= m1 {
@@ -61,16 +70,15 @@ func main() {
 
 // measureUnder evaluates a configuration's allowable throughput with the
 // given batch mix.
-func measureUnder(pool kairos.Pool, model kairos.Model, cfg kairos.Config, mix kairos.BatchDistribution) float64 {
-	cluster, err := kairos.NewCluster(pool, cfg, model)
-	if err != nil {
-		panic(err)
-	}
+func measureUnder(engine *kairos.Engine, cfg kairos.Config, mix kairos.BatchDistribution) float64 {
 	res := 0.0
 	for rate := 10.0; rate < 400; rate *= 1.3 {
-		out := cluster.Run(kairos.NewWarmedKairosDistributor(pool, model, nil), kairos.RunOptions{
+		out, err := engine.Evaluate(cfg, kairos.RunOptions{
 			RatePerSec: rate, DurationMS: 20000, WarmupMS: 4000, Seed: 9, Batches: mix,
 		})
+		if err != nil {
+			panic(err)
+		}
 		if !out.MeetsQoS {
 			break
 		}

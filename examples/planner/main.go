@@ -1,11 +1,12 @@
 // Planner example: pick a heterogeneous configuration for a cost budget
 // without any online evaluation (Sec. 5.2).
 //
-// The planner watches recent traffic (here: synthetic trace-like batch
-// sizes), computes the throughput upper bound of every configuration that
-// fits the budget, and picks one with the similarity criterion. The
-// example then verifies the pick against the simulator and against the
-// budget-scaled homogeneous alternative.
+// The engine plans from recent traffic (here: a synthetic trace-like
+// batch-size snapshot pinned with WithBatchSamples), computing the
+// throughput upper bound of every configuration that fits the budget and
+// picking one with the similarity criterion. The example then verifies the
+// pick against the simulator and against the budget-scaled homogeneous
+// alternative.
 //
 // Run with: go run ./examples/planner
 package main
@@ -20,10 +21,6 @@ import (
 func main() {
 	const budget = 2.5 // $/hr, the paper's default
 	pool := kairos.DefaultPool()
-	model, err := kairos.ModelByName("RM2")
-	if err != nil {
-		panic(err)
-	}
 
 	// Observe traffic: in production this is Monitor.Snapshot() over live
 	// queries; here we synthesize 10k batch sizes from the default mix.
@@ -34,34 +31,45 @@ func main() {
 		samples[i] = trace.Sample(rng)
 	}
 
-	planner, err := kairos.NewPlanner(pool, model, samples)
+	engine, err := kairos.New(
+		kairos.WithPool(pool),
+		kairos.WithModelName("RM2"),
+		kairos.WithBudget(budget),
+		kairos.WithPolicy("kairos+warm"),
+		kairos.WithBatchSamples(samples),
+		kairos.WithSeed(1),
+	)
 	if err != nil {
 		panic(err)
 	}
 
-	ranked := planner.Rank(budget)
+	ranked, err := engine.Rank()
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("%d configurations fit $%.2f/hr; top 5 by throughput upper bound:\n", len(ranked), budget)
 	for _, rc := range ranked[:5] {
 		fmt.Printf("  %-12v cost $%.3f/hr  UB %.1f QPS\n", rc.Config, pool.Cost(rc.Config), rc.UpperBound)
 	}
 
-	pick := planner.Plan(budget)
+	pick, err := engine.Plan()
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("\none-shot pick: %v (no online evaluation)\n", pick)
 
-	// Verify against the simulator.
-	cluster, err := kairos.NewCluster(pool, pick, model)
+	// Verify against the simulator under the engine's policy.
+	qps, err := engine.AllowableThroughput(pick)
 	if err != nil {
 		panic(err)
 	}
-	factory := func() kairos.Distributor { return kairos.NewWarmedKairosDistributor(pool, model, nil) }
-	qps := cluster.AllowableThroughput(factory, 1)
 
 	hom := pool.Homogeneous(budget)
-	homCluster, err := kairos.NewCluster(pool, hom, model)
+	homQPS, err := engine.AllowableThroughput(hom)
 	if err != nil {
 		panic(err)
 	}
-	homQPS := homCluster.AllowableThroughput(factory, 1) * pool.HomogeneousScale(budget)
+	homQPS *= pool.HomogeneousScale(budget)
 
 	fmt.Printf("measured: %.1f QPS vs homogeneous %v at %.1f QPS -> %.2fx gain\n",
 		qps, hom, homQPS, qps/homQPS)

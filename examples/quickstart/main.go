@@ -1,9 +1,10 @@
 // Quickstart: the Fig. 5 story in a dozen lines of public API.
 //
-// One GPU and one CPU serve four queries. Naive FCFS puts the third
-// (large) query on whichever instance frees first — the CPU — and blows
-// the 25ms QoS target; Kairos's min-cost matching holds it for the GPU and
-// routes the small query to the CPU, serving all four in time.
+// One GPU and one CPU serve the WND model. Naive FCFS puts large queries
+// on whichever instance frees first — the CPU — and blows the 25ms QoS
+// target; Kairos's min-cost matching holds them for the GPU and routes
+// small queries to the CPU. Policies are engine options resolved by
+// registry name, so the comparison is two engines differing in one string.
 //
 // Run with: go run ./examples/quickstart
 package main
@@ -20,32 +21,51 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
-	cluster, err := kairos.NewCluster(pool, kairos.Config{1, 1}, model)
-	if err != nil {
-		panic(err)
+	cfg := kairos.Config{1, 1}
+
+	engine := func(policy string) *kairos.Engine {
+		e, err := kairos.New(
+			kairos.WithPool(pool),
+			kairos.WithModel(model),
+			kairos.WithPolicy(policy),
+			kairos.WithSeed(7),
+		)
+		if err != nil {
+			panic(err)
+		}
+		return e
 	}
+	kairosEngine := engine("kairos+warm")
+	ribbonEngine := engine("ribbon")
 
 	fmt.Printf("serving %s (%s) on 1x GPU + 1x CPU\n\n", model.Name, model.Application)
 
 	// The headline metric (Sec. 3): the maximum arrival rate whose p99
 	// stays within QoS, on identical hardware, policy by policy.
-	k := cluster.AllowableThroughput(func() kairos.Distributor {
-		return kairos.NewWarmedKairosDistributor(pool, model, nil)
-	}, 7)
-	r := cluster.AllowableThroughput(kairos.Static(kairos.NewRibbonDistributor(pool, model)), 7)
+	k, err := kairosEngine.AllowableThroughput(cfg)
+	if err != nil {
+		panic(err)
+	}
+	r, err := ribbonEngine.AllowableThroughput(cfg)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("allowable throughput: Kairos %.0f QPS vs FCFS %.0f QPS (+%.0f%%)\n\n",
 		k, r, (k/r-1)*100)
 
 	// The crossover made concrete: at a rate between the two limits,
 	// Kairos still meets the tail target while FCFS has lost it.
 	mid := (k + r) / 2
-	run := func(name string, policy kairos.Distributor) {
-		res := cluster.Run(policy, kairos.RunOptions{
-			RatePerSec: mid, DurationMS: 60000, WarmupMS: 10000, Seed: 7,
+	run := func(name string, e *kairos.Engine) {
+		res, err := e.Evaluate(cfg, kairos.RunOptions{
+			RatePerSec: mid, DurationMS: 60000, WarmupMS: 10000,
 		})
+		if err != nil {
+			panic(err)
+		}
 		fmt.Printf("%-18s @ %.0f QPS: p99 %.1fms (QoS %.0fms) -> meets QoS: %v\n",
 			name, mid, res.P99, model.QoS, res.MeetsQoS)
 	}
-	run("Kairos matching", kairos.NewWarmedKairosDistributor(pool, model, nil))
-	run("Ribbon-style FCFS", kairos.NewRibbonDistributor(pool, model))
+	run("Kairos matching", kairosEngine)
+	run("Ribbon-style FCFS", ribbonEngine)
 }

@@ -1,19 +1,24 @@
 package kairos
 
 import (
+	"io"
+
 	"kairos/internal/adapt"
-	"kairos/internal/pop"
 	"kairos/internal/workload"
 )
 
 // Replanner watches the query monitor for batch-size distribution drift
 // and replans the configuration in one shot when the mix moves — the
-// Fig. 12 adaptation loop as a component.
+// Fig. 12 adaptation loop as a component. Engines hand one out via
+// Engine.Replan.
 type Replanner = adapt.Replanner
 
 // NewReplanner plans an initial configuration from the (already warmed)
 // monitor and arms drift detection. threshold is the total-variation
 // trigger in (0,1); 0 uses the default (0.15).
+//
+// Deprecated: use an Engine with WithBudget, WithMonitor, and WithReplan,
+// then Engine.Replan.
 func NewReplanner(pool Pool, model Model, budgetPerHour, threshold float64, monitor *Monitor) (*Replanner, error) {
 	return adapt.NewReplanner(pool, model, budgetPerHour, threshold, monitor)
 }
@@ -21,20 +26,39 @@ func NewReplanner(pool Pool, model Model, budgetPerHour, threshold float64, moni
 // NewPartitionedDistributor wraps k independent Kairos controllers over a
 // partitioned pool — the POP-style scaling path of Sec. 6. Instances are
 // split round-robin per type; queries hash to partitions by arrival ID.
+//
+// Deprecated: use NewPolicy("kairos+partitioned", ...) or an Engine with
+// WithPolicy("kairos+partitioned") and WithPartitions.
 func NewPartitionedDistributor(k int, pool Pool, model Model) Distributor {
-	return pop.NewPartitioned(k, func(int) Distributor {
-		return NewWarmedKairosDistributor(pool, model, nil)
-	})
+	if k < 1 {
+		// The registry maps 0 to DefaultPartitions; this wrapper keeps the
+		// original constructor's contract of rejecting k < 1 loudly.
+		panic("pop: need at least one partition")
+	}
+	return mustPolicy("kairos+partitioned", PolicyContext{Pool: pool, Model: model, Partitions: k})
 }
+
+// Trace is a reproducible query trace: arrivals plus batch sizes, with CSV
+// and JSON round-tripping (see cmd/kairos-trace).
+type Trace = workload.Trace
 
 // SynthesizeTrace builds a reproducible query trace (arrivals + batch
 // sizes) for replay and tooling; see cmd/kairos-trace.
-func SynthesizeTrace(seed int64, dist BatchDistribution, ratePerSec float64, n int) workload.Trace {
+func SynthesizeTrace(seed int64, dist BatchDistribution, ratePerSec float64, n int) Trace {
 	return workload.Synthesize(seed, dist, ratePerSec, n)
 }
+
+// ReadTraceCSV parses a trace from its CSV form.
+func ReadTraceCSV(r io.Reader) (Trace, error) { return workload.ReadCSV(r) }
+
+// ReadTraceJSON parses a trace from its JSON form.
+func ReadTraceJSON(r io.Reader) (Trace, error) { return workload.ReadJSON(r) }
 
 // Gaussian returns a truncated Gaussian batch-size distribution (the
 // paper's alternative workload shape, Sec. 7).
 func Gaussian(mean, std float64) BatchDistribution {
 	return workload.Gaussian{Mean: mean, Std: std}
 }
+
+// DefaultGaussian returns the paper's default Gaussian batch mix.
+func DefaultGaussian() BatchDistribution { return workload.DefaultGaussian() }

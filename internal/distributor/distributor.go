@@ -25,15 +25,25 @@ type Options struct {
 	Predictor predictor.Predictor
 }
 
-func (o Options) validate() {
+// Validate reports whether the shared knobs are usable. Policy factories
+// check ahead of construction and return the error; the constructors
+// themselves still panic on the same conditions (internal misuse).
+func (o Options) Validate() error {
 	if o.QoS <= 0 {
-		panic("distributor: QoS must be positive")
+		return fmt.Errorf("distributor: QoS must be positive (got %v)", o.QoS)
 	}
 	if o.BaseType == "" {
-		panic("distributor: BaseType required")
+		return fmt.Errorf("distributor: BaseType required")
 	}
 	if o.Predictor == nil {
-		panic("distributor: Predictor required")
+		return fmt.Errorf("distributor: Predictor required")
+	}
+	return nil
+}
+
+func (o Options) validate() {
+	if err := o.Validate(); err != nil {
+		panic(err)
 	}
 }
 

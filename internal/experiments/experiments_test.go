@@ -201,7 +201,7 @@ func fmtSscanf(id string, n *int) (int, error) {
 	return *n, nil
 }
 
-func sscanf(s, format string, args ...interface{}) (int, error) {
+func sscanf(s, format string, args ...any) (int, error) {
 	return fmt.Sscanf(s, format, args...)
 }
 

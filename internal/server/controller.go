@@ -190,7 +190,9 @@ func (c *Controller) scheduleRound() {
 	}
 	qviews := make([]sim.QueryView, len(c.waiting))
 	for i, q := range c.waiting {
-		qviews[i] = sim.QueryView{Index: i, Batch: q.batch, WaitMS: toModelMS(now.Sub(q.enqueued))}
+		// ID carries the stable arrival sequence number; partitioned
+		// policies key on it across scheduling rounds.
+		qviews[i] = sim.QueryView{Index: i, ID: int(q.id), Batch: q.batch, WaitMS: toModelMS(now.Sub(q.enqueued))}
 	}
 	iviews := make([]sim.InstanceView, len(c.instances))
 	for i, ri := range c.instances {
@@ -294,6 +296,15 @@ func (c *Controller) readLoop(ri *remoteInstance) {
 		}
 		if q != nil {
 			q.completed = true
+			if reply.Err == "" {
+				// Ground-truth service feedback, exactly as the simulator
+				// delivers it: online learners and query monitors train from
+				// real completions too. Under c.mu so Observe never races
+				// Assign (policies are not internally synchronized).
+				if obs, ok := c.Policy.(sim.Observer); ok {
+					obs.Observe(ri.typeName, q.batch, reply.ServiceMS)
+				}
+			}
 		}
 		c.mu.Unlock()
 		if q == nil {

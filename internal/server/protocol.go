@@ -45,7 +45,7 @@ type Hello struct {
 }
 
 // WriteFrame writes one length-prefixed JSON message.
-func WriteFrame(w io.Writer, v interface{}) error {
+func WriteFrame(w io.Writer, v any) error {
 	payload, err := json.Marshal(v)
 	if err != nil {
 		return fmt.Errorf("server: encoding frame: %w", err)
@@ -63,7 +63,7 @@ func WriteFrame(w io.Writer, v interface{}) error {
 }
 
 // ReadFrame reads one length-prefixed JSON message into v.
-func ReadFrame(r io.Reader, v interface{}) error {
+func ReadFrame(r io.Reader, v any) error {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return err

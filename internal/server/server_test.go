@@ -11,6 +11,7 @@ import (
 	"kairos/internal/core"
 	"kairos/internal/models"
 	"kairos/internal/predictor"
+	"kairos/internal/sim"
 )
 
 func TestFrameRoundTrip(t *testing.T) {
@@ -246,5 +247,62 @@ func TestControllerCloseFailsOutstanding(t *testing.T) {
 	}
 	if failures == 0 {
 		t.Fatal("expected at least one failed outstanding query")
+	}
+}
+
+// capturePolicy records the QueryViews it is shown and assigns FCFS.
+type capturePolicy struct {
+	mu  sync.Mutex
+	ids map[int]bool
+}
+
+func (p *capturePolicy) Name() string { return "capture" }
+
+func (p *capturePolicy) Assign(_ float64, waiting []sim.QueryView, instances []sim.InstanceView) []sim.Assignment {
+	p.mu.Lock()
+	for _, q := range waiting {
+		p.ids[q.ID] = true
+	}
+	p.mu.Unlock()
+	var out []sim.Assignment
+	used := map[int]bool{}
+	for _, q := range waiting {
+		for _, in := range instances {
+			if in.Backlog() == 0 && !used[in.Index] {
+				used[in.Index] = true
+				out = append(out, sim.Assignment{Query: q.Index, Instance: in.Index})
+				break
+			}
+		}
+	}
+	return out
+}
+
+// TestControllerExposesStableQueryIDs guards the contract partitioned
+// policies rely on: every QueryView the controller hands a policy carries
+// the query's distinct arrival ID (queries hash to partitions by ID).
+func TestControllerExposesStableQueryIDs(t *testing.T) {
+	t.Parallel()
+	m := models.MustByName("NCF")
+	types := []string{cloud.G4dnXlarge.Name}
+	addrs := startCluster(t, types, 1)
+	policy := &capturePolicy{ids: map[int]bool{}}
+	ctrl, err := NewController(policy, 1, m.Latency, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+	const n = 4
+	for i := 0; i < n; i++ {
+		if res := ctrl.SubmitWait(10); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+	policy.mu.Lock()
+	defer policy.mu.Unlock()
+	if len(policy.ids) != n {
+		// A controller that leaves ID zero-valued collapses this to one
+		// entry, which is how partitioned policies degenerate to partition 0.
+		t.Fatalf("saw %d distinct query IDs over %d queries: %v", len(policy.ids), n, policy.ids)
 	}
 }

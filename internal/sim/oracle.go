@@ -48,9 +48,9 @@ func (h freeHeap) Less(i, j int) bool {
 	}
 	return h[i].idx < h[j].idx
 }
-func (h freeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *freeHeap) Push(x interface{}) { *h = append(*h, x.(freeSlot)) }
-func (h *freeHeap) Pop() interface{} {
+func (h freeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *freeHeap) Push(x any)   { *h = append(*h, x.(freeSlot)) }
+func (h *freeHeap) Pop() any {
 	old := *h
 	n := len(old)
 	it := old[n-1]

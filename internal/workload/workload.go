@@ -11,6 +11,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 )
 
 // MaxBatch mirrors models.MaxBatch; duplicated to keep this package free of
@@ -159,8 +160,10 @@ func PoissonStream(rng *rand.Rand, dist BatchDistribution, ratePerSec, durationM
 // Monitor is Kairos's sliding-window query monitor: it tracks the most
 // recent Window batch sizes and answers distribution questions (fraction f
 // of queries at or below a cutoff s, conditional means) without any offline
-// profiling.
+// profiling. It is safe for concurrent use: the real network controller
+// feeds it from per-instance read goroutines while planners snapshot it.
 type Monitor struct {
+	mu      sync.Mutex
 	window  int
 	batches []int
 	next    int
@@ -183,6 +186,8 @@ func (m *Monitor) Observe(batch int) {
 	if batch < 1 || batch > MaxBatch {
 		panic(fmt.Sprintf("workload: observed batch %d outside [1,%d]", batch, MaxBatch))
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if len(m.batches) < m.window {
 		m.batches = append(m.batches, batch)
 		return
@@ -193,11 +198,17 @@ func (m *Monitor) Observe(batch int) {
 }
 
 // Count returns the number of batch sizes currently tracked.
-func (m *Monitor) Count() int { return len(m.batches) }
+func (m *Monitor) Count() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.batches)
+}
 
 // FractionAtMost returns the fraction f of tracked queries with batch <= s
 // (Sec. 5.2). It returns 0 when nothing has been observed.
 func (m *Monitor) FractionAtMost(s int) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if len(m.batches) == 0 {
 		return 0
 	}
@@ -212,6 +223,8 @@ func (m *Monitor) FractionAtMost(s int) float64 {
 
 // MeanBatch returns the average tracked batch size, or 0 when empty.
 func (m *Monitor) MeanBatch() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if len(m.batches) == 0 {
 		return 0
 	}
@@ -224,6 +237,8 @@ func (m *Monitor) MeanBatch() float64 {
 
 // Snapshot returns a copy of the tracked batch sizes in unspecified order.
 func (m *Monitor) Snapshot() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	out := make([]int, len(m.batches))
 	copy(out, m.batches)
 	return out
@@ -232,13 +247,13 @@ func (m *Monitor) Snapshot() []int {
 // Quantile returns the q-quantile (0 < q <= 1) of tracked batch sizes using
 // the nearest-rank method, or 0 when empty.
 func (m *Monitor) Quantile(q float64) int {
-	if len(m.batches) == 0 {
+	sorted := m.Snapshot()
+	if len(sorted) == 0 {
 		return 0
 	}
 	if q <= 0 || q > 1 {
 		panic(fmt.Sprintf("workload: quantile %v outside (0,1]", q))
 	}
-	sorted := m.Snapshot()
 	sort.Ints(sorted)
 	rank := int(math.Ceil(q * float64(len(sorted))))
 	if rank < 1 {

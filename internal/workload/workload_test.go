@@ -235,3 +235,24 @@ func TestNewMonitorPanicsOnBadWindow(t *testing.T) {
 	}()
 	NewMonitor(0)
 }
+
+func TestMonitorConcurrentObserveAndRead(t *testing.T) {
+	// The network controller feeds the monitor from per-instance read
+	// goroutines while planners snapshot it; run under -race.
+	m := NewMonitor(100)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 5000; i++ {
+			m.Observe(i%MaxBatch + 1)
+		}
+	}()
+	for i := 0; i < 500; i++ {
+		m.Snapshot()
+		m.Count()
+		m.MeanBatch()
+		m.FractionAtMost(100)
+		m.Quantile(0.5)
+	}
+	<-done
+}

@@ -7,19 +7,26 @@
 // configuration in one shot from throughput upper bounds, with no online
 // exploration.
 //
-// The package is a facade over the internal subsystems:
+// The public surface is the Engine, built with functional options and
+// exposing the paper's full lifecycle:
 //
-//   - Plan a deployment: NewPlanner -> Planner.Plan picks the instance
-//     counts for a budget from the observed batch-size mix.
-//   - Serve queries: NewKairosDistributor implements the paper's matching
-//     mechanism; baselines (Ribbon, DRS, Clockwork) are available for
-//     comparison.
-//   - Evaluate: NewCluster wraps the deterministic discrete-event
-//     simulator; Cluster.AllowableThroughput measures the paper's
-//     headline metric.
+//	engine, err := kairos.New(
+//		kairos.WithPool(kairos.DefaultPool()),
+//		kairos.WithModelName("RM2"),
+//		kairos.WithBudget(2.5),
+//		kairos.WithPolicy("kairos+warm"),
+//	)
+//	cfg, err := engine.Plan()                    // one-shot planning (Sec. 5.2)
+//	dist, err := engine.Serve()                  // live query distribution (Sec. 5.1)
+//	qps, err := engine.AllowableThroughput(cfg)  // simulation (Sec. 7)
+//	rep, err := engine.Replan()                  // drift adaptation (Fig. 12)
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-versus-measured record.
+// Distribution policies — the paper's mechanism and the competing schemes —
+// are data: they live in a named registry (RegisterPolicy, Policies,
+// NewPolicy), so tools select them via -policy flags and downstream code
+// extends the set without touching this package.
+//
+// See DESIGN.md for the architecture and the system inventory.
 package kairos
 
 import (
@@ -29,7 +36,6 @@ import (
 	"kairos/internal/core"
 	"kairos/internal/distributor"
 	"kairos/internal/models"
-	"kairos/internal/predictor"
 	"kairos/internal/sim"
 	"kairos/internal/workload"
 )
@@ -53,6 +59,17 @@ type (
 	Distributor = sim.Distributor
 	// DistributorFactory builds fresh policy instances per evaluation run.
 	DistributorFactory = sim.DistributorFactory
+	// QueryView is the read-only projection of a waiting query handed to
+	// distributors; downstream policies implement Distributor against it.
+	QueryView = sim.QueryView
+	// InstanceView is the read-only projection of an instance handed to
+	// distributors.
+	InstanceView = sim.InstanceView
+	// Assignment dispatches waiting query Query to instance Instance.
+	Assignment = sim.Assignment
+	// Observer optionally receives ground-truth service feedback after each
+	// query completes (see sim.Observer).
+	Observer = sim.Observer
 	// RankedConfig pairs a configuration with its throughput upper bound.
 	RankedConfig = core.RankedConfig
 	// PlusResult reports a Kairos+ pruning search.
@@ -79,14 +96,20 @@ func DefaultTrace() BatchDistribution { return workload.DefaultTrace() }
 func NewMonitor() *Monitor { return workload.NewMonitor(workload.DefaultWindow) }
 
 // Planner chooses heterogeneous configurations without online evaluation
-// (Sec. 5.2): it ranks every configuration within the budget by its
-// throughput upper bound and applies the similarity-based one-shot pick.
+// (Sec. 5.2).
+//
+// Deprecated: build an Engine with WithBatchSamples and use Engine.Plan,
+// Engine.Rank, Engine.UpperBound, and Engine.PlanPlus. Planner remains as
+// a thin wrapper whose budget is supplied per call instead of via
+// WithBudget.
 type Planner struct {
 	est *core.Estimator
 }
 
 // NewPlanner builds a planner for one model from a snapshot of recent
 // query batch sizes (use Monitor.Snapshot on live traffic).
+//
+// Deprecated: use New with WithBatchSamples.
 func NewPlanner(pool Pool, model Model, batchSamples []int) (*Planner, error) {
 	est, err := core.NewEstimator(pool, model, batchSamples, core.EstimatorOptions{})
 	if err != nil {
@@ -116,71 +139,85 @@ func (p *Planner) PlanPlus(budgetPerHour float64, eval func(Config) float64) Plu
 // NewKairosDistributor builds the paper's query-distribution mechanism for
 // a model over a pool, learning latencies online from served queries. The
 // optional monitor receives every completed query's batch size.
+//
+// Deprecated: use NewPolicy("kairos", ...) or an Engine with
+// WithPolicy("kairos") and Serve.
 func NewKairosDistributor(pool Pool, model Model, monitor *Monitor) Distributor {
-	return core.NewDistributor(core.DistributorOptions{
-		QoS:      model.QoS,
-		BaseType: pool.Base().Name,
-		Monitor:  monitor,
-	})
+	return mustPolicy("kairos", PolicyContext{Pool: pool, Model: model, Monitor: monitor})
 }
 
 // NewWarmedKairosDistributor is NewKairosDistributor with the latency
 // model pre-trained from the calibrated surfaces, skipping the cold start.
+//
+// Deprecated: use NewPolicy("kairos+warm", ...) or an Engine with
+// WithPolicy("kairos+warm") and Serve.
 func NewWarmedKairosDistributor(pool Pool, model Model, monitor *Monitor) Distributor {
-	names := make([]string, len(pool))
-	for i, t := range pool {
-		names[i] = t.Name
-	}
-	return core.NewDistributor(core.DistributorOptions{
-		QoS:       model.QoS,
-		BaseType:  pool.Base().Name,
-		Predictor: predictor.Warmed(model.Latency, names, []int{1, 250, 500, 750, 1000}),
-		Monitor:   monitor,
-	})
-}
-
-// baselineOptions wires the ground-truth latency oracle the paper grants
-// the competing schemes.
-func baselineOptions(pool Pool, model Model) distributor.Options {
-	return distributor.Options{
-		QoS:       model.QoS,
-		BaseType:  pool.Base().Name,
-		Predictor: predictor.Oracle{Latency: model.Latency},
-	}
+	return mustPolicy("kairos+warm", PolicyContext{Pool: pool, Model: model, Monitor: monitor})
 }
 
 // NewRibbonDistributor builds the RIBBON baseline (base-preferring FCFS).
+//
+// Deprecated: use NewPolicy("ribbon", ...) or an Engine with
+// WithPolicy("ribbon") and Serve.
 func NewRibbonDistributor(pool Pool, model Model) Distributor {
-	return distributor.NewRibbon(baselineOptions(pool, model))
+	return mustPolicy("ribbon", PolicyContext{Pool: pool, Model: model})
 }
 
 // NewDRSDistributor builds the DeepRecSys-style threshold baseline.
+//
+// Deprecated: use NewPolicy("drs", ...) or an Engine with
+// WithPolicy("drs") and WithDRSThreshold.
 func NewDRSDistributor(pool Pool, model Model, threshold int) Distributor {
-	return distributor.NewDRS(baselineOptions(pool, model), threshold)
+	if threshold == 0 {
+		// The registry maps 0 to DefaultDRSThreshold; this constructor has
+		// always treated 0 as a literal threshold (a valid tuner outcome),
+		// so build it directly to preserve that contract.
+		opts, err := baselinePolicyOptions(PolicyContext{Pool: pool, Model: model})
+		if err != nil {
+			panic(err)
+		}
+		return distributor.NewDRS(opts, 0)
+	}
+	return mustPolicy("drs", PolicyContext{Pool: pool, Model: model, DRSThreshold: threshold})
 }
 
 // NewClockworkDistributor builds the CLKWRK baseline.
+//
+// Deprecated: use NewPolicy("clockwork", ...) or an Engine with
+// WithPolicy("clockwork") and Serve.
 func NewClockworkDistributor(pool Pool, model Model) Distributor {
-	return distributor.NewClockwork(baselineOptions(pool, model))
+	return mustPolicy("clockwork", PolicyContext{Pool: pool, Model: model})
 }
 
-// Cluster is a simulated deployment of one configuration serving one model.
+// Cluster is a simulated deployment of one configuration serving one
+// model. Engine.Evaluate, Engine.AllowableThroughput, and
+// Engine.OracleThroughput cover the common paths; Cluster remains for
+// callers that mix policies over one deployment.
 type Cluster struct {
 	spec sim.ClusterSpec
 }
 
-// NewCluster validates and assembles a simulated cluster.
-func NewCluster(pool Pool, cfg Config, model Model) (*Cluster, error) {
+// validateConfig checks a configuration against a pool; shared by
+// NewCluster and the Engine's simulation methods.
+func validateConfig(pool Pool, cfg Config) error {
 	if len(cfg) != len(pool) {
-		return nil, fmt.Errorf("kairos: config %v does not match pool of %d types", cfg, len(pool))
+		return fmt.Errorf("kairos: config %v does not match pool of %d types", cfg, len(pool))
 	}
 	if cfg.Total() == 0 {
-		return nil, fmt.Errorf("kairos: empty configuration")
+		return fmt.Errorf("kairos: empty configuration")
+	}
+	return nil
+}
+
+// NewCluster validates and assembles a simulated cluster.
+func NewCluster(pool Pool, cfg Config, model Model) (*Cluster, error) {
+	if err := validateConfig(pool, cfg); err != nil {
+		return nil, err
 	}
 	return &Cluster{spec: sim.ClusterSpec{Pool: pool, Config: cfg, Model: model}}, nil
 }
 
-// RunOptions configure Cluster.Run.
+// RunOptions configure Cluster.Run and Engine.Evaluate.
 type RunOptions struct {
 	// RatePerSec is the Poisson arrival rate (queries per second).
 	RatePerSec float64
@@ -188,7 +225,8 @@ type RunOptions struct {
 	DurationMS float64
 	// WarmupMS excludes the initial transient from measurement.
 	WarmupMS float64
-	// Seed fixes the random streams.
+	// Seed fixes the random streams; Engine.Evaluate defaults 0 to the
+	// engine seed.
 	Seed int64
 	// Batches overrides the default trace-like batch mix.
 	Batches BatchDistribution

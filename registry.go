@@ -1,0 +1,228 @@
+package kairos
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"kairos/internal/core"
+	"kairos/internal/distributor"
+	"kairos/internal/pop"
+	"kairos/internal/predictor"
+	"kairos/internal/sim"
+)
+
+// Default policy parameters used when PolicyContext leaves them zero.
+const (
+	// DefaultDRSThreshold routes batch > threshold to the base pool; it is
+	// the hill-climbing tuner's starting point (see distributor.TuneDRSThreshold).
+	DefaultDRSThreshold = 150
+	// DefaultPartitions is the POP partition count for "kairos+partitioned".
+	DefaultPartitions = 2
+)
+
+// PolicyContext is what the engine resolves before asking a policy factory
+// for a distributor: the deployment (pool + model), the shared query
+// monitor, and the per-policy tuning knobs.
+type PolicyContext struct {
+	// Pool is the ordered set of instance types the distributor serves.
+	Pool Pool
+	// Model is the served workload (QoS target + latency surface).
+	Model Model
+	// Monitor optionally receives every completed query's batch size so the
+	// planner can track the workload mix. May be nil.
+	Monitor *Monitor
+	// DRSThreshold is the DRS routing threshold; 0 uses DefaultDRSThreshold.
+	DRSThreshold int
+	// Partitions is the POP partition count; 0 uses DefaultPartitions.
+	Partitions int
+}
+
+// validate checks the fields every factory depends on.
+func (ctx PolicyContext) validate() error {
+	if len(ctx.Pool) == 0 {
+		return fmt.Errorf("kairos: policy context needs a non-empty pool")
+	}
+	if ctx.Model.QoS <= 0 {
+		return fmt.Errorf("kairos: policy context needs a model with a positive QoS target (got %v)", ctx.Model.QoS)
+	}
+	return nil
+}
+
+// PolicyFactory builds a fresh distributor for a resolved context. The
+// engine calls it once per Serve and once per simulation probe, so stateful
+// policies (online learners) start each evaluation from a clean slate.
+type PolicyFactory func(ctx PolicyContext) (Distributor, error)
+
+var (
+	policyMu sync.RWMutex
+	policies = map[string]PolicyFactory{}
+)
+
+// RegisterPolicy adds a named policy to the registry. It errors on an empty
+// name, a nil factory, or a name already taken — downstream code extends
+// the registry but never silently replaces a builtin.
+func RegisterPolicy(name string, factory PolicyFactory) error {
+	if name == "" {
+		return fmt.Errorf("kairos: policy name must be non-empty")
+	}
+	if factory == nil {
+		return fmt.Errorf("kairos: policy %q needs a non-nil factory", name)
+	}
+	policyMu.Lock()
+	defer policyMu.Unlock()
+	if _, dup := policies[name]; dup {
+		return fmt.Errorf("kairos: policy %q already registered", name)
+	}
+	policies[name] = factory
+	return nil
+}
+
+// Policies lists the registered policy names in sorted order — the value
+// set for a -policy command-line flag.
+func Policies() []string {
+	policyMu.RLock()
+	defer policyMu.RUnlock()
+	out := make([]string, 0, len(policies))
+	for name := range policies {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HasPolicy reports whether a policy name resolves.
+func HasPolicy(name string) bool {
+	policyMu.RLock()
+	defer policyMu.RUnlock()
+	_, ok := policies[name]
+	return ok
+}
+
+// NewPolicy resolves a registered policy by name and builds a distributor
+// for the context.
+func NewPolicy(name string, ctx PolicyContext) (Distributor, error) {
+	policyMu.RLock()
+	factory, ok := policies[name]
+	policyMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("kairos: unknown policy %q (have %v)", name, Policies())
+	}
+	if err := ctx.validate(); err != nil {
+		return nil, err
+	}
+	return factory(ctx)
+}
+
+// mustRegister is the init-time registration path for the builtins.
+func mustRegister(name string, factory PolicyFactory) {
+	if err := RegisterPolicy(name, factory); err != nil {
+		panic(err)
+	}
+}
+
+// mustPolicy backs the deprecated free constructors, which predate the
+// error-returning registry path.
+func mustPolicy(name string, ctx PolicyContext) Distributor {
+	d, err := NewPolicy(name, ctx)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// warmedKairos builds the paper's distributor with the latency model
+// pre-trained from the calibrated surfaces.
+func warmedKairos(ctx PolicyContext) Distributor {
+	names := make([]string, len(ctx.Pool))
+	for i, t := range ctx.Pool {
+		names[i] = t.Name
+	}
+	return core.NewDistributor(core.DistributorOptions{
+		QoS:       ctx.Model.QoS,
+		BaseType:  ctx.Pool.Base().Name,
+		Predictor: predictor.Warmed(ctx.Model.Latency, names, []int{1, 250, 500, 750, 1000}),
+		Monitor:   ctx.Monitor,
+	})
+}
+
+// baselinePolicyOptions wires the ground-truth latency oracle the paper
+// grants the competing schemes, validated once for all baseline factories
+// (a degenerate pool with an unnamed base type is caught here instead of
+// panicking inside the constructor).
+func baselinePolicyOptions(ctx PolicyContext) (distributor.Options, error) {
+	opts := distributor.Options{
+		QoS:       ctx.Model.QoS,
+		BaseType:  ctx.Pool.Base().Name,
+		Predictor: predictor.Oracle{Latency: ctx.Model.Latency},
+	}
+	return opts, opts.Validate()
+}
+
+// The builtin policy set: the paper's mechanism in three flavors, the three
+// competing schemes of Sec. 7, and the two naive ablation baselines.
+func init() {
+	mustRegister("kairos", func(ctx PolicyContext) (Distributor, error) {
+		return core.NewDistributor(core.DistributorOptions{
+			QoS:      ctx.Model.QoS,
+			BaseType: ctx.Pool.Base().Name,
+			Monitor:  ctx.Monitor,
+		}), nil
+	})
+	mustRegister("kairos+warm", func(ctx PolicyContext) (Distributor, error) {
+		return warmedKairos(ctx), nil
+	})
+	mustRegister("kairos+partitioned", func(ctx PolicyContext) (Distributor, error) {
+		k := ctx.Partitions
+		if k == 0 {
+			k = DefaultPartitions
+		}
+		if k < 1 {
+			return nil, fmt.Errorf("kairos: partitions must be >= 1 (got %d)", k)
+		}
+		return pop.NewPartitioned(k, func(partition int) sim.Distributor {
+			inner := PolicyContext{Pool: ctx.Pool, Model: ctx.Model}
+			// Partitioned fans every observation out to all partitions
+			// (latency knowledge is global), so exactly one inner policy
+			// holds the shared monitor to avoid multiply-counting queries.
+			if partition == 0 {
+				inner.Monitor = ctx.Monitor
+			}
+			return warmedKairos(inner)
+		}), nil
+	})
+	mustRegister("ribbon", func(ctx PolicyContext) (Distributor, error) {
+		opts, err := baselinePolicyOptions(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return distributor.NewRibbon(opts), nil
+	})
+	mustRegister("drs", func(ctx PolicyContext) (Distributor, error) {
+		t := ctx.DRSThreshold
+		if t == 0 {
+			t = DefaultDRSThreshold
+		}
+		if t < 0 {
+			return nil, fmt.Errorf("kairos: DRS threshold must be >= 0 (got %d)", t)
+		}
+		opts, err := baselinePolicyOptions(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return distributor.NewDRS(opts, t), nil
+	})
+	mustRegister("clockwork", func(ctx PolicyContext) (Distributor, error) {
+		opts, err := baselinePolicyOptions(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return distributor.NewClockwork(opts), nil
+	})
+	mustRegister("fcfs", func(ctx PolicyContext) (Distributor, error) {
+		return sim.FCFSAny{}, nil
+	})
+	mustRegister("least-loaded", func(ctx PolicyContext) (Distributor, error) {
+		return sim.LeastLoaded{}, nil
+	})
+}

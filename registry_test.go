@@ -1,0 +1,152 @@
+package kairos
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// stubDistributor is a registry test double.
+type stubDistributor struct{ name string }
+
+func (s stubDistributor) Name() string { return s.name }
+func (s stubDistributor) Assign(float64, []QueryView, []InstanceView) []Assignment {
+	return nil
+}
+
+func stubFactory(name string) PolicyFactory {
+	return func(PolicyContext) (Distributor, error) { return stubDistributor{name: name}, nil }
+}
+
+func TestRegisterPolicyErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		reg     string
+		factory PolicyFactory
+		wantErr string
+	}{
+		{name: "empty name", reg: "", factory: stubFactory("x"), wantErr: "non-empty"},
+		{name: "nil factory", reg: "test-nil-factory", factory: nil, wantErr: "non-nil factory"},
+		{name: "builtin collision", reg: "kairos", factory: stubFactory("x"), wantErr: "already registered"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := RegisterPolicy(tc.reg, tc.factory)
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("RegisterPolicy(%q) error %v, want containing %q", tc.reg, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// registerOnce registers a test policy, tolerating earlier registration —
+// the registry is process-global and go test -count=N reruns tests in one
+// process.
+func registerOnce(t *testing.T, name string, factory PolicyFactory) {
+	t.Helper()
+	if HasPolicy(name) {
+		return
+	}
+	if err := RegisterPolicy(name, factory); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegisterPolicyDuplicate(t *testing.T) {
+	registerOnce(t, "test-dup", stubFactory("dup"))
+	err := RegisterPolicy("test-dup", stubFactory("dup2"))
+	if err == nil || !strings.Contains(err.Error(), "already registered") {
+		t.Fatalf("duplicate registration error = %v", err)
+	}
+}
+
+func TestPoliciesListsBuiltinsSorted(t *testing.T) {
+	names := Policies()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Policies() not sorted: %v", names)
+		}
+	}
+	for _, want := range []string{
+		"kairos", "kairos+warm", "kairos+partitioned",
+		"ribbon", "drs", "clockwork", "fcfs", "least-loaded",
+	} {
+		if !HasPolicy(want) {
+			t.Fatalf("builtin policy %q missing from %v", want, names)
+		}
+	}
+}
+
+func TestNewPolicyLookup(t *testing.T) {
+	pool := DefaultPool()
+	model, _ := ModelByName("RM2")
+	ctx := PolicyContext{Pool: pool, Model: model}
+
+	if _, err := NewPolicy("test-unknown-policy", ctx); err == nil {
+		t.Fatal("unknown policy must error")
+	}
+	if _, err := NewPolicy("kairos", PolicyContext{Model: model}); err == nil {
+		t.Fatal("empty pool context must error")
+	}
+	if _, err := NewPolicy("kairos", PolicyContext{Pool: pool}); err == nil {
+		t.Fatal("zero-QoS model context must error")
+	}
+
+	// Every builtin builds a named distributor from a valid context.
+	for _, name := range Policies() {
+		if strings.HasPrefix(name, "test-") {
+			continue // test doubles registered by this suite
+		}
+		d, err := NewPolicy(name, ctx)
+		if err != nil {
+			t.Fatalf("NewPolicy(%q) error: %v", name, err)
+		}
+		if d.Name() == "" {
+			t.Fatalf("NewPolicy(%q) returned unnamed distributor", name)
+		}
+	}
+}
+
+func TestRegisteredPolicyDrivesEngine(t *testing.T) {
+	registerOnce(t, "test-engine-stub", stubFactory("STUB"))
+	pool := DefaultPool()
+	model, _ := ModelByName("RM2")
+	e, err := New(WithPool(pool), WithModel(model), WithPolicy("test-engine-stub"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := e.Serve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name() != "STUB" {
+		t.Fatalf("Serve() policy name = %q, want STUB", d.Name())
+	}
+}
+
+func TestNewPolicyParameterDefaults(t *testing.T) {
+	pool := DefaultPool()
+	model, _ := ModelByName("RM2")
+
+	d, err := NewPolicy("drs", PolicyContext{Pool: pool, Model: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := fmt.Sprintf("DRS(t=%d)", DefaultDRSThreshold); d.Name() != want {
+		t.Fatalf("default DRS name = %q, want %q", d.Name(), want)
+	}
+	if _, err := NewPolicy("drs", PolicyContext{Pool: pool, Model: model, DRSThreshold: -1}); err == nil {
+		t.Fatal("negative DRS threshold must error")
+	}
+
+	p, err := NewPolicy("kairos+partitioned", PolicyContext{Pool: pool, Model: model, Partitions: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p.Name(), "POP-3x") {
+		t.Fatalf("partitioned name = %q, want POP-3x prefix", p.Name())
+	}
+	if _, err := NewPolicy("kairos+partitioned", PolicyContext{Pool: pool, Model: model, Partitions: -2}); err == nil {
+		t.Fatal("negative partitions must error")
+	}
+}

@@ -1,0 +1,48 @@
+package kairos
+
+import (
+	"kairos/internal/metrics"
+	"kairos/internal/server"
+)
+
+// Re-exported real-process serving and measurement types, so the cmd tools
+// and examples drive the Sec. 6 network path without importing internal
+// packages.
+type (
+	// InstanceServer is one emulated inference instance: it binds a TCP
+	// port, announces its instance type and model, and serves one batched
+	// query at a time with the calibrated latency (cmd/kairosd).
+	InstanceServer = server.InstanceServer
+	// Controller is the central query controller speaking the framed
+	// protocol to running instance servers.
+	Controller = server.Controller
+	// QueryResult reports one completed query on the network path.
+	QueryResult = server.QueryResult
+	// LatencyRecorder accumulates latency samples and reports percentiles.
+	LatencyRecorder = metrics.LatencyRecorder
+)
+
+// NewInstanceServer builds an emulated instance server for one instance
+// type serving one model. timeScale dilates real time (0.1 = 10x faster
+// than model time).
+func NewInstanceServer(typeName string, model Model, timeScale float64) (*InstanceServer, error) {
+	return server.NewInstanceServer(typeName, model, timeScale)
+}
+
+// NewLatencyRecorder creates a latency recorder with a capacity hint.
+func NewLatencyRecorder(capacityHint int) *LatencyRecorder {
+	return metrics.NewLatencyRecorder(capacityHint)
+}
+
+// Connect dials running instance servers (see NewInstanceServer and
+// cmd/kairosd) and returns a central controller distributing real queries
+// with a fresh instance of the engine's policy — the live counterpart of
+// Evaluate. timeScale must match the daemons'. Close the controller when
+// done.
+func (e *Engine) Connect(timeScale float64, addrs []string) (*Controller, error) {
+	policy, err := e.Serve()
+	if err != nil {
+		return nil, err
+	}
+	return server.NewController(policy, timeScale, e.model.Latency, addrs)
+}
