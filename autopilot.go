@@ -1,0 +1,119 @@
+package kairos
+
+import (
+	"fmt"
+	"time"
+
+	"kairos/internal/autopilot"
+	"kairos/internal/core"
+)
+
+// Re-exported autopilot types: the closed-loop control plane over the real
+// network serving path (see internal/autopilot).
+type (
+	// Autopilot runs the monitor -> detect -> replan -> actuate loop over
+	// a live controller and its in-process fleet. Engine.Autopilot builds
+	// one; Start launches the loop; Close tears the whole serving path
+	// down.
+	Autopilot = autopilot.Autopilot
+	// Fleet launches and stops in-process instance servers — the
+	// actuator's "cloud provider".
+	Fleet = autopilot.Fleet
+	// AutopilotStatus is the /metrics view of the control plane.
+	AutopilotStatus = autopilot.Status
+	// AutopilotDecision reports one control-loop iteration (see
+	// Autopilot.Step).
+	AutopilotDecision = autopilot.Decision
+	// PlanStatus is the /plan view: the configuration in force and the
+	// replan history heads.
+	PlanStatus = autopilot.PlanStatus
+)
+
+// AutopilotOptions tune Engine.Autopilot. Zero values defer to the
+// autopilot defaults (see internal/autopilot.Options); the drift threshold
+// additionally falls back to the engine's WithReplan threshold.
+type AutopilotOptions struct {
+	// Interval is the control-loop period (wall clock).
+	Interval time.Duration
+	// DriftThreshold is the total-variation trigger in (0,1).
+	DriftThreshold float64
+	// Window sizes the live batch-mix and latency windows.
+	Window int
+	// MinObservations gates the triggers until the window is this warm.
+	MinObservations int
+	// SLOPercentile / SLOLatencyMS state the latency objective; zero uses
+	// p99 against the model's QoS target.
+	SLOPercentile float64
+	SLOLatencyMS  float64
+	// Cooldown is the minimum wall-clock gap between replans.
+	Cooldown time.Duration
+	// Logf, when set, receives one line per control decision.
+	Logf func(format string, args ...any)
+}
+
+// Autopilot deploys the engine as a self-managing serving system: it plans
+// the initial configuration from the engine's planning snapshot, launches
+// an in-process fleet of instance servers at timeScale, connects the
+// engine's policy as the central controller, and arms the closed
+// monitor -> detect -> replan -> actuate loop around them. Every replan
+// invokes the engine's one-shot planner with the live window as its
+// sample, under the engine's budget.
+//
+// The returned autopilot is idle: call Start to launch the control loop
+// (and optionally StartAdmin for the HTTP endpoint), submit load through
+// Controller, and Close to tear down loop, controller, and fleet.
+func (e *Engine) Autopilot(timeScale float64, opts AutopilotOptions) (*Autopilot, error) {
+	if err := e.needBudget(); err != nil {
+		return nil, err
+	}
+	plan := func(samples []int) (Config, error) {
+		est, err := core.NewEstimator(e.pool, e.model, samples, core.EstimatorOptions{})
+		if err != nil {
+			return nil, err
+		}
+		return est.Plan(e.budget), nil
+	}
+	reference := e.planningSamples()
+	initial, err := plan(reference)
+	if err != nil {
+		return nil, err
+	}
+	if initial.Total() == 0 {
+		return nil, fmt.Errorf("kairos: budget %v buys no configuration", e.budget)
+	}
+	drift := opts.DriftThreshold
+	if drift == 0 {
+		drift = e.replanThreshold
+	}
+	fleet := autopilot.NewFleet(e.model, timeScale)
+	addrs, err := fleet.Deploy(e.pool, initial)
+	if err != nil {
+		fleet.Close()
+		return nil, err
+	}
+	ctrl, err := e.Connect(timeScale, addrs)
+	if err != nil {
+		fleet.Close()
+		return nil, err
+	}
+	ap, err := autopilot.New(ctrl, fleet, initial, autopilot.Options{
+		Pool:            e.pool,
+		Model:           e.model,
+		Plan:            plan,
+		Interval:        opts.Interval,
+		DriftThreshold:  drift,
+		Window:          opts.Window,
+		MinObservations: opts.MinObservations,
+		SLOPercentile:   opts.SLOPercentile,
+		SLOLatencyMS:    opts.SLOLatencyMS,
+		Cooldown:        opts.Cooldown,
+		Reference:       reference,
+		Logf:            opts.Logf,
+	})
+	if err != nil {
+		ctrl.Close()
+		fleet.Close()
+		return nil, err
+	}
+	return ap, nil
+}

@@ -1,0 +1,197 @@
+// Command kairos-autopilot runs the closed-loop control plane end to end:
+// it plans an initial configuration for the model and budget, launches an
+// in-process fleet of instance servers on loopback TCP, connects the
+// central controller, starts the monitor -> detect -> replan -> actuate
+// loop plus the HTTP admin endpoint, and drives a query load whose
+// batch-size mix optionally shifts mid-run — the Fig. 12 scenario as one
+// self-managing process.
+//
+// Usage:
+//
+//	kairos-autopilot -model NCF -budget 0.8 -queries 2000 -rate 300 \
+//	    -mix gaussian:45:15 -shift-mix gaussian:600:100 -shift 0.4 \
+//	    -listen 127.0.0.1:9090
+//
+// While it runs, the admin endpoint serves /healthz, /metrics, and /plan
+// as JSON.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"kairos"
+)
+
+// parseMix resolves a mix spec: "trace", "gaussian:MEAN:STD",
+// "uniform:MIN:MAX", or "fixed:N".
+func parseMix(spec string) (kairos.BatchDistribution, error) {
+	parts := strings.Split(spec, ":")
+	bad := func() error {
+		return fmt.Errorf("bad mix %q (want trace, gaussian:M:S, uniform:LO:HI, or fixed:N)", spec)
+	}
+	num := func(s string) (float64, error) { return strconv.ParseFloat(s, 64) }
+	switch parts[0] {
+	case "trace":
+		if len(parts) != 1 {
+			return nil, bad()
+		}
+		return kairos.DefaultTrace(), nil
+	case "gaussian":
+		if len(parts) != 3 {
+			return nil, bad()
+		}
+		mean, err1 := num(parts[1])
+		std, err2 := num(parts[2])
+		if err1 != nil || err2 != nil {
+			return nil, bad()
+		}
+		return kairos.Gaussian(mean, std), nil
+	case "uniform":
+		if len(parts) != 3 {
+			return nil, bad()
+		}
+		lo, err1 := strconv.Atoi(parts[1])
+		hi, err2 := strconv.Atoi(parts[2])
+		if err1 != nil || err2 != nil {
+			return nil, bad()
+		}
+		return kairos.Uniform(lo, hi), nil
+	case "fixed":
+		if len(parts) != 2 {
+			return nil, bad()
+		}
+		n, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, bad()
+		}
+		return kairos.Uniform(n, n), nil
+	}
+	return nil, bad()
+}
+
+func main() {
+	modelName := flag.String("model", "NCF", "served model")
+	budget := flag.Float64("budget", 0.8, "cost budget in $/hr")
+	policy := flag.String("policy", kairos.DefaultPolicy,
+		"distribution policy: one of "+strings.Join(kairos.Policies(), ", "))
+	timeScale := flag.Float64("timescale", 1.0, "real seconds per model second")
+	listen := flag.String("listen", "127.0.0.1:0", "admin endpoint address")
+	interval := flag.Duration("interval", 250*time.Millisecond, "control-loop period")
+	cooldown := flag.Duration("cooldown", 0, "minimum gap between replans (0 = 2x interval)")
+	drift := flag.Float64("drift", 0, "total-variation drift trigger (0 = default 0.15)")
+	window := flag.Int("window", 2000, "live monitoring window (queries)")
+	minObs := flag.Int("min-obs", 0, "observations before triggers arm (0 = window/10)")
+	queries := flag.Int("queries", 2000, "number of queries to send")
+	rate := flag.Float64("rate", 300, "Poisson arrival rate (queries/second, model time)")
+	mixSpec := flag.String("mix", "gaussian:45:15", "phase-1 batch mix (trace | gaussian:M:S | uniform:LO:HI | fixed:N)")
+	shiftSpec := flag.String("shift-mix", "gaussian:600:100", "phase-2 batch mix")
+	shiftAt := flag.Float64("shift", 0.4, "fraction of queries after which the mix shifts (1 = never)")
+	seed := flag.Int64("seed", 42, "random seed")
+	flag.Parse()
+
+	mix, err := parseMix(*mixSpec)
+	if err != nil {
+		log.Fatalf("kairos-autopilot: %v", err)
+	}
+	shiftMix, err := parseMix(*shiftSpec)
+	if err != nil {
+		log.Fatalf("kairos-autopilot: %v", err)
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	reference := make([]int, 4000)
+	for i := range reference {
+		reference[i] = mix.Sample(rng)
+	}
+	engine, err := kairos.New(
+		kairos.WithPool(kairos.DefaultPool()),
+		kairos.WithModelName(*modelName),
+		kairos.WithBudget(*budget),
+		kairos.WithPolicy(*policy),
+		kairos.WithBatchSamples(reference),
+		kairos.WithSeed(*seed),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ap, err := engine.Autopilot(*timeScale, kairos.AutopilotOptions{
+		Interval:        *interval,
+		Cooldown:        *cooldown,
+		DriftThreshold:  *drift,
+		Window:          *window,
+		MinObservations: *minObs,
+		Logf:            log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ap.Close()
+	adminAddr, err := ap.StartAdmin(*listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ap.Start()
+	ctrl := ap.Controller()
+	fmt.Printf("kairos-autopilot: %s under policy %s, plan %v, fleet %v\n",
+		*modelName, engine.Policy(), ap.Current(), ctrl.InstanceCounts())
+	fmt.Printf("kairos-autopilot: admin on http://%s (/healthz /metrics /plan)\n", adminAddr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	shiftAfter := int(float64(*queries) * *shiftAt)
+	rec := kairos.NewLatencyRecorder(*queries)
+	results := make([]<-chan kairos.QueryResult, 0, *queries)
+	active := mix
+loadLoop:
+	for i := 0; i < *queries; i++ {
+		if i == shiftAfter && *shiftAt < 1 {
+			active = shiftMix
+			fmt.Printf("kairos-autopilot: --- mix shifts after %d queries ---\n", i)
+		}
+		gapModelMS := rng.ExpFloat64() * 1000 / *rate
+		select {
+		case <-sig:
+			fmt.Println("kairos-autopilot: interrupted; draining")
+			break loadLoop
+		case <-time.After(time.Duration(gapModelMS * *timeScale * float64(time.Millisecond))):
+		}
+		results = append(results, ctrl.Submit(active.Sample(rng)))
+	}
+	failed := 0
+	for _, ch := range results {
+		res := <-ch
+		if res.Err != nil {
+			failed++
+			continue
+		}
+		rec.Record(res.LatencyMS)
+	}
+
+	st := ctrl.Stats()
+	status := ap.Status()
+	fmt.Printf("\nlatency (model ms): %s\n", rec.Summarize())
+	fmt.Printf("queries: %d submitted, %d completed, %d failed\n", st.Submitted, st.Completed, st.Failed)
+	fmt.Printf("served by: ")
+	for _, in := range st.Instances {
+		fmt.Printf("%s@%s=%d ", in.TypeName, in.Addr, in.Completed)
+	}
+	fmt.Println()
+	fmt.Printf("plan: %v = %v ($%.2f/hr) after %d replan(s)\n",
+		status.Plan.Config, status.Plan.Counts, status.Plan.Cost, status.Plan.Replans)
+	if status.Plan.LastReason != "" {
+		fmt.Printf("last decision: %s\n", status.Plan.LastReason)
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

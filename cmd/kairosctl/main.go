@@ -59,7 +59,6 @@ func main() {
 	rng := rand.New(rand.NewSource(*seed))
 	dist := kairos.DefaultTrace()
 	rec := kairos.NewLatencyRecorder(*queries)
-	served := map[string]int{}
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 
@@ -72,21 +71,27 @@ func main() {
 		go func() {
 			defer wg.Done()
 			res := ctrl.SubmitWait(batch)
-			mu.Lock()
-			defer mu.Unlock()
 			if res.Err != nil {
-				served["error"]++
 				return
 			}
+			mu.Lock()
+			defer mu.Unlock()
 			rec.Record(res.LatencyMS)
-			served[res.Instance]++
 		}()
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	fmt.Printf("sent %d queries in %.1fs wall time\n", *queries, elapsed.Seconds())
+	// The controller's own accounting is the observability surface shared
+	// with the autopilot — no ad-hoc counters.
+	st := ctrl.Stats()
+	fmt.Printf("sent %d queries in %.1fs wall time (%d completed, %d failed)\n",
+		*queries, elapsed.Seconds(), st.Completed, st.Failed)
 	fmt.Printf("latency (model ms): %s\n", rec.Summarize())
 	fmt.Printf("p99 %.1fms vs QoS %.0fms -> meets QoS: %v\n", rec.Percentile(99), model.QoS, rec.MeetsQoS(model.QoS, 99))
-	fmt.Printf("served by: %v\n", served)
+	fmt.Printf("served by:\n")
+	for _, in := range st.Instances {
+		fmt.Printf("  %-12s %s: %d completed, busy %.1f model-ms\n",
+			in.TypeName, in.Addr, in.Completed, in.BusyMS)
+	}
 }

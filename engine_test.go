@@ -63,37 +63,6 @@ func TestEnginePlanLifecycle(t *testing.T) {
 	}
 }
 
-func TestEnginePlanMatchesDeprecatedPlanner(t *testing.T) {
-	t.Parallel()
-	samples := sampleBatches(5000, 1)
-	e := testEngine(t, WithBudget(2.5), WithBatchSamples(samples))
-
-	planner, err := NewPlanner(DefaultPool(), e.Model(), samples)
-	if err != nil {
-		t.Fatal(err)
-	}
-	enginePick, err := e.Plan()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if legacy := planner.Plan(2.5); !enginePick.Equal(legacy) {
-		t.Fatalf("engine plan %v != deprecated planner plan %v", enginePick, legacy)
-	}
-	engineRank, err := e.Rank()
-	if err != nil {
-		t.Fatal(err)
-	}
-	legacyRank := planner.Rank(2.5)
-	if len(engineRank) != len(legacyRank) {
-		t.Fatalf("rank sizes differ: %d vs %d", len(engineRank), len(legacyRank))
-	}
-	for i := range engineRank {
-		if !engineRank[i].Config.Equal(legacyRank[i].Config) || engineRank[i].UpperBound != legacyRank[i].UpperBound {
-			t.Fatalf("rank[%d] differs: %+v vs %+v", i, engineRank[i], legacyRank[i])
-		}
-	}
-}
-
 func TestEngineServeWiresMonitor(t *testing.T) {
 	t.Parallel()
 	e := testEngine(t, WithPolicy("kairos+warm"))
@@ -120,79 +89,6 @@ func TestEngineFactoryIsolatesRuns(t *testing.T) {
 	}
 	if e.Monitor().Count() != 0 {
 		t.Fatal("factory policies must not feed the engine monitor")
-	}
-}
-
-// evaluateOpts is the shared small-run shape for equivalence tests.
-var evaluateOpts = RunOptions{RatePerSec: 30, DurationMS: 10000, WarmupMS: 2000, Seed: 5}
-
-// equivalent compares the deterministic fields two runs must share.
-func equivalent(t *testing.T, name string, a, b Result) {
-	t.Helper()
-	if a.TotalQueries != b.TotalQueries || a.P99 != b.P99 || a.QPS != b.QPS ||
-		a.Measured.Count != b.Measured.Count || a.MeanWaitMS != b.MeanWaitMS {
-		t.Fatalf("%s: engine result %+v != deprecated-wrapper result %+v", name, a, b)
-	}
-}
-
-// TestEngineMatchesDeprecatedDistributors replays the same deterministic
-// simulation through the engine path (policy resolved by registry name)
-// and the deprecated free-constructor path, and requires identical
-// results.
-func TestEngineMatchesDeprecatedDistributors(t *testing.T) {
-	t.Parallel()
-	pool := DefaultPool()
-	model, _ := ModelByName("RM2")
-	cfg := Config{1, 0, 4, 0}
-	cluster, err := NewCluster(pool, cfg, model)
-	if err != nil {
-		t.Fatal(err)
-	}
-
-	cases := []struct {
-		policy string
-		opts   []Option
-		legacy func() Distributor
-	}{
-		{
-			policy: "kairos+warm",
-			legacy: func() Distributor { return NewWarmedKairosDistributor(pool, model, nil) },
-		},
-		{
-			policy: "ribbon",
-			legacy: func() Distributor { return NewRibbonDistributor(pool, model) },
-		},
-		{
-			policy: "clockwork",
-			legacy: func() Distributor { return NewClockworkDistributor(pool, model) },
-		},
-		{
-			policy: "drs",
-			opts:   []Option{WithDRSThreshold(120)},
-			legacy: func() Distributor { return NewDRSDistributor(pool, model, 120) },
-		},
-		{
-			policy: "kairos+partitioned",
-			opts:   []Option{WithPartitions(2)},
-			legacy: func() Distributor { return NewPartitionedDistributor(2, pool, model) },
-		},
-	}
-	for _, tc := range cases {
-		t.Run(tc.policy, func(t *testing.T) {
-			t.Parallel()
-			e, err := New(append([]Option{
-				WithPool(pool), WithModel(model), WithPolicy(tc.policy),
-			}, tc.opts...)...)
-			if err != nil {
-				t.Fatal(err)
-			}
-			engineRes, err := e.Evaluate(cfg, evaluateOpts)
-			if err != nil {
-				t.Fatal(err)
-			}
-			legacyRes := cluster.Run(tc.legacy(), evaluateOpts)
-			equivalent(t, tc.policy, engineRes, legacyRes)
-		})
 	}
 }
 
@@ -273,18 +169,6 @@ func TestEnginePlanIgnoresBarelyWarmMonitor(t *testing.T) {
 	if !pick1.Equal(pick2) {
 		t.Fatalf("plan flipped on a barely-warm monitor: %v -> %v", pick1, pick2)
 	}
-}
-
-func TestDeprecatedPartitionedRejectsZeroPartitions(t *testing.T) {
-	t.Parallel()
-	pool := DefaultPool()
-	model, _ := ModelByName("RM2")
-	defer func() {
-		if recover() == nil {
-			t.Fatal("NewPartitionedDistributor(0, ...) must panic like the original constructor")
-		}
-	}()
-	NewPartitionedDistributor(0, pool, model)
 }
 
 func TestPartitionedServeFeedsMonitorOnce(t *testing.T) {
@@ -369,11 +253,65 @@ func TestEngineEvaluateAndThroughput(t *testing.T) {
 	}
 }
 
-func TestDeprecatedDRSZeroThresholdIsLiteral(t *testing.T) {
+// TestEngineAutopilotLifecycle drives the facade's closed loop: plan and
+// deploy an in-process fleet, serve a shifted mix over the real TCP path,
+// and let one manual control step replan and reconfigure it.
+func TestEngineAutopilotLifecycle(t *testing.T) {
 	t.Parallel()
-	pool := DefaultPool()
-	model, _ := ModelByName("RM2")
-	if got := NewDRSDistributor(pool, model, 0).Name(); got != "DRS(t=0)" {
-		t.Fatalf("NewDRSDistributor(..., 0) built %q, want literal DRS(t=0)", got)
+	small := Uniform(10, 80)
+	reference := make([]int, 2000)
+	rng := rand.New(rand.NewSource(7))
+	for i := range reference {
+		reference[i] = small.Sample(rng)
+	}
+	e, err := New(
+		WithPool(DefaultPool()),
+		WithModelName("NCF"),
+		WithBudget(0.8),
+		WithBatchSamples(reference),
+		WithSeed(7),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No budget, no autopilot.
+	noBudget, err := New(WithPool(DefaultPool()), WithModelName("NCF"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := noBudget.Autopilot(1, AutopilotOptions{}); err == nil {
+		t.Fatal("autopilot without a budget must error")
+	}
+
+	ap, err := e.Autopilot(1, AutopilotOptions{Window: 60, MinObservations: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ap.Close()
+	initial := ap.Current()
+	if initial.Total() == 0 {
+		t.Fatalf("empty initial deployment %v", initial)
+	}
+	if got := ap.Controller().InstanceCounts(); len(got) == 0 {
+		t.Fatalf("no live fleet: %v", got)
+	}
+	// Serve a disjoint large-batch mix; one step must replan and actuate.
+	for i := 0; i < 40; i++ {
+		if res := ap.Controller().SubmitWait(500 + i); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+	dec, err := ap.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Replanned {
+		t.Fatalf("expected a replan: %+v", dec)
+	}
+	if ap.Current().Equal(initial) {
+		t.Fatalf("configuration unchanged: %v", ap.Current())
+	}
+	if got := ap.Controller().Stats().Failed; got != 0 {
+		t.Fatalf("%d queries dropped during reconfiguration", got)
 	}
 }

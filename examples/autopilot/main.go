@@ -1,0 +1,128 @@
+// Autopilot example: the Fig. 12 load-shift scenario on the real TCP
+// serving path, closed-loop. The engine plans a CPU fleet for a
+// small-batch mix and deploys it as live instance servers; mid-run the
+// batch-size distribution shifts to large queries, the autopilot's live
+// window drifts past the trigger, the engine replans in one shot, and the
+// actuator reconfigures the running fleet — adding the GPU, draining the
+// CPUs — without dropping a single in-flight query. The /plan admin
+// endpoint reflects the new configuration over plain HTTP.
+//
+// Run with: go run ./examples/autopilot
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"time"
+
+	"kairos"
+)
+
+const (
+	budget    = 0.8 // $/hr: buys 5x r5n.large, or 1x g4dn.xlarge
+	timeScale = 1.0 // NCF latencies are ms-scale; run in real time
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	small := kairos.Gaussian(45, 15)   // phase-1 mix: CPU-friendly
+	large := kairos.Gaussian(600, 100) // phase-2 mix: needs the GPU
+
+	// Pin the planning snapshot to the observed small-batch mix, exactly
+	// as a warmed production monitor would supply it.
+	reference := make([]int, 2000)
+	for i := range reference {
+		reference[i] = small.Sample(rng)
+	}
+	engine, err := kairos.New(
+		kairos.WithPool(kairos.DefaultPool()),
+		kairos.WithModelName("NCF"),
+		kairos.WithBudget(budget),
+		kairos.WithPolicy("kairos+warm"),
+		kairos.WithBatchSamples(reference),
+		kairos.WithSeed(7),
+	)
+	if err != nil {
+		panic(err)
+	}
+
+	ap, err := engine.Autopilot(timeScale, kairos.AutopilotOptions{
+		Interval:        25 * time.Millisecond,
+		Cooldown:        50 * time.Millisecond,
+		Window:          300,
+		MinObservations: 100,
+		Logf:            log.Printf,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer ap.Close()
+	adminAddr, err := ap.StartAdmin("127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	ap.Start()
+
+	ctrl := ap.Controller()
+	fmt.Printf("initial plan %v deployed as %v (admin http://%s)\n\n",
+		ap.Current(), ctrl.InstanceCounts(), adminAddr)
+
+	// serve pushes n queries of mix through the live fleet, pacing gapMS
+	// apart, and waits for every result. Returns the number of failures.
+	serve := func(label string, mix kairos.BatchDistribution, n int, gapMS float64) int {
+		done := make([]<-chan kairos.QueryResult, n)
+		for i := 0; i < n; i++ {
+			done[i] = ctrl.Submit(mix.Sample(rng))
+			time.Sleep(time.Duration(gapMS * float64(time.Millisecond)))
+		}
+		failed := 0
+		rec := kairos.NewLatencyRecorder(n)
+		for _, ch := range done {
+			res := <-ch
+			if res.Err != nil {
+				failed++
+				continue
+			}
+			rec.Record(res.LatencyMS)
+		}
+		fmt.Printf("%s: %s (failed %d)\n", label, rec.Summarize(), failed)
+		return failed
+	}
+
+	failures := 0
+	failures += serve("phase 1 (small batches, CPU fleet)", small, 250, 1)
+
+	fmt.Println("\n--- the batch-size mix shifts ---")
+	failures += serve("phase 2 (large batches, mid-shift)", large, 400, 4)
+
+	// The loop ticks in the background; wait for the replan to land.
+	deadline := time.Now().Add(10 * time.Second)
+	for ap.Replans() == 0 && time.Now().Before(deadline) {
+		time.Sleep(25 * time.Millisecond)
+	}
+	failures += serve("phase 2 (after reconfiguration)  ", large, 50, 4)
+
+	// Read the plan back over the wire, as an operator would.
+	resp, err := http.Get(fmt.Sprintf("http://%s/plan", adminAddr))
+	if err != nil {
+		panic(err)
+	}
+	var plan kairos.PlanStatus
+	if err := json.NewDecoder(resp.Body).Decode(&plan); err != nil {
+		panic(err)
+	}
+	resp.Body.Close()
+
+	st := ctrl.Stats()
+	fmt.Printf("\n/plan now serves: config %v = %v ($%.2f/hr), %d replan(s): %s\n",
+		plan.Config, plan.Counts, plan.Cost, plan.Replans, plan.LastReason)
+	fmt.Printf("fleet: %v\n", ctrl.InstanceCounts())
+	fmt.Printf("queries: %d submitted, %d completed, %d failed\n",
+		st.Submitted, st.Completed, st.Failed)
+	if plan.Replans >= 1 && failures == 0 && st.Failed == 0 {
+		fmt.Println("\nthe autopilot detected the shift, replanned, and reconfigured the live fleet with zero dropped queries")
+	}
+}

@@ -13,31 +13,6 @@ import (
 // Engine.Replan.
 type Replanner = adapt.Replanner
 
-// NewReplanner plans an initial configuration from the (already warmed)
-// monitor and arms drift detection. threshold is the total-variation
-// trigger in (0,1); 0 uses the default (0.15).
-//
-// Deprecated: use an Engine with WithBudget, WithMonitor, and WithReplan,
-// then Engine.Replan.
-func NewReplanner(pool Pool, model Model, budgetPerHour, threshold float64, monitor *Monitor) (*Replanner, error) {
-	return adapt.NewReplanner(pool, model, budgetPerHour, threshold, monitor)
-}
-
-// NewPartitionedDistributor wraps k independent Kairos controllers over a
-// partitioned pool — the POP-style scaling path of Sec. 6. Instances are
-// split round-robin per type; queries hash to partitions by arrival ID.
-//
-// Deprecated: use NewPolicy("kairos+partitioned", ...) or an Engine with
-// WithPolicy("kairos+partitioned") and WithPartitions.
-func NewPartitionedDistributor(k int, pool Pool, model Model) Distributor {
-	if k < 1 {
-		// The registry maps 0 to DefaultPartitions; this wrapper keeps the
-		// original constructor's contract of rejecting k < 1 loudly.
-		panic("pop: need at least one partition")
-	}
-	return mustPolicy("kairos+partitioned", PolicyContext{Pool: pool, Model: model, Partitions: k})
-}
-
 // Trace is a reproducible query trace: arrivals plus batch sizes, with CSV
 // and JSON round-tripping (see cmd/kairos-trace).
 type Trace = workload.Trace
@@ -58,6 +33,11 @@ func ReadTraceJSON(r io.Reader) (Trace, error) { return workload.ReadJSON(r) }
 // paper's alternative workload shape, Sec. 7).
 func Gaussian(mean, std float64) BatchDistribution {
 	return workload.Gaussian{Mean: mean, Std: std}
+}
+
+// Uniform returns a uniform batch-size distribution over [min, max].
+func Uniform(min, max int) BatchDistribution {
+	return workload.Uniform{Min: min, Max: max}
 }
 
 // DefaultGaussian returns the paper's default Gaussian batch mix.

@@ -5,16 +5,23 @@ import (
 	"testing"
 )
 
-func TestFacadeReplanner(t *testing.T) {
-	pool := DefaultPool()
-	m, _ := ModelByName("RM2")
+func TestFacadeReplanViaEngine(t *testing.T) {
 	mon := NewMonitor()
 	rng := rand.New(rand.NewSource(2))
 	d := DefaultTrace()
 	for i := 0; i < 8000; i++ {
 		mon.Observe(d.Sample(rng))
 	}
-	r, err := NewReplanner(pool, m, 2.5, 0, mon)
+	e, err := New(
+		WithPool(DefaultPool()),
+		WithModelName("RM2"),
+		WithBudget(2.5),
+		WithMonitor(mon),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.Replan()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +41,7 @@ func TestFacadePartitionedDistributor(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := cl.Run(NewPartitionedDistributor(2, pool, m), RunOptions{
+	res := cl.Run(policyOrDie(t, "kairos+partitioned", PolicyContext{Pool: pool, Model: m, Partitions: 2}), RunOptions{
 		RatePerSec: 40, DurationMS: 20000, WarmupMS: 4000, Seed: 5,
 	})
 	if res.Measured.Count == 0 {
@@ -49,5 +56,15 @@ func TestFacadeSynthesizeTrace(t *testing.T) {
 	tr := SynthesizeTrace(3, DefaultTrace(), 50, 200)
 	if len(tr.Arrivals) != 200 {
 		t.Fatalf("trace length %d", len(tr.Arrivals))
+	}
+}
+
+func TestFacadeUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := Uniform(5, 9)
+	for i := 0; i < 200; i++ {
+		if b := d.Sample(rng); b < 5 || b > 9 {
+			t.Fatalf("sample %d outside [5,9]", b)
+		}
 	}
 }

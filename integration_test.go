@@ -18,7 +18,7 @@ func TestAdoptionLifecycle(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// 1. Observe production traffic.
+	// 1. Observe production traffic into a shared monitor.
 	monitor := NewMonitor()
 	rng := rand.New(rand.NewSource(99))
 	mix := DefaultTrace()
@@ -26,12 +26,22 @@ func TestAdoptionLifecycle(t *testing.T) {
 		monitor.Observe(mix.Sample(rng))
 	}
 
-	// 2. Plan without any online evaluation.
-	planner, err := NewPlanner(pool, model, monitor.Snapshot())
+	// 2. Plan without any online evaluation: the engine reads the warmed
+	// monitor directly.
+	engine, err := New(
+		WithPool(pool),
+		WithModel(model),
+		WithBudget(budget),
+		WithMonitor(monitor),
+		WithSeed(99),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := planner.Plan(budget)
+	cfg, err := engine.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !pool.WithinBudget(cfg, budget) {
 		t.Fatalf("plan %v busts the budget", cfg)
 	}
@@ -41,7 +51,9 @@ func TestAdoptionLifecycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	factory := func() Distributor { return NewWarmedKairosDistributor(pool, model, monitor) }
+	factory := func() Distributor {
+		return policyOrDie(t, "kairos+warm", PolicyContext{Pool: pool, Model: model, Monitor: monitor})
+	}
 	qps := cluster.AllowableThroughput(factory, 99)
 	hom, err := NewCluster(pool, pool.Homogeneous(budget), model)
 	if err != nil {
@@ -52,8 +64,8 @@ func TestAdoptionLifecycle(t *testing.T) {
 		t.Fatalf("planned config %v at %.1f QPS does not clearly beat homogeneous %.1f", cfg, qps, homQPS)
 	}
 
-	// 4. The workload shifts; the replanner reacts in one shot.
-	replanner, err := NewReplanner(pool, model, budget, 0, monitor)
+	// 4. The workload shifts; the engine's replanner reacts in one shot.
+	replanner, err := engine.Replan()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +87,7 @@ func TestAdoptionLifecycle(t *testing.T) {
 		t.Fatal(err)
 	}
 	probe := func(c *Cluster, rate float64) bool {
-		res := c.Run(NewWarmedKairosDistributor(pool, model, nil), RunOptions{
+		res := c.Run(policyOrDie(t, "kairos+warm", PolicyContext{Pool: pool, Model: model}), RunOptions{
 			RatePerSec: rate, DurationMS: 20000, WarmupMS: 4000, Seed: 99, Batches: shift,
 		})
 		return res.MeetsQoS

@@ -140,3 +140,86 @@ func TestReplannerReactsToShift(t *testing.T) {
 		t.Fatal("detector not rebased after replanning")
 	}
 }
+
+func TestDriftDetectorSingleBin(t *testing.T) {
+	// With one histogram bin every mix collapses to the same distribution:
+	// drift is never detectable, by construction.
+	d, err := NewDriftDetector([]int{1, 2, 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := d.Distance([]int{998, 999, 1000})
+	if err != nil || dist != 0 {
+		t.Fatalf("single-bin distance = %v, %v (want exactly 0)", dist, err)
+	}
+	if drifted, err := d.Drifted([]int{1000}, 0.01); err != nil || drifted {
+		t.Fatalf("single-bin detector must never trip: drifted=%v err=%v", drifted, err)
+	}
+}
+
+func TestDriftDetectorConstantMix(t *testing.T) {
+	// A constant batch size compared against itself: zero TV distance.
+	ref := make([]int, 100)
+	for i := range ref {
+		ref[i] = 500
+	}
+	d, err := NewDriftDetector(ref, DefaultBins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := d.Distance(ref[:7])
+	if err != nil || dist != 0 {
+		t.Fatalf("constant-mix self distance = %v, %v", dist, err)
+	}
+	// A constant in a different bin: total disjointness, distance 1.
+	dist, err = d.Distance([]int{1, 1, 1})
+	if err != nil || dist != 1 {
+		t.Fatalf("constant-vs-constant disjoint distance = %v, %v", dist, err)
+	}
+}
+
+func TestDriftDetectorWindowShorterThanBins(t *testing.T) {
+	// Fewer samples than bins: histograms stay normalized and distances
+	// stay in [0,1] — a short live window never breaks the trigger.
+	ref := []int{10, 500, 990}
+	d, err := NewDriftDetector(ref, DefaultBins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := d.Distance(ref)
+	if err != nil || dist != 0 {
+		t.Fatalf("short-window self distance = %v, %v", dist, err)
+	}
+	dist, err = d.Distance([]int{250})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist < 0 || dist > 1 {
+		t.Fatalf("distance %v outside [0,1]", dist)
+	}
+	// 1 of 3 reference samples shares no bin with {10}: TV = 2/3 against
+	// the singleton current window.
+	dist, err = d.Distance([]int{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := dist - 2.0/3.0; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("singleton-window distance = %v, want 2/3", dist)
+	}
+}
+
+func TestDriftDetectorRejectsOutOfRange(t *testing.T) {
+	d, err := NewDriftDetector([]int{100}, DefaultBins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Distance([]int{0}); err == nil {
+		t.Fatal("batch 0 must error")
+	}
+	if _, err := d.Distance([]int{models.MaxBatch + 1}); err == nil {
+		t.Fatal("batch above MaxBatch must error")
+	}
+	if _, err := NewDriftDetector([]int{-5}, DefaultBins); err == nil {
+		t.Fatal("negative reference batch must error")
+	}
+}

@@ -1,0 +1,217 @@
+package autopilot
+
+import (
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+
+	"kairos/internal/server"
+)
+
+// WindowStatus summarizes the live rolling window.
+type WindowStatus struct {
+	// Observations is the number of batch sizes currently held.
+	Observations int `json:"observations"`
+	// MeanBatch is the average batch size in the window.
+	MeanBatch float64 `json:"mean_batch"`
+	// LatencySamples is the number of latencies currently held.
+	LatencySamples int `json:"latency_samples"`
+	// P50MS/P95MS/P99MS are windowed latency percentiles in model ms
+	// (0 while empty).
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
+	// ThroughputQPS is the recent completion rate in model-time QPS.
+	ThroughputQPS float64 `json:"throughput_qps"`
+	// Utilization is the recent fleet-average busy fraction in [0,1].
+	Utilization float64 `json:"utilization"`
+}
+
+// PlanStatus is the /plan view: the configuration in force and the replan
+// history heads.
+type PlanStatus struct {
+	// Config is the per-type instance count vector over the pool.
+	Config []int `json:"config"`
+	// Counts keys the same plan by instance-type name.
+	Counts map[string]int `json:"counts"`
+	// Cost is the plan's $/hr over the pool.
+	Cost float64 `json:"cost"`
+	// Replans counts actuated reconfigurations.
+	Replans int `json:"replans"`
+	// LastChange is when the plan last changed (or was last confirmed).
+	LastChange time.Time `json:"last_change,omitempty"`
+	// LastReason explains the latest replan or confirmation.
+	LastReason string `json:"last_reason,omitempty"`
+}
+
+// Status is the /metrics view: the whole control plane at a glance.
+type Status struct {
+	// Healthy is false after a failed replan or actuation.
+	Healthy bool `json:"healthy"`
+	// UptimeSeconds is wall-clock time since New.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Drift is the last measured total-variation distance.
+	Drift float64 `json:"drift"`
+	// DriftThreshold is the trigger level.
+	DriftThreshold float64 `json:"drift_threshold"`
+	// SLOPercentile / SLOLatencyMS state the latency objective.
+	SLOPercentile float64 `json:"slo_percentile"`
+	SLOLatencyMS  float64 `json:"slo_latency_ms"`
+	// LastError is the latest replan/actuation failure, empty when none.
+	LastError string `json:"last_error,omitempty"`
+	// Plan is the configuration in force.
+	Plan PlanStatus `json:"plan"`
+	// Window is the live rolling-window summary.
+	Window WindowStatus `json:"window"`
+	// Fleet counts running instance servers per type.
+	Fleet map[string]int `json:"fleet"`
+	// Controller is the serving-path accounting snapshot.
+	Controller server.Stats `json:"controller"`
+}
+
+// zeroNaN maps NaN (empty-window percentile) to 0 for JSON.
+func zeroNaN(v float64) float64 {
+	if v != v {
+		return 0
+	}
+	return v
+}
+
+// planStatus assembles the /plan view; callers must not hold a.mu.
+func (a *Autopilot) planStatus() PlanStatus {
+	a.mu.Lock()
+	cfg := a.current.Clone()
+	replans := a.replans
+	lastChange := a.lastChange
+	lastReason := a.lastReason
+	a.mu.Unlock()
+	counts := make(map[string]int, len(a.opts.Pool))
+	for i, t := range a.opts.Pool {
+		if cfg[i] > 0 {
+			counts[t.Name] = cfg[i]
+		}
+	}
+	return PlanStatus{
+		Config:     cfg,
+		Counts:     counts,
+		Cost:       a.opts.Pool.Cost(cfg),
+		Replans:    replans,
+		LastChange: lastChange,
+		LastReason: lastReason,
+	}
+}
+
+// Status snapshots the control plane.
+func (a *Autopilot) Status() Status {
+	plan := a.planStatus()
+
+	a.latMu.Lock()
+	win := WindowStatus{
+		LatencySamples: a.latency.Len(),
+		P50MS:          zeroNaN(a.latency.Percentile(50)),
+		P95MS:          zeroNaN(a.latency.Percentile(95)),
+		P99MS:          zeroNaN(a.latency.Percentile(99)),
+	}
+	a.latMu.Unlock()
+	win.Observations = a.monitor.Count()
+	win.MeanBatch = a.monitor.MeanBatch()
+
+	a.mu.Lock()
+	win.ThroughputQPS = a.recentQPS
+	win.Utilization = a.recentUtilization
+	drift := a.lastDrift
+	lastErr := a.lastErr
+	started := a.started
+	a.mu.Unlock()
+
+	return Status{
+		Healthy:        lastErr == "",
+		UptimeSeconds:  time.Since(started).Seconds(),
+		Drift:          drift,
+		DriftThreshold: a.opts.DriftThreshold,
+		SLOPercentile:  a.opts.SLOPercentile,
+		SLOLatencyMS:   a.opts.SLOLatencyMS,
+		LastError:      lastErr,
+		Plan:           plan,
+		Window:         win,
+		Fleet:          a.fleet.Counts(),
+		Controller:     a.ctrl.Stats(),
+	}
+}
+
+// adminServer is the HTTP admin endpoint's lifecycle bundle.
+type adminServer struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+func (s *adminServer) close() {
+	s.srv.Close()
+}
+
+// AdminHandler returns the admin endpoint's routes: /healthz (liveness),
+// /metrics (full Status), and /plan (the configuration in force). All
+// responses are JSON.
+func (a *Autopilot) AdminHandler() http.Handler {
+	mux := http.NewServeMux()
+	writeJSON := func(w http.ResponseWriter, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(v)
+	}
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		a.mu.Lock()
+		lastErr := a.lastErr
+		a.mu.Unlock()
+		if lastErr != "" {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		writeJSON(w, map[string]any{
+			"ok":     lastErr == "",
+			"error":  lastErr,
+			"uptime": time.Since(a.startedAt()).Seconds(),
+		})
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, a.Status())
+	})
+	mux.HandleFunc("/plan", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, a.planStatus())
+	})
+	return mux
+}
+
+func (a *Autopilot) startedAt() time.Time {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.started
+}
+
+// StartAdmin binds the admin endpoint on addr ("127.0.0.1:0" for an
+// ephemeral port) and serves it in the background until Close. It returns
+// the bound address.
+func (a *Autopilot) StartAdmin(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: a.AdminHandler()}
+	a.adminMu.Lock()
+	if a.adminClosed {
+		a.adminMu.Unlock()
+		ln.Close()
+		return "", errors.New("autopilot: closed")
+	}
+	if a.admin != nil {
+		a.adminMu.Unlock()
+		ln.Close()
+		return "", errors.New("autopilot: admin endpoint already running")
+	}
+	a.admin = &adminServer{srv: srv, ln: ln}
+	a.adminMu.Unlock()
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,502 @@
+package autopilot
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"kairos/internal/adapt"
+	"kairos/internal/cloud"
+	"kairos/internal/metrics"
+	"kairos/internal/models"
+	"kairos/internal/server"
+	"kairos/internal/workload"
+)
+
+// Defaults for zero-valued Options fields.
+const (
+	// DefaultInterval is the control-loop period (wall clock).
+	DefaultInterval = time.Second
+	// DefaultWindow sizes the live batch-mix and latency windows.
+	DefaultWindow = workload.DefaultWindow
+	// DefaultSLOPercentile is the paper's tail-latency percentile.
+	DefaultSLOPercentile = 99
+)
+
+// Options parametrize an Autopilot. Pool, Model, and Plan are required;
+// every other zero value picks a documented default.
+type Options struct {
+	// Pool is the instance-type universe plans are drawn from.
+	Pool cloud.Pool
+	// Model is the served workload.
+	Model models.Model
+	// Plan produces a fresh configuration from a live batch-size sample —
+	// normally the engine's one-shot planner bound to its budget.
+	Plan func(samples []int) (cloud.Config, error)
+
+	// Interval is the control-loop period; 0 uses DefaultInterval.
+	Interval time.Duration
+	// DriftThreshold is the total-variation trigger in (0,1); 0 uses
+	// adapt.DefaultThreshold.
+	DriftThreshold float64
+	// Window sizes the rolling batch-mix and latency windows; 0 uses
+	// DefaultWindow.
+	Window int
+	// MinObservations gates the triggers until the live window holds this
+	// many completions; 0 uses Window/10 (at least 1).
+	MinObservations int
+	// SLOPercentile is the tail percentile checked against SLOLatencyMS;
+	// 0 uses DefaultSLOPercentile.
+	SLOPercentile float64
+	// SLOLatencyMS is the latency objective in model ms; 0 uses the
+	// model's QoS target.
+	SLOLatencyMS float64
+	// Cooldown is the minimum wall-clock gap between replans; 0 uses
+	// 2*Interval.
+	Cooldown time.Duration
+	// Reference is the batch sample behind the initial configuration; the
+	// drift detector is armed on it. Nil arms lazily on the first warm
+	// live window.
+	Reference []int
+	// Logf, when set, receives one line per control decision.
+	Logf func(format string, args ...any)
+}
+
+// withDefaults validates the options and fills the zero values.
+func (o Options) withDefaults() (Options, error) {
+	if len(o.Pool) == 0 {
+		return o, fmt.Errorf("autopilot: options need a pool")
+	}
+	if o.Model.QoS <= 0 {
+		return o, fmt.Errorf("autopilot: options need a model with a positive QoS target")
+	}
+	if o.Plan == nil {
+		return o, fmt.Errorf("autopilot: options need a Plan function")
+	}
+	if o.Interval <= 0 {
+		o.Interval = DefaultInterval
+	}
+	if o.DriftThreshold == 0 {
+		o.DriftThreshold = adapt.DefaultThreshold
+	}
+	if o.DriftThreshold <= 0 || o.DriftThreshold >= 1 {
+		return o, fmt.Errorf("autopilot: drift threshold %v outside (0,1)", o.DriftThreshold)
+	}
+	if o.Window <= 0 {
+		o.Window = DefaultWindow
+	}
+	if o.MinObservations <= 0 {
+		o.MinObservations = o.Window / 10
+		if o.MinObservations < 1 {
+			o.MinObservations = 1
+		}
+	}
+	if o.SLOPercentile == 0 {
+		o.SLOPercentile = DefaultSLOPercentile
+	}
+	if o.SLOPercentile <= 0 || o.SLOPercentile > 100 {
+		return o, fmt.Errorf("autopilot: SLO percentile %v outside (0,100]", o.SLOPercentile)
+	}
+	if o.SLOLatencyMS == 0 {
+		o.SLOLatencyMS = o.Model.QoS
+	}
+	if o.SLOLatencyMS < 0 {
+		return o, fmt.Errorf("autopilot: negative SLO latency %v", o.SLOLatencyMS)
+	}
+	if o.Cooldown <= 0 {
+		o.Cooldown = 2 * o.Interval
+	}
+	return o, nil
+}
+
+// Autopilot runs the monitor -> detect -> replan -> actuate loop over one
+// controller and its fleet. Build it with New, start the loop with Start
+// (or drive it deterministically with Step), and tear everything down —
+// loop, admin endpoint, controller, and fleet — with Close.
+type Autopilot struct {
+	ctrl  *server.Controller
+	fleet *Fleet
+	opts  Options
+
+	// monitor and latency are the live window, fed by every successful
+	// completion the controller delivers.
+	monitor *workload.Monitor
+	latMu   sync.Mutex
+	latency *metrics.Window
+
+	// stepMu serializes Step: the Start loop and manual Step callers may
+	// otherwise interleave check-plan-actuate sequences.
+	stepMu sync.Mutex
+
+	mu         sync.Mutex
+	detector   *adapt.DriftDetector
+	current    cloud.Config
+	replans    int
+	lastChange time.Time
+	lastReason string
+	lastDrift  float64
+	lastErr    string
+	started    time.Time
+
+	// step-delta state for recent throughput/utilization estimates.
+	lastStepAt        time.Time
+	lastStepCompleted int64
+	lastStepBusyMS    float64
+	recentQPS         float64
+	recentUtilization float64
+
+	loopOnce  sync.Once
+	closeOnce sync.Once
+	stop      chan struct{}
+	loopDone  chan struct{}
+
+	adminMu     sync.Mutex
+	admin       *adminServer
+	adminClosed bool
+}
+
+// Decision reports one control-loop iteration.
+type Decision struct {
+	// Checked is false while the live window is too cold to evaluate the
+	// triggers.
+	Checked bool
+	// Drift is the total-variation distance from the armed reference.
+	Drift float64
+	// DriftTriggered and SLOTriggered report which triggers fired.
+	DriftTriggered bool
+	SLOTriggered   bool
+	// TailMS is the windowed SLO-percentile latency (model ms).
+	TailMS float64
+	// Replanned is true when a fresh plan was produced and actuated.
+	Replanned bool
+	// From and To are the configurations before and after; equal (and To
+	// nil) when no replan happened.
+	From, To cloud.Config
+	// Reason summarizes the decision for logs and the admin endpoint.
+	Reason string
+}
+
+// New assembles an autopilot over a running controller and fleet, serving
+// the given initial configuration. It installs itself as the controller's
+// completion observer. The loop is not started; call Start.
+func New(ctrl *server.Controller, fleet *Fleet, initial cloud.Config, opts Options) (*Autopilot, error) {
+	if ctrl == nil || fleet == nil {
+		return nil, fmt.Errorf("autopilot: needs a controller and a fleet")
+	}
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if len(initial) != len(o.Pool) || initial.Total() == 0 {
+		return nil, fmt.Errorf("autopilot: initial config %v does not deploy the pool", initial)
+	}
+	a := &Autopilot{
+		ctrl:     ctrl,
+		fleet:    fleet,
+		opts:     o,
+		monitor:  workload.NewMonitor(o.Window),
+		latency:  metrics.NewWindow(o.Window),
+		current:  initial.Clone(),
+		started:  time.Now(),
+		stop:     make(chan struct{}),
+		loopDone: make(chan struct{}),
+	}
+	if o.Reference != nil {
+		det, err := adapt.NewDriftDetector(o.Reference, adapt.DefaultBins)
+		if err != nil {
+			return nil, err
+		}
+		a.detector = det
+	}
+	ctrl.SetOnComplete(a.observe)
+	return a, nil
+}
+
+// Controller returns the managed controller (for submitting load).
+func (a *Autopilot) Controller() *server.Controller { return a.ctrl }
+
+// Fleet returns the managed fleet.
+func (a *Autopilot) Fleet() *Fleet { return a.fleet }
+
+// observe feeds the live window from one delivered completion.
+func (a *Autopilot) observe(batch int, res server.QueryResult) {
+	if res.Err != nil {
+		return
+	}
+	a.monitor.Observe(batch)
+	a.latMu.Lock()
+	a.latency.Observe(res.LatencyMS)
+	a.latMu.Unlock()
+}
+
+// Current returns the configuration in force.
+func (a *Autopilot) Current() cloud.Config {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.current.Clone()
+}
+
+// Replans returns how many reconfigurations have been actuated.
+func (a *Autopilot) Replans() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.replans
+}
+
+// Start launches the control loop; it ticks every Interval until Close.
+func (a *Autopilot) Start() {
+	a.loopOnce.Do(func() {
+		go a.loop()
+	})
+}
+
+// loop drives Step on the configured interval.
+func (a *Autopilot) loop() {
+	defer close(a.loopDone)
+	ticker := time.NewTicker(a.opts.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-a.stop:
+			return
+		case <-ticker.C:
+			dec, err := a.Step()
+			switch {
+			case err != nil:
+				a.logf("autopilot: step failed: %v", err)
+			case dec.Replanned:
+				a.logf("autopilot: replanned %v -> %v (%s)", dec.From, dec.To, dec.Reason)
+			case dec.Checked && (dec.DriftTriggered || dec.SLOTriggered):
+				a.logf("autopilot: trigger held back: %s", dec.Reason)
+			}
+		}
+	}
+}
+
+func (a *Autopilot) logf(format string, args ...any) {
+	if a.opts.Logf != nil {
+		a.opts.Logf(format, args...)
+	}
+}
+
+// Step runs one control iteration: read the live window, evaluate the
+// drift and SLO triggers, and — when one fires outside the cooldown —
+// replan from the live sample and reconcile the fleet. It is the loop's
+// body, exported so tests and tools can drive the control plane
+// deterministically.
+func (a *Autopilot) Step() (Decision, error) {
+	a.stepMu.Lock()
+	defer a.stepMu.Unlock()
+	now := time.Now()
+	a.updateRates(now)
+
+	snap := a.monitor.Snapshot()
+	if len(snap) < a.opts.MinObservations {
+		return Decision{Reason: fmt.Sprintf("window cold (%d/%d observations)", len(snap), a.opts.MinObservations)}, nil
+	}
+
+	a.latMu.Lock()
+	tail := a.latency.Percentile(a.opts.SLOPercentile)
+	latN := a.latency.Len()
+	a.latMu.Unlock()
+
+	a.mu.Lock()
+	if a.detector == nil {
+		// Lazy arming: the first warm window becomes the reference.
+		det, err := adapt.NewDriftDetector(snap, adapt.DefaultBins)
+		if err != nil {
+			a.mu.Unlock()
+			return Decision{}, err
+		}
+		a.detector = det
+		a.mu.Unlock()
+		return Decision{Checked: true, Reason: "reference armed from first warm window"}, nil
+	}
+	drift, err := a.detector.Distance(snap)
+	if err != nil {
+		a.mu.Unlock()
+		return Decision{}, err
+	}
+	a.lastDrift = drift
+	current := a.current.Clone()
+	sinceChange := now.Sub(a.lastChange)
+	a.mu.Unlock()
+
+	dec := Decision{
+		Checked:        true,
+		Drift:          drift,
+		TailMS:         tail,
+		DriftTriggered: drift > a.opts.DriftThreshold,
+		SLOTriggered:   latN >= a.opts.MinObservations && !math.IsNaN(tail) && tail > a.opts.SLOLatencyMS,
+		From:           current,
+	}
+	// Any iteration that completes without error supersedes a recorded
+	// control failure — health reflects the latest loop outcome.
+	switch {
+	case !dec.DriftTriggered && !dec.SLOTriggered:
+		a.setErr("")
+		dec.Reason = fmt.Sprintf("steady (drift %.3f, p%g %.1fms)", drift, a.opts.SLOPercentile, tail)
+		return dec, nil
+	case sinceChange < a.opts.Cooldown:
+		a.setErr("")
+		dec.Reason = fmt.Sprintf("in cooldown (%.1fs of %.1fs)", sinceChange.Seconds(), a.opts.Cooldown.Seconds())
+		return dec, nil
+	}
+
+	trigger := "drift"
+	if !dec.DriftTriggered {
+		trigger = "slo"
+	} else if dec.SLOTriggered {
+		trigger = "drift+slo"
+	}
+
+	next, err := a.opts.Plan(snap)
+	if err != nil {
+		a.setErr(fmt.Sprintf("replan: %v", err))
+		return dec, fmt.Errorf("autopilot: replan: %w", err)
+	}
+	// A nil or empty plan (no feasible configuration) is a control failure,
+	// not a fleet to converge to.
+	if len(next) != len(a.opts.Pool) || next.Total() == 0 {
+		a.setErr(fmt.Sprintf("replan: planner returned unusable config %v", next))
+		return dec, fmt.Errorf("autopilot: replan: planner returned unusable config %v", next)
+	}
+	// Rebase the detector on the sample just planned from, whether or not
+	// the plan changed — the trigger has been answered.
+	det, err := adapt.NewDriftDetector(snap, adapt.DefaultBins)
+	if err != nil {
+		return dec, err
+	}
+
+	if next.Equal(current) {
+		a.mu.Lock()
+		a.detector = det
+		a.lastChange = now
+		a.lastReason = fmt.Sprintf("%s trigger, plan unchanged (drift %.3f, p%g %.1fms)", trigger, drift, a.opts.SLOPercentile, tail)
+		a.lastErr = ""
+		a.mu.Unlock()
+		// The trigger has been answered; without a fresh SLO view the old
+		// breach samples would re-fire it every cooldown.
+		a.latMu.Lock()
+		a.latency.Reset()
+		a.latMu.Unlock()
+		dec.Reason = "trigger fired but the plan is unchanged"
+		return dec, nil
+	}
+
+	if err := a.actuate(next); err != nil {
+		a.setErr(fmt.Sprintf("actuate: %v", err))
+		return dec, fmt.Errorf("autopilot: actuate: %w", err)
+	}
+
+	a.mu.Lock()
+	a.detector = det
+	a.current = next.Clone()
+	a.replans++
+	a.lastChange = now
+	a.lastReason = fmt.Sprintf("%s trigger (drift %.3f, p%g %.1fms)", trigger, drift, a.opts.SLOPercentile, tail)
+	a.lastErr = ""
+	a.mu.Unlock()
+
+	// The latency window measured the old fleet; restart the SLO view.
+	a.latMu.Lock()
+	a.latency.Reset()
+	a.latMu.Unlock()
+
+	dec.Replanned = true
+	dec.To = next.Clone()
+	dec.Reason = fmt.Sprintf("%s trigger (drift %.3f)", trigger, drift)
+	return dec, nil
+}
+
+func (a *Autopilot) setErr(msg string) {
+	a.mu.Lock()
+	a.lastErr = msg
+	a.mu.Unlock()
+}
+
+// updateRates refreshes the recent throughput and utilization estimates
+// from controller-stats deltas since the previous step.
+func (a *Autopilot) updateRates(now time.Time) {
+	stats := a.ctrl.Stats()
+	busy := 0.0
+	for _, in := range stats.Instances {
+		busy += in.BusyMS
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.lastStepAt.IsZero() {
+		wallMS := float64(now.Sub(a.lastStepAt)) / float64(time.Millisecond)
+		if wallMS > 0 {
+			modelMS := wallMS / a.fleet.TimeScale()
+			a.recentQPS = float64(stats.Completed-a.lastStepCompleted) / modelMS * 1000
+			if n := len(stats.Instances); n > 0 {
+				util := (busy - a.lastStepBusyMS) / (modelMS * float64(n))
+				if util < 0 {
+					util = 0
+				}
+				a.recentUtilization = util
+			}
+		}
+	}
+	a.lastStepAt = now
+	a.lastStepCompleted = stats.Completed
+	a.lastStepBusyMS = busy
+}
+
+// actuate reconciles the running fleet toward a configuration, diffing
+// against the controller's observed instance counts rather than replaying
+// plan deltas — a partially-failed earlier actuation self-heals on the
+// next pass. Capacity is added before it is removed (the fleet never dips
+// below both states' minimum), and removals drain — in-flight queries
+// always finish.
+func (a *Autopilot) actuate(to cloud.Config) error {
+	have := a.ctrl.InstanceCounts()
+	for i, t := range a.opts.Pool {
+		for k := have[t.Name]; k < to[i]; k++ {
+			addr, err := a.fleet.Launch(t.Name)
+			if err != nil {
+				return err
+			}
+			if _, err := a.ctrl.AddInstance(addr); err != nil {
+				a.fleet.Stop(addr)
+				return err
+			}
+			a.logf("autopilot: added %s at %s", t.Name, addr)
+		}
+	}
+	for i, t := range a.opts.Pool {
+		for k := to[i]; k < have[t.Name]; k++ {
+			addr, err := a.ctrl.RemoveInstance(t.Name)
+			if err != nil {
+				return err
+			}
+			if err := a.fleet.Stop(addr); err != nil {
+				return err
+			}
+			a.logf("autopilot: drained and removed %s at %s", t.Name, addr)
+		}
+	}
+	return nil
+}
+
+// Close stops the control loop and the admin endpoint, then closes the
+// controller and the fleet. In-flight queries fail as on Controller.Close;
+// submit loads should finish before closing.
+func (a *Autopilot) Close() {
+	a.closeOnce.Do(func() {
+		close(a.stop)
+		a.loopOnce.Do(func() { close(a.loopDone) }) // loop never started
+		<-a.loopDone
+		a.adminMu.Lock()
+		a.adminClosed = true
+		if a.admin != nil {
+			a.admin.close()
+			a.admin = nil
+		}
+		a.adminMu.Unlock()
+		a.ctrl.Close()
+		a.fleet.Close()
+	})
+}

@@ -1,0 +1,508 @@
+package autopilot
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"testing"
+	"time"
+
+	"kairos/internal/cloud"
+	"kairos/internal/core"
+	"kairos/internal/models"
+	"kairos/internal/predictor"
+	"kairos/internal/server"
+	"kairos/internal/workload"
+)
+
+// ncf returns the millisecond-scale model used by all live-path tests.
+func ncf() models.Model { return models.MustByName("NCF") }
+
+// kairosPolicy builds the warmed paper policy over the default pool.
+func kairosPolicy(m models.Model) *core.Distributor {
+	pool := cloud.DefaultPool()
+	names := make([]string, len(pool))
+	for i, t := range pool {
+		names[i] = t.Name
+	}
+	return core.NewDistributor(core.DistributorOptions{
+		QoS:       m.QoS,
+		BaseType:  pool.Base().Name,
+		Predictor: predictor.Warmed(m.Latency, names, []int{1, 250, 500, 750, 1000}),
+	})
+}
+
+// samplesOf draws n batch sizes from dist.
+func samplesOf(dist workload.BatchDistribution, n int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int, n)
+	for i := range out {
+		out[i] = dist.Sample(rng)
+	}
+	return out
+}
+
+func TestFleetLifecycle(t *testing.T) {
+	t.Parallel()
+	f := NewFleet(ncf(), 1)
+	defer f.Close()
+
+	if _, err := f.Launch("no-such-type"); err == nil {
+		t.Fatal("unknown type must not launch")
+	}
+	addr, err := f.Launch(cloud.R5nLarge.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 1 || f.Counts()[cloud.R5nLarge.Name] != 1 {
+		t.Fatalf("size=%d counts=%v", f.Size(), f.Counts())
+	}
+	if err := f.Stop(addr); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Stop(addr); err == nil {
+		t.Fatal("double stop must error")
+	}
+
+	pool := cloud.DefaultPool()
+	addrs, err := f.Deploy(pool, cloud.Config{1, 0, 2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(addrs) != 3 || f.Size() != 3 {
+		t.Fatalf("deployed %v, size %d", addrs, f.Size())
+	}
+	counts := f.Counts()
+	if counts[cloud.G4dnXlarge.Name] != 1 || counts[cloud.R5nLarge.Name] != 2 {
+		t.Fatalf("counts = %v", counts)
+	}
+	if _, err := f.Deploy(pool, cloud.Config{1}); err == nil {
+		t.Fatal("mismatched config must error")
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	t.Parallel()
+	m := ncf()
+	pool := cloud.DefaultPool()
+	okPlan := func([]int) (cloud.Config, error) { return cloud.Config{0, 0, 1, 0}, nil }
+
+	cases := []struct {
+		name string
+		opts Options
+	}{
+		{"no pool", Options{Model: m, Plan: okPlan}},
+		{"no model", Options{Pool: pool, Plan: okPlan}},
+		{"no plan", Options{Pool: pool, Model: m}},
+		{"bad drift", Options{Pool: pool, Model: m, Plan: okPlan, DriftThreshold: 1.5}},
+		{"bad percentile", Options{Pool: pool, Model: m, Plan: okPlan, SLOPercentile: 101}},
+	}
+	for _, tc := range cases {
+		if _, err := tc.opts.withDefaults(); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+
+	o, err := Options{Pool: pool, Model: m, Plan: okPlan}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Interval != DefaultInterval || o.Window != DefaultWindow ||
+		o.MinObservations != DefaultWindow/10 || o.SLOLatencyMS != m.QoS ||
+		o.SLOPercentile != DefaultSLOPercentile || o.Cooldown != 2*DefaultInterval {
+		t.Fatalf("defaults = %+v", o)
+	}
+}
+
+// startAutopilot boots a fleet + controller for initial and builds an
+// autopilot around them with the given plan function and options tweaks.
+func startAutopilot(t *testing.T, initial cloud.Config, opts Options) *Autopilot {
+	t.Helper()
+	m := ncf()
+	pool := cloud.DefaultPool()
+	fleet := NewFleet(m, 1)
+	addrs, err := fleet.Deploy(pool, initial)
+	if err != nil {
+		fleet.Close()
+		t.Fatal(err)
+	}
+	ctrl, err := server.NewController(kairosPolicy(m), 1, m.Latency, addrs)
+	if err != nil {
+		fleet.Close()
+		t.Fatal(err)
+	}
+	opts.Pool = pool
+	opts.Model = m
+	ap, err := New(ctrl, fleet, initial, opts)
+	if err != nil {
+		ctrl.Close()
+		fleet.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(ap.Close)
+	return ap
+}
+
+// TestStepDriftReplanActuates drives the control loop deterministically:
+// live completions of a shifted mix must trip the drift trigger, invoke
+// the planner with the live window, and reconcile the fleet — without
+// dropping a single query.
+func TestStepDriftReplanActuates(t *testing.T) {
+	t.Parallel()
+	initial := cloud.Config{0, 0, 2, 0} // 2x CPU
+	next := cloud.Config{1, 0, 1, 0}    // 1x GPU + 1x CPU
+	var planned [][]int
+	opts := Options{
+		Plan: func(samples []int) (cloud.Config, error) {
+			planned = append(planned, samples)
+			return next.Clone(), nil
+		},
+		Window:          60,
+		MinObservations: 30,
+		Reference:       samplesOf(workload.Uniform{Min: 10, Max: 60}, 200, 1),
+		DriftThreshold:  0.3,
+	}
+	ap := startAutopilot(t, initial, opts)
+
+	// Cold window: nothing to check yet.
+	dec, err := ap.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Checked {
+		t.Fatalf("cold window must not be checked: %+v", dec)
+	}
+
+	// Serve 40 queries of a disjoint mix through the real TCP path.
+	for i := 0; i < 40; i++ {
+		if res := ap.Controller().SubmitWait(500 + i); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+	dec, err = ap.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Checked || !dec.DriftTriggered || !dec.Replanned {
+		t.Fatalf("expected a drift-triggered replan: %+v", dec)
+	}
+	if !dec.From.Equal(initial) || !dec.To.Equal(next) {
+		t.Fatalf("decision %v -> %v", dec.From, dec.To)
+	}
+	if len(planned) != 1 || len(planned[0]) != 40 {
+		t.Fatalf("planner saw %d samples", len(planned[0]))
+	}
+	if !ap.Current().Equal(next) || ap.Replans() != 1 {
+		t.Fatalf("current=%v replans=%d", ap.Current(), ap.Replans())
+	}
+	// The running fleet converged to the new plan.
+	counts := ap.Controller().InstanceCounts()
+	if counts[cloud.G4dnXlarge.Name] != 1 || counts[cloud.R5nLarge.Name] != 1 {
+		t.Fatalf("controller fleet = %v", counts)
+	}
+	fcounts := ap.Fleet().Counts()
+	if fcounts[cloud.G4dnXlarge.Name] != 1 || fcounts[cloud.R5nLarge.Name] != 1 {
+		t.Fatalf("fleet servers = %v", fcounts)
+	}
+	// Queries keep flowing on the reconfigured fleet.
+	if res := ap.Controller().SubmitWait(700); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if got := ap.Controller().Stats().Failed; got != 0 {
+		t.Fatalf("%d queries dropped across the reconfiguration", got)
+	}
+}
+
+// TestStepCooldownHoldsTriggers: a second drifted window within the
+// cooldown must not replan again.
+func TestStepCooldownHoldsTriggers(t *testing.T) {
+	t.Parallel()
+	initial := cloud.Config{0, 0, 2, 0}
+	opts := Options{
+		Plan: func(samples []int) (cloud.Config, error) {
+			return cloud.Config{1, 0, 1, 0}, nil
+		},
+		Window:          40,
+		MinObservations: 20,
+		Reference:       samplesOf(workload.Uniform{Min: 10, Max: 60}, 200, 1),
+		Cooldown:        time.Hour,
+	}
+	ap := startAutopilot(t, initial, opts)
+	for i := 0; i < 25; i++ {
+		if res := ap.Controller().SubmitWait(600); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+	if dec, err := ap.Step(); err != nil || !dec.Replanned {
+		t.Fatalf("first step: %+v err=%v", dec, err)
+	}
+	// Shift again: the window still reads as drifted vs the rebased
+	// reference, but the cooldown holds.
+	for i := 0; i < 25; i++ {
+		if res := ap.Controller().SubmitWait(30); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+	dec, err := ap.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Replanned || !dec.DriftTriggered {
+		t.Fatalf("cooldown must hold the trigger: %+v", dec)
+	}
+	if ap.Replans() != 1 {
+		t.Fatalf("replans = %d", ap.Replans())
+	}
+}
+
+// TestStepSLOTriggerReplansOnUnchangedPlan: an SLO breach with an
+// undrifted mix fires the trigger; when the planner returns the same
+// configuration, nothing is actuated but the decision is recorded.
+func TestStepSLOTrigger(t *testing.T) {
+	t.Parallel()
+	initial := cloud.Config{0, 0, 1, 0}
+	small := workload.Uniform{Min: 10, Max: 60}
+	opts := Options{
+		Plan: func(samples []int) (cloud.Config, error) {
+			return cloud.Config{0, 0, 1, 0}, nil // planner sees no better option
+		},
+		Window:          40,
+		MinObservations: 10,
+		Reference:       samplesOf(small, 200, 1),
+		SLOLatencyMS:    0.0001, // everything breaches
+	}
+	ap := startAutopilot(t, initial, opts)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 12; i++ {
+		if res := ap.Controller().SubmitWait(small.Sample(rng)); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+	dec, err := ap.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.SLOTriggered || dec.DriftTriggered {
+		t.Fatalf("want a pure SLO trigger: %+v", dec)
+	}
+	if dec.Replanned || ap.Replans() != 0 {
+		t.Fatalf("unchanged plan must not actuate: %+v", dec)
+	}
+	st := ap.Status()
+	if st.Plan.LastReason == "" {
+		t.Fatal("the held trigger must be recorded")
+	}
+}
+
+func TestAdminEndpoints(t *testing.T) {
+	t.Parallel()
+	initial := cloud.Config{0, 0, 2, 0}
+	opts := Options{
+		Plan:            func(samples []int) (cloud.Config, error) { return initial, nil },
+		Window:          40,
+		MinObservations: 10,
+	}
+	ap := startAutopilot(t, initial, opts)
+	for i := 0; i < 5; i++ {
+		if res := ap.Controller().SubmitWait(40); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+	addr, err := ap.StartAdmin("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ap.StartAdmin("127.0.0.1:0"); err == nil {
+		t.Fatal("second admin endpoint must error")
+	}
+
+	get := func(path string, v any) int {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		return resp.StatusCode
+	}
+
+	var health map[string]any
+	if code := get("/healthz", &health); code != http.StatusOK || health["ok"] != true {
+		t.Fatalf("healthz code=%d body=%v", code, health)
+	}
+	var plan PlanStatus
+	if code := get("/plan", &plan); code != http.StatusOK {
+		t.Fatalf("plan code=%d", code)
+	}
+	if len(plan.Config) != len(initial) || plan.Counts[cloud.R5nLarge.Name] != 2 || plan.Cost <= 0 {
+		t.Fatalf("plan = %+v", plan)
+	}
+	var st Status
+	if code := get("/metrics", &st); code != http.StatusOK {
+		t.Fatalf("metrics code=%d", code)
+	}
+	if !st.Healthy || st.Window.Observations != 5 || st.Controller.Completed != 5 {
+		t.Fatalf("status = %+v", st)
+	}
+	if st.Fleet[cloud.R5nLarge.Name] != 2 {
+		t.Fatalf("fleet = %v", st.Fleet)
+	}
+}
+
+// TestAutopilotEndToEndSmoke is the closed-loop acceptance run: an
+// in-process fleet at real time scale, live Poisson-ish load whose batch
+// mix shifts mid-run, the full monitor -> detect -> replan -> actuate loop
+// ticking in the background, and zero dropped queries end to end. Guarded
+// by -short so quick local runs skip it; CI runs it with -race.
+func TestAutopilotEndToEndSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping end-to-end autopilot smoke test in -short mode")
+	}
+	t.Parallel()
+	m := ncf()
+	pool := cloud.DefaultPool()
+	const budget = 0.8
+
+	small := workload.Uniform{Min: 10, Max: 80}
+	large := workload.Uniform{Min: 450, Max: 750}
+	reference := samplesOf(small, 2000, 7)
+
+	plan := func(samples []int) (cloud.Config, error) {
+		est, err := core.NewEstimator(pool, m, samples, core.EstimatorOptions{})
+		if err != nil {
+			return nil, err
+		}
+		return est.Plan(budget), nil
+	}
+	initial, err := plan(reference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if initial[cloud.BaseIndex] != 0 {
+		t.Fatalf("small-mix plan %v unexpectedly buys the GPU; the shift would be invisible", initial)
+	}
+
+	fleet := NewFleet(m, 1)
+	addrs, err := fleet.Deploy(pool, initial)
+	if err != nil {
+		fleet.Close()
+		t.Fatal(err)
+	}
+	ctrl, err := server.NewController(kairosPolicy(m), 1, m.Latency, addrs)
+	if err != nil {
+		fleet.Close()
+		t.Fatal(err)
+	}
+	ap, err := New(ctrl, fleet, initial, Options{
+		Pool:            pool,
+		Model:           m,
+		Plan:            plan,
+		Interval:        25 * time.Millisecond,
+		Cooldown:        50 * time.Millisecond,
+		Window:          300,
+		MinObservations: 100,
+		Reference:       reference,
+	})
+	if err != nil {
+		ctrl.Close()
+		fleet.Close()
+		t.Fatal(err)
+	}
+	defer ap.Close()
+	ap.Start()
+
+	rng := rand.New(rand.NewSource(11))
+	send := func(mix workload.BatchDistribution, n int, gapMS float64) {
+		t.Helper()
+		done := make([]<-chan server.QueryResult, n)
+		for i := 0; i < n; i++ {
+			done[i] = ctrl.Submit(mix.Sample(rng))
+			time.Sleep(time.Duration(gapMS * float64(time.Millisecond)))
+		}
+		for i, ch := range done {
+			select {
+			case res := <-ch:
+				if res.Err != nil {
+					t.Fatalf("query %d dropped: %v", i, res.Err)
+				}
+			case <-time.After(30 * time.Second):
+				t.Fatalf("query %d never completed", i)
+			}
+		}
+	}
+
+	// Phase 1: steady small-batch traffic on the CPU fleet.
+	send(small, 250, 1)
+	if got := ap.Replans(); got != 0 {
+		t.Fatalf("replanned %d times under the reference mix", got)
+	}
+
+	// Phase 2: the mix shifts to large batches; the loop must detect the
+	// drift, replan from the live window, and reconfigure mid-run.
+	send(large, 400, 4)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for ap.Replans() == 0 && time.Now().Before(deadline) {
+		time.Sleep(25 * time.Millisecond)
+	}
+	if ap.Replans() == 0 {
+		t.Fatal("the autopilot never replanned after the mix shift")
+	}
+	// Let a little post-replan traffic prove the new fleet serves.
+	send(large, 50, 4)
+
+	got := ap.Current()
+	if got.Equal(initial) {
+		t.Fatalf("configuration did not change: %v", got)
+	}
+	if got[cloud.BaseIndex] == 0 {
+		t.Fatalf("large-batch plan %v did not buy the GPU", got)
+	}
+	// Fleet and controller converged to the plan.
+	counts := ctrl.InstanceCounts()
+	for i, typ := range pool {
+		if counts[typ.Name] != got[i] {
+			t.Fatalf("fleet %v does not match plan %v", counts, got)
+		}
+	}
+	// The acceptance bar: zero dropped queries across drain and launch.
+	st := ctrl.Stats()
+	if st.Failed != 0 {
+		t.Fatalf("%d queries failed during reconfiguration", st.Failed)
+	}
+	status := ap.Status()
+	if !status.Healthy || status.Plan.Replans == 0 {
+		t.Fatalf("status = %+v", status)
+	}
+}
+
+// TestStepRejectsUnusablePlan: a planner returning nil (no feasible
+// configuration) is a recorded control failure, never a panic.
+func TestStepRejectsUnusablePlan(t *testing.T) {
+	t.Parallel()
+	initial := cloud.Config{0, 0, 1, 0}
+	opts := Options{
+		Plan:            func(samples []int) (cloud.Config, error) { return nil, nil },
+		Window:          40,
+		MinObservations: 10,
+		Reference:       samplesOf(workload.Uniform{Min: 10, Max: 60}, 200, 1),
+	}
+	ap := startAutopilot(t, initial, opts)
+	for i := 0; i < 12; i++ {
+		if res := ap.Controller().SubmitWait(600); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+	if _, err := ap.Step(); err == nil {
+		t.Fatal("nil plan must surface as a step error")
+	}
+	if st := ap.Status(); st.Healthy || st.LastError == "" {
+		t.Fatalf("unusable plan must mark the control plane unhealthy: %+v", st)
+	}
+	if !ap.Current().Equal(initial) || ap.Replans() != 0 {
+		t.Fatalf("fleet must be untouched: %v, %d replans", ap.Current(), ap.Replans())
+	}
+}

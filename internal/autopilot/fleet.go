@@ -1,0 +1,139 @@
+// Package autopilot closes the paper's Fig. 12 adaptation loop over the
+// real network serving path: a rolling-window live monitor fed from
+// controller completions, a drift trigger (internal/adapt) plus an
+// SLO-violation trigger, a replan step invoking the planner with the live
+// window as its sample, and an actuator that reconciles the running fleet
+// — launching and draining instance servers at runtime — toward the fresh
+// configuration. It is the control plane that turns the monitor, planner,
+// and controller from isolated components into a self-managing serving
+// system (INFaaS-style managed adaptivity, KubeAI-style reconciliation).
+package autopilot
+
+import (
+	"fmt"
+	"sync"
+
+	"kairos/internal/cloud"
+	"kairos/internal/models"
+	"kairos/internal/server"
+)
+
+// Fleet launches and stops in-process instance servers on loopback TCP —
+// the actuator's "cloud provider". Every server emulates one instance type
+// serving the fleet's model at the fleet's time scale (see
+// server.InstanceServer).
+type Fleet struct {
+	model     models.Model
+	timeScale float64
+
+	mu      sync.Mutex
+	servers map[string]*fleetServer // keyed by listen address
+}
+
+type fleetServer struct {
+	typeName string
+	srv      *server.InstanceServer
+}
+
+// NewFleet prepares an empty fleet for one model at one time scale.
+// Like the server layer, a non-positive timeScale means real time.
+func NewFleet(model models.Model, timeScale float64) *Fleet {
+	if timeScale <= 0 {
+		timeScale = 1
+	}
+	return &Fleet{model: model, timeScale: timeScale, servers: map[string]*fleetServer{}}
+}
+
+// TimeScale returns the fleet's time dilation factor.
+func (f *Fleet) TimeScale() float64 { return f.timeScale }
+
+// Launch starts one instance server of the given type on an ephemeral
+// loopback port and returns its address.
+func (f *Fleet) Launch(typeName string) (string, error) {
+	srv, err := server.NewInstanceServer(typeName, f.model, f.timeScale)
+	if err != nil {
+		return "", err
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		return "", err
+	}
+	addr := srv.Addr()
+	f.mu.Lock()
+	f.servers[addr] = &fleetServer{typeName: typeName, srv: srv}
+	f.mu.Unlock()
+	return addr, nil
+}
+
+// Deploy launches cfg[i] servers of pool[i] for every type and returns all
+// started addresses. On any launch failure it stops what it started.
+func (f *Fleet) Deploy(pool cloud.Pool, cfg cloud.Config) ([]string, error) {
+	if len(cfg) != len(pool) {
+		return nil, fmt.Errorf("autopilot: config %v does not match pool of %d types", cfg, len(pool))
+	}
+	var addrs []string
+	for i, n := range cfg {
+		for k := 0; k < n; k++ {
+			addr, err := f.Launch(pool[i].Name)
+			if err != nil {
+				for _, a := range addrs {
+					f.Stop(a)
+				}
+				return nil, err
+			}
+			addrs = append(addrs, addr)
+		}
+	}
+	return addrs, nil
+}
+
+// Stop shuts down the server at addr and forgets it.
+func (f *Fleet) Stop(addr string) error {
+	f.mu.Lock()
+	fs, ok := f.servers[addr]
+	delete(f.servers, addr)
+	f.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("autopilot: no fleet server at %s", addr)
+	}
+	return fs.srv.Close()
+}
+
+// Addrs lists the running servers' addresses in unspecified order.
+func (f *Fleet) Addrs() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, 0, len(f.servers))
+	for addr := range f.servers {
+		out = append(out, addr)
+	}
+	return out
+}
+
+// Counts returns the number of running servers per instance type.
+func (f *Fleet) Counts() map[string]int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string]int)
+	for _, fs := range f.servers {
+		out[fs.typeName]++
+	}
+	return out
+}
+
+// Size returns the number of running servers.
+func (f *Fleet) Size() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.servers)
+}
+
+// Close stops every running server.
+func (f *Fleet) Close() {
+	f.mu.Lock()
+	servers := f.servers
+	f.servers = map[string]*fleetServer{}
+	f.mu.Unlock()
+	for _, fs := range servers {
+		fs.srv.Close()
+	}
+}

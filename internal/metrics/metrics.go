@@ -125,6 +125,80 @@ func (r *LatencyRecorder) Reset() {
 	r.sorted = false
 }
 
+// Window is a fixed-capacity rolling window over latency samples: the
+// live-path counterpart of LatencyRecorder, keeping only the most recent
+// capacity observations so tail-latency answers track the current traffic
+// instead of the whole run (the autopilot's SLO trigger reads it). Like
+// LatencyRecorder it is not safe for concurrent use; callers guard it.
+type Window struct {
+	buf   []float64
+	next  int
+	full  bool
+	total int64
+}
+
+// NewWindow returns an empty rolling window holding the most recent
+// capacity samples. It panics on a non-positive capacity.
+func NewWindow(capacity int) *Window {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("metrics: window capacity %d must be positive", capacity))
+	}
+	return &Window{buf: make([]float64, 0, capacity)}
+}
+
+// Observe records one sample, evicting the oldest once full.
+func (w *Window) Observe(v float64) {
+	w.total++
+	if len(w.buf) < cap(w.buf) {
+		w.buf = append(w.buf, v)
+		return
+	}
+	w.full = true
+	w.buf[w.next] = v
+	w.next = (w.next + 1) % cap(w.buf)
+}
+
+// Len returns the number of samples currently held (<= capacity).
+func (w *Window) Len() int { return len(w.buf) }
+
+// Full reports whether the window has wrapped at least once.
+func (w *Window) Full() bool { return w.full }
+
+// Total returns the number of samples ever observed, including evicted
+// ones.
+func (w *Window) Total() int64 { return w.total }
+
+// Snapshot returns a copy of the held samples in unspecified order.
+func (w *Window) Snapshot() []float64 {
+	out := make([]float64, len(w.buf))
+	copy(out, w.buf)
+	return out
+}
+
+// Percentile returns the p-th percentile of the held samples, or NaN when
+// empty.
+func (w *Window) Percentile(p float64) float64 { return Percentile(w.buf, p) }
+
+// Mean returns the average of the held samples, or NaN when empty.
+func (w *Window) Mean() float64 {
+	if len(w.buf) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, v := range w.buf {
+		sum += v
+	}
+	return sum / float64(len(w.buf))
+}
+
+// Reset discards the held samples and the total count.
+func (w *Window) Reset() {
+	w.buf = w.buf[:0]
+	w.next = 0
+	w.full = false
+	w.total = 0
+}
+
 // Summary is a compact distribution digest for reporting.
 type Summary struct {
 	Count          int

@@ -187,3 +187,48 @@ func TestPercentileMonotoneInP(t *testing.T) {
 		t.Fatal("P100 must be the max")
 	}
 }
+
+func TestWindowRolls(t *testing.T) {
+	w := NewWindow(4)
+	if w.Len() != 0 || !math.IsNaN(w.Percentile(99)) || !math.IsNaN(w.Mean()) {
+		t.Fatal("empty window must report NaN percentiles")
+	}
+	for i := 1; i <= 4; i++ {
+		w.Observe(float64(i))
+	}
+	if w.Full() || w.Len() != 4 || w.Mean() != 2.5 {
+		t.Fatalf("filled window: len=%d full=%v mean=%v", w.Len(), w.Full(), w.Mean())
+	}
+	// Two more observations evict the two oldest: window is {3,4,5,6}.
+	w.Observe(5)
+	w.Observe(6)
+	if !w.Full() || w.Len() != 4 || w.Total() != 6 {
+		t.Fatalf("len=%d full=%v total=%d after rolling", w.Len(), w.Full(), w.Total())
+	}
+	if got := w.Mean(); got != 4.5 {
+		t.Fatalf("rolled mean = %v, want 4.5 (oldest evicted)", got)
+	}
+	if got := w.Percentile(50); got != 4 {
+		t.Fatalf("rolled p50 = %v, want 4", got)
+	}
+	if got := w.Percentile(100); got != 6 {
+		t.Fatalf("rolled p100 = %v, want 6", got)
+	}
+	snap := w.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot length %d", len(snap))
+	}
+	w.Reset()
+	if w.Len() != 0 || w.Total() != 0 || w.Full() {
+		t.Fatal("reset must clear the window")
+	}
+}
+
+func TestWindowRejectsBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewWindow(0) must panic")
+		}
+	}()
+	NewWindow(0)
+}

@@ -13,7 +13,11 @@ import (
 // Controller is the central controller of Sec. 6: it accepts queries,
 // keeps the central queue, runs a query-distribution policy (normally
 // Kairos's matching) in real time, and sends dispatched queries to the
-// instance servers over the wire.
+// instance servers over the wire. The fleet is reconfigurable at runtime:
+// AddInstance dials new servers into the rotation and RemoveInstance
+// drains and disconnects running ones, so a control plane (see
+// internal/autopilot) can reconcile the fleet toward a fresh plan without
+// dropping in-flight queries.
 type Controller struct {
 	// Policy decides dispatches; it sees times in model milliseconds.
 	Policy sim.Distributor
@@ -30,15 +34,29 @@ type Controller struct {
 	closed    chan struct{}
 	closeOnce sync.Once
 	wg        sync.WaitGroup
+
+	// onComplete, when set, observes every delivered QueryResult.
+	onComplete func(batch int, res QueryResult)
+	submitted  int64
+	completed  int64
+	failed     int64
 }
 
 type remoteInstance struct {
 	typeName  string
+	addr      string
 	conn      net.Conn
 	writeMu   sync.Mutex
 	busyUntil time.Time
 	// pending holds dispatched-but-unfinished queries in dispatch order.
 	pending []*pendingQuery
+	// draining excludes the instance from new dispatches; once pending
+	// empties, RemoveInstance closes the connection and drops it.
+	draining   bool
+	dispatched int64
+	completed  int64
+	// busyMS accumulates ground-truth service time (model ms) from replies.
+	busyMS float64
 }
 
 type pendingQuery struct {
@@ -51,6 +69,8 @@ type pendingQuery struct {
 
 // QueryResult reports one served query.
 type QueryResult struct {
+	// Batch is the query's batch size.
+	Batch int
 	// LatencyMS is the end-to-end latency in model milliseconds
 	// (wall-clock divided by TimeScale).
 	LatencyMS float64
@@ -58,6 +78,39 @@ type QueryResult struct {
 	Instance string
 	// Err is non-nil if the query failed (connection loss, server error).
 	Err error
+}
+
+// InstanceStats is one connected instance's cumulative accounting.
+type InstanceStats struct {
+	// TypeName is the instance type announced in the handshake.
+	TypeName string `json:"type_name"`
+	// Addr is the dialed server address.
+	Addr string `json:"addr"`
+	// Dispatched counts queries sent to the instance.
+	Dispatched int64 `json:"dispatched"`
+	// Completed counts successful replies.
+	Completed int64 `json:"completed"`
+	// Pending is the current dispatched-but-unfinished depth.
+	Pending int `json:"pending"`
+	// BusyMS is the accumulated ground-truth service time in model ms.
+	BusyMS float64 `json:"busy_ms"`
+	// Draining marks an instance being removed (no new dispatches).
+	Draining bool `json:"draining"`
+}
+
+// Stats is a point-in-time snapshot of the controller's accounting — the
+// shared observability surface read by kairosctl and the autopilot.
+type Stats struct {
+	// Waiting is the central queue depth.
+	Waiting int `json:"waiting"`
+	// Submitted counts every query accepted by Submit.
+	Submitted int64 `json:"submitted"`
+	// Completed counts queries delivered without error.
+	Completed int64 `json:"completed"`
+	// Failed counts queries delivered with an error.
+	Failed int64 `json:"failed"`
+	// Instances snapshots the per-instance accounting in fleet order.
+	Instances []InstanceStats `json:"instances"`
 }
 
 // NewController dials the instance servers and starts the scheduling loop.
@@ -79,18 +132,11 @@ func NewController(policy sim.Distributor, timeScale float64, predict func(strin
 		closed:    make(chan struct{}),
 	}
 	for _, addr := range addrs {
-		conn, err := net.Dial("tcp", addr)
+		ri, err := c.dialInstance(addr)
 		if err != nil {
 			c.Close()
-			return nil, fmt.Errorf("server: dialing %s: %w", addr, err)
+			return nil, err
 		}
-		var hello Hello
-		if err := ReadFrame(conn, &hello); err != nil {
-			conn.Close()
-			c.Close()
-			return nil, fmt.Errorf("server: handshake with %s: %w", addr, err)
-		}
-		ri := &remoteInstance{typeName: hello.TypeName, conn: conn, busyUntil: time.Now()}
 		c.instances = append(c.instances, ri)
 		c.wg.Add(1)
 		go c.readLoop(ri)
@@ -100,8 +146,101 @@ func NewController(policy sim.Distributor, timeScale float64, predict func(strin
 	return c, nil
 }
 
-// InstanceTypes lists the connected instance types in index order.
+// dialInstance connects and handshakes with one instance server.
+func (c *Controller) dialInstance(addr string) (*remoteInstance, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: dialing %s: %w", addr, err)
+	}
+	var hello Hello
+	if err := ReadFrame(conn, &hello); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("server: handshake with %s: %w", addr, err)
+	}
+	return &remoteInstance{typeName: hello.TypeName, addr: addr, conn: conn, busyUntil: time.Now()}, nil
+}
+
+// AddInstance dials one more instance server into the rotation and returns
+// its announced type name. Safe to call while traffic is flowing.
+func (c *Controller) AddInstance(addr string) (string, error) {
+	ri, err := c.dialInstance(addr)
+	if err != nil {
+		return "", err
+	}
+	c.mu.Lock()
+	select {
+	case <-c.closed:
+		c.mu.Unlock()
+		ri.conn.Close()
+		return "", errors.New("server: controller closed")
+	default:
+	}
+	c.instances = append(c.instances, ri)
+	c.wg.Add(1)
+	c.mu.Unlock()
+	go c.readLoop(ri)
+	c.wake()
+	return ri.typeName, nil
+}
+
+// RemoveInstance drains and disconnects one instance of the given type:
+// the instance stops receiving new dispatches immediately, every
+// already-dispatched query completes and is delivered normally, and only
+// then is the connection closed and the instance dropped from the fleet.
+// Among removable candidates it picks the one with the shallowest backlog.
+// It blocks until the drain finishes and returns the removed instance's
+// dialed address so launchers can stop the matching server.
+func (c *Controller) RemoveInstance(typeName string) (string, error) {
+	c.mu.Lock()
+	var target *remoteInstance
+	for _, ri := range c.instances {
+		if ri.typeName != typeName || ri.draining {
+			continue
+		}
+		if target == nil || len(ri.pending) < len(target.pending) {
+			target = ri
+		}
+	}
+	if target == nil {
+		c.mu.Unlock()
+		return "", fmt.Errorf("server: no removable instance of type %s", typeName)
+	}
+	target.draining = true
+	c.mu.Unlock()
+	c.wake() // re-dispatch anything the policy was routing here
+
+	// Drain: dispatched queries finish through the normal reply path.
+	for {
+		c.mu.Lock()
+		depth := len(target.pending)
+		c.mu.Unlock()
+		if depth == 0 {
+			break
+		}
+		select {
+		case <-c.closed:
+			return "", errors.New("server: controller closed during drain")
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	// Close the connection (its readLoop exits) and drop it from the fleet.
+	target.conn.Close()
+	c.mu.Lock()
+	for i, ri := range c.instances {
+		if ri == target {
+			c.instances = append(c.instances[:i], c.instances[i+1:]...)
+			break
+		}
+	}
+	c.mu.Unlock()
+	return target.addr, nil
+}
+
+// InstanceTypes lists the connected instance types in fleet order,
+// including draining ones.
 func (c *Controller) InstanceTypes() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	out := make([]string, len(c.instances))
 	for i, ri := range c.instances {
 		out[i] = ri.typeName
@@ -109,11 +248,69 @@ func (c *Controller) InstanceTypes() []string {
 	return out
 }
 
+// InstanceCounts returns the number of non-draining instances per type —
+// the fleet the scheduler can actually use.
+func (c *Controller) InstanceCounts() map[string]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int)
+	for _, ri := range c.instances {
+		if !ri.draining {
+			out[ri.typeName]++
+		}
+	}
+	return out
+}
+
+// Stats snapshots the controller's accounting.
+func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Stats{
+		Waiting:   len(c.waiting),
+		Submitted: c.submitted,
+		Completed: c.completed,
+		Failed:    c.failed,
+		Instances: make([]InstanceStats, len(c.instances)),
+	}
+	for i, ri := range c.instances {
+		s.Instances[i] = InstanceStats{
+			TypeName:   ri.typeName,
+			Addr:       ri.addr,
+			Dispatched: ri.dispatched,
+			Completed:  ri.completed,
+			Pending:    len(ri.pending),
+			BusyMS:     ri.busyMS,
+			Draining:   ri.draining,
+		}
+	}
+	return s
+}
+
+// SetOnComplete installs a callback observing every delivered QueryResult
+// (successes and failures; check res.Err). It runs outside the controller
+// lock and must not block for long — it is on the completion path.
+func (c *Controller) SetOnComplete(fn func(batch int, res QueryResult)) {
+	c.mu.Lock()
+	c.onComplete = fn
+	c.mu.Unlock()
+}
+
 // Submit enqueues one query and returns a channel delivering its result.
+// After Close the result fails immediately instead of hanging.
 func (c *Controller) Submit(batch int) <-chan QueryResult {
 	done := make(chan QueryResult, 1)
 	c.mu.Lock()
+	select {
+	case <-c.closed:
+		c.failed++
+		c.mu.Unlock()
+		done <- QueryResult{Batch: batch, Err: errors.New("server: controller closed")}
+		return done
+	default:
+	}
 	c.nextID++
+	c.submitted++
 	q := &pendingQuery{id: c.nextID, batch: batch, enqueued: time.Now(), done: done}
 	c.waiting = append(c.waiting, q)
 	c.mu.Unlock()
@@ -132,33 +329,90 @@ func (c *Controller) wake() {
 	}
 }
 
+// deliver completes one query under c.mu and invokes the completion
+// callback after releasing the lock.
+func (c *Controller) deliver(q *pendingQuery, res QueryResult) {
+	res.Batch = q.batch
+	c.mu.Lock()
+	if q.completed {
+		c.mu.Unlock()
+		return
+	}
+	q.completed = true
+	if res.Err != nil {
+		c.failed++
+	} else {
+		c.completed++
+	}
+	cb := c.onComplete
+	c.mu.Unlock()
+	q.done <- res
+	if cb != nil {
+		cb(q.batch, res)
+	}
+}
+
 // Close shuts down the controller and fails outstanding queries, both the
-// centrally-waiting and the dispatched-but-unfinished ones.
+// centrally-waiting and the dispatched-but-unfinished ones. Like every
+// other completion path, the failures reach the onComplete observer.
 func (c *Controller) Close() {
 	c.closeOnce.Do(func() {
 		close(c.closed)
 		c.mu.Lock()
 		errClosed := errors.New("server: controller closed")
+		var failed []QueryResult
+		fail := func(q *pendingQuery, instance string) {
+			if q.completed {
+				return
+			}
+			q.completed = true
+			c.failed++
+			res := QueryResult{Batch: q.batch, Err: errClosed, Instance: instance}
+			q.done <- res
+			failed = append(failed, res)
+		}
 		for _, ri := range c.instances {
 			ri.conn.Close()
 			for _, q := range ri.pending {
-				if !q.completed {
-					q.completed = true
-					q.done <- QueryResult{Err: errClosed, Instance: ri.typeName}
-				}
+				fail(q, ri.typeName)
 			}
 			ri.pending = nil
 		}
 		for _, q := range c.waiting {
-			if !q.completed {
-				q.completed = true
-				q.done <- QueryResult{Err: errClosed}
-			}
+			fail(q, "")
 		}
 		c.waiting = nil
+		cb := c.onComplete
 		c.mu.Unlock()
+		if cb != nil {
+			for _, res := range failed {
+				cb(res.Batch, res)
+			}
+		}
 	})
 	c.wg.Wait()
+}
+
+// evict removes a dead instance from the fleet and fails its in-flight
+// queries. Draining is set first so no scheduling round re-dispatches to
+// it while the failures are delivered.
+func (c *Controller) evict(ri *remoteInstance, cause error) {
+	c.mu.Lock()
+	ri.draining = true
+	failed := ri.pending
+	ri.pending = nil
+	for i, other := range c.instances {
+		if other == ri {
+			c.instances = append(c.instances[:i], c.instances[i+1:]...)
+			break
+		}
+	}
+	c.mu.Unlock()
+	ri.conn.Close()
+	for _, q := range failed {
+		c.deliver(q, QueryResult{Err: fmt.Errorf("server: instance %s lost: %w", ri.typeName, cause), Instance: ri.typeName})
+	}
+	c.wake()
 }
 
 // scheduleLoop runs distribution rounds whenever kicked.
@@ -175,9 +429,21 @@ func (c *Controller) scheduleLoop() {
 }
 
 // scheduleRound builds the policy's views and dispatches its assignments.
+// Draining instances are invisible to the policy, so a removal never
+// receives new work.
 func (c *Controller) scheduleRound() {
 	c.mu.Lock()
 	if len(c.waiting) == 0 {
+		c.mu.Unlock()
+		return
+	}
+	active := make([]*remoteInstance, 0, len(c.instances))
+	for _, ri := range c.instances {
+		if !ri.draining {
+			active = append(active, ri)
+		}
+	}
+	if len(active) == 0 {
 		c.mu.Unlock()
 		return
 	}
@@ -194,8 +460,8 @@ func (c *Controller) scheduleRound() {
 		// policies key on it across scheduling rounds.
 		qviews[i] = sim.QueryView{Index: i, ID: int(q.id), Batch: q.batch, WaitMS: toModelMS(now.Sub(q.enqueued))}
 	}
-	iviews := make([]sim.InstanceView, len(c.instances))
-	for i, ri := range c.instances {
+	iviews := make([]sim.InstanceView, len(active))
+	for i, ri := range active {
 		var queued []int
 		// The head of pending is in flight; the rest are queued behind it.
 		for k := 1; k < len(ri.pending); k++ {
@@ -225,12 +491,12 @@ func (c *Controller) scheduleRound() {
 	}
 	taken := make(map[int]bool, len(assignments))
 	for _, a := range assignments {
-		if a.Query < 0 || a.Query >= len(c.waiting) || a.Instance < 0 || a.Instance >= len(c.instances) || taken[a.Query] {
+		if a.Query < 0 || a.Query >= len(c.waiting) || a.Instance < 0 || a.Instance >= len(active) || taken[a.Query] {
 			continue
 		}
 		taken[a.Query] = true
 		q := c.waiting[a.Query]
-		ri := c.instances[a.Instance]
+		ri := active[a.Instance]
 		service := c.Predict(ri.typeName, q.batch)
 		scaled := time.Duration(service * c.TimeScale * float64(time.Millisecond))
 		if ri.busyUntil.Before(now) {
@@ -238,6 +504,7 @@ func (c *Controller) scheduleRound() {
 		}
 		ri.busyUntil = ri.busyUntil.Add(scaled)
 		ri.pending = append(ri.pending, q)
+		ri.dispatched++
 		dispatch = append(dispatch, struct {
 			q  *pendingQuery
 			ri *remoteInstance
@@ -260,16 +527,23 @@ func (c *Controller) scheduleRound() {
 		d.ri.writeMu.Unlock()
 		if err != nil {
 			c.mu.Lock()
-			if !d.q.completed {
-				d.q.completed = true
-				d.q.done <- QueryResult{Err: err, Instance: d.ri.typeName}
+			// Forget the failed dispatch so a drain does not wait on it.
+			for k, p := range d.ri.pending {
+				if p == d.q {
+					d.ri.pending = append(d.ri.pending[:k], d.ri.pending[k+1:]...)
+					break
+				}
 			}
 			c.mu.Unlock()
+			c.deliver(d.q, QueryResult{Err: err, Instance: d.ri.typeName})
 		}
 	}
 }
 
 // readLoop consumes replies from one instance and completes queries.
+// When the connection dies outside Close, the instance is evicted from
+// the fleet and its in-flight queries fail — so drains never wait on a
+// dead instance and submitters never hang on a lost reply.
 func (c *Controller) readLoop(ri *remoteInstance) {
 	defer c.wg.Done()
 	for {
@@ -277,7 +551,9 @@ func (c *Controller) readLoop(ri *remoteInstance) {
 		if err := ReadFrame(ri.conn, &reply); err != nil {
 			select {
 			case <-c.closed:
+				// Close owns the cleanup of pending queries.
 			default:
+				c.evict(ri, err)
 			}
 			return
 		}
@@ -295,8 +571,9 @@ func (c *Controller) readLoop(ri *remoteInstance) {
 			q = nil
 		}
 		if q != nil {
-			q.completed = true
 			if reply.Err == "" {
+				ri.completed++
+				ri.busyMS += reply.ServiceMS
 				// Ground-truth service feedback, exactly as the simulator
 				// delivers it: online learners and query monitors train from
 				// real completions too. Under c.mu so Observe never races
@@ -317,7 +594,7 @@ func (c *Controller) readLoop(ri *remoteInstance) {
 		if reply.Err != "" {
 			res.Err = errors.New(reply.Err)
 		}
-		q.done <- res
+		c.deliver(q, res)
 		c.wake()
 	}
 }

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"net"
 	"strings"
 	"sync"
 	"testing"
@@ -304,5 +305,265 @@ func TestControllerExposesStableQueryIDs(t *testing.T) {
 		// A controller that leaves ID zero-valued collapses this to one
 		// entry, which is how partitioned policies degenerate to partition 0.
 		t.Fatalf("saw %d distinct query IDs over %d queries: %v", len(policy.ids), n, policy.ids)
+	}
+}
+
+// startServer boots one NCF instance server and returns it plus its addr.
+func startServer(t *testing.T, typeName string, timeScale float64) *InstanceServer {
+	t.Helper()
+	m := models.MustByName("NCF")
+	s, err := NewInstanceServer(typeName, m, timeScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestControllerAddInstanceJoinsFleet(t *testing.T) {
+	t.Parallel()
+	m := models.MustByName("NCF")
+	types := []string{cloud.G4dnXlarge.Name}
+	addrs := startCluster(t, types, 1)
+	ctrl, err := NewController(kairosPolicy(m, []string{cloud.G4dnXlarge.Name, cloud.R5nLarge.Name}), 1, m.Latency, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+
+	extra := startServer(t, cloud.R5nLarge.Name, 1)
+	typeName, err := ctrl.AddInstance(extra.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typeName != cloud.R5nLarge.Name {
+		t.Fatalf("handshake announced %s", typeName)
+	}
+	if got := ctrl.InstanceTypes(); len(got) != 2 {
+		t.Fatalf("fleet = %v after add", got)
+	}
+	// A tiny query prefers the cheap CPU (weighted matching) — the added
+	// instance really serves.
+	res := ctrl.SubmitWait(10)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Instance != cloud.R5nLarge.Name {
+		t.Fatalf("tiny query served by %s, want the added CPU", res.Instance)
+	}
+	counts := ctrl.InstanceCounts()
+	if counts[cloud.G4dnXlarge.Name] != 1 || counts[cloud.R5nLarge.Name] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestControllerRemoveInstanceDrains(t *testing.T) {
+	t.Parallel()
+	m := models.MustByName("NCF")
+	// Two GPUs; dilate time so the backlog outlives the removal call.
+	const scale = 20.0
+	types := []string{cloud.G4dnXlarge.Name, cloud.G4dnXlarge.Name}
+	addrs := startCluster(t, types, scale)
+	ctrl, err := NewController(kairosPolicy(m, types), scale, m.Latency, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+
+	// Load both instances with slow queries, then remove one mid-flight.
+	var chans []<-chan QueryResult
+	for i := 0; i < 6; i++ {
+		chans = append(chans, ctrl.Submit(1000))
+	}
+	time.Sleep(20 * time.Millisecond)
+	removedAddr, err := ctrl.RemoveInstance(cloud.G4dnXlarge.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removedAddr != addrs[0] && removedAddr != addrs[1] {
+		t.Fatalf("removed addr %s not in fleet %v", removedAddr, addrs)
+	}
+	if got := ctrl.InstanceTypes(); len(got) != 1 {
+		t.Fatalf("fleet = %v after remove", got)
+	}
+	// Zero dropped queries: every submission completes without error.
+	for i, ch := range chans {
+		select {
+		case r := <-ch:
+			if r.Err != nil {
+				t.Fatalf("query %d dropped during drain: %v", i, r.Err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("query %d stuck after drain", i)
+		}
+	}
+	// Removing the last instance of a type that is gone must error.
+	if _, err := ctrl.RemoveInstance("nope"); err == nil {
+		t.Fatal("removing an unknown type must error")
+	}
+}
+
+func TestControllerStatsAndOnComplete(t *testing.T) {
+	t.Parallel()
+	m := models.MustByName("NCF")
+	types := []string{cloud.G4dnXlarge.Name}
+	addrs := startCluster(t, types, 1)
+	ctrl, err := NewController(kairosPolicy(m, types), 1, m.Latency, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+
+	var mu sync.Mutex
+	completions := 0
+	batches := 0
+	ctrl.SetOnComplete(func(batch int, res QueryResult) {
+		mu.Lock()
+		defer mu.Unlock()
+		completions++
+		batches += batch
+		if res.Batch != batch {
+			t.Errorf("callback batch mismatch: %d vs %d", res.Batch, batch)
+		}
+	})
+	const n = 5
+	for i := 0; i < n; i++ {
+		if res := ctrl.SubmitWait(100); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+	mu.Lock()
+	if completions != n || batches != n*100 {
+		t.Fatalf("callback saw %d completions totalling %d", completions, batches)
+	}
+	mu.Unlock()
+
+	s := ctrl.Stats()
+	if s.Submitted != n || s.Completed != n || s.Failed != 0 || s.Waiting != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if len(s.Instances) != 1 {
+		t.Fatalf("instance stats = %+v", s.Instances)
+	}
+	inst := s.Instances[0]
+	if inst.TypeName != cloud.G4dnXlarge.Name || inst.Dispatched != n || inst.Completed != n || inst.Pending != 0 {
+		t.Fatalf("instance stats = %+v", inst)
+	}
+	// Five completions of the 1.35ms batch-100 service: busy time is the
+	// sum of ground-truth service times.
+	want := float64(n) * m.Latency(cloud.G4dnXlarge.Name, 100)
+	if inst.BusyMS < want*0.99 || inst.BusyMS > want*1.01 {
+		t.Fatalf("busy %.3fms, want ~%.3fms", inst.BusyMS, want)
+	}
+	if inst.Addr == "" {
+		t.Fatal("instance stats must carry the dialed address")
+	}
+}
+
+// TestControllerEvictsDeadInstance: when an instance's connection dies
+// outside Close, its in-flight queries must fail promptly and the
+// instance must leave the fleet — drains never wait on a ghost.
+func TestControllerEvictsDeadInstance(t *testing.T) {
+	t.Parallel()
+	m := models.MustByName("NCF")
+
+	// A fake instance: handshakes, swallows requests, never replies, and
+	// drops its connection on demand.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	die := make(chan struct{})
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		if err := WriteFrame(conn, Hello{TypeName: cloud.G4dnXlarge.Name, Model: m.Name}); err != nil {
+			return
+		}
+		go func() {
+			var req Request
+			for ReadFrame(conn, &req) == nil {
+			}
+		}()
+		<-die
+		conn.Close()
+	}()
+
+	healthy := startServer(t, cloud.R5nLarge.Name, 1)
+	types := []string{cloud.G4dnXlarge.Name, cloud.R5nLarge.Name}
+	ctrl, err := NewController(kairosPolicy(m, types), 1, m.Latency, []string{ln.Addr().String(), healthy.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+
+	// Large queries route to the (fake) GPU and stick there unanswered.
+	var chans []<-chan QueryResult
+	for i := 0; i < 3; i++ {
+		chans = append(chans, ctrl.Submit(1000))
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if s := ctrl.Stats(); s.Instances[0].Pending > 0 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(die) // the instance crashes mid-flight
+
+	failed := 0
+	for i, ch := range chans {
+		select {
+		case r := <-ch:
+			if r.Err != nil {
+				failed++
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatalf("query %d hung after the instance died", i)
+		}
+	}
+	if failed == 0 {
+		t.Fatal("expected the dead instance's in-flight queries to fail")
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for len(ctrl.InstanceTypes()) != 1 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := ctrl.InstanceTypes(); len(got) != 1 || got[0] != cloud.R5nLarge.Name {
+		t.Fatalf("dead instance not evicted: fleet %v", got)
+	}
+	// The survivor still serves, and removing the dead type now errors
+	// instead of draining a ghost.
+	if res := ctrl.SubmitWait(100); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if _, err := ctrl.RemoveInstance(cloud.G4dnXlarge.Name); err == nil {
+		t.Fatal("removing the evicted type must error")
+	}
+}
+
+func TestSubmitAfterCloseFailsFast(t *testing.T) {
+	t.Parallel()
+	m := models.MustByName("NCF")
+	types := []string{cloud.G4dnXlarge.Name}
+	addrs := startCluster(t, types, 1)
+	ctrl, err := NewController(kairosPolicy(m, types), 1, m.Latency, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl.Close()
+	select {
+	case res := <-ctrl.Submit(10):
+		if res.Err == nil {
+			t.Fatal("submit after close must fail")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("submit after close hung")
 	}
 }

@@ -34,7 +34,6 @@ import (
 
 	"kairos/internal/cloud"
 	"kairos/internal/core"
-	"kairos/internal/distributor"
 	"kairos/internal/models"
 	"kairos/internal/sim"
 	"kairos/internal/workload"
@@ -94,100 +93,6 @@ func DefaultTrace() BatchDistribution { return workload.DefaultTrace() }
 // NewMonitor creates a sliding-window query monitor (the paper tracks the
 // most recent 10000 queries).
 func NewMonitor() *Monitor { return workload.NewMonitor(workload.DefaultWindow) }
-
-// Planner chooses heterogeneous configurations without online evaluation
-// (Sec. 5.2).
-//
-// Deprecated: build an Engine with WithBatchSamples and use Engine.Plan,
-// Engine.Rank, Engine.UpperBound, and Engine.PlanPlus. Planner remains as
-// a thin wrapper whose budget is supplied per call instead of via
-// WithBudget.
-type Planner struct {
-	est *core.Estimator
-}
-
-// NewPlanner builds a planner for one model from a snapshot of recent
-// query batch sizes (use Monitor.Snapshot on live traffic).
-//
-// Deprecated: use New with WithBatchSamples.
-func NewPlanner(pool Pool, model Model, batchSamples []int) (*Planner, error) {
-	est, err := core.NewEstimator(pool, model, batchSamples, core.EstimatorOptions{})
-	if err != nil {
-		return nil, err
-	}
-	return &Planner{est: est}, nil
-}
-
-// Plan returns the one-shot configuration for the budget.
-func (p *Planner) Plan(budgetPerHour float64) Config { return p.est.Plan(budgetPerHour) }
-
-// Rank returns every budgeted configuration sorted by descending
-// throughput upper bound.
-func (p *Planner) Rank(budgetPerHour float64) []RankedConfig { return p.est.Rank(budgetPerHour) }
-
-// UpperBound estimates the throughput ceiling of one configuration
-// (Eqs. 9-15).
-func (p *Planner) UpperBound(cfg Config) float64 { return p.est.UpperBound(cfg) }
-
-// PlanPlus runs the Kairos+ pruning search (Algorithm 1) using eval as the
-// expensive online measurement, returning the best configuration found and
-// the evaluation count.
-func (p *Planner) PlanPlus(budgetPerHour float64, eval func(Config) float64) PlusResult {
-	return core.KairosPlus(p.Rank(budgetPerHour), core.EvalFunc(eval))
-}
-
-// NewKairosDistributor builds the paper's query-distribution mechanism for
-// a model over a pool, learning latencies online from served queries. The
-// optional monitor receives every completed query's batch size.
-//
-// Deprecated: use NewPolicy("kairos", ...) or an Engine with
-// WithPolicy("kairos") and Serve.
-func NewKairosDistributor(pool Pool, model Model, monitor *Monitor) Distributor {
-	return mustPolicy("kairos", PolicyContext{Pool: pool, Model: model, Monitor: monitor})
-}
-
-// NewWarmedKairosDistributor is NewKairosDistributor with the latency
-// model pre-trained from the calibrated surfaces, skipping the cold start.
-//
-// Deprecated: use NewPolicy("kairos+warm", ...) or an Engine with
-// WithPolicy("kairos+warm") and Serve.
-func NewWarmedKairosDistributor(pool Pool, model Model, monitor *Monitor) Distributor {
-	return mustPolicy("kairos+warm", PolicyContext{Pool: pool, Model: model, Monitor: monitor})
-}
-
-// NewRibbonDistributor builds the RIBBON baseline (base-preferring FCFS).
-//
-// Deprecated: use NewPolicy("ribbon", ...) or an Engine with
-// WithPolicy("ribbon") and Serve.
-func NewRibbonDistributor(pool Pool, model Model) Distributor {
-	return mustPolicy("ribbon", PolicyContext{Pool: pool, Model: model})
-}
-
-// NewDRSDistributor builds the DeepRecSys-style threshold baseline.
-//
-// Deprecated: use NewPolicy("drs", ...) or an Engine with
-// WithPolicy("drs") and WithDRSThreshold.
-func NewDRSDistributor(pool Pool, model Model, threshold int) Distributor {
-	if threshold == 0 {
-		// The registry maps 0 to DefaultDRSThreshold; this constructor has
-		// always treated 0 as a literal threshold (a valid tuner outcome),
-		// so build it directly to preserve that contract.
-		opts, err := baselinePolicyOptions(PolicyContext{Pool: pool, Model: model})
-		if err != nil {
-			panic(err)
-		}
-		return distributor.NewDRS(opts, 0)
-	}
-	return mustPolicy("drs", PolicyContext{Pool: pool, Model: model, DRSThreshold: threshold})
-}
-
-// NewClockworkDistributor builds the CLKWRK baseline.
-//
-// Deprecated: use NewPolicy("clockwork", ...) or an Engine with
-// WithPolicy("clockwork") and Serve.
-func NewClockworkDistributor(pool Pool, model Model) Distributor {
-	return mustPolicy("clockwork", PolicyContext{Pool: pool, Model: model})
-}
 
 // Cluster is a simulated deployment of one configuration serving one
 // model. Engine.Evaluate, Engine.AllowableThroughput, and

@@ -15,6 +15,17 @@ func sampleBatches(n int, seed int64) []int {
 	return out
 }
 
+// policyOrDie resolves a registry policy for tests that drive Cluster
+// directly with mixed policies.
+func policyOrDie(t *testing.T, name string, ctx PolicyContext) Distributor {
+	t.Helper()
+	d, err := NewPolicy(name, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
 func TestFacadeCatalogs(t *testing.T) {
 	if len(DefaultPool()) != 4 {
 		t.Fatal("default pool must have 4 types")
@@ -27,41 +38,6 @@ func TestFacadeCatalogs(t *testing.T) {
 	}
 	if _, err := ModelByName("nope"); err == nil {
 		t.Fatal("unknown model must error")
-	}
-}
-
-func TestFacadePlannerPipeline(t *testing.T) {
-	t.Parallel()
-	pool := DefaultPool()
-	m, _ := ModelByName("RM2")
-	p, err := NewPlanner(pool, m, sampleBatches(5000, 1))
-	if err != nil {
-		t.Fatal(err)
-	}
-	pick := p.Plan(2.5)
-	if pick == nil || pick.Total() == 0 {
-		t.Fatalf("pick = %v", pick)
-	}
-	if !pool.WithinBudget(pick, 2.5) {
-		t.Fatalf("pick %v exceeds budget", pick)
-	}
-	ranked := p.Rank(2.5)
-	if len(ranked) < 100 {
-		t.Fatalf("ranking size %d", len(ranked))
-	}
-	if p.UpperBound(pick) <= 0 {
-		t.Fatal("pick upper bound must be positive")
-	}
-	// Kairos+ over a synthetic evaluator terminates and returns a best.
-	res := p.PlanPlus(2.5, func(c Config) float64 { return p.UpperBound(c) * 0.9 })
-	if res.Best == nil || res.Evaluations == 0 {
-		t.Fatalf("PlanPlus = %+v", res)
-	}
-}
-
-func TestFacadePlannerRejectsEmptySamples(t *testing.T) {
-	if _, err := NewPlanner(DefaultPool(), Models()[0], nil); err == nil {
-		t.Fatal("expected error")
 	}
 }
 
@@ -80,7 +56,7 @@ func TestFacadeClusterLifecycle(t *testing.T) {
 		t.Fatal(err)
 	}
 	mon := NewMonitor()
-	res := cl.Run(NewWarmedKairosDistributor(pool, m, mon), RunOptions{
+	res := cl.Run(policyOrDie(t, "kairos+warm", PolicyContext{Pool: pool, Model: m, Monitor: mon}), RunOptions{
 		RatePerSec: 50, DurationMS: 20000, WarmupMS: 4000, Seed: 3,
 	})
 	if res.Measured.Count == 0 {
@@ -90,7 +66,7 @@ func TestFacadeClusterLifecycle(t *testing.T) {
 		t.Fatal("monitor not fed by served queries")
 	}
 	if qps := cl.AllowableThroughput(func() Distributor {
-		return NewWarmedKairosDistributor(pool, m, nil)
+		return policyOrDie(t, "kairos+warm", PolicyContext{Pool: pool, Model: m})
 	}, 3); qps <= 0 {
 		t.Fatal("allowable throughput must be positive")
 	}
@@ -107,7 +83,7 @@ func TestFacadeColdStartDistributorLearns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := cl.Run(NewKairosDistributor(pool, m, nil), RunOptions{
+	res := cl.Run(policyOrDie(t, "kairos", PolicyContext{Pool: pool, Model: m}), RunOptions{
 		RatePerSec: 20, DurationMS: 60000, WarmupMS: 20000, Seed: 4,
 	})
 	if !res.MeetsQoS {
@@ -124,12 +100,13 @@ func TestFacadeBaselinesOrdering(t *testing.T) {
 		t.Fatal(err)
 	}
 	seed := int64(5)
+	ctx := PolicyContext{Pool: pool, Model: m}
 	kairos := cl.AllowableThroughput(func() Distributor {
-		return NewWarmedKairosDistributor(pool, m, nil)
+		return policyOrDie(t, "kairos+warm", ctx)
 	}, seed)
-	ribbon := cl.AllowableThroughput(Static(NewRibbonDistributor(pool, m)), seed)
-	clkwrk := cl.AllowableThroughput(Static(NewClockworkDistributor(pool, m)), seed)
-	drs := cl.AllowableThroughput(Static(NewDRSDistributor(pool, m, 200)), seed)
+	ribbon := cl.AllowableThroughput(Static(policyOrDie(t, "ribbon", ctx)), seed)
+	clkwrk := cl.AllowableThroughput(Static(policyOrDie(t, "clockwork", ctx)), seed)
+	drs := cl.AllowableThroughput(Static(policyOrDie(t, "drs", PolicyContext{Pool: pool, Model: m, DRSThreshold: 200})), seed)
 	orcl := cl.OracleThroughput(seed)
 	if !(kairos > ribbon) {
 		t.Errorf("KAIROS (%.1f) must beat RIBBON (%.1f)", kairos, ribbon)

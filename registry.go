@@ -121,16 +121,6 @@ func mustRegister(name string, factory PolicyFactory) {
 	}
 }
 
-// mustPolicy backs the deprecated free constructors, which predate the
-// error-returning registry path.
-func mustPolicy(name string, ctx PolicyContext) Distributor {
-	d, err := NewPolicy(name, ctx)
-	if err != nil {
-		panic(err)
-	}
-	return d
-}
-
 // warmedKairos builds the paper's distributor with the latency model
 // pre-trained from the calibrated surfaces.
 func warmedKairos(ctx PolicyContext) Distributor {

@@ -18,6 +18,11 @@ type (
 	Controller = server.Controller
 	// QueryResult reports one completed query on the network path.
 	QueryResult = server.QueryResult
+	// ControllerStats is the controller's accounting snapshot — the shared
+	// observability surface of kairosctl and the autopilot.
+	ControllerStats = server.Stats
+	// InstanceStats is one connected instance's cumulative accounting.
+	InstanceStats = server.InstanceStats
 	// LatencyRecorder accumulates latency samples and reports percentiles.
 	LatencyRecorder = metrics.LatencyRecorder
 )
