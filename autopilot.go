@@ -12,22 +12,43 @@ import (
 // network serving path (see internal/autopilot).
 type (
 	// Autopilot runs the monitor -> detect -> replan -> actuate loop over
-	// a live controller and its in-process fleet. Engine.Autopilot builds
-	// one; Start launches the loop; Close tears the whole serving path
-	// down.
+	// a live multi-model controller and its in-process fleet.
+	// Engine.Autopilot builds one; Start launches the loop; Close tears
+	// the whole serving path down.
 	Autopilot = autopilot.Autopilot
-	// Fleet launches and stops in-process instance servers — the
-	// actuator's "cloud provider".
+	// Fleet launches and stops in-process instance servers per model —
+	// the actuator's "cloud provider".
 	Fleet = autopilot.Fleet
 	// AutopilotStatus is the /metrics view of the control plane.
 	AutopilotStatus = autopilot.Status
+	// AutopilotModelStatus is one model's control section within
+	// AutopilotStatus.
+	AutopilotModelStatus = autopilot.ModelStatus
 	// AutopilotDecision reports one control-loop iteration (see
 	// Autopilot.Step).
 	AutopilotDecision = autopilot.Decision
-	// PlanStatus is the /plan view: the configuration in force and the
+	// AutopilotModelDecision is one model's trigger evaluation within a
+	// Decision.
+	AutopilotModelDecision = autopilot.ModelDecision
+	// PlanStatus is the /plan view: the fleet plan in force and the
 	// replan history heads.
 	PlanStatus = autopilot.PlanStatus
+	// ModelPlanStatus is one model's slice of the fleet plan.
+	ModelPlanStatus = autopilot.ModelPlanStatus
+	// FleetPlan is a multi-model deployment: one configuration per model,
+	// paid from one shared budget (see Engine.PlanFleet).
+	FleetPlan = core.FleetPlan
+	// ModelDemand couples a model with the batch sample describing its
+	// recent traffic — the per-model input to PlanFleetFor.
+	ModelDemand = core.ModelDemand
 )
+
+// PlanFleetFor runs the shared-budget allocator directly over explicit
+// per-model demands — the library entry point for callers that manage
+// their own samples instead of an engine's monitors.
+func PlanFleetFor(pool Pool, demands []ModelDemand, budget float64) (FleetPlan, error) {
+	return core.PlanFleet(pool, demands, budget)
+}
 
 // AutopilotOptions tune Engine.Autopilot. Zero values defer to the
 // autopilot defaults (see internal/autopilot.Options); the drift threshold
@@ -37,44 +58,71 @@ type AutopilotOptions struct {
 	Interval time.Duration
 	// DriftThreshold is the total-variation trigger in (0,1).
 	DriftThreshold float64
-	// Window sizes the live batch-mix and latency windows.
+	// Window sizes the per-model live batch-mix and latency windows.
 	Window int
-	// MinObservations gates the triggers until the window is this warm.
+	// MinObservations gates a model's triggers until its window is this
+	// warm.
 	MinObservations int
 	// SLOPercentile / SLOLatencyMS state the latency objective; zero uses
-	// p99 against the model's QoS target.
+	// p99 against each model's own QoS target.
 	SLOPercentile float64
 	SLOLatencyMS  float64
 	// Cooldown is the minimum wall-clock gap between replans.
 	Cooldown time.Duration
+	// ScaleInFloor arms the scale-in trigger: sustained fleet utilization
+	// below the floor replans under a shrunk budget to shed cost.
+	// 0 disables scale-in.
+	ScaleInFloor float64
+	// ScaleInTicks is the consecutive under-utilized control ticks that
+	// fire scale-in (default 5).
+	ScaleInTicks int
+	// ScaleInHysteresis is the utilization band above the floor that
+	// resets the tick counter (default 0.05).
+	ScaleInHysteresis float64
 	// Logf, when set, receives one line per control decision.
 	Logf func(format string, args ...any)
 }
 
 // Autopilot deploys the engine as a self-managing serving system: it plans
-// the initial configuration from the engine's planning snapshot, launches
-// an in-process fleet of instance servers at timeScale, connects the
-// engine's policy as the central controller, and arms the closed
-// monitor -> detect -> replan -> actuate loop around them. Every replan
-// invokes the engine's one-shot planner with the live window as its
-// sample, under the engine's budget.
+// the initial fleet (one configuration per served model, split from the
+// shared budget by marginal throughput-per-dollar), launches an in-process
+// fleet of instance servers at timeScale, connects the engine's policy as
+// the central controller — one scheduler group per model — and arms the
+// closed monitor -> detect -> replan -> actuate loop around them. Every
+// replan invokes the engine's shared-budget allocator with the live
+// per-model windows as its samples, so a trigger fired by one model can
+// move budget to or from the others; the scale-in trigger replans under a
+// shrunk budget when the fleet is under-utilized.
 //
 // The returned autopilot is idle: call Start to launch the control loop
 // (and optionally StartAdmin for the HTTP endpoint), submit load through
-// Controller, and Close to tear down loop, controller, and fleet.
+// Controller (per model), and Close to tear down loop, controller, and
+// fleet.
 func (e *Engine) Autopilot(timeScale float64, opts AutopilotOptions) (*Autopilot, error) {
 	if err := e.needBudget(); err != nil {
 		return nil, err
 	}
-	plan := func(samples []int) (Config, error) {
-		est, err := core.NewEstimator(e.pool, e.model, samples, core.EstimatorOptions{})
-		if err != nil {
-			return nil, err
+	fullBudget := e.budget
+	plan := func(samples map[string][]int, budget float64) (core.FleetPlan, error) {
+		if budget <= 0 {
+			budget = fullBudget
 		}
-		return est.Plan(e.budget), nil
+		demands := make([]core.ModelDemand, 0, len(e.models))
+		for _, m := range e.models {
+			if s := samples[m.Name]; len(s) > 0 {
+				demands = append(demands, core.ModelDemand{Model: m, Samples: s})
+			}
+		}
+		if len(demands) == 0 {
+			return nil, fmt.Errorf("kairos: no model has a planning sample")
+		}
+		return core.PlanFleet(e.pool, demands, budget)
 	}
-	reference := e.planningSamples()
-	initial, err := plan(reference)
+	references := make(map[string][]int, len(e.models))
+	for _, m := range e.models {
+		references[m.Name] = e.planningSamplesFor(m.Name)
+	}
+	initial, err := plan(references, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -85,7 +133,7 @@ func (e *Engine) Autopilot(timeScale float64, opts AutopilotOptions) (*Autopilot
 	if drift == 0 {
 		drift = e.replanThreshold
 	}
-	fleet := autopilot.NewFleet(e.model, timeScale)
+	fleet := autopilot.NewFleet(timeScale, e.models...)
 	addrs, err := fleet.Deploy(e.pool, initial)
 	if err != nil {
 		fleet.Close()
@@ -97,18 +145,21 @@ func (e *Engine) Autopilot(timeScale float64, opts AutopilotOptions) (*Autopilot
 		return nil, err
 	}
 	ap, err := autopilot.New(ctrl, fleet, initial, autopilot.Options{
-		Pool:            e.pool,
-		Model:           e.model,
-		Plan:            plan,
-		Interval:        opts.Interval,
-		DriftThreshold:  drift,
-		Window:          opts.Window,
-		MinObservations: opts.MinObservations,
-		SLOPercentile:   opts.SLOPercentile,
-		SLOLatencyMS:    opts.SLOLatencyMS,
-		Cooldown:        opts.Cooldown,
-		Reference:       reference,
-		Logf:            opts.Logf,
+		Pool:              e.pool,
+		Models:            e.models,
+		Plan:              plan,
+		Interval:          opts.Interval,
+		DriftThreshold:    drift,
+		Window:            opts.Window,
+		MinObservations:   opts.MinObservations,
+		SLOPercentile:     opts.SLOPercentile,
+		SLOLatencyMS:      opts.SLOLatencyMS,
+		Cooldown:          opts.Cooldown,
+		References:        references,
+		ScaleInFloor:      opts.ScaleInFloor,
+		ScaleInTicks:      opts.ScaleInTicks,
+		ScaleInHysteresis: opts.ScaleInHysteresis,
+		Logf:              opts.Logf,
 	})
 	if err != nil {
 		ctrl.Close()

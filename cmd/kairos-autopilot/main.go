@@ -1,10 +1,10 @@
 // Command kairos-autopilot runs the closed-loop control plane end to end:
-// it plans an initial configuration for the model and budget, launches an
-// in-process fleet of instance servers on loopback TCP, connects the
-// central controller, starts the monitor -> detect -> replan -> actuate
-// loop plus the HTTP admin endpoint, and drives a query load whose
-// batch-size mix optionally shifts mid-run — the Fig. 12 scenario as one
-// self-managing process.
+// it plans an initial fleet for the served model set and shared budget,
+// launches an in-process fleet of instance servers on loopback TCP,
+// connects the central controller (one scheduler group per model), starts
+// the monitor -> detect -> replan -> actuate loop plus the HTTP admin
+// endpoint, and drives a query load whose batch-size mix optionally shifts
+// mid-run — the Fig. 12 scenario as one self-managing process.
 //
 // Usage:
 //
@@ -12,8 +12,13 @@
 //	    -mix gaussian:45:15 -shift-mix gaussian:600:100 -shift 0.4 \
 //	    -listen 127.0.0.1:9090
 //
+// The -model flag is repeatable: several models share the one budget, and
+// the load is spread round-robin across them:
+//
+//	kairos-autopilot -model NCF -model MT-WND -budget 1.2 -queries 3000
+//
 // While it runs, the admin endpoint serves /healthz, /metrics, and /plan
-// as JSON.
+// as JSON with per-model sections.
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"math/rand"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
@@ -78,9 +84,27 @@ func parseMix(spec string) (kairos.BatchDistribution, error) {
 	return nil, bad()
 }
 
+// printPlan renders the per-model fleet plan sections.
+func printPlan(prefix string, plan kairos.PlanStatus) {
+	names := make([]string, 0, len(plan.Models))
+	for name := range plan.Models {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		mp := plan.Models[name]
+		fmt.Printf("%s%-8s %v = %v ($%.2f/hr)\n", prefix, name, mp.Config, mp.Counts, mp.Cost)
+	}
+	fmt.Printf("%stotal $%.2f/hr after %d replan(s)\n", prefix, plan.Cost, plan.Replans)
+}
+
 func main() {
-	modelName := flag.String("model", "NCF", "served model")
-	budget := flag.Float64("budget", 0.8, "cost budget in $/hr")
+	var modelNames []string
+	flag.Func("model", "served model (repeatable; models share the budget)", func(v string) error {
+		modelNames = append(modelNames, v)
+		return nil
+	})
+	budget := flag.Float64("budget", 0.8, "shared cost budget in $/hr")
 	policy := flag.String("policy", kairos.DefaultPolicy,
 		"distribution policy: one of "+strings.Join(kairos.Policies(), ", "))
 	timeScale := flag.Float64("timescale", 1.0, "real seconds per model second")
@@ -88,16 +112,21 @@ func main() {
 	interval := flag.Duration("interval", 250*time.Millisecond, "control-loop period")
 	cooldown := flag.Duration("cooldown", 0, "minimum gap between replans (0 = 2x interval)")
 	drift := flag.Float64("drift", 0, "total-variation drift trigger (0 = default 0.15)")
-	window := flag.Int("window", 2000, "live monitoring window (queries)")
-	minObs := flag.Int("min-obs", 0, "observations before triggers arm (0 = window/10)")
-	queries := flag.Int("queries", 2000, "number of queries to send")
+	window := flag.Int("window", 2000, "live monitoring window per model (queries)")
+	minObs := flag.Int("min-obs", 0, "observations before a model's triggers arm (0 = window/10)")
+	scaleInFloor := flag.Float64("scale-in", 0, "utilization floor arming the scale-in trigger (0 = disabled)")
+	scaleInTicks := flag.Int("scale-in-ticks", 0, "consecutive under-utilized ticks firing scale-in (0 = default 5)")
+	queries := flag.Int("queries", 2000, "number of queries to send (spread across models)")
 	rate := flag.Float64("rate", 300, "Poisson arrival rate (queries/second, model time)")
 	mixSpec := flag.String("mix", "gaussian:45:15", "phase-1 batch mix (trace | gaussian:M:S | uniform:LO:HI | fixed:N)")
-	shiftSpec := flag.String("shift-mix", "gaussian:600:100", "phase-2 batch mix")
+	shiftSpec := flag.String("shift-mix", "gaussian:600:100", "phase-2 batch mix (applies to the last -model)")
 	shiftAt := flag.Float64("shift", 0.4, "fraction of queries after which the mix shifts (1 = never)")
 	seed := flag.Int64("seed", 42, "random seed")
 	flag.Parse()
 
+	if len(modelNames) == 0 {
+		modelNames = []string{"NCF"}
+	}
 	mix, err := parseMix(*mixSpec)
 	if err != nil {
 		log.Fatalf("kairos-autopilot: %v", err)
@@ -114,7 +143,7 @@ func main() {
 	}
 	engine, err := kairos.New(
 		kairos.WithPool(kairos.DefaultPool()),
-		kairos.WithModelName(*modelName),
+		kairos.WithModels(modelNames...),
 		kairos.WithBudget(*budget),
 		kairos.WithPolicy(*policy),
 		kairos.WithBatchSamples(reference),
@@ -129,6 +158,8 @@ func main() {
 		DriftThreshold:  *drift,
 		Window:          *window,
 		MinObservations: *minObs,
+		ScaleInFloor:    *scaleInFloor,
+		ScaleInTicks:    *scaleInTicks,
 		Logf:            log.Printf,
 	})
 	if err != nil {
@@ -141,22 +172,26 @@ func main() {
 	}
 	ap.Start()
 	ctrl := ap.Controller()
-	fmt.Printf("kairos-autopilot: %s under policy %s, plan %v, fleet %v\n",
-		*modelName, engine.Policy(), ap.Current(), ctrl.InstanceCounts())
+	fmt.Printf("kairos-autopilot: %v under policy %s, shared budget $%.2f/hr\n",
+		[]string(modelNames), engine.Policy(), *budget)
+	printPlan("kairos-autopilot:   ", ap.Status().Plan)
 	fmt.Printf("kairos-autopilot: admin on http://%s (/healthz /metrics /plan)\n", adminAddr)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 
+	// The shift applies to the last model's mix; with one model that is
+	// the classic Fig. 12 load change.
+	shiftModel := modelNames[len(modelNames)-1]
 	shiftAfter := int(float64(*queries) * *shiftAt)
 	rec := kairos.NewLatencyRecorder(*queries)
 	results := make([]<-chan kairos.QueryResult, 0, *queries)
-	active := mix
+	shifted := false
 loadLoop:
 	for i := 0; i < *queries; i++ {
-		if i == shiftAfter && *shiftAt < 1 {
-			active = shiftMix
-			fmt.Printf("kairos-autopilot: --- mix shifts after %d queries ---\n", i)
+		if i >= shiftAfter && *shiftAt < 1 && !shifted {
+			shifted = true
+			fmt.Printf("kairos-autopilot: --- %s's mix shifts after %d queries ---\n", shiftModel, i)
 		}
 		gapModelMS := rng.ExpFloat64() * 1000 / *rate
 		select {
@@ -165,7 +200,12 @@ loadLoop:
 			break loadLoop
 		case <-time.After(time.Duration(gapModelMS * *timeScale * float64(time.Millisecond))):
 		}
-		results = append(results, ctrl.Submit(active.Sample(rng)))
+		model := modelNames[i%len(modelNames)]
+		active := mix
+		if shifted && model == shiftModel {
+			active = shiftMix
+		}
+		results = append(results, ctrl.Submit(model, active.Sample(rng)))
 	}
 	failed := 0
 	for _, ch := range results {
@@ -181,13 +221,16 @@ loadLoop:
 	status := ap.Status()
 	fmt.Printf("\nlatency (model ms): %s\n", rec.Summarize())
 	fmt.Printf("queries: %d submitted, %d completed, %d failed\n", st.Submitted, st.Completed, st.Failed)
-	fmt.Printf("served by: ")
-	for _, in := range st.Instances {
-		fmt.Printf("%s@%s=%d ", in.TypeName, in.Addr, in.Completed)
+	for _, name := range ctrl.Models() {
+		ms := st.Models[name]
+		fmt.Printf("  %-8s %d completed, served by: ", name, ms.Completed)
+		for _, in := range ms.Instances {
+			fmt.Printf("%s@%s=%d ", in.TypeName, in.Addr, in.Completed)
+		}
+		fmt.Println()
 	}
-	fmt.Println()
-	fmt.Printf("plan: %v = %v ($%.2f/hr) after %d replan(s)\n",
-		status.Plan.Config, status.Plan.Counts, status.Plan.Cost, status.Plan.Replans)
+	fmt.Println("plan:")
+	printPlan("  ", status.Plan)
 	if status.Plan.LastReason != "" {
 		fmt.Printf("last decision: %s\n", status.Plan.LastReason)
 	}

@@ -1,0 +1,195 @@
+// Command kairos-microbench runs the repository's perf-critical
+// microbenchmarks — the assignment solvers (the matching distributor's
+// inner loop), the matching-distributor Assign hot path (the controller's
+// per-round scheduling cost), and the shared-budget fleet allocator — via
+// testing.Benchmark and writes the results as machine-readable JSON, so CI
+// can track the performance trajectory commit over commit.
+//
+// Usage:
+//
+//	kairos-microbench -out BENCH_micro.json [-benchtime 0.5s]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"kairos"
+	"kairos/internal/assignment"
+)
+
+// result is one benchmark's digest.
+type result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// report is the BENCH_micro.json document.
+type report struct {
+	GoVersion string    `json:"go_version"`
+	GOOS      string    `json:"goos"`
+	GOARCH    string    `json:"goarch"`
+	CPUs      int       `json:"cpus"`
+	When      time.Time `json:"when"`
+	Results   []result  `json:"results"`
+}
+
+// randomMatrix builds a reproducible dense cost matrix.
+func randomMatrix(r, c int, seed int64) assignment.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := assignment.NewMatrix(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			m.Set(i, j, rng.Float64()*100)
+		}
+	}
+	return m
+}
+
+// solverBench benchmarks one assignment solver on an n x n matrix.
+func solverBench(solve func(assignment.Matrix) ([]int, []int, float64, error), n int) func(*testing.B) {
+	return func(b *testing.B) {
+		m := randomMatrix(n, n, 42)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, _, err := solve(m); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// assignBench benchmarks the engine policy's Assign round: q waiting
+// queries of the trace mix against n heterogeneous instances.
+func assignBench(q, n int) func(*testing.B) {
+	return func(b *testing.B) {
+		engine, err := kairos.New(
+			kairos.WithPool(kairos.DefaultPool()),
+			kairos.WithModelName("RM2"),
+			kairos.WithPolicy("kairos+warm"),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d, err := engine.Serve()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(42))
+		mix := kairos.DefaultTrace()
+		pool := engine.Pool()
+		queries := make([]kairos.QueryView, q)
+		for i := range queries {
+			queries[i] = kairos.QueryView{Index: i, ID: i, Batch: mix.Sample(rng), WaitMS: rng.Float64() * 5}
+		}
+		instances := make([]kairos.InstanceView, n)
+		for i := range instances {
+			instances[i] = kairos.InstanceView{Index: i, TypeName: pool[i%len(pool)].Name}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d.Assign(float64(i), queries, instances)
+		}
+	}
+}
+
+// planFleetBench benchmarks the shared-budget allocator for two models.
+func planFleetBench() func(*testing.B) {
+	return func(b *testing.B) {
+		rng := rand.New(rand.NewSource(42))
+		mix := kairos.DefaultTrace()
+		samples := make([]int, 2000)
+		for i := range samples {
+			samples[i] = mix.Sample(rng)
+		}
+		rm2, err := kairos.ModelByName("RM2")
+		if err != nil {
+			b.Fatal(err)
+		}
+		ncf, err := kairos.ModelByName("NCF")
+		if err != nil {
+			b.Fatal(err)
+		}
+		demands := []kairos.ModelDemand{
+			{Model: rm2, Samples: samples},
+			{Model: ncf, Samples: samples},
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := kairos.PlanFleetFor(kairos.DefaultPool(), demands, 2.5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func main() {
+	testing.Init() // registers test.benchtime, which testing.Benchmark reads
+	out := flag.String("out", "BENCH_micro.json", "output JSON path (- for stdout)")
+	benchtime := flag.Duration("benchtime", 500*time.Millisecond, "target run time per benchmark")
+	flag.Parse()
+
+	benches := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"Hungarian16", solverBench(assignment.Hungarian, 16)},
+		{"Hungarian64", solverBench(assignment.Hungarian, 64)},
+		{"JV16", solverBench(assignment.Solve, 16)},
+		{"JV64", solverBench(assignment.Solve, 64)},
+		{"DistributorAssign8x4", assignBench(8, 4)},
+		{"DistributorAssign32x8", assignBench(32, 8)},
+		{"DistributorAssign64x16", assignBench(64, 16)},
+		{"PlanFleet2Models", planFleetBench()},
+	}
+
+	rep := report{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		When:      time.Now().UTC(),
+	}
+	if f := flag.Lookup("test.benchtime"); f != nil {
+		f.Value.Set(benchtime.String())
+	}
+	for _, bench := range benches {
+		r := testing.Benchmark(bench.fn)
+		rep.Results = append(rep.Results, result{
+			Name:        bench.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+		fmt.Fprintf(os.Stderr, "%-24s %10d iters %12.0f ns/op %8d B/op %6d allocs/op\n",
+			bench.name, r.N, float64(r.T.Nanoseconds())/float64(r.N), r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+
+	payload, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	payload = append(payload, '\n')
+	if *out == "-" {
+		os.Stdout.Write(payload)
+		return
+	}
+	if err := os.WriteFile(*out, payload, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "kairos-microbench: wrote %s\n", *out)
+}

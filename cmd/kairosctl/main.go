@@ -2,12 +2,14 @@
 // kairosd instance servers and drives a Poisson query load through it,
 // reporting the end-to-end tail latency (the real-process counterpart of
 // the simulator experiments). The distribution policy is selected by
-// registry name.
+// registry name. The -model flag is repeatable: one scheduler group is
+// built per model, each dialed kairosd joins the group its banner
+// announces, and the load is spread round-robin across the models.
 //
 // Usage (after starting kairosd daemons):
 //
 //	kairosctl -model RM2 -addrs 127.0.0.1:7001,127.0.0.1:7002 -rate 20 -queries 200
-//	kairosctl -model RM2 -addrs 127.0.0.1:7001,127.0.0.1:7002 -policy clockwork
+//	kairosctl -model RM2 -model NCF -addrs 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003
 package main
 
 import (
@@ -23,16 +25,23 @@ import (
 )
 
 func main() {
-	modelName := flag.String("model", "RM2", "served model")
+	var modelNames []string
+	flag.Func("model", "served model (repeatable)", func(v string) error {
+		modelNames = append(modelNames, v)
+		return nil
+	})
 	addrList := flag.String("addrs", "", "comma-separated kairosd addresses")
 	policy := flag.String("policy", kairos.DefaultPolicy,
 		"distribution policy: one of "+strings.Join(kairos.Policies(), ", "))
 	rate := flag.Float64("rate", 20, "Poisson arrival rate (queries/second, model time)")
-	queries := flag.Int("queries", 200, "number of queries to send")
+	queries := flag.Int("queries", 200, "number of queries to send (spread across models)")
 	timeScale := flag.Float64("timescale", 1.0, "must match the kairosd daemons")
 	seed := flag.Int64("seed", 42, "random seed for the load")
 	flag.Parse()
 
+	if len(modelNames) == 0 {
+		modelNames = []string{"RM2"}
+	}
 	addrs := strings.Split(*addrList, ",")
 	if *addrList == "" || len(addrs) == 0 {
 		log.Fatal("kairosctl: -addrs required")
@@ -40,25 +49,28 @@ func main() {
 
 	engine, err := kairos.New(
 		kairos.WithPool(kairos.DefaultPool()),
-		kairos.WithModelName(*modelName),
+		kairos.WithModels(modelNames...),
 		kairos.WithPolicy(*policy),
 		kairos.WithSeed(*seed),
 	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	model := engine.Model()
 
 	ctrl, err := engine.Connect(*timeScale, addrs)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer ctrl.Close()
-	fmt.Printf("kairosctl: policy %s connected to %v\n", engine.Policy(), ctrl.InstanceTypes())
+	fmt.Printf("kairosctl: policy %s serving %v, connected to %v\n",
+		engine.Policy(), ctrl.Models(), ctrl.InstanceTypes())
 
 	rng := rand.New(rand.NewSource(*seed))
 	dist := kairos.DefaultTrace()
-	rec := kairos.NewLatencyRecorder(*queries)
+	recs := make(map[string]*kairos.LatencyRecorder, len(modelNames))
+	for _, name := range modelNames {
+		recs[name] = kairos.NewLatencyRecorder(*queries/len(modelNames) + 1)
+	}
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 
@@ -66,17 +78,18 @@ func main() {
 	for i := 0; i < *queries; i++ {
 		gapModelMS := rng.ExpFloat64() * 1000 / *rate
 		time.Sleep(time.Duration(gapModelMS * *timeScale * float64(time.Millisecond)))
+		model := modelNames[i%len(modelNames)]
 		batch := dist.Sample(rng)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			res := ctrl.SubmitWait(batch)
+			res := ctrl.SubmitWait(model, batch)
 			if res.Err != nil {
 				return
 			}
 			mu.Lock()
 			defer mu.Unlock()
-			rec.Record(res.LatencyMS)
+			recs[model].Record(res.LatencyMS)
 		}()
 	}
 	wg.Wait()
@@ -87,11 +100,21 @@ func main() {
 	st := ctrl.Stats()
 	fmt.Printf("sent %d queries in %.1fs wall time (%d completed, %d failed)\n",
 		*queries, elapsed.Seconds(), st.Completed, st.Failed)
-	fmt.Printf("latency (model ms): %s\n", rec.Summarize())
-	fmt.Printf("p99 %.1fms vs QoS %.0fms -> meets QoS: %v\n", rec.Percentile(99), model.QoS, rec.MeetsQoS(model.QoS, 99))
-	fmt.Printf("served by:\n")
-	for _, in := range st.Instances {
-		fmt.Printf("  %-12s %s: %d completed, busy %.1f model-ms\n",
-			in.TypeName, in.Addr, in.Completed, in.BusyMS)
+	for _, name := range modelNames {
+		model, err := kairos.ModelByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rec := recs[name]
+		ms := st.Models[name]
+		fmt.Printf("%s:\n", name)
+		fmt.Printf("  latency (model ms): %s\n", rec.Summarize())
+		fmt.Printf("  p99 %.1fms vs QoS %.0fms -> meets QoS: %v\n",
+			rec.Percentile(99), model.QoS, rec.MeetsQoS(model.QoS, 99))
+		fmt.Printf("  served by:\n")
+		for _, in := range ms.Instances {
+			fmt.Printf("    %-12s %s: %d completed, busy %.1f model-ms\n",
+				in.TypeName, in.Addr, in.Completed, in.BusyMS)
+		}
 	}
 }

@@ -17,16 +17,17 @@ const DefaultPolicy = "kairos+warm"
 // available (the paper tracks ~10000 recent queries).
 const defaultPlanSamples = 10000
 
-// minPlanObservations guards the cold-to-warm handoff: the monitor must
-// hold at least this many samples (10% of the paper's window) before its
-// view replaces the synthetic snapshot, so a single early completion never
-// collapses planning onto a one-point mix.
+// minPlanObservations guards the cold-to-warm handoff: a model's monitor
+// must hold at least this many samples (10% of the paper's window) before
+// its view replaces the synthetic snapshot, so a single early completion
+// never collapses planning onto a one-point mix.
 const minPlanObservations = 1000
 
 // Engine is the managed entry point to the reproduction: one object that
-// owns the deployment context (pool, model, budget), the shared query
-// monitor, and the selected distribution policy, and exposes the paper's
-// full plan -> serve -> evaluate -> adapt lifecycle as methods.
+// owns the deployment context (pool, served model set, shared budget), a
+// query monitor per model, and the selected distribution policy, and
+// exposes the paper's full plan -> serve -> evaluate -> adapt lifecycle as
+// methods.
 //
 // Build it with New and functional options:
 //
@@ -37,19 +38,27 @@ const minPlanObservations = 1000
 //		kairos.WithPolicy("kairos+warm"),
 //	)
 //
+// An engine serves one model (WithModel / WithModelName) or several under
+// one shared budget (WithModels). The single-model planning and simulation
+// methods (Plan, Rank, Evaluate, ...) require a single-model engine;
+// multi-model engines plan with PlanFleet and serve through Connect or
+// Autopilot, which partition the live path per model.
+//
 // Policies are resolved by name through the registry (see RegisterPolicy
 // and Policies), so callers select them as data — e.g. from a -policy
 // command-line flag — instead of hard-wiring constructors.
 type Engine struct {
 	pool     Pool
-	model    Model
-	hasModel bool
+	models   []Model
 	budget   float64
 	policy   string
-	monitor  *Monitor
-	batches  BatchDistribution
-	samples  []int
-	seed     int64
+	monitors map[string]*Monitor
+	// sharedMonitor is the WithMonitor override for the primary model.
+	sharedMonitor *Monitor
+	batches       BatchDistribution
+	samples       []int
+	modelSamples  map[string][]int
+	seed          int64
 
 	replanThreshold float64
 	drsThreshold    int
@@ -58,11 +67,11 @@ type Engine struct {
 	probeQueries  int
 	precisionFrac float64
 
-	// est caches the estimator while the planning snapshot is deterministic
-	// (pinned by WithBatchSamples, or synthesized from the trace while the
-	// monitor is still cold); once the monitor has observed traffic it is
-	// re-read on every planning call so a drifting mix is never planned
-	// from stale data.
+	// est caches the primary model's estimator while the planning snapshot
+	// is deterministic (pinned by WithBatchSamples, or synthesized from the
+	// trace while the monitor is still cold); once the monitor has observed
+	// traffic it is re-read on every planning call so a drifting mix is
+	// never planned from stale data.
 	est *core.Estimator
 }
 
@@ -84,11 +93,20 @@ func New(opts ...Option) (*Engine, error) {
 	if len(e.pool) == 0 {
 		return nil, fmt.Errorf("kairos: engine needs a pool (use WithPool)")
 	}
-	if !e.hasModel {
-		return nil, fmt.Errorf("kairos: engine needs a model (use WithModel or WithModelName)")
+	if len(e.models) == 0 {
+		return nil, fmt.Errorf("kairos: engine needs a model (use WithModel, WithModelName, or WithModels)")
 	}
-	if e.monitor == nil {
-		e.monitor = NewMonitor()
+	for name := range e.modelSamples {
+		if e.modelByName(name) == nil {
+			return nil, fmt.Errorf("kairos: WithModelSamples names %q, but the engine serves %v", name, e.modelNames())
+		}
+	}
+	e.monitors = make(map[string]*Monitor, len(e.models))
+	for _, m := range e.models {
+		e.monitors[m.Name] = NewMonitor()
+	}
+	if e.sharedMonitor != nil {
+		e.monitors[e.models[0].Name] = e.sharedMonitor
 	}
 	return e, nil
 }
@@ -96,25 +114,72 @@ func New(opts ...Option) (*Engine, error) {
 // Pool returns the engine's instance pool.
 func (e *Engine) Pool() Pool { return e.pool }
 
-// Model returns the engine's served model.
-func (e *Engine) Model() Model { return e.model }
+// Model returns the engine's primary served model (the first of Models).
+func (e *Engine) Model() Model { return e.models[0] }
 
-// Budget returns the cost budget in $/hr (0 when unset).
+// Models returns the engine's served model set in option order.
+func (e *Engine) Models() []Model {
+	out := make([]Model, len(e.models))
+	copy(out, e.models)
+	return out
+}
+
+// modelNames lists the served model names in option order.
+func (e *Engine) modelNames() []string {
+	out := make([]string, len(e.models))
+	for i, m := range e.models {
+		out[i] = m.Name
+	}
+	return out
+}
+
+// modelByName returns the served model with the given name, or nil.
+func (e *Engine) modelByName(name string) *Model {
+	for i := range e.models {
+		if e.models[i].Name == name {
+			return &e.models[i]
+		}
+	}
+	return nil
+}
+
+// primary returns the engine's model for the single-model methods,
+// erroring on a multi-model engine where "the model" is ambiguous.
+func (e *Engine) primary() (Model, error) {
+	if len(e.models) != 1 {
+		return Model{}, fmt.Errorf("kairos: engine serves %d models (%v); use PlanFleet/Connect/Autopilot, or build a single-model engine",
+			len(e.models), e.modelNames())
+	}
+	return e.models[0], nil
+}
+
+// Budget returns the shared cost budget in $/hr (0 when unset).
 func (e *Engine) Budget() float64 { return e.budget }
 
 // Policy returns the selected policy's registry name.
 func (e *Engine) Policy() string { return e.policy }
 
-// Monitor returns the engine's shared query monitor. Distributors built by
+// Monitor returns the primary model's query monitor. Distributors built by
 // Serve feed it (when the policy supports a monitor), and Plan and Replan
 // read it; callers may also warm it directly with Monitor.Observe.
-func (e *Engine) Monitor() *Monitor { return e.monitor }
+func (e *Engine) Monitor() *Monitor { return e.monitors[e.models[0].Name] }
 
-// policyContext assembles the registry context from the engine state.
-func (e *Engine) policyContext(monitor *Monitor) PolicyContext {
+// MonitorFor returns the named model's query monitor. The live serving
+// path (Connect, Autopilot) feeds each model's monitor from that model's
+// completions.
+func (e *Engine) MonitorFor(model string) (*Monitor, error) {
+	m, ok := e.monitors[model]
+	if !ok {
+		return nil, fmt.Errorf("kairos: engine does not serve model %q (have %v)", model, e.modelNames())
+	}
+	return m, nil
+}
+
+// policyContextFor assembles the registry context for one served model.
+func (e *Engine) policyContextFor(m Model, monitor *Monitor) PolicyContext {
 	return PolicyContext{
 		Pool:         e.pool,
-		Model:        e.model,
+		Model:        m,
 		Monitor:      monitor,
 		DRSThreshold: e.drsThreshold,
 		Partitions:   e.partitions,
@@ -122,19 +187,29 @@ func (e *Engine) policyContext(monitor *Monitor) PolicyContext {
 }
 
 // Serve builds the configured policy's distributor wired to the engine's
-// shared monitor — the live serving path.
+// monitor — the live serving path of a single-model engine. Multi-model
+// engines serve through Connect, which builds one distributor per model.
 func (e *Engine) Serve() (Distributor, error) {
-	return NewPolicy(e.policy, e.policyContext(e.monitor))
+	m, err := e.primary()
+	if err != nil {
+		return nil, err
+	}
+	return NewPolicy(e.policy, e.policyContextFor(m, e.monitors[m.Name]))
 }
 
 // Factory returns a DistributorFactory building fresh instances of the
 // engine's policy per evaluation run, so stateful policies (online
 // learners) never leak knowledge across probes. Evaluation-run policies do
 // not feed the engine monitor. The factory panics if the policy factory
-// errors; Evaluate and AllowableThroughput probe one construction first
-// and surface the error instead.
+// errors — or if the engine serves several models, where "the model" is
+// ambiguous; Evaluate and AllowableThroughput probe one construction
+// first and surface the error instead.
 func (e *Engine) Factory() DistributorFactory {
-	ctx := e.policyContext(nil)
+	m, err := e.primary()
+	if err != nil {
+		return func() Distributor { panic(err) }
+	}
+	ctx := e.policyContextFor(m, nil)
 	name := e.policy
 	return func() Distributor {
 		d, err := NewPolicy(name, ctx)
@@ -150,28 +225,46 @@ func (e *Engine) Factory() DistributorFactory {
 // reject the evaluation context (e.g. a downstream policy requiring a
 // monitor), which New cannot see because it never invokes the factory.
 func (e *Engine) evalFactory() (DistributorFactory, error) {
-	if _, err := NewPolicy(e.policy, e.policyContext(nil)); err != nil {
+	if _, err := NewPolicy(e.policy, e.policyContextFor(e.models[0], nil)); err != nil {
 		return nil, err
 	}
 	return e.Factory(), nil
 }
 
-// monitorWarmed reports whether the monitor's view should drive planning.
-func (e *Engine) monitorWarmed() bool {
-	return e.samples == nil && e.monitor.Count() >= minPlanObservations
+// pinnedSamples resolves an explicit batch-sample pin for the model:
+// the per-model WithModelSamples pin, else the engine-wide
+// WithBatchSamples pin.
+func (e *Engine) pinnedSamples(model string) []int {
+	if s := e.modelSamples[model]; s != nil {
+		return s
+	}
+	return e.samples
 }
 
-// planningSamples resolves the batch-size snapshot the planner consumes:
-// the pinned WithBatchSamples snapshot, else the warmed monitor's view,
-// else a synthetic draw from the engine's trace.
-func (e *Engine) planningSamples() []int {
-	if e.samples != nil {
-		return e.samples
+// monitorWarmedFor reports whether the model's monitor view should drive
+// its planning.
+func (e *Engine) monitorWarmedFor(model string) bool {
+	return e.pinnedSamples(model) == nil && e.monitors[model].Count() >= minPlanObservations
+}
+
+// planningSamplesFor resolves the batch-size snapshot the planner consumes
+// for one model: the pinned snapshot, else the warmed monitor's view, else
+// a synthetic draw from the engine's trace (decorrelated across models).
+func (e *Engine) planningSamplesFor(model string) []int {
+	if s := e.pinnedSamples(model); s != nil {
+		return s
 	}
-	if e.monitorWarmed() {
-		return e.monitor.Snapshot()
+	if e.monitorWarmedFor(model) {
+		return e.monitors[model].Snapshot()
 	}
-	rng := rand.New(rand.NewSource(e.seed))
+	seed := e.seed
+	for i, m := range e.models {
+		if m.Name == model {
+			seed += int64(i)
+			break
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
 	out := make([]int, defaultPlanSamples)
 	for i := range out {
 		out[i] = e.batches.Sample(rng)
@@ -179,17 +272,22 @@ func (e *Engine) planningSamples() []int {
 	return out
 }
 
-// estimator builds the throughput upper-bound estimator (Sec. 5.2).
+// estimator builds the primary model's throughput upper-bound estimator
+// (Sec. 5.2).
 func (e *Engine) estimator() (*core.Estimator, error) {
-	if e.monitorWarmed() {
+	m, err := e.primary()
+	if err != nil {
+		return nil, err
+	}
+	if e.monitorWarmedFor(m.Name) {
 		// Monitor-sourced: always plan from the live mix, and drop any
 		// cold-start cache built before traffic arrived.
 		e.est = nil
-		return core.NewEstimator(e.pool, e.model, e.planningSamples(), core.EstimatorOptions{})
+		return core.NewEstimator(e.pool, m, e.planningSamplesFor(m.Name), core.EstimatorOptions{})
 	}
 	// Pinned samples or the deterministic synthetic fallback: cacheable.
 	if e.est == nil {
-		est, err := core.NewEstimator(e.pool, e.model, e.planningSamples(), core.EstimatorOptions{})
+		est, err := core.NewEstimator(e.pool, m, e.planningSamplesFor(m.Name), core.EstimatorOptions{})
 		if err != nil {
 			return nil, err
 		}
@@ -208,6 +306,7 @@ func (e *Engine) needBudget() error {
 
 // Plan returns the one-shot configuration for the engine's budget from the
 // current batch-size snapshot — no online exploration (Sec. 5.2).
+// Single-model engines only; see PlanFleet.
 func (e *Engine) Plan() (Config, error) {
 	if err := e.needBudget(); err != nil {
 		return nil, err
@@ -219,8 +318,24 @@ func (e *Engine) Plan() (Config, error) {
 	return est.Plan(e.budget), nil
 }
 
+// PlanFleet splits the engine's shared budget across every served model by
+// greedy marginal throughput-per-dollar over each model's ranked
+// configurations, planning each model from its own batch-size snapshot
+// (pinned samples, warmed monitor, or the synthetic trace). It is the
+// multi-model counterpart of Plan and also works on a single-model engine.
+func (e *Engine) PlanFleet() (FleetPlan, error) {
+	if err := e.needBudget(); err != nil {
+		return nil, err
+	}
+	demands := make([]core.ModelDemand, len(e.models))
+	for i, m := range e.models {
+		demands[i] = core.ModelDemand{Model: m, Samples: e.planningSamplesFor(m.Name)}
+	}
+	return core.PlanFleet(e.pool, demands, e.budget)
+}
+
 // Rank returns every configuration within the engine's budget sorted by
-// descending throughput upper bound.
+// descending throughput upper bound. Single-model engines only.
 func (e *Engine) Rank() ([]RankedConfig, error) {
 	if err := e.needBudget(); err != nil {
 		return nil, err
@@ -233,7 +348,7 @@ func (e *Engine) Rank() ([]RankedConfig, error) {
 }
 
 // UpperBound estimates the throughput ceiling of one configuration
-// (Eqs. 9-15).
+// (Eqs. 9-15). Single-model engines only.
 func (e *Engine) UpperBound(cfg Config) (float64, error) {
 	if err := e.validConfig(cfg); err != nil {
 		return 0, err
@@ -246,7 +361,7 @@ func (e *Engine) UpperBound(cfg Config) (float64, error) {
 }
 
 // PlanPlus runs the Kairos+ pruning search (Algorithm 1) using eval as the
-// expensive online measurement.
+// expensive online measurement. Single-model engines only.
 func (e *Engine) PlanPlus(eval func(Config) float64) (PlusResult, error) {
 	ranked, err := e.Rank()
 	if err != nil {
@@ -262,15 +377,19 @@ func (e *Engine) validConfig(cfg Config) error {
 
 // spec assembles the simulation spec for a configuration.
 func (e *Engine) spec(cfg Config) (sim.ClusterSpec, error) {
+	m, err := e.primary()
+	if err != nil {
+		return sim.ClusterSpec{}, err
+	}
 	if err := e.validConfig(cfg); err != nil {
 		return sim.ClusterSpec{}, err
 	}
-	return sim.ClusterSpec{Pool: e.pool, Config: cfg, Model: e.model}, nil
+	return sim.ClusterSpec{Pool: e.pool, Config: cfg, Model: m}, nil
 }
 
 // Evaluate simulates one run of cfg under a fresh instance of the engine's
 // policy. Zero-valued RunOptions fields fall back to the engine's seed and
-// trace.
+// trace. Single-model engines only.
 func (e *Engine) Evaluate(cfg Config, opts RunOptions) (Result, error) {
 	spec, err := e.spec(cfg)
 	if err != nil {
@@ -297,7 +416,7 @@ func (e *Engine) Evaluate(cfg Config, opts RunOptions) (Result, error) {
 
 // AllowableThroughput measures the paper's headline metric for cfg under
 // the engine's policy: the maximum arrival rate whose p99 latency stays
-// within the model's QoS target.
+// within the model's QoS target. Single-model engines only.
 func (e *Engine) AllowableThroughput(cfg Config) (float64, error) {
 	spec, err := e.spec(cfg)
 	if err != nil {
@@ -316,7 +435,7 @@ func (e *Engine) AllowableThroughput(cfg Config) (float64, error) {
 }
 
 // OracleThroughput evaluates the clairvoyant ORCL reference scheduler on
-// cfg (Sec. 7).
+// cfg (Sec. 7). Single-model engines only.
 func (e *Engine) OracleThroughput(cfg Config) (float64, error) {
 	spec, err := e.spec(cfg)
 	if err != nil {
@@ -333,12 +452,18 @@ func (e *Engine) OracleThroughput(cfg Config) (float64, error) {
 // Replanner whose Check replans in one shot when the mix drifts past the
 // engine's threshold (WithReplan). The monitor must already have observed
 // traffic — serve through Serve's distributor or warm it directly.
+// Single-model engines only; multi-model engines adapt through Autopilot.
 func (e *Engine) Replan() (*Replanner, error) {
+	m, err := e.primary()
+	if err != nil {
+		return nil, err
+	}
 	if err := e.needBudget(); err != nil {
 		return nil, err
 	}
-	if n := e.monitor.Count(); n < minPlanObservations {
+	monitor := e.monitors[m.Name]
+	if n := monitor.Count(); n < minPlanObservations {
 		return nil, fmt.Errorf("kairos: replanning needs a warmed monitor (%d/%d observations)", n, minPlanObservations)
 	}
-	return adapt.NewReplanner(e.pool, e.model, e.budget, e.replanThreshold, e.monitor)
+	return adapt.NewReplanner(e.pool, m, e.budget, e.replanThreshold, monitor)
 }

@@ -216,7 +216,7 @@ func TestEngineConnectFeedsPolicyAndMonitor(t *testing.T) {
 	}
 	defer ctrl.Close()
 	for i := 0; i < 3; i++ {
-		if res := ctrl.SubmitWait(10); res.Err != nil {
+		if res := ctrl.SubmitWait(model.Name, 10); res.Err != nil {
 			t.Fatal(res.Err)
 		}
 	}
@@ -297,7 +297,7 @@ func TestEngineAutopilotLifecycle(t *testing.T) {
 	}
 	// Serve a disjoint large-batch mix; one step must replan and actuate.
 	for i := 0; i < 40; i++ {
-		if res := ap.Controller().SubmitWait(500 + i); res.Err != nil {
+		if res := ap.Controller().SubmitWait("NCF", 500+i); res.Err != nil {
 			t.Fatal(res.Err)
 		}
 	}

@@ -75,7 +75,7 @@ func main() {
 	serve := func(label string, mix kairos.BatchDistribution, n int, gapMS float64) int {
 		done := make([]<-chan kairos.QueryResult, n)
 		for i := 0; i < n; i++ {
-			done[i] = ctrl.Submit(mix.Sample(rng))
+			done[i] = ctrl.Submit("NCF", mix.Sample(rng))
 			time.Sleep(time.Duration(gapMS * float64(time.Millisecond)))
 		}
 		failed := 0
@@ -117,8 +117,9 @@ func main() {
 	resp.Body.Close()
 
 	st := ctrl.Stats()
+	mp := plan.Models["NCF"]
 	fmt.Printf("\n/plan now serves: config %v = %v ($%.2f/hr), %d replan(s): %s\n",
-		plan.Config, plan.Counts, plan.Cost, plan.Replans, plan.LastReason)
+		mp.Config, mp.Counts, mp.Cost, plan.Replans, plan.LastReason)
 	fmt.Printf("fleet: %v\n", ctrl.InstanceCounts())
 	fmt.Printf("queries: %d submitted, %d completed, %d failed\n",
 		st.Submitted, st.Completed, st.Failed)

@@ -71,7 +71,7 @@ func main() {
 		wg.Add(1)
 		go func(batch int) {
 			defer wg.Done()
-			res := ctrl.SubmitWait(batch)
+			res := ctrl.SubmitWait(model.Name, batch)
 			mu.Lock()
 			defer mu.Unlock()
 			if res.Err != nil {

@@ -1,0 +1,167 @@
+// Multimodel example: two models, one engine, one shared budget, on the
+// real TCP serving path — closed-loop. The engine's shared-budget
+// allocator splits $0.90/hr between NCF (a fast recommender) and MT-WND
+// (a heavier ranker) from each model's observed batch mix and deploys both
+// fleets as live instance servers behind one controller with per-model
+// scheduler groups. Mid-run MT-WND's mix shifts to large batches that only
+// the GPU can serve within QoS; the autopilot's per-model drift window
+// trips, the fleet replans as a whole, and the actuator moves budget
+// between the models — NCF's CPU fleet shrinks to fund MT-WND's GPU —
+// without dropping a single in-flight query.
+//
+// Run with: go run ./examples/multimodel
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"kairos"
+)
+
+const (
+	budget    = 0.9 // $/hr shared by both models
+	timeScale = 1.0 // NCF/MT-WND latencies are ms-scale; run in real time
+	modelA    = "NCF"
+	modelB    = "MT-WND"
+)
+
+// draw samples n batch sizes from mix.
+func draw(rng *rand.Rand, mix kairos.BatchDistribution, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = mix.Sample(rng)
+	}
+	return out
+}
+
+// printPlan renders each model's slice of the fleet plan.
+func printPlan(plan kairos.FleetPlan, pool kairos.Pool) {
+	names := plan.Models()
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("  %-8s %v ($%.2f/hr)\n", name, plan[name], pool.Cost(plan[name]))
+	}
+	fmt.Printf("  total $%.2f/hr of $%.2f/hr budget\n", plan.Cost(pool), budget)
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	pool := kairos.DefaultPool()
+	smallA := kairos.Uniform(10, 60)   // NCF's steady mix: CPU-friendly
+	smallB := kairos.Uniform(10, 80)   // MT-WND phase 1: CPU-friendly
+	largeB := kairos.Uniform(500, 800) // MT-WND phase 2: GPU-only within QoS
+
+	engine, err := kairos.New(
+		kairos.WithPool(pool),
+		kairos.WithModels(modelA, modelB),
+		kairos.WithBudget(budget),
+		kairos.WithPolicy("kairos+warm"),
+		kairos.WithModelSamples(modelA, draw(rng, smallA, 2000)),
+		kairos.WithModelSamples(modelB, draw(rng, smallB, 2000)),
+		kairos.WithSeed(7),
+	)
+	if err != nil {
+		panic(err)
+	}
+
+	ap, err := engine.Autopilot(timeScale, kairos.AutopilotOptions{
+		Interval:        25 * time.Millisecond,
+		Cooldown:        50 * time.Millisecond,
+		Window:          300,
+		MinObservations: 100,
+		Logf:            log.Printf,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer ap.Close()
+	adminAddr, err := ap.StartAdmin("127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	ap.Start()
+	ctrl := ap.Controller()
+
+	initial := ap.Current()
+	fmt.Printf("initial fleet plan (admin http://%s):\n", adminAddr)
+	printPlan(initial, pool)
+	fmt.Println()
+
+	// serve pushes n queries of mix for one model, pacing gapMS apart, and
+	// reports failures through the shared counter. Each call owns its rng:
+	// the phases run two of these concurrently and *rand.Rand is not
+	// goroutine-safe.
+	var failMu sync.Mutex
+	failures := 0
+	serveSeed := int64(100)
+	serve := func(wg *sync.WaitGroup, model string, mix kairos.BatchDistribution, n int, gapMS float64) {
+		defer wg.Done()
+		failMu.Lock()
+		serveSeed++
+		rng := rand.New(rand.NewSource(serveSeed))
+		failMu.Unlock()
+		done := make([]<-chan kairos.QueryResult, n)
+		for i := 0; i < n; i++ {
+			done[i] = ctrl.Submit(model, mix.Sample(rng))
+			time.Sleep(time.Duration(gapMS * float64(time.Millisecond)))
+		}
+		rec := kairos.NewLatencyRecorder(n)
+		failed := 0
+		for _, ch := range done {
+			res := <-ch
+			if res.Err != nil {
+				failed++
+				continue
+			}
+			rec.Record(res.LatencyMS)
+		}
+		failMu.Lock()
+		failures += failed
+		fmt.Printf("%-8s %s (failed %d)\n", model, rec.Summarize(), failed)
+		failMu.Unlock()
+	}
+
+	fmt.Println("phase 1: both models on their small-batch mixes")
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go serve(&wg, modelA, smallA, 200, 2)
+	go serve(&wg, modelB, smallB, 150, 3)
+	wg.Wait()
+
+	fmt.Printf("\n--- %s's mix shifts to large batches ---\n", modelB)
+	wg.Add(2)
+	go serve(&wg, modelA, smallA, 150, 3)
+	go serve(&wg, modelB, largeB, 200, 8)
+	wg.Wait()
+
+	// The loop ticks in the background; wait for the fleet replan to land.
+	deadline := time.Now().Add(10 * time.Second)
+	for ap.Replans() == 0 && time.Now().Before(deadline) {
+		time.Sleep(25 * time.Millisecond)
+	}
+	fmt.Println("\nafter reconfiguration:")
+	wg.Add(2)
+	go serve(&wg, modelA, smallA, 40, 3)
+	go serve(&wg, modelB, largeB, 40, 8)
+	wg.Wait()
+
+	now := ap.Current()
+	fmt.Println("\nfinal fleet plan:")
+	printPlan(now, pool)
+	st := ctrl.Stats()
+	fmt.Printf("\nqueries: %d submitted, %d completed, %d failed\n",
+		st.Submitted, st.Completed, st.Failed)
+	costA0, costA1 := pool.Cost(initial[modelA]), pool.Cost(now[modelA])
+	costB0, costB1 := pool.Cost(initial[modelB]), pool.Cost(now[modelB])
+	fmt.Printf("budget movement: %s $%.2f->$%.2f/hr, %s $%.2f->$%.2f/hr\n",
+		modelA, costA0, costA1, modelB, costB0, costB1)
+	if ap.Replans() >= 1 && failures == 0 && st.Failed == 0 && costB1 > costB0 {
+		fmt.Printf("\nthe autopilot moved budget from %s to %s as the mixes shifted, with zero dropped queries\n",
+			modelA, modelB)
+	}
+}

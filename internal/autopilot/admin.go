@@ -10,7 +10,7 @@ import (
 	"kairos/internal/server"
 )
 
-// WindowStatus summarizes the live rolling window.
+// WindowStatus summarizes one model's live rolling window.
 type WindowStatus struct {
 	// Observations is the number of batch sizes currently held.
 	Observations int `json:"observations"`
@@ -23,20 +23,27 @@ type WindowStatus struct {
 	P50MS float64 `json:"p50_ms"`
 	P95MS float64 `json:"p95_ms"`
 	P99MS float64 `json:"p99_ms"`
-	// ThroughputQPS is the recent completion rate in model-time QPS.
+	// ThroughputQPS is the model's recent completion rate in model-time
+	// QPS.
 	ThroughputQPS float64 `json:"throughput_qps"`
-	// Utilization is the recent fleet-average busy fraction in [0,1].
-	Utilization float64 `json:"utilization"`
 }
 
-// PlanStatus is the /plan view: the configuration in force and the replan
-// history heads.
-type PlanStatus struct {
+// ModelPlanStatus is one model's slice of the fleet plan.
+type ModelPlanStatus struct {
 	// Config is the per-type instance count vector over the pool.
 	Config []int `json:"config"`
-	// Counts keys the same plan by instance-type name.
+	// Counts keys the same allocation by instance-type name.
 	Counts map[string]int `json:"counts"`
-	// Cost is the plan's $/hr over the pool.
+	// Cost is the allocation's $/hr over the pool.
+	Cost float64 `json:"cost"`
+}
+
+// PlanStatus is the /plan view: the fleet plan in force and the replan
+// history heads.
+type PlanStatus struct {
+	// Models maps each served model to its allocation.
+	Models map[string]ModelPlanStatus `json:"models"`
+	// Cost is the whole fleet's $/hr over the pool.
 	Cost float64 `json:"cost"`
 	// Replans counts actuated reconfigurations.
 	Replans int `json:"replans"`
@@ -46,27 +53,56 @@ type PlanStatus struct {
 	LastReason string `json:"last_reason,omitempty"`
 }
 
+// ModelStatus is one model's control-plane section of /metrics.
+type ModelStatus struct {
+	// Drift is the model's last measured total-variation distance.
+	Drift float64 `json:"drift"`
+	// SLOLatencyMS is the model's latency objective.
+	SLOLatencyMS float64 `json:"slo_latency_ms"`
+	// Plan is the model's slice of the fleet plan.
+	Plan ModelPlanStatus `json:"plan"`
+	// Window is the model's live rolling-window summary.
+	Window WindowStatus `json:"window"`
+}
+
+// ScaleInStatus reports the under-utilization trigger's configuration and
+// progress.
+type ScaleInStatus struct {
+	// Enabled is false when no floor is configured.
+	Enabled bool `json:"enabled"`
+	// Floor and Hysteresis are the trigger's utilization bounds.
+	Floor      float64 `json:"floor,omitempty"`
+	Hysteresis float64 `json:"hysteresis,omitempty"`
+	// TicksBelow is the current consecutive-under-utilized tick count;
+	// TicksNeeded arms the trigger.
+	TicksBelow  int `json:"ticks_below"`
+	TicksNeeded int `json:"ticks_needed,omitempty"`
+}
+
 // Status is the /metrics view: the whole control plane at a glance.
 type Status struct {
 	// Healthy is false after a failed replan or actuation.
 	Healthy bool `json:"healthy"`
 	// UptimeSeconds is wall-clock time since New.
 	UptimeSeconds float64 `json:"uptime_seconds"`
-	// Drift is the last measured total-variation distance.
-	Drift float64 `json:"drift"`
-	// DriftThreshold is the trigger level.
+	// DriftThreshold is the trigger level shared by every model.
 	DriftThreshold float64 `json:"drift_threshold"`
-	// SLOPercentile / SLOLatencyMS state the latency objective.
+	// SLOPercentile is the tail percentile checked per model.
 	SLOPercentile float64 `json:"slo_percentile"`
-	SLOLatencyMS  float64 `json:"slo_latency_ms"`
+	// ThroughputQPS is the recent fleet-wide completion rate in model-time
+	// QPS; Utilization is the recent fleet-average busy fraction in [0,1].
+	ThroughputQPS float64 `json:"throughput_qps"`
+	Utilization   float64 `json:"utilization"`
+	// ScaleIn reports the under-utilization trigger.
+	ScaleIn ScaleInStatus `json:"scale_in"`
 	// LastError is the latest replan/actuation failure, empty when none.
 	LastError string `json:"last_error,omitempty"`
-	// Plan is the configuration in force.
+	// Plan is the fleet plan in force.
 	Plan PlanStatus `json:"plan"`
-	// Window is the live rolling-window summary.
-	Window WindowStatus `json:"window"`
-	// Fleet counts running instance servers per type.
-	Fleet map[string]int `json:"fleet"`
+	// Models carries the per-model control sections.
+	Models map[string]ModelStatus `json:"models"`
+	// Fleet counts running instance servers per model per type.
+	Fleet map[string]map[string]int `json:"fleet"`
 	// Controller is the serving-path accounting snapshot.
 	Controller server.Stats `json:"controller"`
 }
@@ -79,49 +115,83 @@ func zeroNaN(v float64) float64 {
 	return v
 }
 
+// modelPlanStatus renders one model's allocation.
+func (a *Autopilot) modelPlanStatus(cfg []int) ModelPlanStatus {
+	counts := make(map[string]int, len(a.opts.Pool))
+	cost := 0.0
+	for i, t := range a.opts.Pool {
+		if i < len(cfg) && cfg[i] > 0 {
+			counts[t.Name] = cfg[i]
+			cost += float64(cfg[i]) * t.PricePerHour
+		}
+	}
+	return ModelPlanStatus{Config: cfg, Counts: counts, Cost: cost}
+}
+
 // planStatus assembles the /plan view; callers must not hold a.mu.
 func (a *Autopilot) planStatus() PlanStatus {
 	a.mu.Lock()
-	cfg := a.current.Clone()
+	plan := a.current.Clone()
 	replans := a.replans
 	lastChange := a.lastChange
 	lastReason := a.lastReason
 	a.mu.Unlock()
-	counts := make(map[string]int, len(a.opts.Pool))
-	for i, t := range a.opts.Pool {
-		if cfg[i] > 0 {
-			counts[t.Name] = cfg[i]
-		}
-	}
-	return PlanStatus{
-		Config:     cfg,
-		Counts:     counts,
-		Cost:       a.opts.Pool.Cost(cfg),
+	out := PlanStatus{
+		Models:     make(map[string]ModelPlanStatus, len(plan)),
 		Replans:    replans,
 		LastChange: lastChange,
 		LastReason: lastReason,
 	}
+	for _, name := range a.names {
+		cfg := plan[name]
+		if cfg == nil {
+			cfg = make([]int, len(a.opts.Pool))
+		}
+		mp := a.modelPlanStatus(cfg)
+		out.Models[name] = mp
+		out.Cost += mp.Cost
+	}
+	return out
 }
 
 // Status snapshots the control plane.
 func (a *Autopilot) Status() Status {
 	plan := a.planStatus()
 
-	a.latMu.Lock()
-	win := WindowStatus{
-		LatencySamples: a.latency.Len(),
-		P50MS:          zeroNaN(a.latency.Percentile(50)),
-		P95MS:          zeroNaN(a.latency.Percentile(95)),
-		P99MS:          zeroNaN(a.latency.Percentile(99)),
+	modelViews := make(map[string]ModelStatus, len(a.names))
+	for _, name := range a.names {
+		st := a.states[name]
+		a.latMu.Lock()
+		win := WindowStatus{
+			LatencySamples: st.latency.Len(),
+			P50MS:          zeroNaN(st.latency.Percentile(50)),
+			P95MS:          zeroNaN(st.latency.Percentile(95)),
+			P99MS:          zeroNaN(st.latency.Percentile(99)),
+		}
+		a.latMu.Unlock()
+		win.Observations = st.monitor.Count()
+		win.MeanBatch = st.monitor.MeanBatch()
+
+		a.mu.Lock()
+		win.ThroughputQPS = st.recentQPS
+		drift := st.lastDrift
+		a.mu.Unlock()
+
+		modelViews[name] = ModelStatus{
+			Drift:        drift,
+			SLOLatencyMS: st.sloMS,
+			Plan:         plan.Models[name],
+			Window:       win,
+		}
 	}
-	a.latMu.Unlock()
-	win.Observations = a.monitor.Count()
-	win.MeanBatch = a.monitor.MeanBatch()
 
 	a.mu.Lock()
-	win.ThroughputQPS = a.recentQPS
-	win.Utilization = a.recentUtilization
-	drift := a.lastDrift
+	qps := a.recentQPS
+	util := a.recentUtilization
+	if !a.ratesValid {
+		util = 0
+	}
+	lowTicks := a.lowTicks
 	lastErr := a.lastErr
 	started := a.started
 	a.mu.Unlock()
@@ -129,15 +199,22 @@ func (a *Autopilot) Status() Status {
 	return Status{
 		Healthy:        lastErr == "",
 		UptimeSeconds:  time.Since(started).Seconds(),
-		Drift:          drift,
 		DriftThreshold: a.opts.DriftThreshold,
 		SLOPercentile:  a.opts.SLOPercentile,
-		SLOLatencyMS:   a.opts.SLOLatencyMS,
-		LastError:      lastErr,
-		Plan:           plan,
-		Window:         win,
-		Fleet:          a.fleet.Counts(),
-		Controller:     a.ctrl.Stats(),
+		ThroughputQPS:  qps,
+		Utilization:    util,
+		ScaleIn: ScaleInStatus{
+			Enabled:     a.opts.ScaleInFloor > 0,
+			Floor:       a.opts.ScaleInFloor,
+			Hysteresis:  a.opts.ScaleInHysteresis,
+			TicksBelow:  lowTicks,
+			TicksNeeded: a.opts.ScaleInTicks,
+		},
+		LastError:  lastErr,
+		Plan:       plan,
+		Models:     modelViews,
+		Fleet:      a.fleet.Counts(),
+		Controller: a.ctrl.Stats(),
 	}
 }
 
@@ -152,8 +229,8 @@ func (s *adminServer) close() {
 }
 
 // AdminHandler returns the admin endpoint's routes: /healthz (liveness),
-// /metrics (full Status), and /plan (the configuration in force). All
-// responses are JSON.
+// /metrics (full Status, with per-model sections), and /plan (the fleet
+// plan in force). All responses are JSON.
 func (a *Autopilot) AdminHandler() http.Handler {
 	mux := http.NewServeMux()
 	writeJSON := func(w http.ResponseWriter, v any) {

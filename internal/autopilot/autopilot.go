@@ -3,11 +3,14 @@ package autopilot
 import (
 	"fmt"
 	"math"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"kairos/internal/adapt"
 	"kairos/internal/cloud"
+	"kairos/internal/core"
 	"kairos/internal/metrics"
 	"kairos/internal/models"
 	"kairos/internal/server"
@@ -22,43 +25,66 @@ const (
 	DefaultWindow = workload.DefaultWindow
 	// DefaultSLOPercentile is the paper's tail-latency percentile.
 	DefaultSLOPercentile = 99
+	// DefaultScaleInTicks is how many consecutive under-utilized control
+	// ticks arm the scale-in trigger.
+	DefaultScaleInTicks = 5
+	// DefaultScaleInHysteresis is the utilization band above the scale-in
+	// floor that resets the consecutive-tick counter; readings inside the
+	// band neither arm nor reset, damping oscillation around the floor.
+	DefaultScaleInHysteresis = 0.05
 )
 
-// Options parametrize an Autopilot. Pool, Model, and Plan are required;
+// Options parametrize an Autopilot. Pool, Models, and Plan are required;
 // every other zero value picks a documented default.
 type Options struct {
 	// Pool is the instance-type universe plans are drawn from.
 	Pool cloud.Pool
-	// Model is the served workload.
-	Model models.Model
-	// Plan produces a fresh configuration from a live batch-size sample —
-	// normally the engine's one-shot planner bound to its budget.
-	Plan func(samples []int) (cloud.Config, error)
+	// Models are the served workloads sharing the budget.
+	Models []models.Model
+	// Plan produces a fresh fleet plan from per-model live batch-size
+	// samples — normally the engine's shared-budget allocator. A
+	// non-positive budget asks for the planner's full configured budget; a
+	// positive one caps spending (the scale-in trigger passes a shrunk
+	// budget to shed cost).
+	Plan func(samples map[string][]int, budget float64) (core.FleetPlan, error)
 
 	// Interval is the control-loop period; 0 uses DefaultInterval.
 	Interval time.Duration
 	// DriftThreshold is the total-variation trigger in (0,1); 0 uses
 	// adapt.DefaultThreshold.
 	DriftThreshold float64
-	// Window sizes the rolling batch-mix and latency windows; 0 uses
-	// DefaultWindow.
+	// Window sizes the rolling per-model batch-mix and latency windows;
+	// 0 uses DefaultWindow.
 	Window int
-	// MinObservations gates the triggers until the live window holds this
-	// many completions; 0 uses Window/10 (at least 1).
+	// MinObservations gates a model's triggers until its live window holds
+	// this many completions; 0 uses Window/10 (at least 1).
 	MinObservations int
-	// SLOPercentile is the tail percentile checked against SLOLatencyMS;
-	// 0 uses DefaultSLOPercentile.
+	// SLOPercentile is the tail percentile checked against each model's
+	// latency objective; 0 uses DefaultSLOPercentile.
 	SLOPercentile float64
-	// SLOLatencyMS is the latency objective in model ms; 0 uses the
-	// model's QoS target.
+	// SLOLatencyMS overrides every model's latency objective in model ms;
+	// 0 uses each model's own QoS target.
 	SLOLatencyMS float64
 	// Cooldown is the minimum wall-clock gap between replans; 0 uses
 	// 2*Interval.
 	Cooldown time.Duration
-	// Reference is the batch sample behind the initial configuration; the
-	// drift detector is armed on it. Nil arms lazily on the first warm
-	// live window.
-	Reference []int
+	// References maps model names to the batch samples behind the initial
+	// plan; each model's drift detector is armed on its reference. Models
+	// without one arm lazily on their first warm live window.
+	References map[string][]int
+
+	// ScaleInFloor enables the scale-in trigger: when the fleet-wide busy
+	// fraction stays below the floor for ScaleInTicks consecutive control
+	// ticks, the autopilot replans under a shrunk budget to shed cost.
+	// 0 disables scale-in.
+	ScaleInFloor float64
+	// ScaleInTicks is the consecutive-tick count arming scale-in; 0 uses
+	// DefaultScaleInTicks.
+	ScaleInTicks int
+	// ScaleInHysteresis is the utilization band above the floor that
+	// resets the tick counter; 0 uses DefaultScaleInHysteresis.
+	ScaleInHysteresis float64
+
 	// Logf, when set, receives one line per control decision.
 	Logf func(format string, args ...any)
 }
@@ -68,8 +94,18 @@ func (o Options) withDefaults() (Options, error) {
 	if len(o.Pool) == 0 {
 		return o, fmt.Errorf("autopilot: options need a pool")
 	}
-	if o.Model.QoS <= 0 {
-		return o, fmt.Errorf("autopilot: options need a model with a positive QoS target")
+	if len(o.Models) == 0 {
+		return o, fmt.Errorf("autopilot: options need at least one model")
+	}
+	seen := make(map[string]bool, len(o.Models))
+	for _, m := range o.Models {
+		if m.QoS <= 0 {
+			return o, fmt.Errorf("autopilot: model %q needs a positive QoS target", m.Name)
+		}
+		if seen[m.Name] {
+			return o, fmt.Errorf("autopilot: duplicate model %q", m.Name)
+		}
+		seen[m.Name] = true
 	}
 	if o.Plan == nil {
 		return o, fmt.Errorf("autopilot: options need a Plan function")
@@ -98,46 +134,76 @@ func (o Options) withDefaults() (Options, error) {
 	if o.SLOPercentile <= 0 || o.SLOPercentile > 100 {
 		return o, fmt.Errorf("autopilot: SLO percentile %v outside (0,100]", o.SLOPercentile)
 	}
-	if o.SLOLatencyMS == 0 {
-		o.SLOLatencyMS = o.Model.QoS
-	}
 	if o.SLOLatencyMS < 0 {
 		return o, fmt.Errorf("autopilot: negative SLO latency %v", o.SLOLatencyMS)
 	}
 	if o.Cooldown <= 0 {
 		o.Cooldown = 2 * o.Interval
 	}
+	if o.ScaleInFloor < 0 || o.ScaleInFloor >= 1 {
+		return o, fmt.Errorf("autopilot: scale-in floor %v outside [0,1)", o.ScaleInFloor)
+	}
+	if o.ScaleInFloor > 0 {
+		if o.ScaleInTicks <= 0 {
+			o.ScaleInTicks = DefaultScaleInTicks
+		}
+		if o.ScaleInHysteresis == 0 {
+			o.ScaleInHysteresis = DefaultScaleInHysteresis
+		}
+		if o.ScaleInHysteresis < 0 || o.ScaleInFloor+o.ScaleInHysteresis >= 1 {
+			return o, fmt.Errorf("autopilot: scale-in hysteresis %v leaves no utilization headroom above floor %v",
+				o.ScaleInHysteresis, o.ScaleInFloor)
+		}
+	}
 	return o, nil
 }
 
+// modelState is one served model's live window and trigger state.
+type modelState struct {
+	model models.Model
+	// sloMS is the model's latency objective (Options.SLOLatencyMS or the
+	// model's own QoS target).
+	sloMS float64
+	// monitor is internally synchronized; latency is guarded by
+	// Autopilot.latMu, detector and lastDrift by Autopilot.mu.
+	monitor   *workload.Monitor
+	latency   *metrics.Window
+	detector  *adapt.DriftDetector
+	lastDrift float64
+	// lastCompleted backs the per-model throughput estimate (stepMu).
+	lastCompleted int64
+	recentQPS     float64 // guarded by Autopilot.mu
+}
+
 // Autopilot runs the monitor -> detect -> replan -> actuate loop over one
-// controller and its fleet. Build it with New, start the loop with Start
-// (or drive it deterministically with Step), and tear everything down —
-// loop, admin endpoint, controller, and fleet — with Close.
+// multi-model controller and its fleet. Build it with New, start the loop
+// with Start (or drive it deterministically with Step), and tear
+// everything down — loop, admin endpoint, controller, and fleet — with
+// Close.
 type Autopilot struct {
 	ctrl  *server.Controller
 	fleet *Fleet
 	opts  Options
 
-	// monitor and latency are the live window, fed by every successful
-	// completion the controller delivers.
-	monitor *workload.Monitor
-	latMu   sync.Mutex
-	latency *metrics.Window
+	// names is the sorted model-name iteration order; states is read-only
+	// after New (its fields carry their own locking rules).
+	names  []string
+	states map[string]*modelState
+
+	latMu sync.Mutex
 
 	// stepMu serializes Step: the Start loop and manual Step callers may
 	// otherwise interleave check-plan-actuate sequences.
 	stepMu sync.Mutex
 
 	mu         sync.Mutex
-	detector   *adapt.DriftDetector
-	current    cloud.Config
+	current    core.FleetPlan
 	replans    int
 	lastChange time.Time
 	lastReason string
-	lastDrift  float64
 	lastErr    string
 	started    time.Time
+	lowTicks   int // consecutive under-utilized control ticks
 
 	// step-delta state for recent throughput/utilization estimates.
 	lastStepAt        time.Time
@@ -145,6 +211,7 @@ type Autopilot struct {
 	lastStepBusyMS    float64
 	recentQPS         float64
 	recentUtilization float64
+	ratesValid        bool
 
 	loopOnce  sync.Once
 	closeOnce sync.Once
@@ -156,31 +223,51 @@ type Autopilot struct {
 	adminClosed bool
 }
 
-// Decision reports one control-loop iteration.
-type Decision struct {
-	// Checked is false while the live window is too cold to evaluate the
-	// triggers.
+// ModelDecision reports one model's trigger evaluation within a control
+// iteration.
+type ModelDecision struct {
+	// Checked is false while the model's live window is too cold.
 	Checked bool
-	// Drift is the total-variation distance from the armed reference.
+	// Drift is the total-variation distance from the model's armed
+	// reference.
 	Drift float64
+	// TailMS is the model's windowed SLO-percentile latency (model ms).
+	TailMS float64
 	// DriftTriggered and SLOTriggered report which triggers fired.
 	DriftTriggered bool
 	SLOTriggered   bool
-	// TailMS is the windowed SLO-percentile latency (model ms).
-	TailMS float64
+}
+
+// Decision reports one control-loop iteration over the whole fleet.
+type Decision struct {
+	// Checked is false while every model's live window is too cold to
+	// evaluate the triggers.
+	Checked bool
+	// Models carries the per-model trigger evaluations.
+	Models map[string]ModelDecision
+	// DriftTriggered / SLOTriggered aggregate the per-model triggers;
+	// ScaleInTriggered reports sustained fleet under-utilization.
+	DriftTriggered   bool
+	SLOTriggered     bool
+	ScaleInTriggered bool
+	// Utilization is the recent fleet-wide busy fraction in [0,1].
+	Utilization float64
+	// PlanBudget is the budget handed to the planner when one fired
+	// (0 = the planner's full configured budget).
+	PlanBudget float64
 	// Replanned is true when a fresh plan was produced and actuated.
 	Replanned bool
-	// From and To are the configurations before and after; equal (and To
-	// nil) when no replan happened.
-	From, To cloud.Config
+	// From and To are the fleet plans before and after; To is nil when no
+	// replan happened.
+	From, To core.FleetPlan
 	// Reason summarizes the decision for logs and the admin endpoint.
 	Reason string
 }
 
 // New assembles an autopilot over a running controller and fleet, serving
-// the given initial configuration. It installs itself as the controller's
+// the given initial fleet plan. It installs itself as the controller's
 // completion observer. The loop is not started; call Start.
-func New(ctrl *server.Controller, fleet *Fleet, initial cloud.Config, opts Options) (*Autopilot, error) {
+func New(ctrl *server.Controller, fleet *Fleet, initial core.FleetPlan, opts Options) (*Autopilot, error) {
 	if ctrl == nil || fleet == nil {
 		return nil, fmt.Errorf("autopilot: needs a controller and a fleet")
 	}
@@ -188,27 +275,45 @@ func New(ctrl *server.Controller, fleet *Fleet, initial cloud.Config, opts Optio
 	if err != nil {
 		return nil, err
 	}
-	if len(initial) != len(o.Pool) || initial.Total() == 0 {
-		return nil, fmt.Errorf("autopilot: initial config %v does not deploy the pool", initial)
+	if initial.Total() == 0 {
+		return nil, fmt.Errorf("autopilot: initial plan %v deploys nothing", initial)
+	}
+	for name, cfg := range initial {
+		if len(cfg) != len(o.Pool) {
+			return nil, fmt.Errorf("autopilot: initial config %v for %s does not match the pool", cfg, name)
+		}
 	}
 	a := &Autopilot{
 		ctrl:     ctrl,
 		fleet:    fleet,
 		opts:     o,
-		monitor:  workload.NewMonitor(o.Window),
-		latency:  metrics.NewWindow(o.Window),
+		states:   make(map[string]*modelState, len(o.Models)),
 		current:  initial.Clone(),
 		started:  time.Now(),
 		stop:     make(chan struct{}),
 		loopDone: make(chan struct{}),
 	}
-	if o.Reference != nil {
-		det, err := adapt.NewDriftDetector(o.Reference, adapt.DefaultBins)
-		if err != nil {
-			return nil, err
+	for _, m := range o.Models {
+		st := &modelState{
+			model:   m,
+			sloMS:   m.QoS,
+			monitor: workload.NewMonitor(o.Window),
+			latency: metrics.NewWindow(o.Window),
 		}
-		a.detector = det
+		if o.SLOLatencyMS > 0 {
+			st.sloMS = o.SLOLatencyMS
+		}
+		if ref := o.References[m.Name]; ref != nil {
+			det, err := adapt.NewDriftDetector(ref, adapt.DefaultBins)
+			if err != nil {
+				return nil, fmt.Errorf("autopilot: reference for %s: %w", m.Name, err)
+			}
+			st.detector = det
+		}
+		a.states[m.Name] = st
+		a.names = append(a.names, m.Name)
 	}
+	sort.Strings(a.names)
 	ctrl.SetOnComplete(a.observe)
 	return a, nil
 }
@@ -219,19 +324,21 @@ func (a *Autopilot) Controller() *server.Controller { return a.ctrl }
 // Fleet returns the managed fleet.
 func (a *Autopilot) Fleet() *Fleet { return a.fleet }
 
-// observe feeds the live window from one delivered completion.
-func (a *Autopilot) observe(batch int, res server.QueryResult) {
-	if res.Err != nil {
+// observe feeds the owning model's live window from one delivered
+// completion.
+func (a *Autopilot) observe(model string, batch int, res server.QueryResult) {
+	st, ok := a.states[model]
+	if !ok || res.Err != nil {
 		return
 	}
-	a.monitor.Observe(batch)
+	st.monitor.Observe(batch)
 	a.latMu.Lock()
-	a.latency.Observe(res.LatencyMS)
+	st.latency.Observe(res.LatencyMS)
 	a.latMu.Unlock()
 }
 
-// Current returns the configuration in force.
-func (a *Autopilot) Current() cloud.Config {
+// Current returns the fleet plan in force.
+func (a *Autopilot) Current() core.FleetPlan {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.current.Clone()
@@ -267,7 +374,7 @@ func (a *Autopilot) loop() {
 				a.logf("autopilot: step failed: %v", err)
 			case dec.Replanned:
 				a.logf("autopilot: replanned %v -> %v (%s)", dec.From, dec.To, dec.Reason)
-			case dec.Checked && (dec.DriftTriggered || dec.SLOTriggered):
+			case dec.Checked && (dec.DriftTriggered || dec.SLOTriggered || dec.ScaleInTriggered):
 				a.logf("autopilot: trigger held back: %s", dec.Reason)
 			}
 		}
@@ -280,107 +387,191 @@ func (a *Autopilot) logf(format string, args ...any) {
 	}
 }
 
-// Step runs one control iteration: read the live window, evaluate the
-// drift and SLO triggers, and — when one fires outside the cooldown —
-// replan from the live sample and reconcile the fleet. It is the loop's
-// body, exported so tests and tools can drive the control plane
-// deterministically.
+// triggerNames renders the fired per-model triggers for reasons/logs.
+func (dec *Decision) triggerNames() string {
+	var parts []string
+	for _, kind := range []struct {
+		on   bool
+		name string
+	}{{dec.DriftTriggered, "drift"}, {dec.SLOTriggered, "slo"}, {dec.ScaleInTriggered, "scale-in"}} {
+		if kind.on {
+			parts = append(parts, kind.name)
+		}
+	}
+	return strings.Join(parts, "+")
+}
+
+// Step runs one control iteration: read every model's live window,
+// evaluate the drift, SLO, and scale-in triggers, and — when one fires
+// outside the cooldown — replan the whole fleet from the live samples and
+// reconcile every model's fleet. It is the loop's body, exported so tests
+// and tools can drive the control plane deterministically.
 func (a *Autopilot) Step() (Decision, error) {
 	a.stepMu.Lock()
 	defer a.stepMu.Unlock()
 	now := time.Now()
-	a.updateRates(now)
+	util, utilOK := a.updateRates(now)
 
-	snap := a.monitor.Snapshot()
-	if len(snap) < a.opts.MinObservations {
-		return Decision{Reason: fmt.Sprintf("window cold (%d/%d observations)", len(snap), a.opts.MinObservations)}, nil
+	dec := Decision{Models: make(map[string]ModelDecision, len(a.names)), Utilization: util}
+	samples := make(map[string][]int, len(a.names))
+	for _, name := range a.names {
+		st := a.states[name]
+		md := ModelDecision{}
+		snap := st.monitor.Snapshot()
+		switch {
+		case len(snap) >= a.opts.MinObservations:
+			md.Checked = true
+			samples[name] = snap
+
+			a.latMu.Lock()
+			md.TailMS = st.latency.Percentile(a.opts.SLOPercentile)
+			latN := st.latency.Len()
+			a.latMu.Unlock()
+			md.SLOTriggered = latN >= a.opts.MinObservations && !math.IsNaN(md.TailMS) && md.TailMS > st.sloMS
+
+			a.mu.Lock()
+			if st.detector == nil {
+				// Lazy arming: the model's first warm window becomes its
+				// reference.
+				det, err := adapt.NewDriftDetector(snap, adapt.DefaultBins)
+				if err != nil {
+					a.mu.Unlock()
+					return Decision{}, err
+				}
+				st.detector = det
+			} else {
+				drift, err := st.detector.Distance(snap)
+				if err != nil {
+					a.mu.Unlock()
+					return Decision{}, err
+				}
+				md.Drift = drift
+				st.lastDrift = drift
+				md.DriftTriggered = drift > a.opts.DriftThreshold
+			}
+			a.mu.Unlock()
+		case a.opts.References[name] != nil:
+			// Cold model: it still takes part in the fleet replan, planned
+			// from the reference mix its current fleet was sized for.
+			samples[name] = a.opts.References[name]
+		case len(snap) > 0:
+			samples[name] = snap
+		}
+		dec.Models[name] = md
+		dec.DriftTriggered = dec.DriftTriggered || md.DriftTriggered
+		dec.SLOTriggered = dec.SLOTriggered || md.SLOTriggered
+		dec.Checked = dec.Checked || md.Checked
 	}
-
-	a.latMu.Lock()
-	tail := a.latency.Percentile(a.opts.SLOPercentile)
-	latN := a.latency.Len()
-	a.latMu.Unlock()
+	if !dec.Checked {
+		dec.Reason = fmt.Sprintf("windows cold (< %d observations per model)", a.opts.MinObservations)
+		return dec, nil
+	}
+	dec.ScaleInTriggered = a.scaleInTick(util, utilOK)
 
 	a.mu.Lock()
-	if a.detector == nil {
-		// Lazy arming: the first warm window becomes the reference.
-		det, err := adapt.NewDriftDetector(snap, adapt.DefaultBins)
-		if err != nil {
-			a.mu.Unlock()
-			return Decision{}, err
-		}
-		a.detector = det
-		a.mu.Unlock()
-		return Decision{Checked: true, Reason: "reference armed from first warm window"}, nil
-	}
-	drift, err := a.detector.Distance(snap)
-	if err != nil {
-		a.mu.Unlock()
-		return Decision{}, err
-	}
-	a.lastDrift = drift
 	current := a.current.Clone()
 	sinceChange := now.Sub(a.lastChange)
 	a.mu.Unlock()
+	dec.From = current
 
-	dec := Decision{
-		Checked:        true,
-		Drift:          drift,
-		TailMS:         tail,
-		DriftTriggered: drift > a.opts.DriftThreshold,
-		SLOTriggered:   latN >= a.opts.MinObservations && !math.IsNaN(tail) && tail > a.opts.SLOLatencyMS,
-		From:           current,
-	}
 	// Any iteration that completes without error supersedes a recorded
 	// control failure — health reflects the latest loop outcome.
 	switch {
-	case !dec.DriftTriggered && !dec.SLOTriggered:
+	case !dec.DriftTriggered && !dec.SLOTriggered && !dec.ScaleInTriggered:
 		a.setErr("")
-		dec.Reason = fmt.Sprintf("steady (drift %.3f, p%g %.1fms)", drift, a.opts.SLOPercentile, tail)
+		dec.Reason = fmt.Sprintf("steady (util %.2f, %s)", util, a.modelSummary(dec))
 		return dec, nil
 	case sinceChange < a.opts.Cooldown:
 		a.setErr("")
-		dec.Reason = fmt.Sprintf("in cooldown (%.1fs of %.1fs)", sinceChange.Seconds(), a.opts.Cooldown.Seconds())
+		dec.Reason = fmt.Sprintf("%s in cooldown (%.1fs of %.1fs)", dec.triggerNames(), sinceChange.Seconds(), a.opts.Cooldown.Seconds())
 		return dec, nil
 	}
 
-	trigger := "drift"
-	if !dec.DriftTriggered {
-		trigger = "slo"
-	} else if dec.SLOTriggered {
-		trigger = "drift+slo"
+	// Scale-in alone shrinks the budget toward the observed demand; any
+	// drift or SLO breach replans at full budget (scale-out is always
+	// allowed to spend everything).
+	scaleInOnly := dec.ScaleInTriggered && !dec.DriftTriggered && !dec.SLOTriggered
+	if scaleInOnly {
+		cost := current.Cost(a.opts.Pool)
+		target := a.opts.ScaleInFloor + a.opts.ScaleInHysteresis
+		shrunk := cost * util / target
+		if min := a.cheapestPrice(); shrunk < min {
+			shrunk = min
+		}
+		if shrunk >= cost-1e-9 {
+			a.resetScaleIn()
+			a.setErr("")
+			dec.ScaleInTriggered = false
+			dec.Reason = fmt.Sprintf("scale-in armed but nothing to shed (util %.2f, cost $%.2f/hr)", util, cost)
+			return dec, nil
+		}
+		dec.PlanBudget = shrunk
 	}
 
-	next, err := a.opts.Plan(snap)
+	next, err := a.opts.Plan(samples, dec.PlanBudget)
 	if err != nil {
 		a.setErr(fmt.Sprintf("replan: %v", err))
 		return dec, fmt.Errorf("autopilot: replan: %w", err)
 	}
-	// A nil or empty plan (no feasible configuration) is a control failure,
-	// not a fleet to converge to.
-	if len(next) != len(a.opts.Pool) || next.Total() == 0 {
-		a.setErr(fmt.Sprintf("replan: planner returned unusable config %v", next))
-		return dec, fmt.Errorf("autopilot: replan: planner returned unusable config %v", next)
+	// A nil or empty plan (no feasible configuration) is a control failure
+	// — except under a pure scale-in, where a shrunk budget that buys no
+	// fleet simply means there is nothing safe to shed: keep the current
+	// fleet and re-arm, instead of looping on a recorded error every tick.
+	if next.Total() == 0 {
+		if scaleInOnly {
+			a.resetScaleIn()
+			a.setErr("")
+			dec.Reason = fmt.Sprintf("scale-in budget $%.2f/hr buys no fleet; keeping the current plan", dec.PlanBudget)
+			return dec, nil
+		}
+		a.setErr(fmt.Sprintf("replan: planner returned unusable plan %v", next))
+		return dec, fmt.Errorf("autopilot: replan: planner returned unusable plan %v", next)
 	}
-	// Rebase the detector on the sample just planned from, whether or not
-	// the plan changed — the trigger has been answered.
-	det, err := adapt.NewDriftDetector(snap, adapt.DefaultBins)
-	if err != nil {
-		return dec, err
+	for name, cfg := range next {
+		if _, ok := a.states[name]; !ok || len(cfg) != len(a.opts.Pool) {
+			a.setErr(fmt.Sprintf("replan: planner returned unusable config %v for %q", cfg, name))
+			return dec, fmt.Errorf("autopilot: replan: planner returned unusable config %v for %q", cfg, name)
+		}
 	}
+	// A model with no planning sample at all (cold window, no reference)
+	// was invisible to the planner; carry its current allocation forward
+	// instead of reading the absence as "tear its fleet down to zero".
+	for _, name := range a.names {
+		if _, ok := samples[name]; ok {
+			continue
+		}
+		if cur := current[name]; cur.Total() > 0 && next[name].Total() == 0 {
+			next[name] = cur.Clone()
+		}
+	}
+	// Rebase every warm model's detector on the sample just planned from,
+	// whether or not the plan changed — the trigger has been answered.
+	rebased := make(map[string]*adapt.DriftDetector, len(samples))
+	for _, name := range a.names {
+		if !dec.Models[name].Checked {
+			continue
+		}
+		det, err := adapt.NewDriftDetector(samples[name], adapt.DefaultBins)
+		if err != nil {
+			return dec, err
+		}
+		rebased[name] = det
+	}
+	reason := fmt.Sprintf("%s trigger (util %.2f, %s)", dec.triggerNames(), util, a.modelSummary(dec))
 
 	if next.Equal(current) {
 		a.mu.Lock()
-		a.detector = det
+		for name, det := range rebased {
+			a.states[name].detector = det
+		}
 		a.lastChange = now
-		a.lastReason = fmt.Sprintf("%s trigger, plan unchanged (drift %.3f, p%g %.1fms)", trigger, drift, a.opts.SLOPercentile, tail)
+		a.lastReason = reason + ", plan unchanged"
 		a.lastErr = ""
 		a.mu.Unlock()
 		// The trigger has been answered; without a fresh SLO view the old
 		// breach samples would re-fire it every cooldown.
-		a.latMu.Lock()
-		a.latency.Reset()
-		a.latMu.Unlock()
+		a.resetLatencyWindows()
+		a.resetScaleIn()
 		dec.Reason = "trigger fired but the plan is unchanged"
 		return dec, nil
 	}
@@ -391,23 +582,89 @@ func (a *Autopilot) Step() (Decision, error) {
 	}
 
 	a.mu.Lock()
-	a.detector = det
+	for name, det := range rebased {
+		a.states[name].detector = det
+	}
 	a.current = next.Clone()
 	a.replans++
 	a.lastChange = now
-	a.lastReason = fmt.Sprintf("%s trigger (drift %.3f, p%g %.1fms)", trigger, drift, a.opts.SLOPercentile, tail)
+	a.lastReason = reason
 	a.lastErr = ""
+	// Removed instances take their cumulative BusyMS out of the stats, so
+	// the next delta would read as a phantom zero-utilization tick; force
+	// the rate estimator to re-baseline on the reshaped fleet instead.
+	a.lastStepAt = time.Time{}
 	a.mu.Unlock()
 
-	// The latency window measured the old fleet; restart the SLO view.
-	a.latMu.Lock()
-	a.latency.Reset()
-	a.latMu.Unlock()
+	// The latency windows measured the old fleet; restart the SLO view.
+	a.resetLatencyWindows()
+	a.resetScaleIn()
 
 	dec.Replanned = true
 	dec.To = next.Clone()
-	dec.Reason = fmt.Sprintf("%s trigger (drift %.3f)", trigger, drift)
+	dec.Reason = reason
 	return dec, nil
+}
+
+// modelSummary renders the per-model drift/tail readings for reasons.
+func (a *Autopilot) modelSummary(dec Decision) string {
+	var parts []string
+	for _, name := range a.names {
+		md := dec.Models[name]
+		if !md.Checked {
+			parts = append(parts, fmt.Sprintf("%s cold", name))
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s drift %.3f p%g %.1fms", name, md.Drift, a.opts.SLOPercentile, md.TailMS))
+	}
+	return strings.Join(parts, "; ")
+}
+
+// scaleInTick advances the consecutive-under-utilization counter and
+// reports whether the scale-in trigger is armed. Readings inside the
+// hysteresis band above the floor neither arm nor reset.
+func (a *Autopilot) scaleInTick(util float64, valid bool) bool {
+	if a.opts.ScaleInFloor <= 0 || !valid {
+		return false
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	switch {
+	case util < a.opts.ScaleInFloor:
+		a.lowTicks++
+	case util > a.opts.ScaleInFloor+a.opts.ScaleInHysteresis:
+		a.lowTicks = 0
+	}
+	return a.lowTicks >= a.opts.ScaleInTicks
+}
+
+// resetScaleIn clears the under-utilization counter after a replan (or an
+// answered trigger): the resized fleet starts a fresh observation run.
+func (a *Autopilot) resetScaleIn() {
+	a.mu.Lock()
+	a.lowTicks = 0
+	a.mu.Unlock()
+}
+
+// resetLatencyWindows restarts every model's SLO view.
+func (a *Autopilot) resetLatencyWindows() {
+	a.latMu.Lock()
+	for _, name := range a.names {
+		a.states[name].latency.Reset()
+	}
+	a.latMu.Unlock()
+}
+
+// cheapestPrice returns the pool's lowest hourly price — the smallest
+// budget that can still buy capacity.
+func (a *Autopilot) cheapestPrice() float64 {
+	min := math.Inf(1)
+	for _, t := range a.opts.Pool {
+		if t.PricePerHour < min {
+			min = t.PricePerHour
+		}
+	}
+	return min
 }
 
 func (a *Autopilot) setErr(msg string) {
@@ -417,8 +674,9 @@ func (a *Autopilot) setErr(msg string) {
 }
 
 // updateRates refreshes the recent throughput and utilization estimates
-// from controller-stats deltas since the previous step.
-func (a *Autopilot) updateRates(now time.Time) {
+// from controller-stats deltas since the previous step. The returned
+// utilization is only meaningful when ok is true (a previous step exists).
+func (a *Autopilot) updateRates(now time.Time) (float64, bool) {
 	stats := a.ctrl.Stats()
 	busy := 0.0
 	for _, in := range stats.Instances {
@@ -426,6 +684,7 @@ func (a *Autopilot) updateRates(now time.Time) {
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	ok := false
 	if !a.lastStepAt.IsZero() {
 		wallMS := float64(now.Sub(a.lastStepAt)) / float64(time.Millisecond)
 		if wallMS > 0 {
@@ -437,45 +696,76 @@ func (a *Autopilot) updateRates(now time.Time) {
 					util = 0
 				}
 				a.recentUtilization = util
+				ok = true
+			}
+			for _, name := range a.names {
+				st := a.states[name]
+				if ms, found := stats.Models[name]; found {
+					st.recentQPS = float64(ms.Completed-st.lastCompleted) / modelMS * 1000
+					st.lastCompleted = ms.Completed
+				}
+			}
+		}
+	} else {
+		for _, name := range a.names {
+			if ms, found := stats.Models[name]; found {
+				a.states[name].lastCompleted = ms.Completed
 			}
 		}
 	}
 	a.lastStepAt = now
 	a.lastStepCompleted = stats.Completed
 	a.lastStepBusyMS = busy
+	a.ratesValid = ok
+	return a.recentUtilization, ok
 }
 
-// actuate reconciles the running fleet toward a configuration, diffing
-// against the controller's observed instance counts rather than replaying
-// plan deltas — a partially-failed earlier actuation self-heals on the
-// next pass. Capacity is added before it is removed (the fleet never dips
-// below both states' minimum), and removals drain — in-flight queries
-// always finish.
-func (a *Autopilot) actuate(to cloud.Config) error {
-	have := a.ctrl.InstanceCounts()
-	for i, t := range a.opts.Pool {
-		for k := have[t.Name]; k < to[i]; k++ {
-			addr, err := a.fleet.Launch(t.Name)
-			if err != nil {
-				return err
+// actuate reconciles every model's running fleet toward the plan, diffing
+// against the controller's observed per-model instance counts rather than
+// replaying plan deltas — a partially-failed earlier actuation self-heals
+// on the next pass. All additions happen before any removal (no model's
+// capacity dips below both states' minimum), and removals drain —
+// in-flight queries always finish.
+func (a *Autopilot) actuate(to core.FleetPlan) error {
+	for _, name := range a.names {
+		cfg := to[name]
+		have := a.ctrl.ModelInstanceCounts(name)
+		for i, t := range a.opts.Pool {
+			want := 0
+			if cfg != nil {
+				want = cfg[i]
 			}
-			if _, err := a.ctrl.AddInstance(addr); err != nil {
-				a.fleet.Stop(addr)
-				return err
+			for k := have[t.Name]; k < want; k++ {
+				addr, err := a.fleet.Launch(name, t.Name)
+				if err != nil {
+					return err
+				}
+				if _, err := a.ctrl.AddInstance(addr); err != nil {
+					a.fleet.Stop(addr)
+					return err
+				}
+				a.logf("autopilot: added %s for %s at %s", t.Name, name, addr)
 			}
-			a.logf("autopilot: added %s at %s", t.Name, addr)
 		}
 	}
-	for i, t := range a.opts.Pool {
-		for k := to[i]; k < have[t.Name]; k++ {
-			addr, err := a.ctrl.RemoveInstance(t.Name)
-			if err != nil {
-				return err
+	for _, name := range a.names {
+		cfg := to[name]
+		have := a.ctrl.ModelInstanceCounts(name)
+		for i, t := range a.opts.Pool {
+			want := 0
+			if cfg != nil {
+				want = cfg[i]
 			}
-			if err := a.fleet.Stop(addr); err != nil {
-				return err
+			for k := want; k < have[t.Name]; k++ {
+				addr, err := a.ctrl.RemoveInstance(name, t.Name)
+				if err != nil {
+					return err
+				}
+				if err := a.fleet.Stop(addr); err != nil {
+					return err
+				}
+				a.logf("autopilot: drained and removed %s for %s at %s", t.Name, name, addr)
 			}
-			a.logf("autopilot: drained and removed %s at %s", t.Name, addr)
 		}
 	}
 	return nil

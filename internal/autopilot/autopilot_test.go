@@ -43,19 +43,28 @@ func samplesOf(dist workload.BatchDistribution, n int, seed int64) []int {
 	return out
 }
 
+// plan wraps a single model's config as a fleet plan.
+func plan(m models.Model, cfg cloud.Config) core.FleetPlan {
+	return core.FleetPlan{m.Name: cfg}
+}
+
 func TestFleetLifecycle(t *testing.T) {
 	t.Parallel()
-	f := NewFleet(ncf(), 1)
+	m := ncf()
+	f := NewFleet(1, m)
 	defer f.Close()
 
-	if _, err := f.Launch("no-such-type"); err == nil {
+	if _, err := f.Launch(m.Name, "no-such-type"); err == nil {
 		t.Fatal("unknown type must not launch")
 	}
-	addr, err := f.Launch(cloud.R5nLarge.Name)
+	if _, err := f.Launch("no-such-model", cloud.R5nLarge.Name); err == nil {
+		t.Fatal("unknown model must not launch")
+	}
+	addr, err := f.Launch(m.Name, cloud.R5nLarge.Name)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if f.Size() != 1 || f.Counts()[cloud.R5nLarge.Name] != 1 {
+	if f.Size() != 1 || f.CountsFor(m.Name)[cloud.R5nLarge.Name] != 1 {
 		t.Fatalf("size=%d counts=%v", f.Size(), f.Counts())
 	}
 	if err := f.Stop(addr); err != nil {
@@ -66,18 +75,18 @@ func TestFleetLifecycle(t *testing.T) {
 	}
 
 	pool := cloud.DefaultPool()
-	addrs, err := f.Deploy(pool, cloud.Config{1, 0, 2, 0})
+	addrs, err := f.Deploy(pool, plan(m, cloud.Config{1, 0, 2, 0}))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(addrs) != 3 || f.Size() != 3 {
 		t.Fatalf("deployed %v, size %d", addrs, f.Size())
 	}
-	counts := f.Counts()
+	counts := f.Counts()[m.Name]
 	if counts[cloud.G4dnXlarge.Name] != 1 || counts[cloud.R5nLarge.Name] != 2 {
 		t.Fatalf("counts = %v", counts)
 	}
-	if _, err := f.Deploy(pool, cloud.Config{1}); err == nil {
+	if _, err := f.Deploy(pool, plan(m, cloud.Config{1})); err == nil {
 		t.Fatal("mismatched config must error")
 	}
 }
@@ -86,17 +95,23 @@ func TestOptionsValidation(t *testing.T) {
 	t.Parallel()
 	m := ncf()
 	pool := cloud.DefaultPool()
-	okPlan := func([]int) (cloud.Config, error) { return cloud.Config{0, 0, 1, 0}, nil }
+	ms := []models.Model{m}
+	okPlan := func(map[string][]int, float64) (core.FleetPlan, error) {
+		return core.FleetPlan{m.Name: cloud.Config{0, 0, 1, 0}}, nil
+	}
 
 	cases := []struct {
 		name string
 		opts Options
 	}{
-		{"no pool", Options{Model: m, Plan: okPlan}},
-		{"no model", Options{Pool: pool, Plan: okPlan}},
-		{"no plan", Options{Pool: pool, Model: m}},
-		{"bad drift", Options{Pool: pool, Model: m, Plan: okPlan, DriftThreshold: 1.5}},
-		{"bad percentile", Options{Pool: pool, Model: m, Plan: okPlan, SLOPercentile: 101}},
+		{"no pool", Options{Models: ms, Plan: okPlan}},
+		{"no models", Options{Pool: pool, Plan: okPlan}},
+		{"duplicate model", Options{Pool: pool, Models: []models.Model{m, m}, Plan: okPlan}},
+		{"no plan", Options{Pool: pool, Models: ms}},
+		{"bad drift", Options{Pool: pool, Models: ms, Plan: okPlan, DriftThreshold: 1.5}},
+		{"bad percentile", Options{Pool: pool, Models: ms, Plan: okPlan, SLOPercentile: 101}},
+		{"bad scale-in floor", Options{Pool: pool, Models: ms, Plan: okPlan, ScaleInFloor: 1.2}},
+		{"bad scale-in band", Options{Pool: pool, Models: ms, Plan: okPlan, ScaleInFloor: 0.6, ScaleInHysteresis: 0.5}},
 	}
 	for _, tc := range cases {
 		if _, err := tc.opts.withDefaults(); err == nil {
@@ -104,13 +119,14 @@ func TestOptionsValidation(t *testing.T) {
 		}
 	}
 
-	o, err := Options{Pool: pool, Model: m, Plan: okPlan}.withDefaults()
+	o, err := Options{Pool: pool, Models: ms, Plan: okPlan, ScaleInFloor: 0.3}.withDefaults()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if o.Interval != DefaultInterval || o.Window != DefaultWindow ||
-		o.MinObservations != DefaultWindow/10 || o.SLOLatencyMS != m.QoS ||
-		o.SLOPercentile != DefaultSLOPercentile || o.Cooldown != 2*DefaultInterval {
+		o.MinObservations != DefaultWindow/10 || o.SLOLatencyMS != 0 ||
+		o.SLOPercentile != DefaultSLOPercentile || o.Cooldown != 2*DefaultInterval ||
+		o.ScaleInTicks != DefaultScaleInTicks || o.ScaleInHysteresis != DefaultScaleInHysteresis {
 		t.Fatalf("defaults = %+v", o)
 	}
 }
@@ -121,20 +137,20 @@ func startAutopilot(t *testing.T, initial cloud.Config, opts Options) *Autopilot
 	t.Helper()
 	m := ncf()
 	pool := cloud.DefaultPool()
-	fleet := NewFleet(m, 1)
-	addrs, err := fleet.Deploy(pool, initial)
+	fleet := NewFleet(1, m)
+	addrs, err := fleet.Deploy(pool, plan(m, initial))
 	if err != nil {
 		fleet.Close()
 		t.Fatal(err)
 	}
-	ctrl, err := server.NewController(kairosPolicy(m), 1, m.Latency, addrs)
+	ctrl, err := server.NewController(m.Name, kairosPolicy(m), 1, m.Latency, addrs)
 	if err != nil {
 		fleet.Close()
 		t.Fatal(err)
 	}
 	opts.Pool = pool
-	opts.Model = m
-	ap, err := New(ctrl, fleet, initial, opts)
+	opts.Models = []models.Model{m}
+	ap, err := New(ctrl, fleet, plan(m, initial), opts)
 	if err != nil {
 		ctrl.Close()
 		fleet.Close()
@@ -144,23 +160,38 @@ func startAutopilot(t *testing.T, initial cloud.Config, opts Options) *Autopilot
 	return ap
 }
 
+// singlePlan adapts a single-model planner to the fleet Plan signature.
+func singlePlan(m models.Model, fn func(samples []int) (cloud.Config, error)) func(map[string][]int, float64) (core.FleetPlan, error) {
+	return func(samples map[string][]int, _ float64) (core.FleetPlan, error) {
+		cfg, err := fn(samples[m.Name])
+		if err != nil {
+			return nil, err
+		}
+		if cfg == nil {
+			return nil, nil
+		}
+		return core.FleetPlan{m.Name: cfg}, nil
+	}
+}
+
 // TestStepDriftReplanActuates drives the control loop deterministically:
 // live completions of a shifted mix must trip the drift trigger, invoke
 // the planner with the live window, and reconcile the fleet — without
 // dropping a single query.
 func TestStepDriftReplanActuates(t *testing.T) {
 	t.Parallel()
+	m := ncf()
 	initial := cloud.Config{0, 0, 2, 0} // 2x CPU
 	next := cloud.Config{1, 0, 1, 0}    // 1x GPU + 1x CPU
 	var planned [][]int
 	opts := Options{
-		Plan: func(samples []int) (cloud.Config, error) {
+		Plan: singlePlan(m, func(samples []int) (cloud.Config, error) {
 			planned = append(planned, samples)
 			return next.Clone(), nil
-		},
+		}),
 		Window:          60,
 		MinObservations: 30,
-		Reference:       samplesOf(workload.Uniform{Min: 10, Max: 60}, 200, 1),
+		References:      map[string][]int{m.Name: samplesOf(workload.Uniform{Min: 10, Max: 60}, 200, 1)},
 		DriftThreshold:  0.3,
 	}
 	ap := startAutopilot(t, initial, opts)
@@ -176,7 +207,7 @@ func TestStepDriftReplanActuates(t *testing.T) {
 
 	// Serve 40 queries of a disjoint mix through the real TCP path.
 	for i := 0; i < 40; i++ {
-		if res := ap.Controller().SubmitWait(500 + i); res.Err != nil {
+		if res := ap.Controller().SubmitWait(m.Name, 500+i); res.Err != nil {
 			t.Fatal(res.Err)
 		}
 	}
@@ -187,26 +218,29 @@ func TestStepDriftReplanActuates(t *testing.T) {
 	if !dec.Checked || !dec.DriftTriggered || !dec.Replanned {
 		t.Fatalf("expected a drift-triggered replan: %+v", dec)
 	}
-	if !dec.From.Equal(initial) || !dec.To.Equal(next) {
+	if md := dec.Models[m.Name]; !md.Checked || !md.DriftTriggered {
+		t.Fatalf("per-model decision = %+v", md)
+	}
+	if !dec.From.Equal(plan(m, initial)) || !dec.To.Equal(plan(m, next)) {
 		t.Fatalf("decision %v -> %v", dec.From, dec.To)
 	}
 	if len(planned) != 1 || len(planned[0]) != 40 {
 		t.Fatalf("planner saw %d samples", len(planned[0]))
 	}
-	if !ap.Current().Equal(next) || ap.Replans() != 1 {
+	if !ap.Current().Equal(plan(m, next)) || ap.Replans() != 1 {
 		t.Fatalf("current=%v replans=%d", ap.Current(), ap.Replans())
 	}
 	// The running fleet converged to the new plan.
-	counts := ap.Controller().InstanceCounts()
+	counts := ap.Controller().ModelInstanceCounts(m.Name)
 	if counts[cloud.G4dnXlarge.Name] != 1 || counts[cloud.R5nLarge.Name] != 1 {
 		t.Fatalf("controller fleet = %v", counts)
 	}
-	fcounts := ap.Fleet().Counts()
+	fcounts := ap.Fleet().CountsFor(m.Name)
 	if fcounts[cloud.G4dnXlarge.Name] != 1 || fcounts[cloud.R5nLarge.Name] != 1 {
 		t.Fatalf("fleet servers = %v", fcounts)
 	}
 	// Queries keep flowing on the reconfigured fleet.
-	if res := ap.Controller().SubmitWait(700); res.Err != nil {
+	if res := ap.Controller().SubmitWait(m.Name, 700); res.Err != nil {
 		t.Fatal(res.Err)
 	}
 	if got := ap.Controller().Stats().Failed; got != 0 {
@@ -218,19 +252,20 @@ func TestStepDriftReplanActuates(t *testing.T) {
 // cooldown must not replan again.
 func TestStepCooldownHoldsTriggers(t *testing.T) {
 	t.Parallel()
+	m := ncf()
 	initial := cloud.Config{0, 0, 2, 0}
 	opts := Options{
-		Plan: func(samples []int) (cloud.Config, error) {
+		Plan: singlePlan(m, func([]int) (cloud.Config, error) {
 			return cloud.Config{1, 0, 1, 0}, nil
-		},
+		}),
 		Window:          40,
 		MinObservations: 20,
-		Reference:       samplesOf(workload.Uniform{Min: 10, Max: 60}, 200, 1),
+		References:      map[string][]int{m.Name: samplesOf(workload.Uniform{Min: 10, Max: 60}, 200, 1)},
 		Cooldown:        time.Hour,
 	}
 	ap := startAutopilot(t, initial, opts)
 	for i := 0; i < 25; i++ {
-		if res := ap.Controller().SubmitWait(600); res.Err != nil {
+		if res := ap.Controller().SubmitWait(m.Name, 600); res.Err != nil {
 			t.Fatal(res.Err)
 		}
 	}
@@ -240,7 +275,7 @@ func TestStepCooldownHoldsTriggers(t *testing.T) {
 	// Shift again: the window still reads as drifted vs the rebased
 	// reference, but the cooldown holds.
 	for i := 0; i < 25; i++ {
-		if res := ap.Controller().SubmitWait(30); res.Err != nil {
+		if res := ap.Controller().SubmitWait(m.Name, 30); res.Err != nil {
 			t.Fatal(res.Err)
 		}
 	}
@@ -256,26 +291,27 @@ func TestStepCooldownHoldsTriggers(t *testing.T) {
 	}
 }
 
-// TestStepSLOTriggerReplansOnUnchangedPlan: an SLO breach with an
-// undrifted mix fires the trigger; when the planner returns the same
-// configuration, nothing is actuated but the decision is recorded.
+// TestStepSLOTrigger: an SLO breach with an undrifted mix fires the
+// trigger; when the planner returns the same configuration, nothing is
+// actuated but the decision is recorded.
 func TestStepSLOTrigger(t *testing.T) {
 	t.Parallel()
+	m := ncf()
 	initial := cloud.Config{0, 0, 1, 0}
 	small := workload.Uniform{Min: 10, Max: 60}
 	opts := Options{
-		Plan: func(samples []int) (cloud.Config, error) {
+		Plan: singlePlan(m, func([]int) (cloud.Config, error) {
 			return cloud.Config{0, 0, 1, 0}, nil // planner sees no better option
-		},
+		}),
 		Window:          40,
 		MinObservations: 10,
-		Reference:       samplesOf(small, 200, 1),
+		References:      map[string][]int{m.Name: samplesOf(small, 200, 1)},
 		SLOLatencyMS:    0.0001, // everything breaches
 	}
 	ap := startAutopilot(t, initial, opts)
 	rng := rand.New(rand.NewSource(2))
 	for i := 0; i < 12; i++ {
-		if res := ap.Controller().SubmitWait(small.Sample(rng)); res.Err != nil {
+		if res := ap.Controller().SubmitWait(m.Name, small.Sample(rng)); res.Err != nil {
 			t.Fatal(res.Err)
 		}
 	}
@@ -295,17 +331,134 @@ func TestStepSLOTrigger(t *testing.T) {
 	}
 }
 
+// TestStepScaleInShedsCost: sustained under-utilization (the ROADMAP's
+// scale-in trigger) must fire after the configured consecutive ticks,
+// replan under a shrunk budget, and actually drain capacity — then reset
+// its counter so the next fire needs a fresh run of low readings.
+func TestStepScaleInShedsCost(t *testing.T) {
+	t.Parallel()
+	m := ncf()
+	pool := cloud.DefaultPool()
+	initial := cloud.Config{0, 0, 3, 0} // 3x r5n.large = $0.447/hr
+	var budgets []float64
+	opts := Options{
+		Plan: func(samples map[string][]int, budget float64) (core.FleetPlan, error) {
+			budgets = append(budgets, budget)
+			if budget > 0 && budget < pool.Cost(initial) {
+				// Demand-sized shrink: keep a single CPU.
+				return core.FleetPlan{m.Name: cloud.Config{0, 0, 1, 0}}, nil
+			}
+			return core.FleetPlan{m.Name: initial.Clone()}, nil
+		},
+		Window:          40,
+		MinObservations: 10,
+		References:      map[string][]int{m.Name: samplesOf(workload.Uniform{Min: 10, Max: 60}, 200, 1)},
+		ScaleInFloor:    0.5,
+		ScaleInTicks:    2,
+		Cooldown:        time.Millisecond,
+	}
+	ap := startAutopilot(t, initial, opts)
+	// Warm the window, then go idle: utilization between steps is ~0.
+	for i := 0; i < 12; i++ {
+		if res := ap.Controller().SubmitWait(m.Name, 30); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+	// Step 1 baselines the rate estimator (no utilization reading yet).
+	dec, err := ap.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.ScaleInTriggered {
+		t.Fatalf("scale-in fired without a utilization reading: %+v", dec)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !dec.Replanned && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+		dec, err = ap.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !dec.Replanned || !dec.ScaleInTriggered {
+		t.Fatalf("scale-in never replanned: %+v", dec)
+	}
+	if dec.PlanBudget <= 0 || dec.PlanBudget >= pool.Cost(initial) {
+		t.Fatalf("scale-in must shrink the budget, got %v", dec.PlanBudget)
+	}
+	if got := budgets[len(budgets)-1]; got != dec.PlanBudget {
+		t.Fatalf("planner saw budget %v, decision says %v", got, dec.PlanBudget)
+	}
+	if !ap.Current().Equal(core.FleetPlan{m.Name: cloud.Config{0, 0, 1, 0}}) {
+		t.Fatalf("fleet did not shrink: %v", ap.Current())
+	}
+	if got := ap.Controller().ModelInstanceCounts(m.Name)[cloud.R5nLarge.Name]; got != 1 {
+		t.Fatalf("controller still has %d CPUs", got)
+	}
+	// The counter reset: the immediately-following step must not re-fire.
+	dec, err = ap.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.ScaleInTriggered {
+		t.Fatalf("counter must reset after a scale-in replan: %+v", dec)
+	}
+	if st := ap.Status(); !st.ScaleIn.Enabled || st.ScaleIn.TicksNeeded != 2 {
+		t.Fatalf("scale-in status = %+v", st.ScaleIn)
+	}
+	// Zero dropped queries across the drain.
+	if got := ap.Controller().Stats().Failed; got != 0 {
+		t.Fatalf("%d queries dropped during scale-in", got)
+	}
+}
+
+// TestScaleInHysteresis exercises the counter's three bands directly:
+// below the floor arms, inside the band holds, above the band resets.
+func TestScaleInHysteresis(t *testing.T) {
+	t.Parallel()
+	m := ncf()
+	opts := Options{
+		Plan:              singlePlan(m, func([]int) (cloud.Config, error) { return cloud.Config{0, 0, 1, 0}, nil }),
+		ScaleInFloor:      0.4,
+		ScaleInHysteresis: 0.2,
+		ScaleInTicks:      3,
+	}
+	ap := startAutopilot(t, cloud.Config{0, 0, 1, 0}, opts)
+
+	if ap.scaleInTick(0.1, false) {
+		t.Fatal("invalid utilization reading must not count")
+	}
+	if ap.scaleInTick(0.1, true) || ap.scaleInTick(0.2, true) {
+		t.Fatal("fired before ticks-needed")
+	}
+	// Inside the hysteresis band: neither arms nor resets.
+	if ap.scaleInTick(0.5, true) {
+		t.Fatal("band reading must not fire")
+	}
+	if !ap.scaleInTick(0.3, true) {
+		t.Fatal("third low reading must fire")
+	}
+	// Above floor+band: resets the run.
+	if ap.scaleInTick(0.7, true) {
+		t.Fatal("high reading must reset")
+	}
+	if ap.scaleInTick(0.1, true) {
+		t.Fatal("fresh run must start over")
+	}
+}
+
 func TestAdminEndpoints(t *testing.T) {
 	t.Parallel()
+	m := ncf()
 	initial := cloud.Config{0, 0, 2, 0}
 	opts := Options{
-		Plan:            func(samples []int) (cloud.Config, error) { return initial, nil },
+		Plan:            singlePlan(m, func([]int) (cloud.Config, error) { return initial, nil }),
 		Window:          40,
 		MinObservations: 10,
 	}
 	ap := startAutopilot(t, initial, opts)
 	for i := 0; i < 5; i++ {
-		if res := ap.Controller().SubmitWait(40); res.Err != nil {
+		if res := ap.Controller().SubmitWait(m.Name, 40); res.Err != nil {
 			t.Fatal(res.Err)
 		}
 	}
@@ -337,18 +490,29 @@ func TestAdminEndpoints(t *testing.T) {
 	if code := get("/plan", &plan); code != http.StatusOK {
 		t.Fatalf("plan code=%d", code)
 	}
-	if len(plan.Config) != len(initial) || plan.Counts[cloud.R5nLarge.Name] != 2 || plan.Cost <= 0 {
+	mp, ok := plan.Models[m.Name]
+	if !ok || len(mp.Config) != len(initial) || mp.Counts[cloud.R5nLarge.Name] != 2 || mp.Cost <= 0 {
 		t.Fatalf("plan = %+v", plan)
+	}
+	if plan.Cost != mp.Cost {
+		t.Fatalf("single-model fleet cost %v != model cost %v", plan.Cost, mp.Cost)
 	}
 	var st Status
 	if code := get("/metrics", &st); code != http.StatusOK {
 		t.Fatalf("metrics code=%d", code)
 	}
-	if !st.Healthy || st.Window.Observations != 5 || st.Controller.Completed != 5 {
+	if !st.Healthy || st.Controller.Completed != 5 {
 		t.Fatalf("status = %+v", st)
 	}
-	if st.Fleet[cloud.R5nLarge.Name] != 2 {
+	msec, ok := st.Models[m.Name]
+	if !ok || msec.Window.Observations != 5 || msec.SLOLatencyMS != m.QoS {
+		t.Fatalf("model section = %+v", msec)
+	}
+	if st.Fleet[m.Name][cloud.R5nLarge.Name] != 2 {
 		t.Fatalf("fleet = %v", st.Fleet)
+	}
+	if cs, ok := st.Controller.Models[m.Name]; !ok || cs.Completed != 5 {
+		t.Fatalf("controller per-model stats = %+v", st.Controller.Models)
 	}
 }
 
@@ -370,14 +534,14 @@ func TestAutopilotEndToEndSmoke(t *testing.T) {
 	large := workload.Uniform{Min: 450, Max: 750}
 	reference := samplesOf(small, 2000, 7)
 
-	plan := func(samples []int) (cloud.Config, error) {
+	planOne := func(samples []int) (cloud.Config, error) {
 		est, err := core.NewEstimator(pool, m, samples, core.EstimatorOptions{})
 		if err != nil {
 			return nil, err
 		}
 		return est.Plan(budget), nil
 	}
-	initial, err := plan(reference)
+	initial, err := planOne(reference)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -385,26 +549,26 @@ func TestAutopilotEndToEndSmoke(t *testing.T) {
 		t.Fatalf("small-mix plan %v unexpectedly buys the GPU; the shift would be invisible", initial)
 	}
 
-	fleet := NewFleet(m, 1)
-	addrs, err := fleet.Deploy(pool, initial)
+	fleet := NewFleet(1, m)
+	addrs, err := fleet.Deploy(pool, plan(m, initial))
 	if err != nil {
 		fleet.Close()
 		t.Fatal(err)
 	}
-	ctrl, err := server.NewController(kairosPolicy(m), 1, m.Latency, addrs)
+	ctrl, err := server.NewController(m.Name, kairosPolicy(m), 1, m.Latency, addrs)
 	if err != nil {
 		fleet.Close()
 		t.Fatal(err)
 	}
-	ap, err := New(ctrl, fleet, initial, Options{
+	ap, err := New(ctrl, fleet, plan(m, initial), Options{
 		Pool:            pool,
-		Model:           m,
-		Plan:            plan,
+		Models:          []models.Model{m},
+		Plan:            singlePlan(m, planOne),
 		Interval:        25 * time.Millisecond,
 		Cooldown:        50 * time.Millisecond,
 		Window:          300,
 		MinObservations: 100,
-		Reference:       reference,
+		References:      map[string][]int{m.Name: reference},
 	})
 	if err != nil {
 		ctrl.Close()
@@ -419,7 +583,7 @@ func TestAutopilotEndToEndSmoke(t *testing.T) {
 		t.Helper()
 		done := make([]<-chan server.QueryResult, n)
 		for i := 0; i < n; i++ {
-			done[i] = ctrl.Submit(mix.Sample(rng))
+			done[i] = ctrl.Submit(m.Name, mix.Sample(rng))
 			time.Sleep(time.Duration(gapMS * float64(time.Millisecond)))
 		}
 		for i, ch := range done {
@@ -454,7 +618,7 @@ func TestAutopilotEndToEndSmoke(t *testing.T) {
 	// Let a little post-replan traffic prove the new fleet serves.
 	send(large, 50, 4)
 
-	got := ap.Current()
+	got := ap.Current()[m.Name]
 	if got.Equal(initial) {
 		t.Fatalf("configuration did not change: %v", got)
 	}
@@ -462,7 +626,7 @@ func TestAutopilotEndToEndSmoke(t *testing.T) {
 		t.Fatalf("large-batch plan %v did not buy the GPU", got)
 	}
 	// Fleet and controller converged to the plan.
-	counts := ctrl.InstanceCounts()
+	counts := ctrl.ModelInstanceCounts(m.Name)
 	for i, typ := range pool {
 		if counts[typ.Name] != got[i] {
 			t.Fatalf("fleet %v does not match plan %v", counts, got)
@@ -483,16 +647,17 @@ func TestAutopilotEndToEndSmoke(t *testing.T) {
 // configuration) is a recorded control failure, never a panic.
 func TestStepRejectsUnusablePlan(t *testing.T) {
 	t.Parallel()
+	m := ncf()
 	initial := cloud.Config{0, 0, 1, 0}
 	opts := Options{
-		Plan:            func(samples []int) (cloud.Config, error) { return nil, nil },
+		Plan:            singlePlan(m, func([]int) (cloud.Config, error) { return nil, nil }),
 		Window:          40,
 		MinObservations: 10,
-		Reference:       samplesOf(workload.Uniform{Min: 10, Max: 60}, 200, 1),
+		References:      map[string][]int{m.Name: samplesOf(workload.Uniform{Min: 10, Max: 60}, 200, 1)},
 	}
 	ap := startAutopilot(t, initial, opts)
 	for i := 0; i < 12; i++ {
-		if res := ap.Controller().SubmitWait(600); res.Err != nil {
+		if res := ap.Controller().SubmitWait(m.Name, 600); res.Err != nil {
 			t.Fatal(res.Err)
 		}
 	}
@@ -502,7 +667,289 @@ func TestStepRejectsUnusablePlan(t *testing.T) {
 	if st := ap.Status(); st.Healthy || st.LastError == "" {
 		t.Fatalf("unusable plan must mark the control plane unhealthy: %+v", st)
 	}
-	if !ap.Current().Equal(initial) || ap.Replans() != 0 {
+	if !ap.Current().Equal(plan(m, initial)) || ap.Replans() != 0 {
 		t.Fatalf("fleet must be untouched: %v, %d replans", ap.Current(), ap.Replans())
+	}
+}
+
+// TestMultiModelBudgetShift is the multi-model acceptance run on the
+// internal API: two models share one budget on the live TCP path; when one
+// model's mix shifts to large batches, the fleet replan moves budget from
+// the steady model to the drifted one — with zero dropped queries.
+func TestMultiModelBudgetShift(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping multi-model end-to-end test in -short mode")
+	}
+	t.Parallel()
+	pool := cloud.DefaultPool()
+	a := ncf()                       // stays on small batches
+	b := models.MustByName("MT-WND") // shifts to large batches
+	const budget = 0.9
+
+	smallA := workload.Uniform{Min: 10, Max: 60}
+	smallB := workload.Uniform{Min: 10, Max: 80}
+	largeB := workload.Uniform{Min: 500, Max: 800}
+	refs := map[string][]int{
+		a.Name: samplesOf(smallA, 1500, 3),
+		b.Name: samplesOf(smallB, 1500, 4),
+	}
+	planFleet := func(samples map[string][]int, planBudget float64) (core.FleetPlan, error) {
+		if planBudget <= 0 {
+			planBudget = budget
+		}
+		demands := make([]core.ModelDemand, 0, 2)
+		for _, m := range []models.Model{a, b} {
+			if s := samples[m.Name]; len(s) > 0 {
+				demands = append(demands, core.ModelDemand{Model: m, Samples: s})
+			}
+		}
+		return core.PlanFleet(pool, demands, planBudget)
+	}
+	initial, err := planFleet(refs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if initial[a.Name].Total() == 0 || initial[b.Name].Total() == 0 {
+		t.Fatalf("initial plan must serve both models: %v", initial)
+	}
+	if initial[b.Name][cloud.BaseIndex] != 0 {
+		t.Fatalf("small-mix plan %v already owns the GPU; the shift would be invisible", initial)
+	}
+
+	fleet := NewFleet(1, a, b)
+	addrs, err := fleet.Deploy(pool, initial)
+	if err != nil {
+		fleet.Close()
+		t.Fatal(err)
+	}
+	ctrl, err := server.NewMultiController(map[string]server.GroupSpec{
+		a.Name: {Policy: kairosPolicy(a), Predict: a.Latency},
+		b.Name: {Policy: kairosPolicy(b), Predict: b.Latency},
+	}, 1, addrs)
+	if err != nil {
+		fleet.Close()
+		t.Fatal(err)
+	}
+	ap, err := New(ctrl, fleet, initial, Options{
+		Pool:            pool,
+		Models:          []models.Model{a, b},
+		Plan:            planFleet,
+		Interval:        25 * time.Millisecond,
+		Cooldown:        50 * time.Millisecond,
+		Window:          300,
+		MinObservations: 100,
+		References:      refs,
+	})
+	if err != nil {
+		ctrl.Close()
+		fleet.Close()
+		t.Fatal(err)
+	}
+	defer ap.Close()
+	ap.Start()
+
+	rng := rand.New(rand.NewSource(11))
+	send := func(model string, mix workload.BatchDistribution, n int, gapMS float64) []<-chan server.QueryResult {
+		done := make([]<-chan server.QueryResult, n)
+		for i := 0; i < n; i++ {
+			done[i] = ctrl.Submit(model, mix.Sample(rng))
+			time.Sleep(time.Duration(gapMS * float64(time.Millisecond)))
+		}
+		return done
+	}
+	wait := func(label string, chans []<-chan server.QueryResult) {
+		t.Helper()
+		for i, ch := range chans {
+			select {
+			case res := <-ch:
+				if res.Err != nil {
+					t.Fatalf("%s query %d dropped: %v", label, i, res.Err)
+				}
+			case <-time.After(30 * time.Second):
+				t.Fatalf("%s query %d never completed", label, i)
+			}
+		}
+	}
+
+	// Phase 1: both models on their reference mixes — steady state.
+	chA := send(a.Name, smallA, 150, 1)
+	chB := send(b.Name, smallB, 120, 2)
+	wait("phase-1 A", chA)
+	wait("phase-1 B", chB)
+	if got := ap.Replans(); got != 0 {
+		t.Fatalf("replanned %d times under the reference mixes", got)
+	}
+
+	// Phase 2: model B's mix shifts to GPU-only batch sizes while model A
+	// keeps its small mix flowing.
+	chA = send(a.Name, smallA, 100, 2)
+	chB = send(b.Name, largeB, 200, 8)
+	wait("phase-2 A", chA)
+	wait("phase-2 B", chB)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for ap.Replans() == 0 && time.Now().Before(deadline) {
+		time.Sleep(25 * time.Millisecond)
+	}
+	if ap.Replans() == 0 {
+		t.Fatal("the autopilot never replanned after model B's shift")
+	}
+	wait("post-replan B", send(b.Name, largeB, 30, 8))
+	wait("post-replan A", send(a.Name, smallA, 30, 2))
+
+	now := ap.Current()
+	if now[b.Name][cloud.BaseIndex] == 0 {
+		t.Fatalf("model B's shifted plan %v did not buy the GPU", now)
+	}
+	costA0, costA1 := pool.Cost(initial[a.Name]), pool.Cost(now[a.Name])
+	costB0, costB1 := pool.Cost(initial[b.Name]), pool.Cost(now[b.Name])
+	if costB1 <= costB0 || costA1 >= costA0 {
+		t.Fatalf("budget did not move from A to B: A $%.2f->$%.2f, B $%.2f->$%.2f",
+			costA0, costA1, costB0, costB1)
+	}
+	if got := now.Cost(pool); got > budget+1e-9 {
+		t.Fatalf("fleet plan %v busts the budget at $%.3f/hr", now, got)
+	}
+	// Both controllers' fleets converged to the plan.
+	for _, m := range []models.Model{a, b} {
+		counts := ctrl.ModelInstanceCounts(m.Name)
+		for i, typ := range pool {
+			if counts[typ.Name] != now[m.Name][i] {
+				t.Fatalf("%s fleet %v does not match plan %v", m.Name, counts, now[m.Name])
+			}
+		}
+	}
+	// The acceptance bar: zero dropped queries across the whole shift.
+	if st := ctrl.Stats(); st.Failed != 0 {
+		t.Fatalf("%d queries failed during the budget shift", st.Failed)
+	}
+}
+
+// TestStepScaleInKeepsFleetWhenBudgetBuysNothing: when the shrunk
+// scale-in budget cannot buy any fleet, the step is a healthy no-op that
+// re-arms the counter — never a persistent control error.
+func TestStepScaleInKeepsFleetWhenBudgetBuysNothing(t *testing.T) {
+	t.Parallel()
+	m := ncf()
+	initial := cloud.Config{0, 0, 2, 0}
+	opts := Options{
+		Plan: func(samples map[string][]int, budget float64) (core.FleetPlan, error) {
+			if budget > 0 {
+				// The shrunk budget buys nothing (e.g. the model's cheapest
+				// feasible config costs more than the cheapest pool price).
+				return core.FleetPlan{m.Name: cloud.Config{0, 0, 0, 0}}, nil
+			}
+			return core.FleetPlan{m.Name: initial.Clone()}, nil
+		},
+		Window:          40,
+		MinObservations: 10,
+		References:      map[string][]int{m.Name: samplesOf(workload.Uniform{Min: 10, Max: 60}, 200, 1)},
+		ScaleInFloor:    0.5,
+		ScaleInTicks:    2,
+		Cooldown:        time.Millisecond,
+	}
+	ap := startAutopilot(t, initial, opts)
+	for i := 0; i < 12; i++ {
+		if res := ap.Controller().SubmitWait(m.Name, 30); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+	var dec Decision
+	var err error
+	deadline := time.Now().Add(5 * time.Second)
+	for !dec.ScaleInTriggered && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+		dec, err = ap.Step()
+		if err != nil {
+			t.Fatalf("scale-in with an empty plan must not error: %v", err)
+		}
+	}
+	if !dec.ScaleInTriggered || dec.Replanned {
+		t.Fatalf("expected a no-op scale-in decision: %+v", dec)
+	}
+	if !ap.Current().Equal(plan(m, initial)) || ap.Replans() != 0 {
+		t.Fatalf("fleet must be untouched: %v, %d replans", ap.Current(), ap.Replans())
+	}
+	if st := ap.Status(); !st.Healthy || st.ScaleIn.TicksBelow != 0 {
+		t.Fatalf("no-op scale-in must stay healthy and re-arm: healthy=%v ticks=%d", st.Healthy, st.ScaleIn.TicksBelow)
+	}
+	// The controller still serves.
+	if res := ap.Controller().SubmitWait(m.Name, 30); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+}
+
+// TestStepPreservesColdModelFleet: a deployed model with no traffic and
+// no reference sample is invisible to the planner; a trigger on another
+// model must not read that absence as "tear the cold model's fleet down
+// to zero".
+func TestStepPreservesColdModelFleet(t *testing.T) {
+	t.Parallel()
+	pool := cloud.DefaultPool()
+	a := ncf()
+	b := models.MustByName("MT-WND")
+	initial := core.FleetPlan{
+		a.Name: cloud.Config{0, 0, 1, 0},
+		b.Name: cloud.Config{0, 0, 1, 0},
+	}
+	fleet := NewFleet(1, a, b)
+	addrs, err := fleet.Deploy(pool, initial)
+	if err != nil {
+		fleet.Close()
+		t.Fatal(err)
+	}
+	ctrl, err := server.NewMultiController(map[string]server.GroupSpec{
+		a.Name: {Policy: kairosPolicy(a), Predict: a.Latency},
+		b.Name: {Policy: kairosPolicy(b), Predict: b.Latency},
+	}, 1, addrs)
+	if err != nil {
+		fleet.Close()
+		t.Fatal(err)
+	}
+	ap, err := New(ctrl, fleet, initial, Options{
+		Pool:   pool,
+		Models: []models.Model{a, b},
+		// The planner only ever sees model A's sample (B stays cold and
+		// has no reference) and allocates nothing to B.
+		Plan: func(samples map[string][]int, _ float64) (core.FleetPlan, error) {
+			if _, ok := samples[b.Name]; ok {
+				t.Errorf("planner saw a sample for the cold model: %v", samples)
+			}
+			return core.FleetPlan{a.Name: cloud.Config{1, 0, 0, 0}}, nil
+		},
+		Window:          40,
+		MinObservations: 10,
+		References:      map[string][]int{a.Name: samplesOf(workload.Uniform{Min: 10, Max: 60}, 200, 1)},
+	})
+	if err != nil {
+		ctrl.Close()
+		fleet.Close()
+		t.Fatal(err)
+	}
+	defer ap.Close()
+
+	// Drift model A; model B receives no traffic at all.
+	for i := 0; i < 12; i++ {
+		if res := ap.Controller().SubmitWait(a.Name, 600); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+	dec, err := ap.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Replanned {
+		t.Fatalf("expected a replan: %+v", dec)
+	}
+	// A converged to the new plan; B's fleet was carried forward, not
+	// torn down.
+	if got := ap.Current()[b.Name]; !got.Equal(initial[b.Name]) {
+		t.Fatalf("cold model's fleet changed: %v", got)
+	}
+	if got := ap.Controller().ModelInstanceCounts(b.Name)[cloud.R5nLarge.Name]; got != 1 {
+		t.Fatalf("cold model's instance was removed: counts=%v", got)
+	}
+	if res := ap.Controller().SubmitWait(b.Name, 20); res.Err != nil {
+		t.Fatalf("cold model stopped serving: %v", res.Err)
 	}
 }

@@ -1,12 +1,16 @@
 // Package autopilot closes the paper's Fig. 12 adaptation loop over the
-// real network serving path: a rolling-window live monitor fed from
-// controller completions, a drift trigger (internal/adapt) plus an
-// SLO-violation trigger, a replan step invoking the planner with the live
-// window as its sample, and an actuator that reconciles the running fleet
-// — launching and draining instance servers at runtime — toward the fresh
-// configuration. It is the control plane that turns the monitor, planner,
-// and controller from isolated components into a self-managing serving
-// system (INFaaS-style managed adaptivity, KubeAI-style reconciliation).
+// real network serving path, for a set of models sharing one cost budget:
+// per-model rolling-window live monitors fed from controller completions,
+// per-model drift triggers (internal/adapt) plus SLO-violation triggers
+// and a fleet-wide scale-in trigger on sustained under-utilization, a
+// replan step invoking the shared-budget fleet planner with the live
+// windows as its samples, and an actuator that reconciles every model's
+// running fleet — launching and draining instance servers at runtime —
+// toward the fresh plan. A trigger fired by one model replans the whole
+// fleet, so budget freed by a cooling model flows to a heating one. It is
+// the control plane that turns the monitors, planner, and controller from
+// isolated components into a self-managing multi-model serving system
+// (INFaaS-style managed adaptivity, KubeAI-style reconciliation).
 package autopilot
 
 import (
@@ -14,43 +18,62 @@ import (
 	"sync"
 
 	"kairos/internal/cloud"
+	"kairos/internal/core"
 	"kairos/internal/models"
 	"kairos/internal/server"
 )
 
 // Fleet launches and stops in-process instance servers on loopback TCP —
 // the actuator's "cloud provider". Every server emulates one instance type
-// serving the fleet's model at the fleet's time scale (see
-// server.InstanceServer).
+// hosting one of the fleet's registered models at the fleet's time scale
+// (see server.InstanceServer).
 type Fleet struct {
-	model     models.Model
 	timeScale float64
+	models    map[string]models.Model
 
 	mu      sync.Mutex
 	servers map[string]*fleetServer // keyed by listen address
 }
 
 type fleetServer struct {
+	model    string
 	typeName string
 	srv      *server.InstanceServer
 }
 
-// NewFleet prepares an empty fleet for one model at one time scale.
-// Like the server layer, a non-positive timeScale means real time.
-func NewFleet(model models.Model, timeScale float64) *Fleet {
+// NewFleet prepares an empty fleet serving the given models at one time
+// scale. Like the server layer, a non-positive timeScale means real time.
+func NewFleet(timeScale float64, ms ...models.Model) *Fleet {
 	if timeScale <= 0 {
 		timeScale = 1
 	}
-	return &Fleet{model: model, timeScale: timeScale, servers: map[string]*fleetServer{}}
+	byName := make(map[string]models.Model, len(ms))
+	for _, m := range ms {
+		byName[m.Name] = m
+	}
+	return &Fleet{timeScale: timeScale, models: byName, servers: map[string]*fleetServer{}}
 }
 
 // TimeScale returns the fleet's time dilation factor.
 func (f *Fleet) TimeScale() float64 { return f.timeScale }
 
-// Launch starts one instance server of the given type on an ephemeral
-// loopback port and returns its address.
-func (f *Fleet) Launch(typeName string) (string, error) {
-	srv, err := server.NewInstanceServer(typeName, f.model, f.timeScale)
+// Models lists the registered model names in unspecified order.
+func (f *Fleet) Models() []string {
+	out := make([]string, 0, len(f.models))
+	for name := range f.models {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Launch starts one instance server of the given type hosting the named
+// model on an ephemeral loopback port and returns its address.
+func (f *Fleet) Launch(model, typeName string) (string, error) {
+	m, ok := f.models[model]
+	if !ok {
+		return "", fmt.Errorf("autopilot: fleet does not serve model %q", model)
+	}
+	srv, err := server.NewInstanceServer(typeName, m, f.timeScale)
 	if err != nil {
 		return "", err
 	}
@@ -59,28 +82,35 @@ func (f *Fleet) Launch(typeName string) (string, error) {
 	}
 	addr := srv.Addr()
 	f.mu.Lock()
-	f.servers[addr] = &fleetServer{typeName: typeName, srv: srv}
+	f.servers[addr] = &fleetServer{model: model, typeName: typeName, srv: srv}
 	f.mu.Unlock()
 	return addr, nil
 }
 
-// Deploy launches cfg[i] servers of pool[i] for every type and returns all
-// started addresses. On any launch failure it stops what it started.
-func (f *Fleet) Deploy(pool cloud.Pool, cfg cloud.Config) ([]string, error) {
-	if len(cfg) != len(pool) {
-		return nil, fmt.Errorf("autopilot: config %v does not match pool of %d types", cfg, len(pool))
-	}
+// Deploy launches plan[model][i] servers of pool[i] for every model and
+// returns all started addresses. On any launch failure it stops what it
+// started.
+func (f *Fleet) Deploy(pool cloud.Pool, plan core.FleetPlan) ([]string, error) {
 	var addrs []string
-	for i, n := range cfg {
-		for k := 0; k < n; k++ {
-			addr, err := f.Launch(pool[i].Name)
-			if err != nil {
-				for _, a := range addrs {
-					f.Stop(a)
+	fail := func(err error) ([]string, error) {
+		for _, a := range addrs {
+			f.Stop(a)
+		}
+		return nil, err
+	}
+	for _, model := range plan.Models() {
+		cfg := plan[model]
+		if len(cfg) != len(pool) {
+			return fail(fmt.Errorf("autopilot: config %v for %s does not match pool of %d types", cfg, model, len(pool)))
+		}
+		for i, n := range cfg {
+			for k := 0; k < n; k++ {
+				addr, err := f.Launch(model, pool[i].Name)
+				if err != nil {
+					return fail(err)
 				}
-				return nil, err
+				addrs = append(addrs, addr)
 			}
-			addrs = append(addrs, addr)
 		}
 	}
 	return addrs, nil
@@ -109,13 +139,31 @@ func (f *Fleet) Addrs() []string {
 	return out
 }
 
-// Counts returns the number of running servers per instance type.
-func (f *Fleet) Counts() map[string]int {
+// Counts returns the number of running servers per model per instance
+// type.
+func (f *Fleet) Counts() map[string]map[string]int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string]map[string]int)
+	for _, fs := range f.servers {
+		if out[fs.model] == nil {
+			out[fs.model] = make(map[string]int)
+		}
+		out[fs.model][fs.typeName]++
+	}
+	return out
+}
+
+// CountsFor returns the number of running servers per instance type
+// hosting one model.
+func (f *Fleet) CountsFor(model string) map[string]int {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	out := make(map[string]int)
 	for _, fs := range f.servers {
-		out[fs.typeName]++
+		if fs.model == model {
+			out[fs.typeName]++
+		}
 	}
 	return out
 }

@@ -1,0 +1,276 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"kairos/internal/cloud"
+	"kairos/internal/models"
+)
+
+// ModelDemand couples one served model with the batch-size sample
+// describing its recent traffic — the per-model input to the shared-budget
+// fleet allocator. The sample plays the same role as the query monitor's
+// snapshot in single-model planning (Sec. 5.2).
+type ModelDemand struct {
+	Model   models.Model
+	Samples []int
+}
+
+// FleetPlan is a multi-model deployment: one heterogeneous configuration
+// per model name, all drawn from the same pool and paid from one shared
+// budget. A model may be absent (or mapped to an all-zero configuration)
+// when the allocator could not afford any throughput for it.
+type FleetPlan map[string]cloud.Config
+
+// Clone deep-copies the plan.
+func (p FleetPlan) Clone() FleetPlan {
+	out := make(FleetPlan, len(p))
+	for name, cfg := range p {
+		out[name] = cfg.Clone()
+	}
+	return out
+}
+
+// Total returns the number of instances across every model's fleet.
+func (p FleetPlan) Total() int {
+	n := 0
+	for _, cfg := range p {
+		n += cfg.Total()
+	}
+	return n
+}
+
+// Cost returns the plan's aggregate price in $/hr under the pool.
+func (p FleetPlan) Cost(pool cloud.Pool) float64 {
+	total := 0.0
+	for _, cfg := range p {
+		total += pool.Cost(cfg)
+	}
+	return total
+}
+
+// Config returns the named model's configuration, or nil when the plan
+// holds none.
+func (p FleetPlan) Config(model string) cloud.Config { return p[model] }
+
+// Models lists the plan's model names in sorted order.
+func (p FleetPlan) Models() []string {
+	out := make([]string, 0, len(p))
+	for name := range p {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Equal reports whether two plans allocate identical fleets. A missing
+// model and an all-zero configuration are equivalent.
+func (p FleetPlan) Equal(o FleetPlan) bool {
+	for name, cfg := range p {
+		oc, ok := o[name]
+		if !ok {
+			if cfg.Total() != 0 {
+				return false
+			}
+			continue
+		}
+		if !cfg.Equal(oc) {
+			return false
+		}
+	}
+	for name, oc := range o {
+		if _, ok := p[name]; !ok && oc.Total() != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the plan as "model=(a,b,c) ..." in model-name order.
+func (p FleetPlan) String() string {
+	var b strings.Builder
+	for i, name := range p.Models() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%s", name, p[name])
+	}
+	return b.String()
+}
+
+// frontierPoint is one step on a model's cost/throughput efficient
+// frontier: the cheapest configuration achieving its upper bound.
+type frontierPoint struct {
+	cfg  cloud.Config
+	cost float64
+	ub   float64
+}
+
+// modelLadder is one model's frontier plus the greedy allocator's cursor:
+// cur == -1 is the empty configuration (cost 0, upper bound 0).
+type modelLadder struct {
+	name   string
+	points []frontierPoint
+	cur    int
+}
+
+func (l *modelLadder) at() (cost, ub float64) {
+	if l.cur < 0 {
+		return 0, 0
+	}
+	return l.points[l.cur].cost, l.points[l.cur].ub
+}
+
+// frontier builds the Pareto frontier of (cost, upper bound) over every
+// configuration within budget: sorted by ascending cost, keeping only
+// configurations whose bound strictly improves on all cheaper ones. Both
+// cost and bound are strictly increasing along the result.
+func frontier(pool cloud.Pool, est *Estimator, budget float64) []frontierPoint {
+	configs := pool.Enumerate(budget)
+	pts := make([]frontierPoint, 0, len(configs))
+	for _, cfg := range configs {
+		if ub := est.UpperBound(cfg); ub > 0 {
+			pts = append(pts, frontierPoint{cfg: cfg, cost: pool.Cost(cfg), ub: ub})
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].cost != pts[j].cost {
+			return pts[i].cost < pts[j].cost
+		}
+		if pts[i].ub != pts[j].ub {
+			return pts[i].ub > pts[j].ub
+		}
+		return pts[i].cfg.Key() < pts[j].cfg.Key()
+	})
+	out := pts[:0]
+	best := 0.0
+	for _, p := range pts {
+		if p.ub > best {
+			out = append(out, p)
+			best = p.ub
+		}
+	}
+	return out
+}
+
+const costEps = 1e-9
+
+// bestJump finds the ladder's most efficient affordable upgrade: the
+// frontier point beyond the cursor maximizing marginal upper bound per
+// marginal dollar within the remaining budget. It returns the point index
+// and the ratio, or (-1, 0) when no upgrade fits.
+func (l *modelLadder) bestJump(remaining float64) (int, float64) {
+	curCost, curUB := l.at()
+	bestIdx, bestRatio := -1, 0.0
+	for j := l.cur + 1; j < len(l.points); j++ {
+		dc := l.points[j].cost - curCost
+		if dc > remaining+costEps {
+			break // frontier cost is increasing: later points cost more
+		}
+		du := l.points[j].ub - curUB
+		if du <= 0 || dc <= 0 {
+			continue
+		}
+		if ratio := du / dc; ratio > bestRatio+costEps {
+			bestIdx, bestRatio = j, ratio
+		}
+	}
+	return bestIdx, bestRatio
+}
+
+// PlanFleet splits one dollar budget across several models' fleets by
+// greedy marginal throughput-per-dollar over each model's ranked
+// configurations (the multi-model generalization of the paper's one-shot
+// planner; INFaaS-style model-less allocation).
+//
+// The allocator works on each model's cost/upper-bound Pareto frontier in
+// two phases:
+//
+//  1. Coverage: every model whose cheapest positive-throughput
+//     configuration still fits the remaining budget is funded first (in
+//     descending first-step efficiency), so no servable model is starved
+//     merely because another model converts dollars to QPS faster.
+//  2. Greedy: the remaining budget buys frontier upgrades one at a time,
+//     always taking the upgrade with the highest marginal upper bound per
+//     marginal dollar across all models. Ties break deterministically
+//     toward the lexicographically smaller model name.
+//
+// A model whose cheapest useful configuration never fits (e.g. it needs
+// the base GPU but the budget is spent) ends with an all-zero
+// configuration — the degenerate "starved" outcome callers must expect
+// under tight budgets.
+func PlanFleet(pool cloud.Pool, demands []ModelDemand, budget float64) (FleetPlan, error) {
+	if budget <= 0 {
+		return nil, fmt.Errorf("core: fleet planning needs a positive budget (got %v)", budget)
+	}
+	if len(demands) == 0 {
+		return nil, fmt.Errorf("core: fleet planning needs at least one model demand")
+	}
+	ladders := make([]*modelLadder, 0, len(demands))
+	seen := make(map[string]bool, len(demands))
+	for _, d := range demands {
+		if d.Model.Name == "" {
+			return nil, fmt.Errorf("core: fleet demand with an unnamed model")
+		}
+		if seen[d.Model.Name] {
+			return nil, fmt.Errorf("core: duplicate fleet demand for model %s", d.Model.Name)
+		}
+		seen[d.Model.Name] = true
+		est, err := NewEstimator(pool, d.Model, d.Samples, EstimatorOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("core: fleet demand for %s: %w", d.Model.Name, err)
+		}
+		ladders = append(ladders, &modelLadder{
+			name:   d.Model.Name,
+			points: frontier(pool, est, budget),
+			cur:    -1,
+		})
+	}
+	// Deterministic tie-breaking needs a stable scan order.
+	sort.Slice(ladders, func(i, j int) bool { return ladders[i].name < ladders[j].name })
+
+	remaining := budget
+	for {
+		// Coverage first: uncovered models with an affordable first step
+		// take absolute priority over upgrades to already-served models,
+		// and coverage buys exactly the cheapest positive-throughput
+		// configuration — never a deeper jump, which could spend the
+		// budget another coverable model still needs. Upgrades come later
+		// from the greedy phase.
+		var pick *modelLadder
+		pickIdx, pickRatio := -1, 0.0
+		for _, l := range ladders {
+			if l.cur < 0 && len(l.points) > 0 && l.points[0].cost <= remaining+costEps {
+				if ratio := l.points[0].ub / l.points[0].cost; ratio > pickRatio+costEps {
+					pick, pickIdx, pickRatio = l, 0, ratio
+				}
+			}
+		}
+		if pick == nil {
+			// Everyone affordable is covered: greedy marginal upgrades.
+			for _, l := range ladders {
+				if idx, ratio := l.bestJump(remaining); idx >= 0 && ratio > pickRatio+costEps {
+					pick, pickIdx, pickRatio = l, idx, ratio
+				}
+			}
+		}
+		if pick == nil {
+			break
+		}
+		curCost, _ := pick.at()
+		remaining -= pick.points[pickIdx].cost - curCost
+		pick.cur = pickIdx
+	}
+
+	plan := make(FleetPlan, len(ladders))
+	for _, l := range ladders {
+		if l.cur < 0 {
+			plan[l.name] = cloud.NewConfig(pool)
+		} else {
+			plan[l.name] = l.points[l.cur].cfg.Clone()
+		}
+	}
+	return plan, nil
+}

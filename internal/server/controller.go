@@ -4,31 +4,32 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
 	"kairos/internal/sim"
 )
 
-// Controller is the central controller of Sec. 6: it accepts queries,
-// keeps the central queue, runs a query-distribution policy (normally
-// Kairos's matching) in real time, and sends dispatched queries to the
-// instance servers over the wire. The fleet is reconfigurable at runtime:
-// AddInstance dials new servers into the rotation and RemoveInstance
-// drains and disconnects running ones, so a control plane (see
-// internal/autopilot) can reconcile the fleet toward a fresh plan without
-// dropping in-flight queries.
+// Controller is the central controller of Sec. 6, generalized to a
+// multi-model fleet: it accepts queries tagged with their model, keeps one
+// central queue per model, runs each model's query-distribution policy
+// (normally Kairos's matching) in real time over that model's instances,
+// and sends dispatched queries to the instance servers over the wire.
+// Instances join the scheduler group of the model their handshake banner
+// announces; a banner naming a model the controller does not serve is
+// rejected. The fleet is reconfigurable at runtime: AddInstance dials new
+// servers into the rotation and RemoveInstance drains and disconnects
+// running ones, so a control plane (see internal/autopilot) can reconcile
+// every model's fleet toward a fresh plan without dropping in-flight
+// queries.
 type Controller struct {
-	// Policy decides dispatches; it sees times in model milliseconds.
-	Policy sim.Distributor
 	// TimeScale must match the instance servers' scale.
 	TimeScale float64
-	// Predict estimates service latency (model ms) for busy-time tracking.
-	Predict func(typeName string, batch int) float64
 
 	mu        sync.Mutex
-	instances []*remoteInstance
-	waiting   []*pendingQuery
+	groups    map[string]*modelGroup
+	order     []string // sorted model names: deterministic iteration
 	nextID    int64
 	kick      chan struct{}
 	closed    chan struct{}
@@ -36,13 +37,32 @@ type Controller struct {
 	wg        sync.WaitGroup
 
 	// onComplete, when set, observes every delivered QueryResult.
-	onComplete func(batch int, res QueryResult)
-	submitted  int64
-	completed  int64
-	failed     int64
+	onComplete func(model string, batch int, res QueryResult)
+}
+
+// GroupSpec describes one served model's scheduling group: the
+// query-distribution policy deciding dispatches (it sees times in model
+// milliseconds) and the latency predictor used for busy-time tracking.
+type GroupSpec struct {
+	Policy  sim.Distributor
+	Predict func(typeName string, batch int) float64
+}
+
+// modelGroup is one model's serving state: its policy, its slice of the
+// fleet, and its central queue. All fields are guarded by Controller.mu.
+type modelGroup struct {
+	model     string
+	policy    sim.Distributor
+	predict   func(typeName string, batch int) float64
+	instances []*remoteInstance
+	waiting   []*pendingQuery
+	submitted int64
+	completed int64
+	failed    int64
 }
 
 type remoteInstance struct {
+	model     string
 	typeName  string
 	addr      string
 	conn      net.Conn
@@ -61,6 +81,7 @@ type remoteInstance struct {
 
 type pendingQuery struct {
 	id        int64
+	model     string
 	batch     int
 	enqueued  time.Time
 	done      chan QueryResult
@@ -69,6 +90,8 @@ type pendingQuery struct {
 
 // QueryResult reports one served query.
 type QueryResult struct {
+	// Model is the model the query was submitted for.
+	Model string
 	// Batch is the query's batch size.
 	Batch int
 	// LatencyMS is the end-to-end latency in model milliseconds
@@ -82,6 +105,8 @@ type QueryResult struct {
 
 // InstanceStats is one connected instance's cumulative accounting.
 type InstanceStats struct {
+	// Model is the model the instance announced in the handshake.
+	Model string `json:"model"`
 	// TypeName is the instance type announced in the handshake.
 	TypeName string `json:"type_name"`
 	// Addr is the dialed server address.
@@ -98,10 +123,26 @@ type InstanceStats struct {
 	Draining bool `json:"draining"`
 }
 
+// ModelStats is one model group's accounting snapshot.
+type ModelStats struct {
+	// Waiting is the model's central queue depth.
+	Waiting int `json:"waiting"`
+	// Submitted counts every query accepted for the model.
+	Submitted int64 `json:"submitted"`
+	// Completed counts queries delivered without error.
+	Completed int64 `json:"completed"`
+	// Failed counts queries delivered with an error.
+	Failed int64 `json:"failed"`
+	// Instances snapshots the model's instances in fleet order.
+	Instances []InstanceStats `json:"instances"`
+}
+
 // Stats is a point-in-time snapshot of the controller's accounting — the
-// shared observability surface read by kairosctl and the autopilot.
+// shared observability surface read by kairosctl and the autopilot. The
+// top-level counters aggregate every model; Models carries the per-model
+// sections.
 type Stats struct {
-	// Waiting is the central queue depth.
+	// Waiting is the total central queue depth across models.
 	Waiting int `json:"waiting"`
 	// Submitted counts every query accepted by Submit.
 	Submitted int64 `json:"submitted"`
@@ -109,14 +150,26 @@ type Stats struct {
 	Completed int64 `json:"completed"`
 	// Failed counts queries delivered with an error.
 	Failed int64 `json:"failed"`
-	// Instances snapshots the per-instance accounting in fleet order.
+	// Models maps each served model to its group's accounting.
+	Models map[string]ModelStats `json:"models"`
+	// Instances snapshots every instance in model-then-fleet order.
 	Instances []InstanceStats `json:"instances"`
 }
 
-// NewController dials the instance servers and starts the scheduling loop.
-func NewController(policy sim.Distributor, timeScale float64, predict func(string, int) float64, addrs []string) (*Controller, error) {
-	if policy == nil || predict == nil {
-		return nil, errors.New("server: controller needs a policy and a predictor")
+// NewController dials the instance servers and starts the scheduling loop
+// for a single-model deployment — the one-group case of NewMultiController.
+func NewController(model string, policy sim.Distributor, timeScale float64, predict func(string, int) float64, addrs []string) (*Controller, error) {
+	return NewMultiController(map[string]GroupSpec{model: {Policy: policy, Predict: predict}}, timeScale, addrs)
+}
+
+// NewMultiController dials the instance servers, assigns each to the
+// scheduler group of the model its banner announces, and starts the
+// scheduling loop. Every announced model must have a group; an instance
+// announcing an unexpected model is rejected (wrong-model instances must
+// never silently serve another model's queries).
+func NewMultiController(groups map[string]GroupSpec, timeScale float64, addrs []string) (*Controller, error) {
+	if len(groups) == 0 {
+		return nil, errors.New("server: controller needs at least one model group")
 	}
 	if timeScale <= 0 {
 		timeScale = 1
@@ -125,19 +178,29 @@ func NewController(policy sim.Distributor, timeScale float64, predict func(strin
 		return nil, errors.New("server: controller needs at least one instance address")
 	}
 	c := &Controller{
-		Policy:    policy,
 		TimeScale: timeScale,
-		Predict:   predict,
+		groups:    make(map[string]*modelGroup, len(groups)),
 		kick:      make(chan struct{}, 1),
 		closed:    make(chan struct{}),
 	}
+	for model, spec := range groups {
+		if model == "" {
+			return nil, errors.New("server: model group with an empty model name")
+		}
+		if spec.Policy == nil || spec.Predict == nil {
+			return nil, fmt.Errorf("server: model group %s needs a policy and a predictor", model)
+		}
+		c.groups[model] = &modelGroup{model: model, policy: spec.Policy, predict: spec.Predict}
+		c.order = append(c.order, model)
+	}
+	sort.Strings(c.order)
 	for _, addr := range addrs {
 		ri, err := c.dialInstance(addr)
 		if err != nil {
 			c.Close()
 			return nil, err
 		}
-		c.instances = append(c.instances, ri)
+		c.groups[ri.model].instances = append(c.groups[ri.model].instances, ri)
 		c.wg.Add(1)
 		go c.readLoop(ri)
 	}
@@ -146,7 +209,8 @@ func NewController(policy sim.Distributor, timeScale float64, predict func(strin
 	return c, nil
 }
 
-// dialInstance connects and handshakes with one instance server.
+// dialInstance connects and handshakes with one instance server,
+// validating the announced model against the served set.
 func (c *Controller) dialInstance(addr string) (*remoteInstance, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
@@ -157,11 +221,24 @@ func (c *Controller) dialInstance(addr string) (*remoteInstance, error) {
 		conn.Close()
 		return nil, fmt.Errorf("server: handshake with %s: %w", addr, err)
 	}
-	return &remoteInstance{typeName: hello.TypeName, addr: addr, conn: conn, busyUntil: time.Now()}, nil
+	if _, ok := c.groups[hello.Model]; !ok {
+		conn.Close()
+		return nil, fmt.Errorf("server: instance %s at %s announces model %q, controller serves %v",
+			hello.TypeName, addr, hello.Model, c.order)
+	}
+	return &remoteInstance{model: hello.Model, typeName: hello.TypeName, addr: addr, conn: conn, busyUntil: time.Now()}, nil
 }
 
-// AddInstance dials one more instance server into the rotation and returns
-// its announced type name. Safe to call while traffic is flowing.
+// Models lists the served model names in sorted order.
+func (c *Controller) Models() []string {
+	out := make([]string, len(c.order))
+	copy(out, c.order)
+	return out
+}
+
+// AddInstance dials one more instance server into the rotation of the
+// model its banner announces and returns that type name. Safe to call
+// while traffic is flowing.
 func (c *Controller) AddInstance(addr string) (string, error) {
 	ri, err := c.dialInstance(addr)
 	if err != nil {
@@ -175,7 +252,8 @@ func (c *Controller) AddInstance(addr string) (string, error) {
 		return "", errors.New("server: controller closed")
 	default:
 	}
-	c.instances = append(c.instances, ri)
+	g := c.groups[ri.model]
+	g.instances = append(g.instances, ri)
 	c.wg.Add(1)
 	c.mu.Unlock()
 	go c.readLoop(ri)
@@ -183,17 +261,23 @@ func (c *Controller) AddInstance(addr string) (string, error) {
 	return ri.typeName, nil
 }
 
-// RemoveInstance drains and disconnects one instance of the given type:
-// the instance stops receiving new dispatches immediately, every
-// already-dispatched query completes and is delivered normally, and only
-// then is the connection closed and the instance dropped from the fleet.
-// Among removable candidates it picks the one with the shallowest backlog.
-// It blocks until the drain finishes and returns the removed instance's
-// dialed address so launchers can stop the matching server.
-func (c *Controller) RemoveInstance(typeName string) (string, error) {
+// RemoveInstance drains and disconnects one instance of the given type
+// from the model's group: the instance stops receiving new dispatches
+// immediately, every already-dispatched query completes and is delivered
+// normally, and only then is the connection closed and the instance
+// dropped from the fleet. Among removable candidates it picks the one with
+// the shallowest backlog. It blocks until the drain finishes and returns
+// the removed instance's dialed address so launchers can stop the matching
+// server.
+func (c *Controller) RemoveInstance(model, typeName string) (string, error) {
 	c.mu.Lock()
+	g, ok := c.groups[model]
+	if !ok {
+		c.mu.Unlock()
+		return "", fmt.Errorf("server: controller does not serve model %q (have %v)", model, c.order)
+	}
 	var target *remoteInstance
-	for _, ri := range c.instances {
+	for _, ri := range g.instances {
 		if ri.typeName != typeName || ri.draining {
 			continue
 		}
@@ -203,7 +287,7 @@ func (c *Controller) RemoveInstance(typeName string) (string, error) {
 	}
 	if target == nil {
 		c.mu.Unlock()
-		return "", fmt.Errorf("server: no removable instance of type %s", typeName)
+		return "", fmt.Errorf("server: no removable instance of type %s serving %s", typeName, model)
 	}
 	target.draining = true
 	c.mu.Unlock()
@@ -226,35 +310,80 @@ func (c *Controller) RemoveInstance(typeName string) (string, error) {
 	// Close the connection (its readLoop exits) and drop it from the fleet.
 	target.conn.Close()
 	c.mu.Lock()
-	for i, ri := range c.instances {
-		if ri == target {
-			c.instances = append(c.instances[:i], c.instances[i+1:]...)
-			break
-		}
-	}
+	c.dropLocked(target)
+	orphans := c.orphanedLocked(g)
 	c.mu.Unlock()
+	for _, q := range orphans {
+		c.deliver(q, QueryResult{Err: fmt.Errorf("server: model %s has no serving capacity", model)})
+	}
 	return target.addr, nil
 }
 
-// InstanceTypes lists the connected instance types in fleet order,
-// including draining ones.
+// dropLocked removes the instance from its group; callers hold c.mu.
+func (c *Controller) dropLocked(target *remoteInstance) {
+	g := c.groups[target.model]
+	for i, ri := range g.instances {
+		if ri == target {
+			g.instances = append(g.instances[:i], g.instances[i+1:]...)
+			return
+		}
+	}
+}
+
+// orphanedLocked empties a group's central queue when its last instance
+// is gone: with nothing left to dispatch to, the waiting queries would
+// otherwise hang forever. The returned queries must be failed with
+// deliver outside the lock. Callers hold c.mu.
+func (c *Controller) orphanedLocked(g *modelGroup) []*pendingQuery {
+	if len(g.instances) > 0 || len(g.waiting) == 0 {
+		return nil
+	}
+	orphans := g.waiting
+	g.waiting = nil
+	return orphans
+}
+
+// InstanceTypes lists the connected instance types in model-then-fleet
+// order, including draining ones.
 func (c *Controller) InstanceTypes() []string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := make([]string, len(c.instances))
-	for i, ri := range c.instances {
-		out[i] = ri.typeName
+	var out []string
+	for _, model := range c.order {
+		for _, ri := range c.groups[model].instances {
+			out = append(out, ri.typeName)
+		}
 	}
 	return out
 }
 
-// InstanceCounts returns the number of non-draining instances per type —
-// the fleet the scheduler can actually use.
+// InstanceCounts returns the number of non-draining instances per type
+// across every model — the aggregate fleet the schedulers can use.
 func (c *Controller) InstanceCounts() map[string]int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	out := make(map[string]int)
-	for _, ri := range c.instances {
+	for _, g := range c.groups {
+		for _, ri := range g.instances {
+			if !ri.draining {
+				out[ri.typeName]++
+			}
+		}
+	}
+	return out
+}
+
+// ModelInstanceCounts returns the number of non-draining instances per
+// type serving one model — the fleet that model's scheduler can use.
+func (c *Controller) ModelInstanceCounts(model string) map[string]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int)
+	g, ok := c.groups[model]
+	if !ok {
+		return out
+	}
+	for _, ri := range g.instances {
 		if !ri.draining {
 			out[ri.typeName]++
 		}
@@ -262,27 +391,38 @@ func (c *Controller) InstanceCounts() map[string]int {
 	return out
 }
 
-// Stats snapshots the controller's accounting.
+// Stats snapshots the controller's accounting across every model group.
 func (c *Controller) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	s := Stats{
-		Waiting:   len(c.waiting),
-		Submitted: c.submitted,
-		Completed: c.completed,
-		Failed:    c.failed,
-		Instances: make([]InstanceStats, len(c.instances)),
-	}
-	for i, ri := range c.instances {
-		s.Instances[i] = InstanceStats{
-			TypeName:   ri.typeName,
-			Addr:       ri.addr,
-			Dispatched: ri.dispatched,
-			Completed:  ri.completed,
-			Pending:    len(ri.pending),
-			BusyMS:     ri.busyMS,
-			Draining:   ri.draining,
+	s := Stats{Models: make(map[string]ModelStats, len(c.order))}
+	for _, model := range c.order {
+		g := c.groups[model]
+		ms := ModelStats{
+			Waiting:   len(g.waiting),
+			Submitted: g.submitted,
+			Completed: g.completed,
+			Failed:    g.failed,
+			Instances: make([]InstanceStats, len(g.instances)),
 		}
+		for i, ri := range g.instances {
+			ms.Instances[i] = InstanceStats{
+				Model:      ri.model,
+				TypeName:   ri.typeName,
+				Addr:       ri.addr,
+				Dispatched: ri.dispatched,
+				Completed:  ri.completed,
+				Pending:    len(ri.pending),
+				BusyMS:     ri.busyMS,
+				Draining:   ri.draining,
+			}
+		}
+		s.Models[model] = ms
+		s.Waiting += ms.Waiting
+		s.Submitted += ms.Submitted
+		s.Completed += ms.Completed
+		s.Failed += ms.Failed
+		s.Instances = append(s.Instances, ms.Instances...)
 	}
 	return s
 }
@@ -290,36 +430,61 @@ func (c *Controller) Stats() Stats {
 // SetOnComplete installs a callback observing every delivered QueryResult
 // (successes and failures; check res.Err). It runs outside the controller
 // lock and must not block for long — it is on the completion path.
-func (c *Controller) SetOnComplete(fn func(batch int, res QueryResult)) {
+func (c *Controller) SetOnComplete(fn func(model string, batch int, res QueryResult)) {
 	c.mu.Lock()
 	c.onComplete = fn
 	c.mu.Unlock()
 }
 
-// Submit enqueues one query and returns a channel delivering its result.
-// After Close the result fails immediately instead of hanging.
-func (c *Controller) Submit(batch int) <-chan QueryResult {
+// Submit enqueues one query for the named model and returns a channel
+// delivering its result. Unknown models, models whose group currently has
+// no serving capacity (every instance removed or draining — reachable
+// when the shared-budget planner starves a model), and submissions after
+// Close all fail immediately instead of hanging.
+func (c *Controller) Submit(model string, batch int) <-chan QueryResult {
 	done := make(chan QueryResult, 1)
 	c.mu.Lock()
+	g, ok := c.groups[model]
+	if !ok {
+		c.mu.Unlock()
+		done <- QueryResult{Model: model, Batch: batch,
+			Err: fmt.Errorf("server: controller does not serve model %q (have %v)", model, c.order)}
+		return done
+	}
 	select {
 	case <-c.closed:
-		c.failed++
+		g.failed++
 		c.mu.Unlock()
-		done <- QueryResult{Batch: batch, Err: errors.New("server: controller closed")}
+		done <- QueryResult{Model: model, Batch: batch, Err: errors.New("server: controller closed")}
 		return done
 	default:
 	}
+	capacity := false
+	for _, ri := range g.instances {
+		if !ri.draining {
+			capacity = true
+			break
+		}
+	}
+	if !capacity {
+		g.submitted++
+		g.failed++
+		c.mu.Unlock()
+		done <- QueryResult{Model: model, Batch: batch,
+			Err: fmt.Errorf("server: model %s has no serving capacity", model)}
+		return done
+	}
 	c.nextID++
-	c.submitted++
-	q := &pendingQuery{id: c.nextID, batch: batch, enqueued: time.Now(), done: done}
-	c.waiting = append(c.waiting, q)
+	g.submitted++
+	q := &pendingQuery{id: c.nextID, model: model, batch: batch, enqueued: time.Now(), done: done}
+	g.waiting = append(g.waiting, q)
 	c.mu.Unlock()
 	c.wake()
 	return done
 }
 
 // SubmitWait submits and blocks for the result.
-func (c *Controller) SubmitWait(batch int) QueryResult { return <-c.Submit(batch) }
+func (c *Controller) SubmitWait(model string, batch int) QueryResult { return <-c.Submit(model, batch) }
 
 // wake nudges the scheduler without blocking.
 func (c *Controller) wake() {
@@ -332,6 +497,7 @@ func (c *Controller) wake() {
 // deliver completes one query under c.mu and invokes the completion
 // callback after releasing the lock.
 func (c *Controller) deliver(q *pendingQuery, res QueryResult) {
+	res.Model = q.model
 	res.Batch = q.batch
 	c.mu.Lock()
 	if q.completed {
@@ -339,16 +505,17 @@ func (c *Controller) deliver(q *pendingQuery, res QueryResult) {
 		return
 	}
 	q.completed = true
+	g := c.groups[q.model]
 	if res.Err != nil {
-		c.failed++
+		g.failed++
 	} else {
-		c.completed++
+		g.completed++
 	}
 	cb := c.onComplete
 	c.mu.Unlock()
 	q.done <- res
 	if cb != nil {
-		cb(q.batch, res)
+		cb(q.model, q.batch, res)
 	}
 }
 
@@ -366,34 +533,37 @@ func (c *Controller) Close() {
 				return
 			}
 			q.completed = true
-			c.failed++
-			res := QueryResult{Batch: q.batch, Err: errClosed, Instance: instance}
+			c.groups[q.model].failed++
+			res := QueryResult{Model: q.model, Batch: q.batch, Err: errClosed, Instance: instance}
 			q.done <- res
 			failed = append(failed, res)
 		}
-		for _, ri := range c.instances {
-			ri.conn.Close()
-			for _, q := range ri.pending {
-				fail(q, ri.typeName)
+		for _, model := range c.order {
+			g := c.groups[model]
+			for _, ri := range g.instances {
+				ri.conn.Close()
+				for _, q := range ri.pending {
+					fail(q, ri.typeName)
+				}
+				ri.pending = nil
 			}
-			ri.pending = nil
+			for _, q := range g.waiting {
+				fail(q, "")
+			}
+			g.waiting = nil
 		}
-		for _, q := range c.waiting {
-			fail(q, "")
-		}
-		c.waiting = nil
 		cb := c.onComplete
 		c.mu.Unlock()
 		if cb != nil {
 			for _, res := range failed {
-				cb(res.Batch, res)
+				cb(res.Model, res.Batch, res)
 			}
 		}
 	})
 	c.wg.Wait()
 }
 
-// evict removes a dead instance from the fleet and fails its in-flight
+// evict removes a dead instance from its group and fails its in-flight
 // queries. Draining is set first so no scheduling round re-dispatches to
 // it while the failures are delivered.
 func (c *Controller) evict(ri *remoteInstance, cause error) {
@@ -401,16 +571,15 @@ func (c *Controller) evict(ri *remoteInstance, cause error) {
 	ri.draining = true
 	failed := ri.pending
 	ri.pending = nil
-	for i, other := range c.instances {
-		if other == ri {
-			c.instances = append(c.instances[:i], c.instances[i+1:]...)
-			break
-		}
-	}
+	c.dropLocked(ri)
+	orphans := c.orphanedLocked(c.groups[ri.model])
 	c.mu.Unlock()
 	ri.conn.Close()
 	for _, q := range failed {
 		c.deliver(q, QueryResult{Err: fmt.Errorf("server: instance %s lost: %w", ri.typeName, cause), Instance: ri.typeName})
+	}
+	for _, q := range orphans {
+		c.deliver(q, QueryResult{Err: fmt.Errorf("server: model %s has no serving capacity (instance %s lost: %v)", ri.model, ri.typeName, cause)})
 	}
 	c.wake()
 }
@@ -428,34 +597,70 @@ func (c *Controller) scheduleLoop() {
 	}
 }
 
-// scheduleRound builds the policy's views and dispatches its assignments.
-// Draining instances are invisible to the policy, so a removal never
-// receives new work.
+// dispatchItem pairs a dispatched query with its target for the
+// out-of-lock network write.
+type dispatchItem struct {
+	q  *pendingQuery
+	ri *remoteInstance
+}
+
+// scheduleRound runs one distribution round per model group. The lock is
+// taken per group, not for the whole round: one model's matching cost
+// (the policy's Assign can be cubic in the queue depth) must not stall
+// submissions, completions, or stats reads for every other model.
+// c.order is immutable after construction, so iterating it outside the
+// lock is safe.
 func (c *Controller) scheduleRound() {
-	c.mu.Lock()
-	if len(c.waiting) == 0 {
+	var dispatch []dispatchItem
+	for _, model := range c.order {
+		c.mu.Lock()
+		dispatch = append(dispatch, c.groupRoundLocked(c.groups[model], time.Now())...)
 		c.mu.Unlock()
-		return
 	}
-	active := make([]*remoteInstance, 0, len(c.instances))
-	for _, ri := range c.instances {
+
+	for _, d := range dispatch {
+		d.ri.writeMu.Lock()
+		err := WriteFrame(d.ri.conn, Request{ID: d.q.id, Model: d.q.model, Batch: d.q.batch})
+		d.ri.writeMu.Unlock()
+		if err != nil {
+			c.mu.Lock()
+			// Forget the failed dispatch so a drain does not wait on it.
+			for k, p := range d.ri.pending {
+				if p == d.q {
+					d.ri.pending = append(d.ri.pending[:k], d.ri.pending[k+1:]...)
+					break
+				}
+			}
+			c.mu.Unlock()
+			c.deliver(d.q, QueryResult{Err: err, Instance: d.ri.typeName})
+		}
+	}
+}
+
+// groupRoundLocked builds one model group's policy views and collects its
+// assignments. Draining instances are invisible to the policy, so a
+// removal never receives new work. Callers hold c.mu.
+func (c *Controller) groupRoundLocked(g *modelGroup, now time.Time) []dispatchItem {
+	if len(g.waiting) == 0 {
+		return nil
+	}
+	active := make([]*remoteInstance, 0, len(g.instances))
+	for _, ri := range g.instances {
 		if !ri.draining {
 			active = append(active, ri)
 		}
 	}
 	if len(active) == 0 {
-		c.mu.Unlock()
-		return
+		return nil
 	}
-	now := time.Now()
 	toModelMS := func(d time.Duration) float64 {
 		if d < 0 {
 			return 0
 		}
 		return float64(d) / float64(time.Millisecond) / c.TimeScale
 	}
-	qviews := make([]sim.QueryView, len(c.waiting))
-	for i, q := range c.waiting {
+	qviews := make([]sim.QueryView, len(g.waiting))
+	for i, q := range g.waiting {
 		// ID carries the stable arrival sequence number; partitioned
 		// policies key on it across scheduling rounds.
 		qviews[i] = sim.QueryView{Index: i, ID: int(q.id), Batch: q.batch, WaitMS: toModelMS(now.Sub(q.enqueued))}
@@ -474,7 +679,7 @@ func (c *Controller) scheduleRound() {
 				// busyUntil covers the whole backlog; attribute the queued
 				// service to QueuedBatches and keep the remainder here.
 				for _, b := range queued {
-					remaining -= c.Predict(ri.typeName, b)
+					remaining -= g.predict(ri.typeName, b)
 				}
 				if remaining < 0 {
 					remaining = 0
@@ -483,21 +688,18 @@ func (c *Controller) scheduleRound() {
 		}
 		iviews[i] = sim.InstanceView{Index: i, TypeName: ri.typeName, RemainingMS: remaining, QueuedBatches: queued}
 	}
-	assignments := c.Policy.Assign(toModelMS(time.Duration(now.UnixNano())), qviews, iviews)
+	assignments := g.policy.Assign(toModelMS(time.Duration(now.UnixNano())), qviews, iviews)
 
-	var dispatch []struct {
-		q  *pendingQuery
-		ri *remoteInstance
-	}
+	var dispatch []dispatchItem
 	taken := make(map[int]bool, len(assignments))
 	for _, a := range assignments {
-		if a.Query < 0 || a.Query >= len(c.waiting) || a.Instance < 0 || a.Instance >= len(active) || taken[a.Query] {
+		if a.Query < 0 || a.Query >= len(g.waiting) || a.Instance < 0 || a.Instance >= len(active) || taken[a.Query] {
 			continue
 		}
 		taken[a.Query] = true
-		q := c.waiting[a.Query]
+		q := g.waiting[a.Query]
 		ri := active[a.Instance]
-		service := c.Predict(ri.typeName, q.batch)
+		service := g.predict(ri.typeName, q.batch)
 		scaled := time.Duration(service * c.TimeScale * float64(time.Millisecond))
 		if ri.busyUntil.Before(now) {
 			ri.busyUntil = now
@@ -505,39 +707,18 @@ func (c *Controller) scheduleRound() {
 		ri.busyUntil = ri.busyUntil.Add(scaled)
 		ri.pending = append(ri.pending, q)
 		ri.dispatched++
-		dispatch = append(dispatch, struct {
-			q  *pendingQuery
-			ri *remoteInstance
-		}{q, ri})
+		dispatch = append(dispatch, dispatchItem{q, ri})
 	}
 	if len(taken) > 0 {
-		next := c.waiting[:0]
-		for i, q := range c.waiting {
+		next := g.waiting[:0]
+		for i, q := range g.waiting {
 			if !taken[i] {
 				next = append(next, q)
 			}
 		}
-		c.waiting = next
+		g.waiting = next
 	}
-	c.mu.Unlock()
-
-	for _, d := range dispatch {
-		d.ri.writeMu.Lock()
-		err := WriteFrame(d.ri.conn, Request{ID: d.q.id, Batch: d.q.batch})
-		d.ri.writeMu.Unlock()
-		if err != nil {
-			c.mu.Lock()
-			// Forget the failed dispatch so a drain does not wait on it.
-			for k, p := range d.ri.pending {
-				if p == d.q {
-					d.ri.pending = append(d.ri.pending[:k], d.ri.pending[k+1:]...)
-					break
-				}
-			}
-			c.mu.Unlock()
-			c.deliver(d.q, QueryResult{Err: err, Instance: d.ri.typeName})
-		}
-	}
+	return dispatch
 }
 
 // readLoop consumes replies from one instance and completes queries.
@@ -578,7 +759,7 @@ func (c *Controller) readLoop(ri *remoteInstance) {
 				// delivers it: online learners and query monitors train from
 				// real completions too. Under c.mu so Observe never races
 				// Assign (policies are not internally synchronized).
-				if obs, ok := c.Policy.(sim.Observer); ok {
+				if obs, ok := c.groups[ri.model].policy.(sim.Observer); ok {
 					obs.Observe(ri.typeName, q.batch, reply.ServiceMS)
 				}
 			}

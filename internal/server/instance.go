@@ -113,6 +113,9 @@ func (s *InstanceServer) serveConn(conn net.Conn) {
 
 // serve performs the (emulated) inference.
 func (s *InstanceServer) serve(req Request) Reply {
+	if req.Model != "" && req.Model != s.Model.Name {
+		return Reply{ID: req.ID, Err: fmt.Sprintf("instance serves model %s, not %s", s.Model.Name, req.Model)}
+	}
 	if req.Batch < 1 || req.Batch > models.MaxBatch {
 		return Reply{ID: req.ID, Err: fmt.Sprintf("batch %d outside [1,%d]", req.Batch, models.MaxBatch)}
 	}

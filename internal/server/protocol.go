@@ -21,6 +21,9 @@ const MaxFrame = 1 << 16
 type Request struct {
 	// ID correlates the reply.
 	ID int64 `json:"id"`
+	// Model names the model the query targets; servers reject requests for
+	// a model they do not host. Empty skips the check (legacy controllers).
+	Model string `json:"model,omitempty"`
 	// Batch is the query batch size.
 	Batch int `json:"batch"`
 }

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"fmt"
 	"net"
 	"strings"
 	"sync"
@@ -103,12 +104,12 @@ func TestEndToEndSingleQuery(t *testing.T) {
 	m := models.MustByName("NCF")
 	types := []string{cloud.G4dnXlarge.Name}
 	addrs := startCluster(t, types, 1)
-	ctrl, err := NewController(kairosPolicy(m, types), 1, m.Latency, addrs)
+	ctrl, err := NewController(m.Name, kairosPolicy(m, types), 1, m.Latency, addrs)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer ctrl.Close()
-	res := ctrl.SubmitWait(100)
+	res := ctrl.SubmitWait(m.Name, 100)
 	if res.Err != nil {
 		t.Fatal(res.Err)
 	}
@@ -128,7 +129,7 @@ func TestEndToEndHeterogeneousPlacement(t *testing.T) {
 	m := models.MustByName("NCF")
 	types := []string{cloud.G4dnXlarge.Name, cloud.R5nLarge.Name}
 	addrs := startCluster(t, types, 1)
-	ctrl, err := NewController(kairosPolicy(m, types), 1, m.Latency, addrs)
+	ctrl, err := NewController(m.Name, kairosPolicy(m, types), 1, m.Latency, addrs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +139,7 @@ func TestEndToEndHeterogeneousPlacement(t *testing.T) {
 	}
 	// A max-size query violates QoS on the idle CPU; it must be served by
 	// the GPU even with both idle.
-	res := ctrl.SubmitWait(1000)
+	res := ctrl.SubmitWait(m.Name, 1000)
 	if res.Err != nil {
 		t.Fatal(res.Err)
 	}
@@ -146,7 +147,7 @@ func TestEndToEndHeterogeneousPlacement(t *testing.T) {
 		t.Fatalf("max-size query served by %s, want the base GPU", res.Instance)
 	}
 	// A tiny query prefers the cheap CPU (weighted matching).
-	res = ctrl.SubmitWait(10)
+	res = ctrl.SubmitWait(m.Name, 10)
 	if res.Err != nil {
 		t.Fatal(res.Err)
 	}
@@ -163,7 +164,7 @@ func TestEndToEndConcurrentLoad(t *testing.T) {
 	// millisecond latencies.
 	const scale = 5.0
 	addrs := startCluster(t, types, scale)
-	ctrl, err := NewController(kairosPolicy(m, types), scale, m.Latency, addrs)
+	ctrl, err := NewController(m.Name, kairosPolicy(m, types), scale, m.Latency, addrs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +179,7 @@ func TestEndToEndConcurrentLoad(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			batch := 20 + (i%7)*25 // up to 170, feasible on every type
-			results[i] = ctrl.SubmitWait(batch)
+			results[i] = ctrl.SubmitWait(m.Name, batch)
 		}(i)
 		time.Sleep(scale * time.Millisecond)
 	}
@@ -200,14 +201,14 @@ func TestEndToEndConcurrentLoad(t *testing.T) {
 
 func TestControllerValidation(t *testing.T) {
 	m := models.MustByName("NCF")
-	if _, err := NewController(nil, 1, m.Latency, []string{"x"}); err == nil {
+	if _, err := NewController(m.Name, nil, 1, m.Latency, []string{"x"}); err == nil {
 		t.Fatal("nil policy must error")
 	}
 	pol := kairosPolicy(m, []string{cloud.G4dnXlarge.Name})
-	if _, err := NewController(pol, 1, m.Latency, nil); err == nil {
+	if _, err := NewController(m.Name, pol, 1, m.Latency, nil); err == nil {
 		t.Fatal("no addresses must error")
 	}
-	if _, err := NewController(pol, 1, m.Latency, []string{"127.0.0.1:1"}); err == nil {
+	if _, err := NewController(m.Name, pol, 1, m.Latency, []string{"127.0.0.1:1"}); err == nil {
 		t.Fatal("dial failure must error")
 	}
 }
@@ -224,14 +225,14 @@ func TestControllerCloseFailsOutstanding(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s.Close()
-	ctrl, err := NewController(kairosPolicy(m, types), 1, m.Latency, []string{s.Addr()})
+	ctrl, err := NewController(m.Name, kairosPolicy(m, types), 1, m.Latency, []string{s.Addr()})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Saturate: several slow queries so some are still waiting.
 	var chans []<-chan QueryResult
 	for i := 0; i < 5; i++ {
-		chans = append(chans, ctrl.Submit(1000))
+		chans = append(chans, ctrl.Submit(m.Name, 1000))
 	}
 	time.Sleep(10 * time.Millisecond)
 	ctrl.Close()
@@ -288,14 +289,14 @@ func TestControllerExposesStableQueryIDs(t *testing.T) {
 	types := []string{cloud.G4dnXlarge.Name}
 	addrs := startCluster(t, types, 1)
 	policy := &capturePolicy{ids: map[int]bool{}}
-	ctrl, err := NewController(policy, 1, m.Latency, addrs)
+	ctrl, err := NewController(m.Name, policy, 1, m.Latency, addrs)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer ctrl.Close()
 	const n = 4
 	for i := 0; i < n; i++ {
-		if res := ctrl.SubmitWait(10); res.Err != nil {
+		if res := ctrl.SubmitWait(m.Name, 10); res.Err != nil {
 			t.Fatal(res.Err)
 		}
 	}
@@ -328,7 +329,7 @@ func TestControllerAddInstanceJoinsFleet(t *testing.T) {
 	m := models.MustByName("NCF")
 	types := []string{cloud.G4dnXlarge.Name}
 	addrs := startCluster(t, types, 1)
-	ctrl, err := NewController(kairosPolicy(m, []string{cloud.G4dnXlarge.Name, cloud.R5nLarge.Name}), 1, m.Latency, addrs)
+	ctrl, err := NewController(m.Name, kairosPolicy(m, []string{cloud.G4dnXlarge.Name, cloud.R5nLarge.Name}), 1, m.Latency, addrs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -347,7 +348,7 @@ func TestControllerAddInstanceJoinsFleet(t *testing.T) {
 	}
 	// A tiny query prefers the cheap CPU (weighted matching) — the added
 	// instance really serves.
-	res := ctrl.SubmitWait(10)
+	res := ctrl.SubmitWait(m.Name, 10)
 	if res.Err != nil {
 		t.Fatal(res.Err)
 	}
@@ -367,7 +368,7 @@ func TestControllerRemoveInstanceDrains(t *testing.T) {
 	const scale = 20.0
 	types := []string{cloud.G4dnXlarge.Name, cloud.G4dnXlarge.Name}
 	addrs := startCluster(t, types, scale)
-	ctrl, err := NewController(kairosPolicy(m, types), scale, m.Latency, addrs)
+	ctrl, err := NewController(m.Name, kairosPolicy(m, types), scale, m.Latency, addrs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -376,10 +377,10 @@ func TestControllerRemoveInstanceDrains(t *testing.T) {
 	// Load both instances with slow queries, then remove one mid-flight.
 	var chans []<-chan QueryResult
 	for i := 0; i < 6; i++ {
-		chans = append(chans, ctrl.Submit(1000))
+		chans = append(chans, ctrl.Submit(m.Name, 1000))
 	}
 	time.Sleep(20 * time.Millisecond)
-	removedAddr, err := ctrl.RemoveInstance(cloud.G4dnXlarge.Name)
+	removedAddr, err := ctrl.RemoveInstance(m.Name, cloud.G4dnXlarge.Name)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -401,7 +402,7 @@ func TestControllerRemoveInstanceDrains(t *testing.T) {
 		}
 	}
 	// Removing the last instance of a type that is gone must error.
-	if _, err := ctrl.RemoveInstance("nope"); err == nil {
+	if _, err := ctrl.RemoveInstance(m.Name, "nope"); err == nil {
 		t.Fatal("removing an unknown type must error")
 	}
 }
@@ -411,7 +412,7 @@ func TestControllerStatsAndOnComplete(t *testing.T) {
 	m := models.MustByName("NCF")
 	types := []string{cloud.G4dnXlarge.Name}
 	addrs := startCluster(t, types, 1)
-	ctrl, err := NewController(kairosPolicy(m, types), 1, m.Latency, addrs)
+	ctrl, err := NewController(m.Name, kairosPolicy(m, types), 1, m.Latency, addrs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -420,7 +421,7 @@ func TestControllerStatsAndOnComplete(t *testing.T) {
 	var mu sync.Mutex
 	completions := 0
 	batches := 0
-	ctrl.SetOnComplete(func(batch int, res QueryResult) {
+	ctrl.SetOnComplete(func(model string, batch int, res QueryResult) {
 		mu.Lock()
 		defer mu.Unlock()
 		completions++
@@ -431,7 +432,7 @@ func TestControllerStatsAndOnComplete(t *testing.T) {
 	})
 	const n = 5
 	for i := 0; i < n; i++ {
-		if res := ctrl.SubmitWait(100); res.Err != nil {
+		if res := ctrl.SubmitWait(m.Name, 100); res.Err != nil {
 			t.Fatal(res.Err)
 		}
 	}
@@ -497,7 +498,7 @@ func TestControllerEvictsDeadInstance(t *testing.T) {
 
 	healthy := startServer(t, cloud.R5nLarge.Name, 1)
 	types := []string{cloud.G4dnXlarge.Name, cloud.R5nLarge.Name}
-	ctrl, err := NewController(kairosPolicy(m, types), 1, m.Latency, []string{ln.Addr().String(), healthy.Addr()})
+	ctrl, err := NewController(m.Name, kairosPolicy(m, types), 1, m.Latency, []string{ln.Addr().String(), healthy.Addr()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -506,7 +507,7 @@ func TestControllerEvictsDeadInstance(t *testing.T) {
 	// Large queries route to the (fake) GPU and stick there unanswered.
 	var chans []<-chan QueryResult
 	for i := 0; i < 3; i++ {
-		chans = append(chans, ctrl.Submit(1000))
+		chans = append(chans, ctrl.Submit(m.Name, 1000))
 	}
 	deadline := time.Now().Add(5 * time.Second)
 	for time.Now().Before(deadline) {
@@ -540,10 +541,10 @@ func TestControllerEvictsDeadInstance(t *testing.T) {
 	}
 	// The survivor still serves, and removing the dead type now errors
 	// instead of draining a ghost.
-	if res := ctrl.SubmitWait(100); res.Err != nil {
+	if res := ctrl.SubmitWait(m.Name, 100); res.Err != nil {
 		t.Fatal(res.Err)
 	}
-	if _, err := ctrl.RemoveInstance(cloud.G4dnXlarge.Name); err == nil {
+	if _, err := ctrl.RemoveInstance(m.Name, cloud.G4dnXlarge.Name); err == nil {
 		t.Fatal("removing the evicted type must error")
 	}
 }
@@ -553,17 +554,354 @@ func TestSubmitAfterCloseFailsFast(t *testing.T) {
 	m := models.MustByName("NCF")
 	types := []string{cloud.G4dnXlarge.Name}
 	addrs := startCluster(t, types, 1)
-	ctrl, err := NewController(kairosPolicy(m, types), 1, m.Latency, addrs)
+	ctrl, err := NewController(m.Name, kairosPolicy(m, types), 1, m.Latency, addrs)
 	if err != nil {
 		t.Fatal(err)
 	}
 	ctrl.Close()
 	select {
-	case res := <-ctrl.Submit(10):
+	case res := <-ctrl.Submit(m.Name, 10):
 		if res.Err == nil {
 			t.Fatal("submit after close must fail")
 		}
 	case <-time.After(2 * time.Second):
 		t.Fatal("submit after close hung")
+	}
+}
+
+// TestControllerRejectsWrongModelBanner: an instance announcing a model
+// the controller does not serve must be rejected at dial time, both in the
+// constructor and in AddInstance — never silently accepted into a fleet
+// that would route another model's queries to it.
+func TestControllerRejectsWrongModelBanner(t *testing.T) {
+	t.Parallel()
+	m := models.MustByName("NCF")
+	wrong := models.MustByName("RM2")
+	s, err := NewInstanceServer(cloud.G4dnXlarge.Name, wrong, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if _, err := NewController(m.Name, kairosPolicy(m, []string{cloud.G4dnXlarge.Name}), 1, m.Latency, []string{s.Addr()}); err == nil {
+		t.Fatal("constructor must reject a wrong-model banner")
+	} else if !strings.Contains(err.Error(), wrong.Name) || !strings.Contains(err.Error(), m.Name) {
+		t.Fatalf("rejection must name both models: %v", err)
+	}
+
+	addrs := startCluster(t, []string{cloud.G4dnXlarge.Name}, 1)
+	ctrl, err := NewController(m.Name, kairosPolicy(m, []string{cloud.G4dnXlarge.Name}), 1, m.Latency, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+	if _, err := ctrl.AddInstance(s.Addr()); err == nil {
+		t.Fatal("AddInstance must reject a wrong-model banner")
+	}
+	if got := len(ctrl.InstanceTypes()); got != 1 {
+		t.Fatalf("rejected instance leaked into the fleet: %d instances", got)
+	}
+}
+
+// TestInstanceServerRejectsWrongModelRequest: the wire-level guard — a
+// request tagged with another model's name gets an error reply, not a
+// silently-served query.
+func TestInstanceServerRejectsWrongModelRequest(t *testing.T) {
+	t.Parallel()
+	m := models.MustByName("NCF")
+	s, err := NewInstanceServer(cloud.G4dnXlarge.Name, m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var hello Hello
+	if err := ReadFrame(conn, &hello); err != nil {
+		t.Fatal(err)
+	}
+	if hello.Model != m.Name {
+		t.Fatalf("banner announces %q", hello.Model)
+	}
+	if err := WriteFrame(conn, Request{ID: 1, Model: "RM2", Batch: 10}); err != nil {
+		t.Fatal(err)
+	}
+	var reply Reply
+	if err := ReadFrame(conn, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply.Err == "" || !strings.Contains(reply.Err, m.Name) {
+		t.Fatalf("wrong-model request must error, got %+v", reply)
+	}
+	// A correctly-tagged request still serves.
+	if err := WriteFrame(conn, Request{ID: 2, Model: m.Name, Batch: 10}); err != nil {
+		t.Fatal(err)
+	}
+	var ok Reply
+	if err := ReadFrame(conn, &ok); err != nil {
+		t.Fatal(err)
+	}
+	if ok.Err != "" || ok.ServiceMS <= 0 {
+		t.Fatalf("tagged request failed: %+v", ok)
+	}
+}
+
+// startModelServer boots one instance server for an explicit model.
+func startModelServer(t *testing.T, m models.Model, typeName string, timeScale float64) *InstanceServer {
+	t.Helper()
+	s, err := NewInstanceServer(typeName, m, timeScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// TestMultiModelRouting: two models share one controller; each query lands
+// only on its own model's instances, stats are tagged per model, and a
+// submission for an unknown model fails fast.
+func TestMultiModelRouting(t *testing.T) {
+	t.Parallel()
+	ncf := models.MustByName("NCF")
+	wnd := models.MustByName("MT-WND")
+	sN := startModelServer(t, ncf, cloud.R5nLarge.Name, 1)
+	sW := startModelServer(t, wnd, cloud.G4dnXlarge.Name, 1)
+	groups := map[string]GroupSpec{
+		ncf.Name: {Policy: kairosPolicy(ncf, []string{cloud.R5nLarge.Name}), Predict: ncf.Latency},
+		wnd.Name: {Policy: kairosPolicy(wnd, []string{cloud.G4dnXlarge.Name}), Predict: wnd.Latency},
+	}
+	ctrl, err := NewMultiController(groups, 1, []string{sN.Addr(), sW.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+	if got := ctrl.Models(); len(got) != 2 || got[0] != wnd.Name || got[1] != ncf.Name {
+		t.Fatalf("models = %v", got)
+	}
+
+	const n = 4
+	for i := 0; i < n; i++ {
+		if res := ctrl.SubmitWait(ncf.Name, 50); res.Err != nil {
+			t.Fatal(res.Err)
+		} else if res.Instance != cloud.R5nLarge.Name || res.Model != ncf.Name {
+			t.Fatalf("NCF query served by %s as %s", res.Instance, res.Model)
+		}
+		if res := ctrl.SubmitWait(wnd.Name, 50); res.Err != nil {
+			t.Fatal(res.Err)
+		} else if res.Instance != cloud.G4dnXlarge.Name || res.Model != wnd.Name {
+			t.Fatalf("MT-WND query served by %s as %s", res.Instance, res.Model)
+		}
+	}
+
+	st := ctrl.Stats()
+	if st.Submitted != 2*n || st.Completed != 2*n || st.Failed != 0 {
+		t.Fatalf("aggregate stats = %+v", st)
+	}
+	for _, name := range []string{ncf.Name, wnd.Name} {
+		ms, ok := st.Models[name]
+		if !ok || ms.Submitted != n || ms.Completed != n || len(ms.Instances) != 1 {
+			t.Fatalf("model %s stats = %+v", name, ms)
+		}
+		if ms.Instances[0].Model != name || ms.Instances[0].Completed != n {
+			t.Fatalf("model %s instance stats = %+v", name, ms.Instances[0])
+		}
+	}
+	if got := ctrl.ModelInstanceCounts(ncf.Name); got[cloud.R5nLarge.Name] != 1 || len(got) != 1 {
+		t.Fatalf("NCF counts = %v", got)
+	}
+
+	select {
+	case res := <-ctrl.Submit("no-such-model", 10):
+		if res.Err == nil {
+			t.Fatal("unknown model must fail")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("unknown-model submit hung")
+	}
+	// Removing a type under the wrong model errors instead of draining
+	// another model's instance.
+	if _, err := ctrl.RemoveInstance(ncf.Name, cloud.G4dnXlarge.Name); err == nil {
+		t.Fatal("cross-model removal must error")
+	}
+}
+
+// TestControllerConcurrentReconfiguration races Submit, Stats,
+// AddInstance, and RemoveInstance against live traffic under -race: the
+// accounting must stay consistent and no query may be dropped while the
+// fleet churns.
+func TestControllerConcurrentReconfiguration(t *testing.T) {
+	t.Parallel()
+	m := models.MustByName("NCF")
+	types := []string{cloud.G4dnXlarge.Name, cloud.R5nLarge.Name}
+	addrs := startCluster(t, types, 1)
+	ctrl, err := NewController(m.Name, kairosPolicy(m, types), 1, m.Latency, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+
+	const (
+		submitters = 4
+		perWorker  = 30
+	)
+	var wg sync.WaitGroup
+	errc := make(chan error, submitters*perWorker+4)
+
+	for w := 0; w < submitters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if res := ctrl.SubmitWait(m.Name, 10+(w*perWorker+i)%150); res.Err != nil {
+					errc <- res.Err
+					return
+				}
+			}
+		}(w)
+	}
+	// Churn: repeatedly add an r5n and drain one back out while serving.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 6; i++ {
+			extra := startModelServer(t, m, cloud.R5nLarge.Name, 1)
+			if _, err := ctrl.AddInstance(extra.Addr()); err != nil {
+				errc <- err
+				return
+			}
+			if _, err := ctrl.RemoveInstance(m.Name, cloud.R5nLarge.Name); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+	// Observer: stats and counts must never tear while the fleet churns.
+	stop := make(chan struct{})
+	observerDone := make(chan struct{})
+	go func() {
+		defer close(observerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			st := ctrl.Stats()
+			if st.Completed+st.Failed > st.Submitted {
+				errc <- fmt.Errorf("stats tear: %+v", st)
+				return
+			}
+			ctrl.InstanceCounts()
+			ctrl.ModelInstanceCounts(m.Name)
+			ctrl.InstanceTypes()
+		}
+	}()
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case err := <-errc:
+		close(stop)
+		t.Fatal(err)
+	case <-done:
+	}
+	close(stop)
+	<-observerDone
+
+	st := ctrl.Stats()
+	if st.Failed != 0 {
+		t.Fatalf("%d queries dropped during concurrent reconfiguration", st.Failed)
+	}
+	if st.Submitted != submitters*perWorker || st.Completed != st.Submitted {
+		t.Fatalf("accounting drifted: %+v", st)
+	}
+}
+
+// TestSubmitToEmptyGroupFailsFast: a model whose group has no serving
+// capacity (starved by the fleet planner, or its last instance drained)
+// must fail submissions immediately — and orphaned waiting queries must
+// fail when the last instance leaves — instead of hanging forever.
+func TestSubmitToEmptyGroupFailsFast(t *testing.T) {
+	t.Parallel()
+	m := models.MustByName("NCF")
+	// An FCFS-to-idle policy: dispatches at most one query per instance,
+	// so a backlog parks in the central queue.
+	policy := &capturePolicy{ids: map[int]bool{}}
+	// Slow everything down so the backlog outlives the removal.
+	const scale = 20.0
+	addrs := startCluster(t, []string{cloud.G4dnXlarge.Name}, scale)
+	ctrl, err := NewController(m.Name, policy, scale, m.Latency, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+
+	// One query in flight, two parked in the central queue.
+	chans := []<-chan QueryResult{
+		ctrl.Submit(m.Name, 1000),
+		ctrl.Submit(m.Name, 1000),
+		ctrl.Submit(m.Name, 1000),
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if st := ctrl.Stats(); st.Instances[0].Pending > 0 && st.Waiting > 0 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Removing the only instance drains the in-flight query and fails the
+	// parked ones — nothing hangs.
+	if _, err := ctrl.RemoveInstance(m.Name, cloud.G4dnXlarge.Name); err != nil {
+		t.Fatal(err)
+	}
+	completed, failed := 0, 0
+	for i, ch := range chans {
+		select {
+		case res := <-ch:
+			if res.Err != nil {
+				if !strings.Contains(res.Err.Error(), "no serving capacity") {
+					t.Fatalf("query %d failed with %v", i, res.Err)
+				}
+				failed++
+			} else {
+				completed++
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("query %d hung after the last instance left", i)
+		}
+	}
+	if completed != 1 || failed != 2 {
+		t.Fatalf("drain completed %d and failed %d, want 1 and 2", completed, failed)
+	}
+
+	// New submissions to the empty group fail fast.
+	select {
+	case res := <-ctrl.Submit(m.Name, 10):
+		if res.Err == nil || !strings.Contains(res.Err.Error(), "no serving capacity") {
+			t.Fatalf("empty-group submit returned %v", res.Err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("empty-group submit hung")
+	}
+	// Capacity restores service.
+	extra := startModelServer(t, m, cloud.R5nLarge.Name, scale)
+	if _, err := ctrl.AddInstance(extra.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if res := ctrl.SubmitWait(m.Name, 10); res.Err != nil {
+		t.Fatal(res.Err)
 	}
 }

@@ -21,8 +21,13 @@ type (
 	// ControllerStats is the controller's accounting snapshot — the shared
 	// observability surface of kairosctl and the autopilot.
 	ControllerStats = server.Stats
+	// ControllerModelStats is one model group's accounting snapshot.
+	ControllerModelStats = server.ModelStats
 	// InstanceStats is one connected instance's cumulative accounting.
 	InstanceStats = server.InstanceStats
+	// GroupSpec describes one served model's scheduling group for callers
+	// assembling controllers by hand (see server.NewMultiController).
+	GroupSpec = server.GroupSpec
 	// LatencyRecorder accumulates latency samples and reports percentiles.
 	LatencyRecorder = metrics.LatencyRecorder
 )
@@ -41,13 +46,20 @@ func NewLatencyRecorder(capacityHint int) *LatencyRecorder {
 
 // Connect dials running instance servers (see NewInstanceServer and
 // cmd/kairosd) and returns a central controller distributing real queries
-// with a fresh instance of the engine's policy — the live counterpart of
-// Evaluate. timeScale must match the daemons'. Close the controller when
-// done.
+// — the live counterpart of Evaluate. One scheduler group is built per
+// served model, each running a fresh instance of the engine's policy wired
+// to that model's monitor; every dialed instance joins the group of the
+// model its banner announces, and queries are submitted per model
+// (Controller.Submit). timeScale must match the daemons'. Close the
+// controller when done.
 func (e *Engine) Connect(timeScale float64, addrs []string) (*Controller, error) {
-	policy, err := e.Serve()
-	if err != nil {
-		return nil, err
+	groups := make(map[string]server.GroupSpec, len(e.models))
+	for _, m := range e.models {
+		policy, err := NewPolicy(e.policy, e.policyContextFor(m, e.monitors[m.Name]))
+		if err != nil {
+			return nil, err
+		}
+		groups[m.Name] = server.GroupSpec{Policy: policy, Predict: m.Latency}
 	}
-	return server.NewController(policy, timeScale, e.model.Latency, addrs)
+	return server.NewMultiController(groups, timeScale, addrs)
 }
