@@ -1,7 +1,9 @@
 // Command kairos-microbench runs the repository's perf-critical
 // microbenchmarks — the assignment solvers (the matching distributor's
 // inner loop), the matching-distributor Assign hot path (the controller's
-// per-round scheduling cost), and the shared-budget fleet allocator — via
+// per-round scheduling cost), the shared-budget fleet allocator, and the
+// live serving path (wire-frame encode/decode and loopback
+// Submit→complete throughput through the sharded controller) — via
 // testing.Benchmark and writes the results as machine-readable JSON, so CI
 // can track the performance trajectory commit over commit.
 //
@@ -18,11 +20,13 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"kairos"
 	"kairos/internal/assignment"
+	"kairos/internal/server"
 )
 
 // result is one benchmark's digest.
@@ -136,6 +140,43 @@ func planFleetBench() func(*testing.B) {
 	}
 }
 
+// frameBench wraps one shared wire-codec case (see
+// server.FrameBenchCases: the same loops back the in-package benchmarks,
+// so the BENCH_micro.json trajectory and `go test -bench` agree).
+func frameBench(c server.FrameBenchCase) func(*testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		if err := c.Loop(b.N); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// controllerThroughputBench drives closed-loop submitters through the
+// shared serving-path fixture (server.StartBenchCluster: 2 models x 2
+// loopback instance servers each, LeastBacklog policy): ns/op is the
+// sustained Submit→complete cost of the whole live path.
+func controllerThroughputBench() func(*testing.B) {
+	return func(b *testing.B) {
+		cluster, err := server.StartBenchCluster(1e-6, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cluster.Close()
+		var worker int64
+		b.SetParallelism(32)
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			w := atomic.AddInt64(&worker, 1)
+			if err := cluster.Worker(w, pb.Next); err != nil {
+				b.Error(err)
+			}
+		})
+	}
+}
+
 func main() {
 	testing.Init() // registers test.benchtime, which testing.Benchmark reads
 	out := flag.String("out", "BENCH_micro.json", "output JSON path (- for stdout)")
@@ -155,6 +196,16 @@ func main() {
 		{"DistributorAssign64x16", assignBench(64, 16)},
 		{"PlanFleet2Models", planFleetBench()},
 	}
+	for _, c := range server.FrameBenchCases() {
+		benches = append(benches, struct {
+			name string
+			fn   func(*testing.B)
+		}{c.Name, frameBench(c)})
+	}
+	benches = append(benches, struct {
+		name string
+		fn   func(*testing.B)
+	}{"ControllerThroughput", controllerThroughputBench()})
 
 	rep := report{
 		GoVersion: runtime.Version(),

@@ -4,10 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"kairos/internal/models"
 	"kairos/internal/sim"
 )
 
@@ -23,22 +26,31 @@ import (
 // running ones, so a control plane (see internal/autopilot) can reconcile
 // every model's fleet toward a fresh plan without dropping in-flight
 // queries.
+//
+// The controller is sharded per model: each group has its own lock, its
+// own scheduler goroutine, and its own kick channel, so one model's
+// matching round (the policy's Assign can be cubic in the queue depth)
+// never stalls another model's Submit, completions, or Stats, and a busy
+// model cannot starve an idle one. Counters are atomic, so accounting
+// never waits on a scheduling round.
 type Controller struct {
 	// TimeScale must match the instance servers' scale.
 	TimeScale float64
 
-	mu        sync.Mutex
-	groups    map[string]*modelGroup
-	order     []string // sorted model names: deterministic iteration
-	nextID    int64
-	kick      chan struct{}
+	// groups and order are immutable after construction.
+	groups map[string]*modelGroup
+	order  []string // sorted model names: deterministic iteration
+
+	nextID    atomic.Int64
 	closed    chan struct{}
 	closeOnce sync.Once
 	wg        sync.WaitGroup
 
 	// onComplete, when set, observes every delivered QueryResult.
-	onComplete func(model string, batch int, res QueryResult)
+	onComplete atomic.Pointer[completionFunc]
 }
+
+type completionFunc = func(model string, batch int, res QueryResult)
 
 // GroupSpec describes one served model's scheduling group: the
 // query-distribution policy deciding dispatches (it sees times in model
@@ -48,28 +60,59 @@ type GroupSpec struct {
 	Predict func(typeName string, batch int) float64
 }
 
-// modelGroup is one model's serving state: its policy, its slice of the
-// fleet, and its central queue. All fields are guarded by Controller.mu.
+// modelGroup is one model's serving shard: its policy, its slice of the
+// fleet, its central queue, and its scheduler goroutine's kick channel.
+// The mutable fleet state is guarded by the group's own mu; the counters
+// are atomic so Submit accounting, completions, and Stats never contend
+// with a scheduling round. The scratch slices are reused across rounds by
+// the group's scheduler goroutine (under mu), taking a round to near-zero
+// allocations.
 type modelGroup struct {
-	model     string
-	policy    sim.Distributor
-	predict   func(typeName string, batch int) float64
+	model    string
+	policy   sim.Distributor
+	observer sim.Observer // policy's Observe, nil if not implemented
+	predict  func(typeName string, batch int) float64
+	kick     chan struct{}
+
+	submitted atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+
+	mu        sync.Mutex
 	instances []*remoteInstance
 	waiting   []*pendingQuery
-	submitted int64
-	completed int64
-	failed    int64
+
+	// Round scratch, reused by the scheduler goroutine under mu.
+	qviews    []sim.QueryView
+	iviews    []sim.InstanceView
+	active    []*remoteInstance
+	queuedBuf []int
+	taken     []bool
+	dispatch  []dispatchItem
+	flushSet  []*remoteInstance
 }
 
+// wake nudges the group's scheduler without blocking.
+func (g *modelGroup) wake() {
+	select {
+	case g.kick <- struct{}{}:
+	default:
+	}
+}
+
+// remoteInstance is one dialed instance server. Mutable fields are
+// guarded by the owning group's mu; the wire connection has its own write
+// lock, so network writes happen outside the group lock.
 type remoteInstance struct {
 	model     string
 	typeName  string
 	addr      string
-	conn      net.Conn
-	writeMu   sync.Mutex
+	wc        *wireConn
 	busyUntil time.Time
-	// pending holds dispatched-but-unfinished queries in dispatch order.
+	// pending holds dispatched-but-unfinished queries in dispatch order;
+	// byID indexes them for O(1) reply correlation.
 	pending []*pendingQuery
+	byID    map[int64]*pendingQuery
 	// draining excludes the instance from new dispatches; once pending
 	// empties, RemoveInstance closes the connection and drops it.
 	draining   bool
@@ -77,15 +120,20 @@ type remoteInstance struct {
 	completed  int64
 	// busyMS accumulates ground-truth service time (model ms) from replies.
 	busyMS float64
+	// needsFlush marks the instance as touched by the current dispatch
+	// burst; only the group's scheduler goroutine uses it.
+	needsFlush bool
 }
 
 type pendingQuery struct {
-	id        int64
-	model     string
-	batch     int
-	enqueued  time.Time
-	done      chan QueryResult
-	completed bool // guarded by Controller.mu: first completion wins
+	id       int64
+	model    string
+	batch    int
+	enqueued time.Time
+	done     chan QueryResult
+	// completed flips exactly once: the first completion path (reply,
+	// eviction, close, failed write) wins the delivery.
+	completed atomic.Bool
 }
 
 // QueryResult reports one served query.
@@ -163,10 +211,10 @@ func NewController(model string, policy sim.Distributor, timeScale float64, pred
 }
 
 // NewMultiController dials the instance servers, assigns each to the
-// scheduler group of the model its banner announces, and starts the
-// scheduling loop. Every announced model must have a group; an instance
-// announcing an unexpected model is rejected (wrong-model instances must
-// never silently serve another model's queries).
+// scheduler group of the model its banner announces, and starts one
+// scheduler goroutine per group. Every announced model must have a group;
+// an instance announcing an unexpected model is rejected (wrong-model
+// instances must never silently serve another model's queries).
 func NewMultiController(groups map[string]GroupSpec, timeScale float64, addrs []string) (*Controller, error) {
 	if len(groups) == 0 {
 		return nil, errors.New("server: controller needs at least one model group")
@@ -180,7 +228,6 @@ func NewMultiController(groups map[string]GroupSpec, timeScale float64, addrs []
 	c := &Controller{
 		TimeScale: timeScale,
 		groups:    make(map[string]*modelGroup, len(groups)),
-		kick:      make(chan struct{}, 1),
 		closed:    make(chan struct{}),
 	}
 	for model, spec := range groups {
@@ -190,7 +237,9 @@ func NewMultiController(groups map[string]GroupSpec, timeScale float64, addrs []
 		if spec.Policy == nil || spec.Predict == nil {
 			return nil, fmt.Errorf("server: model group %s needs a policy and a predictor", model)
 		}
-		c.groups[model] = &modelGroup{model: model, policy: spec.Policy, predict: spec.Predict}
+		g := &modelGroup{model: model, policy: spec.Policy, predict: spec.Predict, kick: make(chan struct{}, 1)}
+		g.observer, _ = spec.Policy.(sim.Observer)
+		c.groups[model] = g
 		c.order = append(c.order, model)
 	}
 	sort.Strings(c.order)
@@ -200,24 +249,30 @@ func NewMultiController(groups map[string]GroupSpec, timeScale float64, addrs []
 			c.Close()
 			return nil, err
 		}
-		c.groups[ri.model].instances = append(c.groups[ri.model].instances, ri)
+		g := c.groups[ri.model]
+		g.instances = append(g.instances, ri)
 		c.wg.Add(1)
 		go c.readLoop(ri)
 	}
-	c.wg.Add(1)
-	go c.scheduleLoop()
+	for _, model := range c.order {
+		c.wg.Add(1)
+		go c.groupLoop(c.groups[model])
+	}
 	return c, nil
 }
 
 // dialInstance connects and handshakes with one instance server,
-// validating the announced model against the served set.
+// validating the announced model against the served set and negotiating
+// the wire version (binary when the instance supports it, JSON fallback
+// for legacy instances).
 func (c *Controller) dialInstance(addr string) (*remoteInstance, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("server: dialing %s: %w", addr, err)
 	}
+	wc := newWireConn(conn)
 	var hello Hello
-	if err := ReadFrame(conn, &hello); err != nil {
+	if err := ReadFrame(wc.br, &hello); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("server: handshake with %s: %w", addr, err)
 	}
@@ -226,7 +281,21 @@ func (c *Controller) dialInstance(addr string) (*remoteInstance, error) {
 		return nil, fmt.Errorf("server: instance %s at %s announces model %q, controller serves %v",
 			hello.TypeName, addr, hello.Model, c.order)
 	}
-	return &remoteInstance{model: hello.Model, typeName: hello.TypeName, addr: addr, conn: conn, busyUntil: time.Now()}, nil
+	if hello.Proto >= ProtoBinary {
+		if err := wc.writeJSON(HelloAck{Proto: ProtoBinary}); err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("server: handshake with %s: %w", addr, err)
+		}
+		wc.binary = true
+	}
+	return &remoteInstance{
+		model:     hello.Model,
+		typeName:  hello.TypeName,
+		addr:      addr,
+		wc:        wc,
+		busyUntil: time.Now(),
+		byID:      make(map[int64]*pendingQuery),
+	}, nil
 }
 
 // Models lists the served model names in sorted order.
@@ -244,20 +313,20 @@ func (c *Controller) AddInstance(addr string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	c.mu.Lock()
+	g := c.groups[ri.model]
+	g.mu.Lock()
 	select {
 	case <-c.closed:
-		c.mu.Unlock()
-		ri.conn.Close()
+		g.mu.Unlock()
+		ri.wc.close()
 		return "", errors.New("server: controller closed")
 	default:
 	}
-	g := c.groups[ri.model]
 	g.instances = append(g.instances, ri)
 	c.wg.Add(1)
-	c.mu.Unlock()
+	g.mu.Unlock()
 	go c.readLoop(ri)
-	c.wake()
+	g.wake()
 	return ri.typeName, nil
 }
 
@@ -270,12 +339,11 @@ func (c *Controller) AddInstance(addr string) (string, error) {
 // the removed instance's dialed address so launchers can stop the matching
 // server.
 func (c *Controller) RemoveInstance(model, typeName string) (string, error) {
-	c.mu.Lock()
 	g, ok := c.groups[model]
 	if !ok {
-		c.mu.Unlock()
 		return "", fmt.Errorf("server: controller does not serve model %q (have %v)", model, c.order)
 	}
+	g.mu.Lock()
 	var target *remoteInstance
 	for _, ri := range g.instances {
 		if ri.typeName != typeName || ri.draining {
@@ -286,18 +354,18 @@ func (c *Controller) RemoveInstance(model, typeName string) (string, error) {
 		}
 	}
 	if target == nil {
-		c.mu.Unlock()
+		g.mu.Unlock()
 		return "", fmt.Errorf("server: no removable instance of type %s serving %s", typeName, model)
 	}
 	target.draining = true
-	c.mu.Unlock()
-	c.wake() // re-dispatch anything the policy was routing here
+	g.mu.Unlock()
+	g.wake() // re-dispatch anything the policy was routing here
 
 	// Drain: dispatched queries finish through the normal reply path.
 	for {
-		c.mu.Lock()
+		g.mu.Lock()
 		depth := len(target.pending)
-		c.mu.Unlock()
+		g.mu.Unlock()
 		if depth == 0 {
 			break
 		}
@@ -308,20 +376,19 @@ func (c *Controller) RemoveInstance(model, typeName string) (string, error) {
 		}
 	}
 	// Close the connection (its readLoop exits) and drop it from the fleet.
-	target.conn.Close()
-	c.mu.Lock()
-	c.dropLocked(target)
-	orphans := c.orphanedLocked(g)
-	c.mu.Unlock()
+	target.wc.close()
+	g.mu.Lock()
+	dropLocked(g, target)
+	orphans := orphanedLocked(g)
+	g.mu.Unlock()
 	for _, q := range orphans {
 		c.deliver(q, QueryResult{Err: fmt.Errorf("server: model %s has no serving capacity", model)})
 	}
 	return target.addr, nil
 }
 
-// dropLocked removes the instance from its group; callers hold c.mu.
-func (c *Controller) dropLocked(target *remoteInstance) {
-	g := c.groups[target.model]
+// dropLocked removes the instance from its group; callers hold g.mu.
+func dropLocked(g *modelGroup, target *remoteInstance) {
 	for i, ri := range g.instances {
 		if ri == target {
 			g.instances = append(g.instances[:i], g.instances[i+1:]...)
@@ -333,8 +400,8 @@ func (c *Controller) dropLocked(target *remoteInstance) {
 // orphanedLocked empties a group's central queue when its last instance
 // is gone: with nothing left to dispatch to, the waiting queries would
 // otherwise hang forever. The returned queries must be failed with
-// deliver outside the lock. Callers hold c.mu.
-func (c *Controller) orphanedLocked(g *modelGroup) []*pendingQuery {
+// deliver outside the lock. Callers hold g.mu.
+func orphanedLocked(g *modelGroup) []*pendingQuery {
 	if len(g.instances) > 0 || len(g.waiting) == 0 {
 		return nil
 	}
@@ -346,13 +413,14 @@ func (c *Controller) orphanedLocked(g *modelGroup) []*pendingQuery {
 // InstanceTypes lists the connected instance types in model-then-fleet
 // order, including draining ones.
 func (c *Controller) InstanceTypes() []string {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	var out []string
 	for _, model := range c.order {
-		for _, ri := range c.groups[model].instances {
+		g := c.groups[model]
+		g.mu.Lock()
+		for _, ri := range g.instances {
 			out = append(out, ri.typeName)
 		}
+		g.mu.Unlock()
 	}
 	return out
 }
@@ -360,15 +428,16 @@ func (c *Controller) InstanceTypes() []string {
 // InstanceCounts returns the number of non-draining instances per type
 // across every model — the aggregate fleet the schedulers can use.
 func (c *Controller) InstanceCounts() map[string]int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	out := make(map[string]int)
-	for _, g := range c.groups {
+	for _, model := range c.order {
+		g := c.groups[model]
+		g.mu.Lock()
 		for _, ri := range g.instances {
 			if !ri.draining {
 				out[ri.typeName]++
 			}
 		}
+		g.mu.Unlock()
 	}
 	return out
 }
@@ -376,13 +445,13 @@ func (c *Controller) InstanceCounts() map[string]int {
 // ModelInstanceCounts returns the number of non-draining instances per
 // type serving one model — the fleet that model's scheduler can use.
 func (c *Controller) ModelInstanceCounts(model string) map[string]int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	out := make(map[string]int)
 	g, ok := c.groups[model]
 	if !ok {
 		return out
 	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	for _, ri := range g.instances {
 		if !ri.draining {
 			out[ri.typeName]++
@@ -392,19 +461,21 @@ func (c *Controller) ModelInstanceCounts(model string) map[string]int {
 }
 
 // Stats snapshots the controller's accounting across every model group.
+// Counters are read completed-then-failed-then-submitted, so the invariant
+// completed + failed <= submitted holds in every snapshot (submitted only
+// grows, and every completion was submitted first).
 func (c *Controller) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	s := Stats{Models: make(map[string]ModelStats, len(c.order))}
 	for _, model := range c.order {
 		g := c.groups[model]
 		ms := ModelStats{
-			Waiting:   len(g.waiting),
-			Submitted: g.submitted,
-			Completed: g.completed,
-			Failed:    g.failed,
-			Instances: make([]InstanceStats, len(g.instances)),
+			Completed: g.completed.Load(),
+			Failed:    g.failed.Load(),
 		}
+		ms.Submitted = g.submitted.Load()
+		g.mu.Lock()
+		ms.Waiting = len(g.waiting)
+		ms.Instances = make([]InstanceStats, len(g.instances))
 		for i, ri := range g.instances {
 			ms.Instances[i] = InstanceStats{
 				Model:      ri.model,
@@ -417,6 +488,7 @@ func (c *Controller) Stats() Stats {
 				Draining:   ri.draining,
 			}
 		}
+		g.mu.Unlock()
 		s.Models[model] = ms
 		s.Waiting += ms.Waiting
 		s.Submitted += ms.Submitted
@@ -429,34 +501,76 @@ func (c *Controller) Stats() Stats {
 
 // SetOnComplete installs a callback observing every delivered QueryResult
 // (successes and failures; check res.Err). It runs outside the controller
-// lock and must not block for long — it is on the completion path.
+// locks and must not block for long — it is on the completion path.
 func (c *Controller) SetOnComplete(fn func(model string, batch int, res QueryResult)) {
-	c.mu.Lock()
-	c.onComplete = fn
-	c.mu.Unlock()
+	if fn == nil {
+		c.onComplete.Store(nil)
+		return
+	}
+	c.onComplete.Store(&fn)
 }
+
+// queryPool recycles pendingQuery structs (and their result channels) for
+// the synchronous SubmitWait path, where the caller provably consumed the
+// result before the query is pooled again. Asynchronous Submit hands its
+// channel to the caller and cannot recycle.
+var queryPool = sync.Pool{New: func() any {
+	return &pendingQuery{done: make(chan QueryResult, 1)}
+}}
 
 // Submit enqueues one query for the named model and returns a channel
 // delivering its result. Unknown models, models whose group currently has
 // no serving capacity (every instance removed or draining — reachable
 // when the shared-budget planner starves a model), and submissions after
-// Close all fail immediately instead of hanging.
+// Close all fail immediately instead of hanging. Every accepted or
+// rejected submission is accounted, so completed + failed never exceeds
+// submitted on any path.
 func (c *Controller) Submit(model string, batch int) <-chan QueryResult {
-	done := make(chan QueryResult, 1)
-	c.mu.Lock()
+	q := &pendingQuery{done: make(chan QueryResult, 1)}
+	c.submit(model, batch, q)
+	return q.done
+}
+
+// SubmitWait submits and blocks for the result. Unlike Submit it recycles
+// the query bookkeeping, so a closed-loop submitter allocates nothing per
+// query in steady state.
+func (c *Controller) SubmitWait(model string, batch int) QueryResult {
+	q := queryPool.Get().(*pendingQuery)
+	c.submit(model, batch, q)
+	res := <-q.done
+	// Every delivery path sends exactly once (the atomic claim in deliver)
+	// and touches q only before the send, so after the receive the query
+	// is provably idle and safe to recycle.
+	q.completed.Store(false)
+	queryPool.Put(q)
+	return res
+}
+
+// submit enqueues q — freshly allocated or pooled — for the named model.
+func (c *Controller) submit(model string, batch int, q *pendingQuery) {
+	q.model, q.batch = model, batch
 	g, ok := c.groups[model]
 	if !ok {
-		c.mu.Unlock()
-		done <- QueryResult{Model: model, Batch: batch,
-			Err: fmt.Errorf("server: controller does not serve model %q (have %v)", model, c.order)}
-		return done
+		c.deliver(q, QueryResult{
+			Err: fmt.Errorf("server: controller does not serve model %q (have %v)", model, c.order)})
+		return
 	}
+	// Reject out-of-range batches here: the scheduler would otherwise feed
+	// them to the latency predictor, which panics outside the model's
+	// calibrated range — an unvalidated Submit must fail its query, not
+	// kill the model's scheduler goroutine.
+	if batch < 1 || batch > models.MaxBatch {
+		g.submitted.Add(1)
+		c.deliver(q, QueryResult{Err: fmt.Errorf("server: batch %d outside [1,%d]", batch, models.MaxBatch)})
+		return
+	}
+	g.mu.Lock()
 	select {
 	case <-c.closed:
-		g.failed++
-		c.mu.Unlock()
-		done <- QueryResult{Model: model, Batch: batch, Err: errors.New("server: controller closed")}
-		return done
+		g.submitted.Add(1)
+		g.mu.Unlock()
+		c.deliver(q, QueryResult{Err: errors.New("server: controller closed")})
+		return
 	default:
 	}
 	capacity := false
@@ -467,55 +581,38 @@ func (c *Controller) Submit(model string, batch int) <-chan QueryResult {
 		}
 	}
 	if !capacity {
-		g.submitted++
-		g.failed++
-		c.mu.Unlock()
-		done <- QueryResult{Model: model, Batch: batch,
-			Err: fmt.Errorf("server: model %s has no serving capacity", model)}
-		return done
-	}
-	c.nextID++
-	g.submitted++
-	q := &pendingQuery{id: c.nextID, model: model, batch: batch, enqueued: time.Now(), done: done}
-	g.waiting = append(g.waiting, q)
-	c.mu.Unlock()
-	c.wake()
-	return done
-}
-
-// SubmitWait submits and blocks for the result.
-func (c *Controller) SubmitWait(model string, batch int) QueryResult { return <-c.Submit(model, batch) }
-
-// wake nudges the scheduler without blocking.
-func (c *Controller) wake() {
-	select {
-	case c.kick <- struct{}{}:
-	default:
-	}
-}
-
-// deliver completes one query under c.mu and invokes the completion
-// callback after releasing the lock.
-func (c *Controller) deliver(q *pendingQuery, res QueryResult) {
-	res.Model = q.model
-	res.Batch = q.batch
-	c.mu.Lock()
-	if q.completed {
-		c.mu.Unlock()
+		g.submitted.Add(1)
+		g.mu.Unlock()
+		c.deliver(q, QueryResult{Err: fmt.Errorf("server: model %s has no serving capacity", model)})
 		return
 	}
-	q.completed = true
-	g := c.groups[q.model]
-	if res.Err != nil {
-		g.failed++
-	} else {
-		g.completed++
+	q.id = c.nextID.Add(1)
+	q.enqueued = time.Now()
+	g.submitted.Add(1)
+	g.waiting = append(g.waiting, q)
+	g.mu.Unlock()
+	g.wake()
+}
+
+// deliver completes one query exactly once (atomic claim, no lock) and
+// invokes the completion callback. q is not touched after the result is
+// sent: the receiver may recycle it immediately (see SubmitWait).
+func (c *Controller) deliver(q *pendingQuery, res QueryResult) {
+	if !q.completed.CompareAndSwap(false, true) {
+		return
 	}
-	cb := c.onComplete
-	c.mu.Unlock()
+	res.Model = q.model
+	res.Batch = q.batch
+	if g, ok := c.groups[res.Model]; ok {
+		if res.Err != nil {
+			g.failed.Add(1)
+		} else {
+			g.completed.Add(1)
+		}
+	}
 	q.done <- res
-	if cb != nil {
-		cb(q.model, q.batch, res)
+	if cb := c.onComplete.Load(); cb != nil {
+		(*cb)(res.Model, res.Batch, res)
 	}
 }
 
@@ -525,38 +622,27 @@ func (c *Controller) deliver(q *pendingQuery, res QueryResult) {
 func (c *Controller) Close() {
 	c.closeOnce.Do(func() {
 		close(c.closed)
-		c.mu.Lock()
 		errClosed := errors.New("server: controller closed")
-		var failed []QueryResult
-		fail := func(q *pendingQuery, instance string) {
-			if q.completed {
-				return
-			}
-			q.completed = true
-			c.groups[q.model].failed++
-			res := QueryResult{Model: q.model, Batch: q.batch, Err: errClosed, Instance: instance}
-			q.done <- res
-			failed = append(failed, res)
-		}
 		for _, model := range c.order {
 			g := c.groups[model]
+			g.mu.Lock()
+			var inflight []dispatchItem
 			for _, ri := range g.instances {
-				ri.conn.Close()
+				ri.wc.close()
 				for _, q := range ri.pending {
-					fail(q, ri.typeName)
+					inflight = append(inflight, dispatchItem{q: q, ri: ri})
 				}
 				ri.pending = nil
+				clear(ri.byID)
 			}
-			for _, q := range g.waiting {
-				fail(q, "")
-			}
+			waiting := g.waiting
 			g.waiting = nil
-		}
-		cb := c.onComplete
-		c.mu.Unlock()
-		if cb != nil {
-			for _, res := range failed {
-				cb(res.Model, res.Batch, res)
+			g.mu.Unlock()
+			for _, d := range inflight {
+				c.deliver(d.q, QueryResult{Err: errClosed, Instance: d.ri.typeName})
+			}
+			for _, q := range waiting {
+				c.deliver(q, QueryResult{Err: errClosed})
 			}
 		}
 	})
@@ -567,89 +653,145 @@ func (c *Controller) Close() {
 // queries. Draining is set first so no scheduling round re-dispatches to
 // it while the failures are delivered.
 func (c *Controller) evict(ri *remoteInstance, cause error) {
-	c.mu.Lock()
+	g := c.groups[ri.model]
+	g.mu.Lock()
 	ri.draining = true
 	failed := ri.pending
 	ri.pending = nil
-	c.dropLocked(ri)
-	orphans := c.orphanedLocked(c.groups[ri.model])
-	c.mu.Unlock()
-	ri.conn.Close()
+	clear(ri.byID)
+	dropLocked(g, ri)
+	orphans := orphanedLocked(g)
+	g.mu.Unlock()
+	ri.wc.close()
 	for _, q := range failed {
 		c.deliver(q, QueryResult{Err: fmt.Errorf("server: instance %s lost: %w", ri.typeName, cause), Instance: ri.typeName})
 	}
 	for _, q := range orphans {
 		c.deliver(q, QueryResult{Err: fmt.Errorf("server: model %s has no serving capacity (instance %s lost: %v)", ri.model, ri.typeName, cause)})
 	}
-	c.wake()
+	g.wake()
 }
 
-// scheduleLoop runs distribution rounds whenever kicked.
-func (c *Controller) scheduleLoop() {
+// groupLoop is one model's scheduler goroutine: it runs that group's
+// distribution rounds whenever kicked, independently of every other model.
+func (c *Controller) groupLoop(g *modelGroup) {
 	defer c.wg.Done()
 	for {
 		select {
 		case <-c.closed:
 			return
-		case <-c.kick:
-			c.scheduleRound()
+		case <-g.kick:
+			// Yield once before the round so concurrently-runnable
+			// submitters and reply readers get to extend the queue first:
+			// a round over a burst coalesces its dispatch writes, while a
+			// round per query pays a syscall each. Costs nothing when the
+			// run queue is empty.
+			runtime.Gosched()
+			c.groupRound(g)
 		}
 	}
 }
 
-// dispatchItem pairs a dispatched query with its target for the
-// out-of-lock network write.
+// dispatchItem pairs a dispatched query with its target and the busy-time
+// reservation taken for it, so a failed write can undo the reservation.
+// id and batch are captured under the group lock while the query is
+// provably live: once the round's lock is released the query may complete
+// through another path and be recycled, so its fields must not be re-read.
 type dispatchItem struct {
-	q  *pendingQuery
-	ri *remoteInstance
+	q       *pendingQuery
+	ri      *remoteInstance
+	id      int64
+	batch   int
+	reserve time.Duration
 }
 
-// scheduleRound runs one distribution round per model group. The lock is
-// taken per group, not for the whole round: one model's matching cost
-// (the policy's Assign can be cubic in the queue depth) must not stall
-// submissions, completions, or stats reads for every other model.
-// c.order is immutable after construction, so iterating it outside the
-// lock is safe.
-func (c *Controller) scheduleRound() {
-	var dispatch []dispatchItem
-	for _, model := range c.order {
-		c.mu.Lock()
-		dispatch = append(dispatch, c.groupRoundLocked(c.groups[model], time.Now())...)
-		c.mu.Unlock()
+// groupRound runs one distribution round for one group and performs the
+// network writes outside the lock. Writes to the same instance are
+// coalesced: every frame of the burst is queued into the instance's
+// buffered writer and flushed once — one syscall per instance per round.
+func (c *Controller) groupRound(g *modelGroup) {
+	g.mu.Lock()
+	dispatch := c.groupRoundLocked(g, time.Now())
+	g.mu.Unlock()
+	if len(dispatch) == 0 {
+		return
 	}
-
+	flush := g.flushSet[:0]
 	for _, d := range dispatch {
-		d.ri.writeMu.Lock()
-		err := WriteFrame(d.ri.conn, Request{ID: d.q.id, Model: d.q.model, Batch: d.q.batch})
-		d.ri.writeMu.Unlock()
-		if err != nil {
-			c.mu.Lock()
-			// Forget the failed dispatch so a drain does not wait on it.
-			for k, p := range d.ri.pending {
-				if p == d.q {
-					d.ri.pending = append(d.ri.pending[:k], d.ri.pending[k+1:]...)
-					break
+		if err := d.ri.wc.queueRequest(Request{ID: d.id, Model: g.model, Batch: d.batch}); err != nil {
+			c.undoDispatch(g, d, err)
+			continue
+		}
+		if !d.ri.needsFlush {
+			d.ri.needsFlush = true
+			flush = append(flush, d.ri)
+		}
+	}
+	for _, ri := range flush {
+		ri.needsFlush = false
+		if err := ri.wc.flush(); err != nil {
+			// The whole burst queued to this instance failed to reach it.
+			for _, d := range dispatch {
+				if d.ri == ri {
+					c.undoDispatch(g, d, err)
 				}
 			}
-			c.mu.Unlock()
-			c.deliver(d.q, QueryResult{Err: err, Instance: d.ri.typeName})
 		}
 	}
+	// Drop the burst's query and instance pointers from the reusable
+	// scratch: an idle group must not pin delivered (possibly recycled)
+	// queries or removed instances until its next round.
+	for i := range dispatch {
+		dispatch[i] = dispatchItem{}
+	}
+	g.dispatch = dispatch[:0]
+	for i := range flush {
+		flush[i] = nil
+	}
+	g.flushSet = flush[:0]
+}
+
+// undoDispatch rolls back one failed dispatch write: the query leaves the
+// instance's pending set, the dispatch count reverts, and the busy-time
+// reservation groupRoundLocked took is undone — the policy must not see
+// phantom busy time on a flaky instance. A query already completed through
+// another path (reply, eviction, close) has left byID and is left alone;
+// the identity check also keeps a recycled pendingQuery safe.
+func (c *Controller) undoDispatch(g *modelGroup, d dispatchItem, cause error) {
+	g.mu.Lock()
+	if d.ri.byID[d.id] != d.q {
+		g.mu.Unlock()
+		return
+	}
+	delete(d.ri.byID, d.id)
+	for k, p := range d.ri.pending {
+		if p == d.q {
+			d.ri.pending = append(d.ri.pending[:k], d.ri.pending[k+1:]...)
+			break
+		}
+	}
+	d.ri.dispatched--
+	d.ri.busyUntil = d.ri.busyUntil.Add(-d.reserve)
+	g.mu.Unlock()
+	c.deliver(d.q, QueryResult{Err: cause, Instance: d.ri.typeName})
 }
 
 // groupRoundLocked builds one model group's policy views and collects its
 // assignments. Draining instances are invisible to the policy, so a
-// removal never receives new work. Callers hold c.mu.
+// removal never receives new work. The view and dispatch slices are the
+// group's reusable scratch — a steady-state round allocates nothing.
+// Callers hold g.mu.
 func (c *Controller) groupRoundLocked(g *modelGroup, now time.Time) []dispatchItem {
 	if len(g.waiting) == 0 {
 		return nil
 	}
-	active := make([]*remoteInstance, 0, len(g.instances))
+	active := g.active[:0]
 	for _, ri := range g.instances {
 		if !ri.draining {
 			active = append(active, ri)
 		}
 	}
+	g.active = active
 	if len(active) == 0 {
 		return nil
 	}
@@ -659,18 +801,35 @@ func (c *Controller) groupRoundLocked(g *modelGroup, now time.Time) []dispatchIt
 		}
 		return float64(d) / float64(time.Millisecond) / c.TimeScale
 	}
-	qviews := make([]sim.QueryView, len(g.waiting))
+	qviews := g.qviews[:0]
 	for i, q := range g.waiting {
 		// ID carries the stable arrival sequence number; partitioned
 		// policies key on it across scheduling rounds.
-		qviews[i] = sim.QueryView{Index: i, ID: int(q.id), Batch: q.batch, WaitMS: toModelMS(now.Sub(q.enqueued))}
+		qviews = append(qviews, sim.QueryView{Index: i, ID: int(q.id), Batch: q.batch, WaitMS: toModelMS(now.Sub(q.enqueued))})
 	}
-	iviews := make([]sim.InstanceView, len(active))
+	g.qviews = qviews
+	// One backing array serves every instance's QueuedBatches view; size it
+	// upfront so the per-instance subslices never reallocate apart.
+	total := 0
+	for _, ri := range active {
+		if n := len(ri.pending) - 1; n > 0 {
+			total += n
+		}
+	}
+	if cap(g.queuedBuf) < total {
+		g.queuedBuf = make([]int, 0, total)
+	}
+	qb := g.queuedBuf[:0]
+	iviews := g.iviews[:0]
 	for i, ri := range active {
-		var queued []int
+		start := len(qb)
 		// The head of pending is in flight; the rest are queued behind it.
 		for k := 1; k < len(ri.pending); k++ {
-			queued = append(queued, ri.pending[k].batch)
+			qb = append(qb, ri.pending[k].batch)
+		}
+		queued := qb[start:len(qb):len(qb)]
+		if len(queued) == 0 {
+			queued = nil
 		}
 		remaining := 0.0
 		if len(ri.pending) > 0 {
@@ -686,17 +845,27 @@ func (c *Controller) groupRoundLocked(g *modelGroup, now time.Time) []dispatchIt
 				}
 			}
 		}
-		iviews[i] = sim.InstanceView{Index: i, TypeName: ri.typeName, RemainingMS: remaining, QueuedBatches: queued}
+		iviews = append(iviews, sim.InstanceView{Index: i, TypeName: ri.typeName, RemainingMS: remaining, QueuedBatches: queued})
 	}
+	g.iviews = iviews
+	g.queuedBuf = qb
 	assignments := g.policy.Assign(toModelMS(time.Duration(now.UnixNano())), qviews, iviews)
 
-	var dispatch []dispatchItem
-	taken := make(map[int]bool, len(assignments))
+	if cap(g.taken) < len(g.waiting) {
+		g.taken = make([]bool, len(g.waiting))
+	}
+	taken := g.taken[:len(g.waiting)]
+	for i := range taken {
+		taken[i] = false
+	}
+	dispatch := g.dispatch[:0]
+	ntaken := 0
 	for _, a := range assignments {
 		if a.Query < 0 || a.Query >= len(g.waiting) || a.Instance < 0 || a.Instance >= len(active) || taken[a.Query] {
 			continue
 		}
 		taken[a.Query] = true
+		ntaken++
 		q := g.waiting[a.Query]
 		ri := active[a.Instance]
 		service := g.predict(ri.typeName, q.batch)
@@ -706,30 +875,45 @@ func (c *Controller) groupRoundLocked(g *modelGroup, now time.Time) []dispatchIt
 		}
 		ri.busyUntil = ri.busyUntil.Add(scaled)
 		ri.pending = append(ri.pending, q)
+		ri.byID[q.id] = q
 		ri.dispatched++
-		dispatch = append(dispatch, dispatchItem{q, ri})
+		dispatch = append(dispatch, dispatchItem{q: q, ri: ri, id: q.id, batch: q.batch, reserve: scaled})
 	}
-	if len(taken) > 0 {
+	g.dispatch = dispatch
+	if ntaken > 0 {
 		next := g.waiting[:0]
 		for i, q := range g.waiting {
 			if !taken[i] {
 				next = append(next, q)
 			}
 		}
+		// Clear the compacted tail so completed queries are collectable.
+		for i := len(next); i < len(g.waiting); i++ {
+			g.waiting[i] = nil
+		}
 		g.waiting = next
 	}
+	// The active view is rebuilt each round; don't let it pin removed
+	// instances while the group idles.
+	for i := range active {
+		active[i] = nil
+	}
+	g.active = active[:0]
 	return dispatch
 }
 
 // readLoop consumes replies from one instance and completes queries.
 // When the connection dies outside Close, the instance is evicted from
 // the fleet and its in-flight queries fail — so drains never wait on a
-// dead instance and submitters never hang on a lost reply.
+// dead instance and submitters never hang on a lost reply. Correlation is
+// O(1) through the instance's byID index.
 func (c *Controller) readLoop(ri *remoteInstance) {
 	defer c.wg.Done()
+	g := c.groups[ri.model]
+	var reply Reply // hoisted: &reply escapes, one reply per loop not per read
 	for {
-		var reply Reply
-		if err := ReadFrame(ri.conn, &reply); err != nil {
+		reply = Reply{}
+		if err := ri.wc.readReply(&reply); err != nil {
 			select {
 			case <-c.closed:
 				// Close owns the cleanup of pending queries.
@@ -739,32 +923,34 @@ func (c *Controller) readLoop(ri *remoteInstance) {
 			return
 		}
 		now := time.Now()
-		c.mu.Lock()
-		var q *pendingQuery
-		for k, p := range ri.pending {
-			if p.id == reply.ID {
-				q = p
-				ri.pending = append(ri.pending[:k], ri.pending[k+1:]...)
-				break
-			}
-		}
-		if q != nil && q.completed {
-			q = nil
-		}
+		g.mu.Lock()
+		q := ri.byID[reply.ID]
 		if q != nil {
-			if reply.Err == "" {
-				ri.completed++
-				ri.busyMS += reply.ServiceMS
-				// Ground-truth service feedback, exactly as the simulator
-				// delivers it: online learners and query monitors train from
-				// real completions too. Under c.mu so Observe never races
-				// Assign (policies are not internally synchronized).
-				if obs, ok := c.groups[ri.model].policy.(sim.Observer); ok {
-					obs.Observe(ri.typeName, q.batch, reply.ServiceMS)
+			delete(ri.byID, reply.ID)
+			// Instances serve in dispatch order, so the reply is almost
+			// always for the head of pending.
+			for k, p := range ri.pending {
+				if p == q {
+					ri.pending = append(ri.pending[:k], ri.pending[k+1:]...)
+					break
 				}
 			}
+			if q.completed.Load() {
+				q = nil // already failed by Close or eviction
+			}
 		}
-		c.mu.Unlock()
+		if q != nil && reply.Err == "" {
+			ri.completed++
+			ri.busyMS += reply.ServiceMS
+			// Ground-truth service feedback, exactly as the simulator
+			// delivers it: online learners and query monitors train from
+			// real completions too. Under g.mu so Observe never races
+			// Assign (policies are not internally synchronized).
+			if g.observer != nil {
+				g.observer.Observe(ri.typeName, q.batch, reply.ServiceMS)
+			}
+		}
+		g.mu.Unlock()
 		if q == nil {
 			continue // stale reply or already failed by Close
 		}
@@ -776,6 +962,6 @@ func (c *Controller) readLoop(ri *remoteInstance) {
 			res.Err = errors.New(reply.Err)
 		}
 		c.deliver(q, res)
-		c.wake()
+		g.wake()
 	}
 }

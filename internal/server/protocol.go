@@ -1,9 +1,12 @@
 // Package server is the network serving path of the reproduction: the
 // paper's central controller sends optimized inference requests to
 // individual instance servers over gRPC (Sec. 6); here the transport is a
-// length-prefixed JSON protocol over TCP built only on the standard
-// library. It exists so the system runs end to end as real processes — the
-// throughput experiments use the deterministic simulator instead.
+// length-prefixed protocol over TCP built only on the standard library.
+// The handshake banner is JSON; the per-query Request/Reply frames use a
+// compact fixed-width binary encoding negotiated at connect time, with
+// JSON retained as the fallback for legacy peers. It exists so the system
+// runs end to end as real processes — the throughput experiments use the
+// deterministic simulator instead.
 package server
 
 import (
@@ -11,11 +14,24 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 )
 
 // MaxFrame bounds a protocol frame; requests and replies are tiny, so
 // anything larger indicates a corrupted stream.
 const MaxFrame = 1 << 16
+
+// Wire protocol versions. The instance server announces the highest
+// version it speaks in its Hello banner; the controller picks the highest
+// version both sides support and confirms it with a HelloAck. A banner
+// without a version (a legacy instance) and an absent ack (a legacy
+// controller) both select ProtoJSON, so mixed-version fleets keep working.
+const (
+	// ProtoJSON is the original length-prefixed JSON protocol.
+	ProtoJSON = 0
+	// ProtoBinary is the fixed-width binary Request/Reply encoding.
+	ProtoBinary = 1
+)
 
 // Request asks an instance server to serve one batched query.
 type Request struct {
@@ -39,12 +55,23 @@ type Reply struct {
 }
 
 // Hello is the banner an instance server sends on connect, announcing what
-// it is.
+// it is and the highest protocol version it speaks.
 type Hello struct {
 	// TypeName is the cloud instance type, e.g. "g4dn.xlarge".
 	TypeName string `json:"type_name"`
 	// Model is the served model name.
 	Model string `json:"model"`
+	// Proto is the highest wire version the instance supports. Legacy
+	// instances omit it (zero = ProtoJSON).
+	Proto int `json:"proto,omitempty"`
+}
+
+// HelloAck is the controller's negotiation reply: the wire version every
+// following Request/Reply frame on the connection uses. Legacy controllers
+// never send it and instances fall back to ProtoJSON (the ack is
+// distinguishable from a JSON Request by its "proto" key).
+type HelloAck struct {
+	Proto int `json:"proto"`
 }
 
 // WriteFrame writes one length-prefixed JSON message.
@@ -67,20 +94,115 @@ func WriteFrame(w io.Writer, v any) error {
 
 // ReadFrame reads one length-prefixed JSON message into v.
 func ReadFrame(r io.Reader, v any) error {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return err
-	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > MaxFrame {
-		return fmt.Errorf("server: frame of %d bytes exceeds limit", n)
-	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
+	payload, err := readRawFrame(r, nil)
+	if err != nil {
 		return err
 	}
 	if err := json.Unmarshal(payload, v); err != nil {
 		return fmt.Errorf("server: decoding frame: %w", err)
 	}
 	return nil
+}
+
+// readRawFrame reads one length-prefixed payload, reusing buf when it is
+// large enough. The returned slice is only valid until the next call with
+// the same buffer.
+func readRawFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("server: frame of %d bytes exceeds limit", n)
+	}
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Binary (ProtoBinary) payloads: a kind byte followed by fixed-width
+// fields, with the two variable strings length-prefixed.
+//
+//	Request: kind(1) id(8) batch(4) modelLen(1) model
+//	Reply:   kind(1) id(8) serviceMS(8) errLen(2) err
+const (
+	frameRequest = 0x01
+	frameReply   = 0x02
+)
+
+// AppendRequestFrame appends the length-prefixed binary encoding of req.
+func AppendRequestFrame(buf []byte, req Request) ([]byte, error) {
+	if len(req.Model) > math.MaxUint8 {
+		return buf, fmt.Errorf("server: model name of %d bytes exceeds limit", len(req.Model))
+	}
+	if req.Batch < math.MinInt32 || req.Batch > math.MaxInt32 {
+		return buf, fmt.Errorf("server: batch %d outside the wire range", req.Batch)
+	}
+	n := 1 + 8 + 4 + 1 + len(req.Model)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(n))
+	buf = append(buf, frameRequest)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(req.ID))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(int32(req.Batch)))
+	buf = append(buf, byte(len(req.Model)))
+	buf = append(buf, req.Model...)
+	return buf, nil
+}
+
+// DecodeRequestFrame parses a binary request payload without copying: the
+// returned model bytes alias p and are only valid until p is reused.
+func DecodeRequestFrame(p []byte) (id int64, batch int, model []byte, err error) {
+	if len(p) < 14 || p[0] != frameRequest {
+		return 0, 0, nil, fmt.Errorf("server: malformed binary request frame (%d bytes)", len(p))
+	}
+	id = int64(binary.BigEndian.Uint64(p[1:9]))
+	batch = int(int32(binary.BigEndian.Uint32(p[9:13])))
+	mlen := int(p[13])
+	if len(p) != 14+mlen {
+		return 0, 0, nil, fmt.Errorf("server: binary request frame length %d, want %d", len(p), 14+mlen)
+	}
+	return id, batch, p[14:], nil
+}
+
+// AppendReplyFrame appends the length-prefixed binary encoding of rep.
+func AppendReplyFrame(buf []byte, rep Reply) ([]byte, error) {
+	if len(rep.Err) > math.MaxUint16 {
+		return buf, fmt.Errorf("server: reply error of %d bytes exceeds limit", len(rep.Err))
+	}
+	n := 1 + 8 + 8 + 2 + len(rep.Err)
+	if n > MaxFrame {
+		return buf, fmt.Errorf("server: frame of %d bytes exceeds limit", n)
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(n))
+	buf = append(buf, frameReply)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(rep.ID))
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(rep.ServiceMS))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(rep.Err)))
+	buf = append(buf, rep.Err...)
+	return buf, nil
+}
+
+// DecodeReplyFrame parses a binary reply payload. The error string is
+// copied (replies carry one only on failure), so the result outlives p.
+func DecodeReplyFrame(p []byte) (Reply, error) {
+	if len(p) < 19 || p[0] != frameReply {
+		return Reply{}, fmt.Errorf("server: malformed binary reply frame (%d bytes)", len(p))
+	}
+	elen := int(binary.BigEndian.Uint16(p[17:19]))
+	if len(p) != 19+elen {
+		return Reply{}, fmt.Errorf("server: binary reply frame length %d, want %d", len(p), 19+elen)
+	}
+	rep := Reply{
+		ID:        int64(binary.BigEndian.Uint64(p[1:9])),
+		ServiceMS: math.Float64frombits(binary.BigEndian.Uint64(p[9:17])),
+	}
+	if elen > 0 {
+		rep.Err = string(p[19:])
+	}
+	return rep, nil
 }

@@ -1,0 +1,259 @@
+package server
+
+import (
+	"math"
+	"math/rand"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"kairos/internal/cloud"
+	"kairos/internal/models"
+)
+
+// TestBinaryRequestRoundTrip is a property test over the binary request
+// codec: random IDs (full int64 range), batches (full int32 range), and
+// model names up to the wire limit must survive encode → decode exactly.
+func TestBinaryRequestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var buf []byte
+	for i := 0; i < 2000; i++ {
+		in := Request{
+			ID:    rng.Int63() - rng.Int63(),
+			Batch: int(int32(rng.Uint32())),
+			Model: strings.Repeat("m", rng.Intn(256)),
+		}
+		var err error
+		buf, err = AppendRequestFrame(buf[:0], in)
+		if err != nil {
+			t.Fatalf("encode %+v: %v", in, err)
+		}
+		id, batch, model, err := DecodeRequestFrame(buf[4:])
+		if err != nil {
+			t.Fatalf("decode %+v: %v", in, err)
+		}
+		if id != in.ID || batch != in.Batch || string(model) != in.Model {
+			t.Fatalf("round trip: got (%d,%d,%q), want (%d,%d,%q)", id, batch, model, in.ID, in.Batch, in.Model)
+		}
+	}
+}
+
+// TestBinaryReplyRoundTrip is the reply-side property test, covering
+// special floats and error strings up to the frame limit.
+func TestBinaryReplyRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var buf []byte
+	for i := 0; i < 2000; i++ {
+		in := Reply{
+			ID:        rng.Int63() - rng.Int63(),
+			ServiceMS: math.Float64frombits(rng.Uint64()),
+			Err:       strings.Repeat("e", rng.Intn(512)),
+		}
+		if math.IsNaN(in.ServiceMS) {
+			in.ServiceMS = 0 // NaN != NaN breaks the equality check below
+		}
+		var err error
+		buf, err = AppendReplyFrame(buf[:0], in)
+		if err != nil {
+			t.Fatalf("encode %+v: %v", in, err)
+		}
+		out, err := DecodeReplyFrame(buf[4:])
+		if err != nil {
+			t.Fatalf("decode %+v: %v", in, err)
+		}
+		if out != in {
+			t.Fatalf("round trip: %+v != %+v", out, in)
+		}
+	}
+}
+
+// TestBinaryCodecRejectsMalformed: wrong kind bytes, truncations, length
+// mismatches, and over-limit fields must all error instead of misparsing.
+func TestBinaryCodecRejectsMalformed(t *testing.T) {
+	if _, err := AppendRequestFrame(nil, Request{Model: strings.Repeat("x", 256)}); err == nil {
+		t.Fatal("oversized model must fail to encode")
+	}
+	if _, err := AppendRequestFrame(nil, Request{Batch: math.MaxInt32 + 1}); err == nil {
+		t.Fatal("batch outside int32 must fail to encode")
+	}
+	if _, err := AppendReplyFrame(nil, Reply{Err: strings.Repeat("x", math.MaxUint16+1)}); err == nil {
+		t.Fatal("oversized error must fail to encode")
+	}
+	req, err := AppendRequestFrame(nil, Request{ID: 1, Model: "NCF", Batch: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := AppendReplyFrame(nil, Reply{ID: 1, ServiceMS: 3, Err: "boom"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := DecodeRequestFrame(rep[4:]); err == nil {
+		t.Fatal("request decoder must reject a reply frame")
+	}
+	if _, err := DecodeReplyFrame(req[4:]); err == nil {
+		t.Fatal("reply decoder must reject a request frame")
+	}
+	for _, p := range [][]byte{nil, {frameRequest}, req[4 : len(req)-1], append(append([]byte{}, req[4:]...), 0)} {
+		if _, _, _, err := DecodeRequestFrame(p); err == nil {
+			t.Fatalf("truncated/padded request %v must fail", p)
+		}
+	}
+	for _, p := range [][]byte{nil, {frameReply}, rep[4 : len(rep)-1], append(append([]byte{}, rep[4:]...), 0)} {
+		if _, err := DecodeReplyFrame(p); err == nil {
+			t.Fatalf("truncated/padded reply %v must fail", p)
+		}
+	}
+}
+
+// legacyJSONInstance emulates a pre-binary instance server: its Hello
+// carries no proto field and it speaks length-prefixed JSON only.
+func legacyJSONInstance(t *testing.T, typeName string, m models.Model) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		type legacyHello struct {
+			TypeName string `json:"type_name"`
+			Model    string `json:"model"`
+		}
+		if err := WriteFrame(conn, legacyHello{TypeName: typeName, Model: m.Name}); err != nil {
+			return
+		}
+		for {
+			var req Request
+			if err := ReadFrame(conn, &req); err != nil {
+				return
+			}
+			if err := WriteFrame(conn, Reply{ID: req.ID, ServiceMS: m.Latency(typeName, req.Batch)}); err != nil {
+				return
+			}
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestMixedVersionBinaryControllerJSONInstance: a controller that prefers
+// the binary protocol must fall back to JSON for a legacy instance whose
+// banner announces no version — and serve through it correctly.
+func TestMixedVersionBinaryControllerJSONInstance(t *testing.T) {
+	t.Parallel()
+	m := models.MustByName("NCF")
+	legacyAddr := legacyJSONInstance(t, cloud.G4dnXlarge.Name, m)
+	modern := startServer(t, cloud.R5nLarge.Name, 1)
+	types := []string{cloud.G4dnXlarge.Name, cloud.R5nLarge.Name}
+	ctrl, err := NewController(m.Name, kairosPolicy(m, types), 1, m.Latency, []string{legacyAddr, modern.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+	// A max-size query must land on the (legacy, JSON) GPU; a tiny one on
+	// the (modern, binary) CPU — both protocols serving side by side.
+	res := ctrl.SubmitWait(m.Name, 1000)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Instance != cloud.G4dnXlarge.Name {
+		t.Fatalf("big query served by %s, want the legacy GPU", res.Instance)
+	}
+	res = ctrl.SubmitWait(m.Name, 10)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Instance != cloud.R5nLarge.Name {
+		t.Fatalf("tiny query served by %s, want the modern CPU", res.Instance)
+	}
+	st := ctrl.Stats()
+	if st.Completed != 2 || st.Failed != 0 {
+		t.Fatalf("mixed-version stats = %+v", st)
+	}
+}
+
+// TestMixedVersionJSONControllerBinaryInstance: a legacy controller that
+// never sends a HelloAck must still be served by a modern instance — the
+// instance's first-frame probe has to treat the JSON request as traffic,
+// not as a failed negotiation.
+func TestMixedVersionJSONControllerBinaryInstance(t *testing.T) {
+	t.Parallel()
+	m := models.MustByName("NCF")
+	s := startServer(t, cloud.G4dnXlarge.Name, 1)
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var hello Hello
+	if err := ReadFrame(conn, &hello); err != nil {
+		t.Fatal(err)
+	}
+	if hello.Proto < ProtoBinary {
+		t.Fatalf("modern instance announced proto %d", hello.Proto)
+	}
+	// Speak legacy JSON: requests straight away, no ack.
+	for i := int64(1); i <= 3; i++ {
+		if err := WriteFrame(conn, Request{ID: i, Model: m.Name, Batch: 100}); err != nil {
+			t.Fatal(err)
+		}
+		var rep Reply
+		if err := ReadFrame(conn, &rep); err != nil {
+			t.Fatal(err)
+		}
+		if rep.ID != i || rep.Err != "" || rep.ServiceMS <= 0 {
+			t.Fatalf("legacy round %d: %+v", i, rep)
+		}
+	}
+}
+
+// TestNegotiatedBinaryHandshake pins the wire negotiation: a modern
+// controller and instance agree on ProtoBinary and the first dispatched
+// query round-trips through the binary codec (observable as a correct
+// reply with a sub-frame latency budget — and via the raw ack below).
+func TestNegotiatedBinaryHandshake(t *testing.T) {
+	t.Parallel()
+	m := models.MustByName("NCF")
+	s := startServer(t, cloud.G4dnXlarge.Name, 1)
+	// Raw dial: confirm the instance announces binary support and accepts
+	// an explicit ack followed by a binary request.
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var hello Hello
+	if err := ReadFrame(conn, &hello); err != nil {
+		t.Fatal(err)
+	}
+	if hello.Proto < ProtoBinary {
+		t.Fatalf("instance announced proto %d, want >= %d", hello.Proto, ProtoBinary)
+	}
+	if err := WriteFrame(conn, HelloAck{Proto: ProtoBinary}); err != nil {
+		t.Fatal(err)
+	}
+	frame, err := AppendRequestFrame(nil, Request{ID: 99, Model: m.Name, Batch: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	payload, err := readRawFrame(conn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := DecodeReplyFrame(payload)
+	if err != nil {
+		t.Fatalf("reply not binary after ack: %v", err)
+	}
+	if rep.ID != 99 || rep.Err != "" || rep.ServiceMS <= 0 {
+		t.Fatalf("binary reply = %+v", rep)
+	}
+}

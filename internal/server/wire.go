@@ -1,0 +1,209 @@
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// wireConn wraps one TCP connection with buffered I/O and the negotiated
+// codec. Writers queue frames into the buffered writer and flush
+// explicitly, so a dispatch burst to one instance is a single syscall
+// instead of two writes per tiny frame. Reads are single-goroutine (each
+// side runs one read loop per connection) and reuse one scratch buffer;
+// writes are serialized by wmu.
+type wireConn struct {
+	conn net.Conn
+	br   *bufio.Reader
+	// binary is set once during the handshake, before concurrent use.
+	binary bool
+
+	wmu  sync.Mutex
+	bw   *connWriter
+	fbuf []byte // encode scratch, guarded by wmu
+	rbuf []byte // read scratch, owned by the reading goroutine
+}
+
+// connWriter is a minimal buffered writer over the conn; unlike
+// bufio.Writer it never auto-flushes mid-frame — frames larger than the
+// remaining space flush the buffer first, so the wire always carries whole
+// frames per syscall. A write failure is sticky: the buffer's contents
+// were (partially) dropped, so every later queue and flush keeps
+// reporting the error — a round that queued frames before the failure
+// still learns about it from its final flush and can undo the whole
+// burst.
+type connWriter struct {
+	conn net.Conn
+	buf  []byte
+	n    int
+	err  error // first write failure; the connection is dead after it
+}
+
+// Write implements io.Writer for the JSON path (WriteFrame): bytes land
+// in the buffer and reach the socket at the next flush.
+func (cw *connWriter) Write(p []byte) (int, error) {
+	if err := cw.queue(p); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+func (cw *connWriter) queue(frame []byte) error {
+	if cw.err != nil {
+		return cw.err
+	}
+	if cw.n+len(frame) > len(cw.buf) {
+		if err := cw.flush(); err != nil {
+			return err
+		}
+		if len(frame) > len(cw.buf) {
+			if _, err := cw.conn.Write(frame); err != nil {
+				cw.err = err
+				return err
+			}
+			return nil
+		}
+	}
+	cw.n += copy(cw.buf[cw.n:], frame)
+	return nil
+}
+
+func (cw *connWriter) flush() error {
+	if cw.err != nil {
+		return cw.err
+	}
+	if cw.n == 0 {
+		return nil
+	}
+	_, err := cw.conn.Write(cw.buf[:cw.n])
+	cw.n = 0
+	cw.err = err
+	return err
+}
+
+const wireBufSize = 16 << 10
+
+func newWireConn(conn net.Conn) *wireConn {
+	return &wireConn{
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, wireBufSize),
+		bw:   &connWriter{conn: conn, buf: make([]byte, wireBufSize)},
+	}
+}
+
+func (w *wireConn) close() error { return w.conn.Close() }
+
+// writeJSON frames v as JSON and flushes immediately (handshake frames).
+func (w *wireConn) writeJSON(v any) error {
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	if err := WriteFrame(w.bw, v); err != nil {
+		return err
+	}
+	return w.bw.flush()
+}
+
+// queueRequest encodes req with the negotiated codec into the write
+// buffer without flushing; callers coalesce a burst and flush once.
+func (w *wireConn) queueRequest(req Request) error {
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	if !w.binary {
+		return WriteFrame(w.bw, req)
+	}
+	frame, err := AppendRequestFrame(w.fbuf[:0], req)
+	if err != nil {
+		return err
+	}
+	w.fbuf = frame
+	return w.bw.queue(frame)
+}
+
+// queueReply encodes rep with the negotiated codec into the write buffer
+// without flushing; the instance loop flushes once no further request is
+// already buffered, so a burst of served queries is one syscall.
+func (w *wireConn) queueReply(rep Reply) error {
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	if !w.binary {
+		return WriteFrame(w.bw, rep)
+	}
+	frame, err := AppendReplyFrame(w.fbuf[:0], rep)
+	if err != nil {
+		return err
+	}
+	w.fbuf = frame
+	return w.bw.queue(frame)
+}
+
+// writeReply queues rep and flushes immediately.
+func (w *wireConn) writeReply(rep Reply) error {
+	if err := w.queueReply(rep); err != nil {
+		return err
+	}
+	return w.flush()
+}
+
+// flush pushes every queued frame to the socket.
+func (w *wireConn) flush() error {
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	return w.bw.flush()
+}
+
+// readFrame reads one length-prefixed payload from the buffered reader.
+// When the whole frame already fits the bufio window it is returned as a
+// zero-copy view into the buffer (valid only until the next read on the
+// connection — the single-reader loops decode immediately); larger frames
+// fall back to the copying path through the scratch buffer.
+func (w *wireConn) readFrame() ([]byte, error) {
+	hdr, err := w.br.Peek(4)
+	if err != nil {
+		return nil, err
+	}
+	n := int(binary.BigEndian.Uint32(hdr))
+	if n > MaxFrame {
+		return nil, fmt.Errorf("server: frame of %d bytes exceeds limit", n)
+	}
+	if p, err := w.br.Peek(4 + n); err == nil {
+		w.br.Discard(4 + n)
+		return p[4:], nil
+	}
+	// Frame longer than the buffered window: copy through the scratch.
+	p, err := readRawFrame(w.br, w.rbuf)
+	if err != nil {
+		return nil, err
+	}
+	w.rbuf = p[:0]
+	return p, nil
+}
+
+// readReply reads one reply with the negotiated codec (controller side).
+func (w *wireConn) readReply(rep *Reply) error {
+	if !w.binary {
+		return ReadFrame(w.br, rep)
+	}
+	p, err := w.readFrame()
+	if err != nil {
+		return err
+	}
+	r, err := DecodeReplyFrame(p)
+	if err != nil {
+		return err
+	}
+	*rep = r
+	return nil
+}
+
+// readBinaryRequest reads one binary request (instance side, negotiated
+// connections). The model bytes alias the read buffer and are only
+// valid until the next read.
+func (w *wireConn) readBinaryRequest() (id int64, batch int, model []byte, err error) {
+	p, err := w.readFrame()
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	return DecodeRequestFrame(p)
+}

@@ -1,0 +1,32 @@
+package server
+
+import (
+	"net"
+	"testing"
+)
+
+// TestConnWriterStickyError: a mid-round auto-flush failure drops frames
+// that were queued earlier in the round, so the error must stick — the
+// round's final flush has to keep reporting it, otherwise groupRound
+// would never undo the dropped dispatches.
+func TestConnWriterStickyError(t *testing.T) {
+	t.Parallel()
+	c1, c2 := net.Pipe()
+	c2.Close() // every write on c1 now fails
+	defer c1.Close()
+	cw := &connWriter{conn: c1, buf: make([]byte, 32)}
+	frame := make([]byte, 24)
+	if err := cw.queue(frame); err != nil {
+		t.Fatalf("buffered queue must not touch the socket: %v", err)
+	}
+	// The second frame does not fit: the auto-flush hits the dead socket.
+	if err := cw.queue(frame); err == nil {
+		t.Fatal("auto-flush on a dead connection must error")
+	}
+	if err := cw.flush(); err == nil {
+		t.Fatal("flush after a failed auto-flush must keep reporting the error: the first frame was dropped")
+	}
+	if err := cw.queue(frame); err == nil {
+		t.Fatal("queue after a write failure must keep reporting the error")
+	}
+}

@@ -10,11 +10,16 @@ import (
 // packages.
 type (
 	// InstanceServer is one emulated inference instance: it binds a TCP
-	// port, announces its instance type and model, and serves one batched
-	// query at a time with the calibrated latency (cmd/kairosd).
+	// port, announces its instance type and model (plus the highest wire
+	// version it speaks), and serves one batched query at a time with the
+	// calibrated latency (cmd/kairosd).
 	InstanceServer = server.InstanceServer
 	// Controller is the central query controller speaking the framed
-	// protocol to running instance servers.
+	// protocol to running instance servers. It is sharded per model (one
+	// scheduler goroutine and lock per served model) and negotiates the
+	// compact binary wire codec per connection, falling back to JSON for
+	// legacy instances; closed-loop callers should prefer SubmitWait,
+	// which recycles per-query bookkeeping.
 	Controller = server.Controller
 	// QueryResult reports one completed query on the network path.
 	QueryResult = server.QueryResult
