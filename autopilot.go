@@ -6,19 +6,33 @@ import (
 
 	"kairos/internal/autopilot"
 	"kairos/internal/core"
+	"kairos/internal/ingress"
 )
 
 // Re-exported autopilot types: the closed-loop control plane over the real
 // network serving path (see internal/autopilot).
 type (
 	// Autopilot runs the monitor -> detect -> replan -> actuate loop over
-	// a live multi-model controller and its in-process fleet.
+	// a live multi-model controller and its actuation provider.
 	// Engine.Autopilot builds one; Start launches the loop; Close tears
 	// the whole serving path down.
 	Autopilot = autopilot.Autopilot
-	// Fleet launches and stops in-process instance servers per model —
-	// the actuator's "cloud provider".
+	// Provider is the pluggable actuation driver: how instance servers
+	// are launched and stopped. The built-ins are Fleet (in-process) and
+	// ExecFleet (real kairosd processes); implement it to provision
+	// instances any other way (SSH, a cloud API, ...).
+	Provider = autopilot.Provider
+	// Fleet is the in-process actuation provider: instance servers on
+	// loopback TCP inside the controlling process.
 	Fleet = autopilot.Fleet
+	// ExecFleet is the exec actuation provider: it spawns, banner
+	// health-checks, and gracefully SIGTERMs real kairosd processes.
+	ExecFleet = autopilot.ExecFleet
+	// IngressServer is the external query front-end (HTTP JSON + binary
+	// TCP) feeding a controller; see Engine.Autopilot's WithIngress.
+	IngressServer = ingress.Server
+	// IngressClient is the binary-TCP ingress client (see DialIngress).
+	IngressClient = ingress.Client
 	// AutopilotStatus is the /metrics view of the control plane.
 	AutopilotStatus = autopilot.Status
 	// AutopilotModelStatus is one model's control section within
@@ -38,21 +52,47 @@ type (
 	// FleetPlan is a multi-model deployment: one configuration per model,
 	// paid from one shared budget (see Engine.PlanFleet).
 	FleetPlan = core.FleetPlan
-	// ModelDemand couples a model with the batch sample describing its
-	// recent traffic — the per-model input to PlanFleetFor.
+	// ModelDemand couples a model with the batch sample (and optionally
+	// the observed arrival rate) describing its recent traffic — the
+	// per-model input to PlanFleetFor.
 	ModelDemand = core.ModelDemand
 )
 
+// IngressQueueFullMsg is the exact error string a backpressure rejection
+// carries on both ingress transports (HTTP 429 body, binary NACK reply).
+const IngressQueueFullMsg = ingress.QueueFullMsg
+
 // PlanFleetFor runs the shared-budget allocator directly over explicit
 // per-model demands — the library entry point for callers that manage
-// their own samples instead of an engine's monitors.
+// their own samples instead of an engine's monitors. Demands carrying an
+// ArrivalQPS are demand-capped (see core.PlanFleet).
 func PlanFleetFor(pool Pool, demands []ModelDemand, budget float64) (FleetPlan, error) {
 	return core.PlanFleet(pool, demands, budget)
 }
 
-// AutopilotOptions tune Engine.Autopilot. Zero values defer to the
-// autopilot defaults (see internal/autopilot.Options); the drift threshold
-// additionally falls back to the engine's WithReplan threshold.
+// NewFleet builds the in-process actuation provider serving the given
+// models at one time scale — what Engine.Autopilot uses when no
+// WithProvider option is given.
+func NewFleet(timeScale float64, ms ...Model) *Fleet {
+	return autopilot.NewFleet(timeScale, ms...)
+}
+
+// NewExecFleet builds the exec actuation provider spawning bin (a kairosd
+// binary) at the given time scale. When models are listed, launches for
+// any other model are rejected up front.
+func NewExecFleet(bin string, timeScale float64, models ...string) *ExecFleet {
+	return autopilot.NewExecFleet(bin, timeScale, models...)
+}
+
+// DialIngress connects a binary-TCP client to an ingress front-end.
+func DialIngress(addr string) (*IngressClient, error) {
+	return ingress.Dial(addr)
+}
+
+// AutopilotOptions tune Engine.Autopilot's control loop. Zero values
+// defer to the autopilot defaults (see internal/autopilot.Options); the
+// drift threshold additionally falls back to the engine's WithReplan
+// threshold.
 type AutopilotOptions struct {
 	// Interval is the control-loop period (wall clock).
 	Interval time.Duration
@@ -79,38 +119,121 @@ type AutopilotOptions struct {
 	// ScaleInHysteresis is the utilization band above the floor that
 	// resets the tick counter (default 0.05).
 	ScaleInHysteresis float64
+	// DemandHeadroom arms demand-aware replanning: every replan caps each
+	// model's planned throughput at its observed arrival rate times
+	// (1 + DemandHeadroom), leaving surplus budget unspent instead of
+	// buying capacity no model needs (see core.PlanFleet). 0 disables
+	// capping and replans maximize throughput under the full budget.
+	DemandHeadroom float64
 	// Logf, when set, receives one line per control decision.
 	Logf func(format string, args ...any)
 }
 
+// AutopilotOption customizes the serving topology Engine.Autopilot
+// assembles — the pluggable edges beyond the control-loop tuning in
+// AutopilotOptions.
+type AutopilotOption func(*autopilotConfig) error
+
+type autopilotConfig struct {
+	provider     autopilot.Provider
+	ingressHTTP  string
+	ingressTCP   string
+	ingressQueue int
+}
+
+// WithProvider actuates through p instead of the default in-process
+// fleet — e.g. NewExecFleet to run the plan as real kairosd processes.
+// The autopilot takes ownership: Close stops the provider's instances.
+func WithProvider(p Provider) AutopilotOption {
+	return func(c *autopilotConfig) error {
+		if p == nil {
+			return fmt.Errorf("kairos: WithProvider needs a provider")
+		}
+		c.provider = p
+		return nil
+	}
+}
+
+// WithIngress opens external query front-ends over the managed
+// controller: an HTTP JSON endpoint on httpAddr and a binary-TCP endpoint
+// on tcpAddr (either may be empty to disable it; "127.0.0.1:0" binds an
+// ephemeral port). External queries route per model, push back on
+// overload (HTTP 429 / binary NACK), and their per-model counters appear
+// in Controller.Stats() and the admin /metrics.
+func WithIngress(httpAddr, tcpAddr string) AutopilotOption {
+	return func(c *autopilotConfig) error {
+		if httpAddr == "" && tcpAddr == "" {
+			return fmt.Errorf("kairos: WithIngress needs at least one address")
+		}
+		c.ingressHTTP, c.ingressTCP = httpAddr, tcpAddr
+		return nil
+	}
+}
+
+// WithIngressQueue bounds each model's admitted-but-unfinished ingress
+// queries (default 1024); submissions beyond it are rejected immediately.
+func WithIngressQueue(n int) AutopilotOption {
+	return func(c *autopilotConfig) error {
+		if n <= 0 {
+			return fmt.Errorf("kairos: ingress queue bound must be positive (got %d)", n)
+		}
+		c.ingressQueue = n
+		return nil
+	}
+}
+
 // Autopilot deploys the engine as a self-managing serving system: it plans
 // the initial fleet (one configuration per served model, split from the
-// shared budget by marginal throughput-per-dollar), launches an in-process
-// fleet of instance servers at timeScale, connects the engine's policy as
-// the central controller — one scheduler group per model — and arms the
-// closed monitor -> detect -> replan -> actuate loop around them. Every
-// replan invokes the engine's shared-budget allocator with the live
-// per-model windows as its samples, so a trigger fired by one model can
-// move budget to or from the others; the scale-in trigger replans under a
-// shrunk budget when the fleet is under-utilized.
+// shared budget by marginal throughput-per-dollar), launches the fleet
+// through the actuation provider (in-process instance servers at
+// timeScale by default; WithProvider plugs in exec'd kairosd processes or
+// anything else), connects the engine's policy as the central controller
+// — one scheduler group per model — and arms the closed monitor ->
+// detect -> replan -> actuate loop around them. Every replan invokes the
+// engine's shared-budget allocator with the live per-model windows (and,
+// with DemandHeadroom set, the observed arrival rates) as its inputs, so
+// a trigger fired by one model can move budget to or from the others; the
+// scale-in trigger replans under a shrunk budget when the fleet is
+// under-utilized. WithIngress additionally serves external traffic
+// through an HTTP/TCP front-end whose lifecycle the autopilot owns.
 //
 // The returned autopilot is idle: call Start to launch the control loop
 // (and optionally StartAdmin for the HTTP endpoint), submit load through
-// Controller (per model), and Close to tear down loop, controller, and
-// fleet.
-func (e *Engine) Autopilot(timeScale float64, opts AutopilotOptions) (*Autopilot, error) {
+// Controller (per model) or the ingress endpoints, and Close to tear down
+// loop, ingress, controller, and provider.
+func (e *Engine) Autopilot(timeScale float64, opts AutopilotOptions, extra ...AutopilotOption) (*Autopilot, error) {
 	if err := e.needBudget(); err != nil {
 		return nil, err
 	}
+	var cfg autopilotConfig
+	for _, o := range extra {
+		if o == nil {
+			return nil, fmt.Errorf("kairos: nil autopilot option")
+		}
+		if err := o(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.ingressQueue > 0 && cfg.ingressHTTP == "" && cfg.ingressTCP == "" {
+		return nil, fmt.Errorf("kairos: WithIngressQueue without WithIngress")
+	}
+	if opts.DemandHeadroom < 0 {
+		return nil, fmt.Errorf("kairos: negative demand headroom %v", opts.DemandHeadroom)
+	}
 	fullBudget := e.budget
-	plan := func(samples map[string][]int, budget float64) (core.FleetPlan, error) {
+	plan := func(samples map[string][]int, arrivals map[string]float64, budget float64) (core.FleetPlan, error) {
 		if budget <= 0 {
 			budget = fullBudget
 		}
 		demands := make([]core.ModelDemand, 0, len(e.models))
 		for _, m := range e.models {
 			if s := samples[m.Name]; len(s) > 0 {
-				demands = append(demands, core.ModelDemand{Model: m, Samples: s})
+				d := core.ModelDemand{Model: m, Samples: s}
+				if opts.DemandHeadroom > 0 {
+					d.ArrivalQPS = arrivals[m.Name]
+					d.Headroom = opts.DemandHeadroom
+				}
+				demands = append(demands, d)
 			}
 		}
 		if len(demands) == 0 {
@@ -122,7 +245,7 @@ func (e *Engine) Autopilot(timeScale float64, opts AutopilotOptions) (*Autopilot
 	for _, m := range e.models {
 		references[m.Name] = e.planningSamplesFor(m.Name)
 	}
-	initial, err := plan(references, 0)
+	initial, err := plan(references, nil, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -133,21 +256,46 @@ func (e *Engine) Autopilot(timeScale float64, opts AutopilotOptions) (*Autopilot
 	if drift == 0 {
 		drift = e.replanThreshold
 	}
-	fleet := autopilot.NewFleet(timeScale, e.models...)
-	addrs, err := fleet.Deploy(e.pool, initial)
+	provider := cfg.provider
+	if provider == nil {
+		provider = autopilot.NewFleet(timeScale, e.models...)
+	} else if ts, ok := provider.(interface{ TimeScale() float64 }); ok {
+		// A provider running instances at a different time dilation than
+		// the controller skews every latency, rate, and utilization
+		// reading — catch the mismatch before anything launches.
+		eff := timeScale
+		if eff <= 0 {
+			eff = 1
+		}
+		if pts := ts.TimeScale(); pts != eff {
+			return nil, fmt.Errorf("kairos: provider runs at time scale %v, autopilot at %v", pts, eff)
+		}
+	}
+	addrs, err := autopilot.Deploy(provider, e.pool, initial)
 	if err != nil {
-		fleet.Close()
+		provider.Close()
 		return nil, err
 	}
 	ctrl, err := e.Connect(timeScale, addrs)
 	if err != nil {
-		fleet.Close()
+		provider.Close()
 		return nil, err
 	}
-	ap, err := autopilot.New(ctrl, fleet, initial, autopilot.Options{
+	var ingOpts *ingress.Options
+	if cfg.ingressHTTP != "" || cfg.ingressTCP != "" {
+		ingOpts = &ingress.Options{
+			HTTPAddr: cfg.ingressHTTP,
+			TCPAddr:  cfg.ingressTCP,
+			MaxQueue: cfg.ingressQueue,
+			Logf:     opts.Logf,
+		}
+	}
+	ap, err := autopilot.New(ctrl, provider, initial, autopilot.Options{
 		Pool:              e.pool,
 		Models:            e.models,
 		Plan:              plan,
+		TimeScale:         timeScale,
+		Ingress:           ingOpts,
 		Interval:          opts.Interval,
 		DriftThreshold:    drift,
 		Window:            opts.Window,
@@ -163,7 +311,7 @@ func (e *Engine) Autopilot(timeScale float64, opts AutopilotOptions) (*Autopilot
 	})
 	if err != nil {
 		ctrl.Close()
-		fleet.Close()
+		provider.Close()
 		return nil, err
 	}
 	return ap, nil

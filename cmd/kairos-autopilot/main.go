@@ -1,10 +1,13 @@
 // Command kairos-autopilot runs the closed-loop control plane end to end:
 // it plans an initial fleet for the served model set and shared budget,
-// launches an in-process fleet of instance servers on loopback TCP,
+// launches the fleet through an actuation provider (in-process instance
+// servers by default, or real kairosd processes with -provider exec),
 // connects the central controller (one scheduler group per model), starts
 // the monitor -> detect -> replan -> actuate loop plus the HTTP admin
-// endpoint, and drives a query load whose batch-size mix optionally shifts
-// mid-run — the Fig. 12 scenario as one self-managing process.
+// endpoint, and either drives a query load whose batch-size mix
+// optionally shifts mid-run (the Fig. 12 scenario as one self-managing
+// process) or — with -queries 0 — serves only external traffic arriving
+// through the ingress front-end until interrupted.
 //
 // Usage:
 //
@@ -17,8 +20,15 @@
 //
 //	kairos-autopilot -model NCF -model MT-WND -budget 1.2 -queries 3000
 //
+// A self-managing fleet of real processes serving external traffic:
+//
+//	kairos-autopilot -model NCF -model MT-WND -budget 1.2 \
+//	    -provider exec -kairosd ./kairosd \
+//	    -ingress 127.0.0.1:8080 -ingress-tcp 127.0.0.1:8081 -queries 0
+//
 // While it runs, the admin endpoint serves /healthz, /metrics, and /plan
-// as JSON with per-model sections.
+// as JSON with per-model sections (including per-model ingress counters
+// when a front-end is open).
 package main
 
 import (
@@ -27,7 +37,9 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"os/exec"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -36,6 +48,24 @@ import (
 
 	"kairos"
 )
+
+// findKairosd resolves the kairosd binary for -provider exec: the -kairosd
+// flag, a kairosd next to this executable, or PATH.
+func findKairosd(flagValue string) (string, error) {
+	if flagValue != "" {
+		return flagValue, nil
+	}
+	if self, err := os.Executable(); err == nil {
+		sibling := filepath.Join(filepath.Dir(self), "kairosd")
+		if _, err := os.Stat(sibling); err == nil {
+			return sibling, nil
+		}
+	}
+	if path, err := exec.LookPath("kairosd"); err == nil {
+		return path, nil
+	}
+	return "", fmt.Errorf("no kairosd binary found: pass -kairosd, place it next to kairos-autopilot, or add it to PATH")
+}
 
 // parseMix resolves a mix spec: "trace", "gaussian:MEAN:STD",
 // "uniform:MIN:MAX", or "fixed:N".
@@ -116,7 +146,13 @@ func main() {
 	minObs := flag.Int("min-obs", 0, "observations before a model's triggers arm (0 = window/10)")
 	scaleInFloor := flag.Float64("scale-in", 0, "utilization floor arming the scale-in trigger (0 = disabled)")
 	scaleInTicks := flag.Int("scale-in-ticks", 0, "consecutive under-utilized ticks firing scale-in (0 = default 5)")
-	queries := flag.Int("queries", 2000, "number of queries to send (spread across models)")
+	demandHeadroom := flag.Float64("demand-headroom", 0, "cap replanned capacity at observed arrivals x (1+headroom), leaving surplus budget unspent (0 = disabled)")
+	provider := flag.String("provider", "inprocess", "actuation provider: inprocess (loopback servers) or exec (real kairosd processes)")
+	kairosdBin := flag.String("kairosd", "", "kairosd binary for -provider exec (default: next to this binary, then PATH)")
+	ingressHTTP := flag.String("ingress", "", "HTTP ingress address for external queries (e.g. 127.0.0.1:8080; empty = disabled)")
+	ingressTCP := flag.String("ingress-tcp", "", "binary-TCP ingress address for external queries (empty = disabled)")
+	ingressQueue := flag.Int("ingress-queue", 0, "per-model bound on admitted-but-unfinished ingress queries (0 = default 1024)")
+	queries := flag.Int("queries", 2000, "number of queries to send (spread across models); 0 = generate no load, serve ingress traffic until interrupted")
 	rate := flag.Float64("rate", 300, "Poisson arrival rate (queries/second, model time)")
 	mixSpec := flag.String("mix", "gaussian:45:15", "phase-1 batch mix (trace | gaussian:M:S | uniform:LO:HI | fixed:N)")
 	shiftSpec := flag.String("shift-mix", "gaussian:600:100", "phase-2 batch mix (applies to the last -model)")
@@ -126,6 +162,12 @@ func main() {
 
 	if len(modelNames) == 0 {
 		modelNames = []string{"NCF"}
+	}
+	// Flag validation must finish before any fleet is launched: a
+	// log.Fatal below engine.Autopilot would bypass ap.Close and orphan
+	// real kairosd processes under -provider exec.
+	if *queries == 0 && *ingressHTTP == "" && *ingressTCP == "" {
+		log.Fatal("kairos-autopilot: -queries 0 needs an ingress (-ingress and/or -ingress-tcp)")
 	}
 	mix, err := parseMix(*mixSpec)
 	if err != nil {
@@ -152,6 +194,29 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	var extra []kairos.AutopilotOption
+	switch *provider {
+	case "inprocess":
+	case "exec":
+		bin, err := findKairosd(*kairosdBin)
+		if err != nil {
+			log.Fatalf("kairos-autopilot: %v", err)
+		}
+		ef := kairos.NewExecFleet(bin, *timeScale, modelNames...)
+		ef.Logf = log.Printf
+		extra = append(extra, kairos.WithProvider(ef))
+	default:
+		log.Fatalf("kairos-autopilot: unknown provider %q (want inprocess or exec)", *provider)
+	}
+	if *ingressHTTP != "" || *ingressTCP != "" {
+		extra = append(extra, kairos.WithIngress(*ingressHTTP, *ingressTCP))
+		if *ingressQueue != 0 {
+			// Non-zero values flow into the validating option, so a
+			// negative bound errors instead of silently running with the
+			// default.
+			extra = append(extra, kairos.WithIngressQueue(*ingressQueue))
+		}
+	}
 	ap, err := engine.Autopilot(*timeScale, kairos.AutopilotOptions{
 		Interval:        *interval,
 		Cooldown:        *cooldown,
@@ -160,25 +225,56 @@ func main() {
 		MinObservations: *minObs,
 		ScaleInFloor:    *scaleInFloor,
 		ScaleInTicks:    *scaleInTicks,
+		DemandHeadroom:  *demandHeadroom,
 		Logf:            log.Printf,
-	})
+	}, extra...)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer ap.Close()
 	adminAddr, err := ap.StartAdmin(*listen)
 	if err != nil {
+		// Not log.Fatal: os.Exit would skip the deferred Close and leave
+		// exec-provider kairosd processes running.
+		ap.Close()
 		log.Fatal(err)
 	}
 	ap.Start()
 	ctrl := ap.Controller()
-	fmt.Printf("kairos-autopilot: %v under policy %s, shared budget $%.2f/hr\n",
-		[]string(modelNames), engine.Policy(), *budget)
+	fmt.Printf("kairos-autopilot: %v under policy %s, shared budget $%.2f/hr (%s provider)\n",
+		[]string(modelNames), engine.Policy(), *budget, *provider)
 	printPlan("kairos-autopilot:   ", ap.Status().Plan)
 	fmt.Printf("kairos-autopilot: admin on http://%s (/healthz /metrics /plan)\n", adminAddr)
+	if ing := ap.Ingress(); ing != nil {
+		if a := ing.HTTPAddr(); a != "" {
+			fmt.Printf("kairos-autopilot: HTTP ingress on http://%s (POST /submit, GET /stats)\n", a)
+		}
+		if a := ing.TCPAddr(); a != "" {
+			fmt.Printf("kairos-autopilot: binary-TCP ingress on %s\n", a)
+		}
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	if *queries == 0 {
+		// External serving mode: the control plane manages the fleet while
+		// all traffic arrives through the ingress endpoints (validated
+		// above, before the fleet was launched).
+		fmt.Println("kairos-autopilot: serving external traffic; interrupt to stop")
+		<-sig
+		fmt.Println("kairos-autopilot: interrupted")
+		st := ctrl.Stats()
+		fmt.Printf("queries: %d submitted, %d completed, %d failed\n", st.Submitted, st.Completed, st.Failed)
+		for _, name := range ctrl.Models() {
+			if is, ok := st.Ingress[name]; ok {
+				fmt.Printf("  %-8s ingress: %d submitted (%d http, %d tcp), %d rejected, %d completed, %d failed\n",
+					name, is.Submitted, is.HTTP, is.TCP, is.Rejected, is.Completed, is.Failed)
+			}
+		}
+		printPlan("  ", ap.Status().Plan)
+		return
+	}
 
 	// The shift applies to the last model's mix; with one model that is
 	// the classic Fig. 12 load change.

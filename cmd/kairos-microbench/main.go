@@ -1,11 +1,12 @@
 // Command kairos-microbench runs the repository's perf-critical
 // microbenchmarks — the assignment solvers (the matching distributor's
 // inner loop), the matching-distributor Assign hot path (the controller's
-// per-round scheduling cost), the shared-budget fleet allocator, and the
+// per-round scheduling cost), the shared-budget fleet allocator, the
 // live serving path (wire-frame encode/decode and loopback
-// Submit→complete throughput through the sharded controller) — via
-// testing.Benchmark and writes the results as machine-readable JSON, so CI
-// can track the performance trajectory commit over commit.
+// Submit→complete throughput through the sharded controller), and the
+// ingress hot path (external Submit→complete over HTTP and binary TCP) —
+// via testing.Benchmark and writes the results as machine-readable JSON,
+// so CI can track the performance trajectory commit over commit.
 //
 // Usage:
 //
@@ -26,6 +27,7 @@ import (
 
 	"kairos"
 	"kairos/internal/assignment"
+	"kairos/internal/ingress"
 	"kairos/internal/server"
 )
 
@@ -177,6 +179,36 @@ func controllerThroughputBench() func(*testing.B) {
 	}
 }
 
+// ingressBench drives closed-loop external submitters through the shared
+// ingress fixture (ingress.StartBenchIngress: the serving-path bench
+// cluster behind an HTTP + binary-TCP front-end): ns/op is the sustained
+// external Submit→complete cost of the whole path, front-end included.
+func ingressBench(tcp bool) func(*testing.B) {
+	return func(b *testing.B) {
+		fix, err := ingress.StartBenchIngress(1e-6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer fix.Close()
+		var worker int64
+		b.SetParallelism(16)
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			w := atomic.AddInt64(&worker, 1)
+			var err error
+			if tcp {
+				err = fix.TCPWorker(w, pb.Next)
+			} else {
+				err = fix.HTTPWorker(w, pb.Next)
+			}
+			if err != nil {
+				b.Error(err)
+			}
+		})
+	}
+}
+
 func main() {
 	testing.Init() // registers test.benchtime, which testing.Benchmark reads
 	out := flag.String("out", "BENCH_micro.json", "output JSON path (- for stdout)")
@@ -206,6 +238,14 @@ func main() {
 		name string
 		fn   func(*testing.B)
 	}{"ControllerThroughput", controllerThroughputBench()})
+	benches = append(benches, struct {
+		name string
+		fn   func(*testing.B)
+	}{"IngressSubmitTCP", ingressBench(true)})
+	benches = append(benches, struct {
+		name string
+		fn   func(*testing.B)
+	}{"IngressSubmitHTTP", ingressBench(false)})
 
 	rep := report{
 		GoVersion: runtime.Version(),

@@ -3,6 +3,14 @@
 // query at a time with the calibrated latency (Sec. 6's instance-side
 // inference server).
 //
+// The ready line ("kairosd: TYPE serving MODEL on ADDR (timescale X)") is
+// a contract with the autopilot's exec actuation provider, which parses
+// it to learn the bound address of a `-addr 127.0.0.1:0` daemon. On
+// SIGTERM/SIGINT the daemon drains: it stops accepting connections,
+// serves every fully-received in-flight query, flushes the replies, and
+// only then exits — so a control plane stopping a kairosd never drops
+// queries.
+//
 // Usage:
 //
 //	kairosd -addr 127.0.0.1:7001 -type g4dn.xlarge -model RM2
@@ -16,15 +24,17 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"kairos"
 )
 
 func main() {
-	addr := flag.String("addr", "127.0.0.1:7001", "listen address")
+	addr := flag.String("addr", "127.0.0.1:7001", "listen address (127.0.0.1:0 for an ephemeral port)")
 	typeName := flag.String("type", "g4dn.xlarge", "instance type to emulate")
 	modelName := flag.String("model", "RM2", "served model (see kairos-bench -run table3)")
 	timeScale := flag.Float64("timescale", 1.0, "real seconds per simulated second (0.1 = 10x faster)")
+	drain := flag.Duration("drain", 10*time.Second, "max time to drain in-flight queries on SIGTERM")
 	flag.Parse()
 
 	model, err := kairos.ModelByName(*modelName)
@@ -43,8 +53,9 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Println("kairosd: shutting down")
-	if err := s.Close(); err != nil {
+	fmt.Println("kairosd: draining")
+	if err := s.Shutdown(*drain); err != nil {
 		log.Fatal(err)
 	}
+	fmt.Println("kairosd: shut down")
 }

@@ -26,6 +26,9 @@ type WindowStatus struct {
 	// ThroughputQPS is the model's recent completion rate in model-time
 	// QPS.
 	ThroughputQPS float64 `json:"throughput_qps"`
+	// ArrivalQPS is the model's smoothed observed arrival rate in
+	// model-time QPS — the demand signal behind the planner's caps.
+	ArrivalQPS float64 `json:"arrival_qps"`
 }
 
 // ModelPlanStatus is one model's slice of the fleet plan.
@@ -79,6 +82,16 @@ type ScaleInStatus struct {
 	TicksNeeded int `json:"ticks_needed,omitempty"`
 }
 
+// IngressStatus reports the external front-end endpoints; the per-model
+// ingress counters ride inside Controller.Ingress.
+type IngressStatus struct {
+	// Enabled is false when the autopilot serves no external traffic.
+	Enabled bool `json:"enabled"`
+	// HTTPAddr / TCPAddr are the bound endpoint addresses ("" disabled).
+	HTTPAddr string `json:"http_addr,omitempty"`
+	TCPAddr  string `json:"tcp_addr,omitempty"`
+}
+
 // Status is the /metrics view: the whole control plane at a glance.
 type Status struct {
 	// Healthy is false after a failed replan or actuation.
@@ -101,9 +114,13 @@ type Status struct {
 	Plan PlanStatus `json:"plan"`
 	// Models carries the per-model control sections.
 	Models map[string]ModelStatus `json:"models"`
-	// Fleet counts running instance servers per model per type.
+	// Fleet counts connected, non-draining instances per model per type —
+	// the controller's view of what the provider is running.
 	Fleet map[string]map[string]int `json:"fleet"`
-	// Controller is the serving-path accounting snapshot.
+	// Ingress reports the external front-end endpoints.
+	Ingress IngressStatus `json:"ingress"`
+	// Controller is the serving-path accounting snapshot (including the
+	// per-model ingress counters when a front-end is attached).
 	Controller server.Stats `json:"controller"`
 }
 
@@ -154,6 +171,22 @@ func (a *Autopilot) planStatus() PlanStatus {
 	return out
 }
 
+// fleetCounts derives the running-fleet view from a controller snapshot:
+// connected, non-draining instances per model per type.
+func fleetCounts(cs server.Stats) map[string]map[string]int {
+	out := make(map[string]map[string]int)
+	for _, in := range cs.Instances {
+		if in.Draining {
+			continue
+		}
+		if out[in.Model] == nil {
+			out[in.Model] = make(map[string]int)
+		}
+		out[in.Model][in.TypeName]++
+	}
+	return out
+}
+
 // Status snapshots the control plane.
 func (a *Autopilot) Status() Status {
 	plan := a.planStatus()
@@ -174,6 +207,7 @@ func (a *Autopilot) Status() Status {
 
 		a.mu.Lock()
 		win.ThroughputQPS = st.recentQPS
+		win.ArrivalQPS = st.arrivalQPS
 		drift := st.lastDrift
 		a.mu.Unlock()
 
@@ -196,6 +230,16 @@ func (a *Autopilot) Status() Status {
 	started := a.started
 	a.mu.Unlock()
 
+	ingressStatus := IngressStatus{}
+	if a.ingress != nil {
+		ingressStatus = IngressStatus{
+			Enabled:  true,
+			HTTPAddr: a.ingress.HTTPAddr(),
+			TCPAddr:  a.ingress.TCPAddr(),
+		}
+	}
+	ctrlStats := a.ctrl.Stats()
+
 	return Status{
 		Healthy:        lastErr == "",
 		UptimeSeconds:  time.Since(started).Seconds(),
@@ -213,8 +257,9 @@ func (a *Autopilot) Status() Status {
 		LastError:  lastErr,
 		Plan:       plan,
 		Models:     modelViews,
-		Fleet:      a.fleet.Counts(),
-		Controller: a.ctrl.Stats(),
+		Fleet:      fleetCounts(ctrlStats),
+		Ingress:    ingressStatus,
+		Controller: ctrlStats,
 	}
 }
 

@@ -1,3 +1,23 @@
+// Package autopilot closes the paper's Fig. 12 adaptation loop over the
+// real network serving path, for a set of models sharing one cost budget:
+// per-model rolling-window live monitors fed from controller completions,
+// per-model drift triggers (internal/adapt) plus SLO-violation triggers
+// and a fleet-wide scale-in trigger on sustained under-utilization, a
+// replan step invoking the shared-budget fleet planner with the live
+// windows (and observed arrival rates) as its inputs, and an actuator
+// that reconciles every model's running fleet — launching and draining
+// instances at runtime — toward the fresh plan. A trigger fired by one
+// model replans the whole fleet, so budget freed by a cooling model flows
+// to a heating one. It is the control plane that turns the monitors,
+// planner, and controller from isolated components into a self-managing
+// multi-model serving system (INFaaS-style managed adaptivity,
+// KubeAI-style reconciliation).
+//
+// The system's two outward edges are pluggable: actuation goes through
+// the Provider interface (the in-process Fleet, the kairosd-spawning
+// ExecFleet, or anything else that can launch and stop instances), and
+// external traffic arrives through an optional internal/ingress front-end
+// whose lifecycle the autopilot owns.
 package autopilot
 
 import (
@@ -11,6 +31,7 @@ import (
 	"kairos/internal/adapt"
 	"kairos/internal/cloud"
 	"kairos/internal/core"
+	"kairos/internal/ingress"
 	"kairos/internal/metrics"
 	"kairos/internal/models"
 	"kairos/internal/server"
@@ -34,6 +55,13 @@ const (
 	DefaultScaleInHysteresis = 0.05
 )
 
+// PlanFunc produces a fresh fleet plan from per-model live batch-size
+// samples and observed arrival rates (model-time QPS; a model absent from
+// arrivals has unknown demand). A non-positive budget asks for the
+// planner's full configured budget; a positive one caps spending (the
+// scale-in trigger passes a shrunk budget to shed cost).
+type PlanFunc func(samples map[string][]int, arrivals map[string]float64, budget float64) (core.FleetPlan, error)
+
 // Options parametrize an Autopilot. Pool, Models, and Plan are required;
 // every other zero value picks a documented default.
 type Options struct {
@@ -41,12 +69,18 @@ type Options struct {
 	Pool cloud.Pool
 	// Models are the served workloads sharing the budget.
 	Models []models.Model
-	// Plan produces a fresh fleet plan from per-model live batch-size
-	// samples — normally the engine's shared-budget allocator. A
-	// non-positive budget asks for the planner's full configured budget; a
-	// positive one caps spending (the scale-in trigger passes a shrunk
-	// budget to shed cost).
-	Plan func(samples map[string][]int, budget float64) (core.FleetPlan, error)
+	// Plan produces a fresh fleet plan from the live windows — normally
+	// the engine's shared-budget allocator.
+	Plan PlanFunc
+
+	// TimeScale is the serving path's time dilation factor (it must match
+	// the controller's and the instances'); non-positive means real time.
+	TimeScale float64
+	// Ingress, when set, opens an external query front-end over the
+	// managed controller (HTTP + binary TCP; see internal/ingress). The
+	// autopilot owns its lifecycle: it starts with New and closes with
+	// Close, before the controller goes away.
+	Ingress *ingress.Options
 
 	// Interval is the control-loop period; 0 uses DefaultInterval.
 	Interval time.Duration
@@ -110,6 +144,9 @@ func (o Options) withDefaults() (Options, error) {
 	if o.Plan == nil {
 		return o, fmt.Errorf("autopilot: options need a Plan function")
 	}
+	if o.TimeScale <= 0 {
+		o.TimeScale = 1
+	}
 	if o.Interval <= 0 {
 		o.Interval = DefaultInterval
 	}
@@ -170,20 +207,27 @@ type modelState struct {
 	latency   *metrics.Window
 	detector  *adapt.DriftDetector
 	lastDrift float64
-	// lastCompleted backs the per-model throughput estimate (stepMu).
+	// lastCompleted, lastSubmitted, and lastRejected back the per-model
+	// throughput and arrival-rate estimates (stepMu).
 	lastCompleted int64
+	lastSubmitted int64
+	lastRejected  int64
 	recentQPS     float64 // guarded by Autopilot.mu
+	// arrivalQPS is the smoothed observed arrival rate in model-time QPS
+	// (guarded by Autopilot.mu); it feeds the planner's demand caps.
+	arrivalQPS float64
 }
 
 // Autopilot runs the monitor -> detect -> replan -> actuate loop over one
-// multi-model controller and its fleet. Build it with New, start the loop
-// with Start (or drive it deterministically with Step), and tear
-// everything down — loop, admin endpoint, controller, and fleet — with
-// Close.
+// multi-model controller and its actuation provider. Build it with New,
+// start the loop with Start (or drive it deterministically with Step),
+// and tear everything down — loop, admin endpoint, ingress, controller,
+// and provider — with Close.
 type Autopilot struct {
-	ctrl  *server.Controller
-	fleet *Fleet
-	opts  Options
+	ctrl     *server.Controller
+	provider Provider
+	ingress  *ingress.Server // nil when no front-end is configured
+	opts     Options
 
 	// names is the sorted model-name iteration order; states is read-only
 	// after New (its fields carry their own locking rules).
@@ -233,6 +277,9 @@ type ModelDecision struct {
 	Drift float64
 	// TailMS is the model's windowed SLO-percentile latency (model ms).
 	TailMS float64
+	// ArrivalQPS is the model's smoothed observed arrival rate handed to
+	// the planner's demand caps (0 while unknown).
+	ArrivalQPS float64
 	// DriftTriggered and SLOTriggered report which triggers fired.
 	DriftTriggered bool
 	SLOTriggered   bool
@@ -264,12 +311,22 @@ type Decision struct {
 	Reason string
 }
 
-// New assembles an autopilot over a running controller and fleet, serving
-// the given initial fleet plan. It installs itself as the controller's
-// completion observer. The loop is not started; call Start.
-func New(ctrl *server.Controller, fleet *Fleet, initial core.FleetPlan, opts Options) (*Autopilot, error) {
-	if ctrl == nil || fleet == nil {
-		return nil, fmt.Errorf("autopilot: needs a controller and a fleet")
+// New assembles an autopilot over a running controller and its actuation
+// provider, serving the given initial fleet plan. It installs itself as
+// the controller's completion observer and, when Options.Ingress is set,
+// opens the external front-end. The loop is not started; call Start.
+func New(ctrl *server.Controller, provider Provider, initial core.FleetPlan, opts Options) (*Autopilot, error) {
+	if ctrl == nil || provider == nil {
+		return nil, fmt.Errorf("autopilot: needs a controller and a provider")
+	}
+	// An unset TimeScale inherits the provider's dilation (the built-in
+	// providers expose it): rate and utilization math must divide by the
+	// scale the instances actually run at, and before the Provider split
+	// that was correct by construction.
+	if opts.TimeScale <= 0 {
+		if ts, ok := provider.(interface{ TimeScale() float64 }); ok {
+			opts.TimeScale = ts.TimeScale()
+		}
 	}
 	o, err := opts.withDefaults()
 	if err != nil {
@@ -285,7 +342,7 @@ func New(ctrl *server.Controller, fleet *Fleet, initial core.FleetPlan, opts Opt
 	}
 	a := &Autopilot{
 		ctrl:     ctrl,
-		fleet:    fleet,
+		provider: provider,
 		opts:     o,
 		states:   make(map[string]*modelState, len(o.Models)),
 		current:  initial.Clone(),
@@ -315,14 +372,24 @@ func New(ctrl *server.Controller, fleet *Fleet, initial core.FleetPlan, opts Opt
 	}
 	sort.Strings(a.names)
 	ctrl.SetOnComplete(a.observe)
+	if o.Ingress != nil {
+		ing, err := ingress.New(ctrl, *o.Ingress)
+		if err != nil {
+			return nil, fmt.Errorf("autopilot: ingress: %w", err)
+		}
+		a.ingress = ing
+	}
 	return a, nil
 }
 
 // Controller returns the managed controller (for submitting load).
 func (a *Autopilot) Controller() *server.Controller { return a.ctrl }
 
-// Fleet returns the managed fleet.
-func (a *Autopilot) Fleet() *Fleet { return a.fleet }
+// Provider returns the managed actuation provider.
+func (a *Autopilot) Provider() Provider { return a.provider }
+
+// Ingress returns the external front-end, or nil when none is configured.
+func (a *Autopilot) Ingress() *ingress.Server { return a.ingress }
 
 // observe feeds the owning model's live window from one delivered
 // completion.
@@ -412,11 +479,22 @@ func (a *Autopilot) Step() (Decision, error) {
 	now := time.Now()
 	util, utilOK := a.updateRates(now)
 
+	// Smoothed observed arrival rates feed the planner's demand caps; a
+	// model without a measured rate is absent (unknown demand, uncapped).
+	arrivals := make(map[string]float64, len(a.names))
+	a.mu.Lock()
+	for _, name := range a.names {
+		if q := a.states[name].arrivalQPS; q > 0 {
+			arrivals[name] = q
+		}
+	}
+	a.mu.Unlock()
+
 	dec := Decision{Models: make(map[string]ModelDecision, len(a.names)), Utilization: util}
 	samples := make(map[string][]int, len(a.names))
 	for _, name := range a.names {
 		st := a.states[name]
-		md := ModelDecision{}
+		md := ModelDecision{ArrivalQPS: arrivals[name]}
 		snap := st.monitor.Snapshot()
 		switch {
 		case len(snap) >= a.opts.MinObservations:
@@ -508,7 +586,7 @@ func (a *Autopilot) Step() (Decision, error) {
 		dec.PlanBudget = shrunk
 	}
 
-	next, err := a.opts.Plan(samples, dec.PlanBudget)
+	next, err := a.opts.Plan(samples, arrivals, dec.PlanBudget)
 	if err != nil {
 		a.setErr(fmt.Sprintf("replan: %v", err))
 		return dec, fmt.Errorf("autopilot: replan: %w", err)
@@ -688,7 +766,7 @@ func (a *Autopilot) updateRates(now time.Time) (float64, bool) {
 	if !a.lastStepAt.IsZero() {
 		wallMS := float64(now.Sub(a.lastStepAt)) / float64(time.Millisecond)
 		if wallMS > 0 {
-			modelMS := wallMS / a.fleet.TimeScale()
+			modelMS := wallMS / a.opts.TimeScale
 			a.recentQPS = float64(stats.Completed-a.lastStepCompleted) / modelMS * 1000
 			if n := len(stats.Instances); n > 0 {
 				util := (busy - a.lastStepBusyMS) / (modelMS * float64(n))
@@ -703,13 +781,37 @@ func (a *Autopilot) updateRates(now time.Time) (float64, bool) {
 				if ms, found := stats.Models[name]; found {
 					st.recentQPS = float64(ms.Completed-st.lastCompleted) / modelMS * 1000
 					st.lastCompleted = ms.Completed
+					// Arrivals (submissions) measure demand even when the
+					// fleet cannot keep up. Backpressure-rejected ingress
+					// queries never reach Submit but are demand too — an
+					// overloaded front-end must not read as "demand equals
+					// served throughput" or the demand caps would pin the
+					// fleet at its own saturation point. A light EWMA
+					// damps interval noise before the planner reads it.
+					demand := ms.Submitted - st.lastSubmitted
+					st.lastSubmitted = ms.Submitted
+					if is, found := stats.Ingress[name]; found {
+						demand += is.Rejected - st.lastRejected
+						st.lastRejected = is.Rejected
+					}
+					inst := float64(demand) / modelMS * 1000
+					if st.arrivalQPS == 0 {
+						st.arrivalQPS = inst
+					} else {
+						st.arrivalQPS = 0.5*st.arrivalQPS + 0.5*inst
+					}
 				}
 			}
 		}
 	} else {
 		for _, name := range a.names {
 			if ms, found := stats.Models[name]; found {
-				a.states[name].lastCompleted = ms.Completed
+				st := a.states[name]
+				st.lastCompleted = ms.Completed
+				st.lastSubmitted = ms.Submitted
+				if is, found := stats.Ingress[name]; found {
+					st.lastRejected = is.Rejected
+				}
 			}
 		}
 	}
@@ -725,7 +827,9 @@ func (a *Autopilot) updateRates(now time.Time) (float64, bool) {
 // replaying plan deltas — a partially-failed earlier actuation self-heals
 // on the next pass. All additions happen before any removal (no model's
 // capacity dips below both states' minimum), and removals drain —
-// in-flight queries always finish.
+// in-flight queries always finish. Launches and stops go through the
+// actuation provider, so the same loop manages in-process servers and
+// real kairosd processes.
 func (a *Autopilot) actuate(to core.FleetPlan) error {
 	for _, name := range a.names {
 		cfg := to[name]
@@ -736,12 +840,12 @@ func (a *Autopilot) actuate(to core.FleetPlan) error {
 				want = cfg[i]
 			}
 			for k := have[t.Name]; k < want; k++ {
-				addr, err := a.fleet.Launch(name, t.Name)
+				addr, err := a.provider.Launch(name, t.Name)
 				if err != nil {
 					return err
 				}
 				if _, err := a.ctrl.AddInstance(addr); err != nil {
-					a.fleet.Stop(addr)
+					a.provider.Stop(addr)
 					return err
 				}
 				a.logf("autopilot: added %s for %s at %s", t.Name, name, addr)
@@ -761,7 +865,7 @@ func (a *Autopilot) actuate(to core.FleetPlan) error {
 				if err != nil {
 					return err
 				}
-				if err := a.fleet.Stop(addr); err != nil {
+				if err := a.provider.Stop(addr); err != nil {
 					return err
 				}
 				a.logf("autopilot: drained and removed %s for %s at %s", t.Name, name, addr)
@@ -771,9 +875,11 @@ func (a *Autopilot) actuate(to core.FleetPlan) error {
 	return nil
 }
 
-// Close stops the control loop and the admin endpoint, then closes the
-// controller and the fleet. In-flight queries fail as on Controller.Close;
-// submit loads should finish before closing.
+// Close stops the control loop and the admin endpoint, shuts the ingress
+// front-end (no new external queries; in-flight ones finish), then closes
+// the controller and the provider. In-flight queries submitted directly
+// to the controller fail as on Controller.Close; such submit loads should
+// finish before closing.
 func (a *Autopilot) Close() {
 	a.closeOnce.Do(func() {
 		close(a.stop)
@@ -786,7 +892,10 @@ func (a *Autopilot) Close() {
 			a.admin = nil
 		}
 		a.adminMu.Unlock()
+		if a.ingress != nil {
+			a.ingress.Close()
+		}
 		a.ctrl.Close()
-		a.fleet.Close()
+		a.provider.Close()
 	})
 }

@@ -75,7 +75,7 @@ func TestFleetLifecycle(t *testing.T) {
 	}
 
 	pool := cloud.DefaultPool()
-	addrs, err := f.Deploy(pool, plan(m, cloud.Config{1, 0, 2, 0}))
+	addrs, err := Deploy(f, pool, plan(m, cloud.Config{1, 0, 2, 0}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +86,7 @@ func TestFleetLifecycle(t *testing.T) {
 	if counts[cloud.G4dnXlarge.Name] != 1 || counts[cloud.R5nLarge.Name] != 2 {
 		t.Fatalf("counts = %v", counts)
 	}
-	if _, err := f.Deploy(pool, plan(m, cloud.Config{1})); err == nil {
+	if _, err := Deploy(f, pool, plan(m, cloud.Config{1})); err == nil {
 		t.Fatal("mismatched config must error")
 	}
 }
@@ -96,7 +96,7 @@ func TestOptionsValidation(t *testing.T) {
 	m := ncf()
 	pool := cloud.DefaultPool()
 	ms := []models.Model{m}
-	okPlan := func(map[string][]int, float64) (core.FleetPlan, error) {
+	okPlan := func(map[string][]int, map[string]float64, float64) (core.FleetPlan, error) {
 		return core.FleetPlan{m.Name: cloud.Config{0, 0, 1, 0}}, nil
 	}
 
@@ -138,7 +138,7 @@ func startAutopilot(t *testing.T, initial cloud.Config, opts Options) *Autopilot
 	m := ncf()
 	pool := cloud.DefaultPool()
 	fleet := NewFleet(1, m)
-	addrs, err := fleet.Deploy(pool, plan(m, initial))
+	addrs, err := Deploy(fleet, pool, plan(m, initial))
 	if err != nil {
 		fleet.Close()
 		t.Fatal(err)
@@ -161,8 +161,8 @@ func startAutopilot(t *testing.T, initial cloud.Config, opts Options) *Autopilot
 }
 
 // singlePlan adapts a single-model planner to the fleet Plan signature.
-func singlePlan(m models.Model, fn func(samples []int) (cloud.Config, error)) func(map[string][]int, float64) (core.FleetPlan, error) {
-	return func(samples map[string][]int, _ float64) (core.FleetPlan, error) {
+func singlePlan(m models.Model, fn func(samples []int) (cloud.Config, error)) PlanFunc {
+	return func(samples map[string][]int, _ map[string]float64, _ float64) (core.FleetPlan, error) {
 		cfg, err := fn(samples[m.Name])
 		if err != nil {
 			return nil, err
@@ -235,7 +235,7 @@ func TestStepDriftReplanActuates(t *testing.T) {
 	if counts[cloud.G4dnXlarge.Name] != 1 || counts[cloud.R5nLarge.Name] != 1 {
 		t.Fatalf("controller fleet = %v", counts)
 	}
-	fcounts := ap.Fleet().CountsFor(m.Name)
+	fcounts := ap.Provider().(*Fleet).CountsFor(m.Name)
 	if fcounts[cloud.G4dnXlarge.Name] != 1 || fcounts[cloud.R5nLarge.Name] != 1 {
 		t.Fatalf("fleet servers = %v", fcounts)
 	}
@@ -342,7 +342,7 @@ func TestStepScaleInShedsCost(t *testing.T) {
 	initial := cloud.Config{0, 0, 3, 0} // 3x r5n.large = $0.447/hr
 	var budgets []float64
 	opts := Options{
-		Plan: func(samples map[string][]int, budget float64) (core.FleetPlan, error) {
+		Plan: func(samples map[string][]int, _ map[string]float64, budget float64) (core.FleetPlan, error) {
 			budgets = append(budgets, budget)
 			if budget > 0 && budget < pool.Cost(initial) {
 				// Demand-sized shrink: keep a single CPU.
@@ -550,7 +550,7 @@ func TestAutopilotEndToEndSmoke(t *testing.T) {
 	}
 
 	fleet := NewFleet(1, m)
-	addrs, err := fleet.Deploy(pool, plan(m, initial))
+	addrs, err := Deploy(fleet, pool, plan(m, initial))
 	if err != nil {
 		fleet.Close()
 		t.Fatal(err)
@@ -693,7 +693,7 @@ func TestMultiModelBudgetShift(t *testing.T) {
 		a.Name: samplesOf(smallA, 1500, 3),
 		b.Name: samplesOf(smallB, 1500, 4),
 	}
-	planFleet := func(samples map[string][]int, planBudget float64) (core.FleetPlan, error) {
+	planFleet := func(samples map[string][]int, _ map[string]float64, planBudget float64) (core.FleetPlan, error) {
 		if planBudget <= 0 {
 			planBudget = budget
 		}
@@ -705,7 +705,7 @@ func TestMultiModelBudgetShift(t *testing.T) {
 		}
 		return core.PlanFleet(pool, demands, planBudget)
 	}
-	initial, err := planFleet(refs, 0)
+	initial, err := planFleet(refs, nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -717,7 +717,7 @@ func TestMultiModelBudgetShift(t *testing.T) {
 	}
 
 	fleet := NewFleet(1, a, b)
-	addrs, err := fleet.Deploy(pool, initial)
+	addrs, err := Deploy(fleet, pool, initial)
 	if err != nil {
 		fleet.Close()
 		t.Fatal(err)
@@ -833,7 +833,7 @@ func TestStepScaleInKeepsFleetWhenBudgetBuysNothing(t *testing.T) {
 	m := ncf()
 	initial := cloud.Config{0, 0, 2, 0}
 	opts := Options{
-		Plan: func(samples map[string][]int, budget float64) (core.FleetPlan, error) {
+		Plan: func(samples map[string][]int, _ map[string]float64, budget float64) (core.FleetPlan, error) {
 			if budget > 0 {
 				// The shrunk budget buys nothing (e.g. the model's cheapest
 				// feasible config costs more than the cheapest pool price).
@@ -893,7 +893,7 @@ func TestStepPreservesColdModelFleet(t *testing.T) {
 		b.Name: cloud.Config{0, 0, 1, 0},
 	}
 	fleet := NewFleet(1, a, b)
-	addrs, err := fleet.Deploy(pool, initial)
+	addrs, err := Deploy(fleet, pool, initial)
 	if err != nil {
 		fleet.Close()
 		t.Fatal(err)
@@ -911,7 +911,7 @@ func TestStepPreservesColdModelFleet(t *testing.T) {
 		Models: []models.Model{a, b},
 		// The planner only ever sees model A's sample (B stays cold and
 		// has no reference) and allocates nothing to B.
-		Plan: func(samples map[string][]int, _ float64) (core.FleetPlan, error) {
+		Plan: func(samples map[string][]int, _ map[string]float64, _ float64) (core.FleetPlan, error) {
 			if _, ok := samples[b.Name]; ok {
 				t.Errorf("planner saw a sample for the cold model: %v", samples)
 			}

@@ -1,0 +1,59 @@
+package autopilot
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseReadyLine(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		line string
+		addr string
+		ok   bool
+	}{
+		{"kairosd: g4dn.xlarge serving NCF on 127.0.0.1:41837 (timescale 1.00)", "127.0.0.1:41837", true},
+		{"kairosd: r5n.large serving MT-WND on 127.0.0.1:7001 (timescale 0.1)", "127.0.0.1:7001", true},
+		{"kairosd: shutting down", "", false},
+		{"something else entirely", "", false},
+		{"", "", false},
+	}
+	for _, tc := range cases {
+		addr, ok := parseReadyLine(tc.line)
+		if ok != tc.ok || addr != tc.addr {
+			t.Errorf("parseReadyLine(%q) = %q, %v; want %q, %v", tc.line, addr, ok, tc.addr, tc.ok)
+		}
+	}
+}
+
+func TestExecFleetValidation(t *testing.T) {
+	t.Parallel()
+	f := NewExecFleet("/does/not/matter", 1, "NCF")
+	if _, err := f.Launch("MT-WND", "r5n.large"); err == nil || !strings.Contains(err.Error(), "does not serve") {
+		t.Fatalf("unlisted model must be rejected before spawning: %v", err)
+	}
+	if err := f.Stop("127.0.0.1:1"); err == nil {
+		t.Fatal("stopping an unknown address must error")
+	}
+	if got := f.Addrs(); len(got) != 0 || f.Size() != 0 {
+		t.Fatalf("empty fleet reports %v", got)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("closing an empty fleet: %v", err)
+	}
+}
+
+// TestExecFleetBadBinary: a binary that exits without a ready line is a
+// clean Launch error carrying its stderr, not a hang.
+func TestExecFleetBadBinary(t *testing.T) {
+	t.Parallel()
+	f := NewExecFleet("/bin/false", 1)
+	f.LaunchTimeout = 5 * time.Second
+	if _, err := f.Launch("NCF", "r5n.large"); err == nil || !strings.Contains(err.Error(), "ready line") {
+		t.Fatalf("dead binary must fail the launch: %v", err)
+	}
+	if f.Size() != 0 {
+		t.Fatal("failed launch must not be tracked")
+	}
+}

@@ -1,32 +1,18 @@
-// Package autopilot closes the paper's Fig. 12 adaptation loop over the
-// real network serving path, for a set of models sharing one cost budget:
-// per-model rolling-window live monitors fed from controller completions,
-// per-model drift triggers (internal/adapt) plus SLO-violation triggers
-// and a fleet-wide scale-in trigger on sustained under-utilization, a
-// replan step invoking the shared-budget fleet planner with the live
-// windows as its samples, and an actuator that reconciles every model's
-// running fleet — launching and draining instance servers at runtime —
-// toward the fresh plan. A trigger fired by one model replans the whole
-// fleet, so budget freed by a cooling model flows to a heating one. It is
-// the control plane that turns the monitors, planner, and controller from
-// isolated components into a self-managing multi-model serving system
-// (INFaaS-style managed adaptivity, KubeAI-style reconciliation).
 package autopilot
 
 import (
 	"fmt"
 	"sync"
 
-	"kairos/internal/cloud"
-	"kairos/internal/core"
 	"kairos/internal/models"
 	"kairos/internal/server"
 )
 
-// Fleet launches and stops in-process instance servers on loopback TCP —
-// the actuator's "cloud provider". Every server emulates one instance type
-// hosting one of the fleet's registered models at the fleet's time scale
-// (see server.InstanceServer).
+// Fleet is the in-process actuation Provider: it launches and stops
+// instance servers on loopback TCP inside the controlling process. Every
+// server emulates one instance type hosting one of the fleet's
+// registered models at the fleet's time scale (see server.InstanceServer)
+// — the zero-setup provider tests, examples, and single-binary runs use.
 type Fleet struct {
 	timeScale float64
 	models    map[string]models.Model
@@ -35,14 +21,17 @@ type Fleet struct {
 	servers map[string]*fleetServer // keyed by listen address
 }
 
+var _ Provider = (*Fleet)(nil)
+
 type fleetServer struct {
 	model    string
 	typeName string
 	srv      *server.InstanceServer
 }
 
-// NewFleet prepares an empty fleet serving the given models at one time
-// scale. Like the server layer, a non-positive timeScale means real time.
+// NewFleet prepares an empty in-process fleet serving the given models at
+// one time scale. Like the server layer, a non-positive timeScale means
+// real time.
 func NewFleet(timeScale float64, ms ...models.Model) *Fleet {
 	if timeScale <= 0 {
 		timeScale = 1
@@ -85,35 +74,6 @@ func (f *Fleet) Launch(model, typeName string) (string, error) {
 	f.servers[addr] = &fleetServer{model: model, typeName: typeName, srv: srv}
 	f.mu.Unlock()
 	return addr, nil
-}
-
-// Deploy launches plan[model][i] servers of pool[i] for every model and
-// returns all started addresses. On any launch failure it stops what it
-// started.
-func (f *Fleet) Deploy(pool cloud.Pool, plan core.FleetPlan) ([]string, error) {
-	var addrs []string
-	fail := func(err error) ([]string, error) {
-		for _, a := range addrs {
-			f.Stop(a)
-		}
-		return nil, err
-	}
-	for _, model := range plan.Models() {
-		cfg := plan[model]
-		if len(cfg) != len(pool) {
-			return fail(fmt.Errorf("autopilot: config %v for %s does not match pool of %d types", cfg, model, len(pool)))
-		}
-		for i, n := range cfg {
-			for k := 0; k < n; k++ {
-				addr, err := f.Launch(model, pool[i].Name)
-				if err != nil {
-					return fail(err)
-				}
-				addrs = append(addrs, addr)
-			}
-		}
-	}
-	return addrs, nil
 }
 
 // Stop shuts down the server at addr and forgets it.
@@ -176,12 +136,16 @@ func (f *Fleet) Size() int {
 }
 
 // Close stops every running server.
-func (f *Fleet) Close() {
+func (f *Fleet) Close() error {
 	f.mu.Lock()
 	servers := f.servers
 	f.servers = map[string]*fleetServer{}
 	f.mu.Unlock()
+	var first error
 	for _, fs := range servers {
-		fs.srv.Close()
+		if err := fs.srv.Close(); err != nil && first == nil {
+			first = err
+		}
 	}
+	return first
 }

@@ -1,0 +1,62 @@
+package autopilot
+
+import (
+	"fmt"
+
+	"kairos/internal/cloud"
+	"kairos/internal/core"
+)
+
+// Provider is the actuation driver: how instance servers come to exist
+// and go away. The actuator (and the facade's initial deploy) work
+// exclusively against this interface, so the same control loop manages
+// in-process loopback servers (Fleet), exec'd kairosd processes
+// (ExecFleet), and eventually SSH- or cloud-provisioned hosts — the
+// pluggable "how instances are launched" edge of the system (INFaaS /
+// KubeAI style).
+//
+// The contract with the actuator: Launch returns only once the instance
+// is accepting controller connections and announcing the right model and
+// type in its Hello banner, and Stop is called only after the controller
+// has drained and disconnected the instance, so a provider never has to
+// worry about in-flight queries.
+type Provider interface {
+	// Launch starts one instance of typeName hosting model and returns
+	// its dialable address once it is ready.
+	Launch(model, typeName string) (string, error)
+	// Stop tears down the instance at addr.
+	Stop(addr string) error
+	// Addrs lists the running instances' addresses in unspecified order.
+	Addrs() []string
+	// Close stops every running instance.
+	Close() error
+}
+
+// Deploy launches plan[model][i] instances of pool[i] for every model on
+// the provider and returns all started addresses. On any launch failure
+// it stops what it started.
+func Deploy(p Provider, pool cloud.Pool, plan core.FleetPlan) ([]string, error) {
+	var addrs []string
+	fail := func(err error) ([]string, error) {
+		for _, a := range addrs {
+			p.Stop(a)
+		}
+		return nil, err
+	}
+	for _, model := range plan.Models() {
+		cfg := plan[model]
+		if len(cfg) != len(pool) {
+			return fail(fmt.Errorf("autopilot: config %v for %s does not match pool of %d types", cfg, model, len(pool)))
+		}
+		for i, n := range cfg {
+			for k := 0; k < n; k++ {
+				addr, err := p.Launch(model, pool[i].Name)
+				if err != nil {
+					return fail(err)
+				}
+				addrs = append(addrs, addr)
+			}
+		}
+	}
+	return addrs, nil
+}

@@ -9,6 +9,10 @@ import (
 	"kairos/internal/models"
 )
 
+// DefaultHeadroom is the fractional capacity margin a demand-capped
+// model keeps above its observed arrival rate (ModelDemand.ArrivalQPS).
+const DefaultHeadroom = 0.25
+
 // ModelDemand couples one served model with the batch-size sample
 // describing its recent traffic — the per-model input to the shared-budget
 // fleet allocator. The sample plays the same role as the query monitor's
@@ -16,6 +20,31 @@ import (
 type ModelDemand struct {
 	Model   models.Model
 	Samples []int
+
+	// ArrivalQPS is the model's observed arrival rate in model-time QPS.
+	// When positive, the allocator treats ArrivalQPS*(1+Headroom) as the
+	// model's useful throughput ceiling: capacity beyond observed demand
+	// serves nothing, so the budget it would cost is left unspent instead
+	// of buying throughput no query will ever use. Zero means the demand
+	// is unknown and the model's allocation is uncapped (the original
+	// maximize-throughput behavior).
+	ArrivalQPS float64
+	// Headroom is the fractional overprovision kept above ArrivalQPS so
+	// ordinary rate fluctuation does not immediately breach the SLO;
+	// non-positive uses DefaultHeadroom. Ignored while ArrivalQPS is zero.
+	Headroom float64
+}
+
+// cap returns the demand's useful-throughput ceiling, or 0 when uncapped.
+func (d ModelDemand) cap() float64 {
+	if d.ArrivalQPS <= 0 {
+		return 0
+	}
+	head := d.Headroom
+	if head <= 0 {
+		head = DefaultHeadroom
+	}
+	return d.ArrivalQPS * (1 + head)
 }
 
 // FleetPlan is a multi-model deployment: one heterogeneous configuration
@@ -155,6 +184,23 @@ func frontier(pool cloud.Pool, est *Estimator, budget float64) []frontierPoint {
 	return out
 }
 
+// capFrontier clamps a frontier's upper bounds at the demand ceiling and
+// truncates it there: everything past the first point reaching the cap
+// costs more without serving any additional demand, so the greedy
+// allocator must never be offered it.
+func capFrontier(pts []frontierPoint, cap float64) []frontierPoint {
+	if cap <= 0 {
+		return pts
+	}
+	for i := range pts {
+		if pts[i].ub >= cap {
+			pts[i].ub = cap
+			return pts[:i+1]
+		}
+	}
+	return pts
+}
+
 const costEps = 1e-9
 
 // bestJump finds the ladder's most efficient affordable upgrade: the
@@ -201,6 +247,13 @@ func (l *modelLadder) bestJump(remaining float64) (int, float64) {
 // the base GPU but the budget is spent) ends with an all-zero
 // configuration — the degenerate "starved" outcome callers must expect
 // under tight budgets.
+//
+// Demands with an observed ArrivalQPS are demand-capped: each such
+// model's frontier is clamped at ArrivalQPS*(1+Headroom), so once its
+// planned throughput covers the observed demand plus the margin, further
+// upgrades have zero marginal value and the budget they would cost stays
+// unspent. When demand exceeds everything the budget can buy, the cap
+// never binds and the plan is the uncapped maximize-throughput one.
 func PlanFleet(pool cloud.Pool, demands []ModelDemand, budget float64) (FleetPlan, error) {
 	if budget <= 0 {
 		return nil, fmt.Errorf("core: fleet planning needs a positive budget (got %v)", budget)
@@ -224,7 +277,7 @@ func PlanFleet(pool cloud.Pool, demands []ModelDemand, budget float64) (FleetPla
 		}
 		ladders = append(ladders, &modelLadder{
 			name:   d.Model.Name,
-			points: frontier(pool, est, budget),
+			points: capFrontier(frontier(pool, est, budget), d.cap()),
 			cur:    -1,
 		})
 	}

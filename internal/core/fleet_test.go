@@ -221,6 +221,121 @@ func TestPlanFleetEqualMarginalTie(t *testing.T) {
 	}
 }
 
+// TestPlanFleetDemandCapLeavesSurplusUnspent: a model whose observed
+// arrival rate is far below what the budget could buy must stop at
+// demand+headroom and leave the surplus unspent — not convert every free
+// dollar into capacity nothing will use.
+func TestPlanFleetDemandCapLeavesSurplusUnspent(t *testing.T) {
+	t.Parallel()
+	pool := cloud.DefaultPool()
+	m := models.MustByName("NCF")
+	const budget = 2.5
+	samples := fleetSamples(workload.Uniform{Min: 10, Max: 60}, 1000, 2)
+
+	uncapped, err := PlanFleet(pool, []ModelDemand{{Model: m, Samples: samples}}, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := NewEstimator(pool, m, samples, EstimatorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxQPS := est.UpperBound(uncapped[m.Name])
+	if maxQPS <= 0 {
+		t.Fatalf("uncapped plan %v serves nothing", uncapped)
+	}
+
+	// Demand a tenth of the achievable throughput.
+	capped, err := PlanFleet(pool, []ModelDemand{{Model: m, Samples: samples, ArrivalQPS: maxQPS / 10}}, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped[m.Name].Total() == 0 {
+		t.Fatalf("capped plan %v must still cover the demand", capped)
+	}
+	spent, uncappedCost := capped.Cost(pool), uncapped.Cost(pool)
+	if spent >= uncappedCost {
+		t.Fatalf("demand cap left nothing unspent: capped $%.3f vs uncapped $%.3f (%v vs %v)",
+			spent, uncappedCost, capped, uncapped)
+	}
+	// The capped fleet still covers demand + default headroom.
+	want := maxQPS / 10 * (1 + DefaultHeadroom)
+	if got := est.UpperBound(capped[m.Name]); got < want*(1-1e-9) && got < maxQPS*(1-1e-9) {
+		t.Fatalf("capped plan %v reaches %.1f QPS, demand ceiling is %.1f", capped, got, want)
+	}
+	// An explicit headroom widens the ceiling and may buy more.
+	wide, err := PlanFleet(pool, []ModelDemand{{Model: m, Samples: samples, ArrivalQPS: maxQPS / 10, Headroom: 5}}, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.Cost(pool) < spent-1e-9 {
+		t.Fatalf("wider headroom bought less: $%.3f vs $%.3f", wide.Cost(pool), spent)
+	}
+}
+
+// TestPlanFleetDemandCapSaturation: when observed demand exceeds
+// everything the budget can buy, the cap never binds and the plan is
+// exactly the uncapped maximize-throughput one.
+func TestPlanFleetDemandCapSaturation(t *testing.T) {
+	t.Parallel()
+	pool := cloud.DefaultPool()
+	m := models.MustByName("NCF")
+	const budget = 0.8
+	samples := fleetSamples(workload.Uniform{Min: 10, Max: 60}, 1000, 2)
+
+	uncapped, err := PlanFleet(pool, []ModelDemand{{Model: m, Samples: samples}}, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saturated, err := PlanFleet(pool, []ModelDemand{{Model: m, Samples: samples, ArrivalQPS: 1e9}}, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !saturated.Equal(uncapped) {
+		t.Fatalf("saturating demand must reproduce the uncapped plan: %v vs %v", saturated, uncapped)
+	}
+}
+
+// TestPlanFleetDemandCapFreesBudgetForOtherModels: one model's capped
+// demand releases upgrade dollars the other (uncapped) model can spend.
+func TestPlanFleetDemandCapFreesBudgetForOtherModels(t *testing.T) {
+	t.Parallel()
+	pool := cloud.DefaultPool()
+	m := models.MustByName("NCF")
+	samples := fleetSamples(workload.Uniform{Min: 10, Max: 60}, 800, 7)
+	const budget = 0.9
+
+	base, err := PlanFleet(pool, []ModelDemand{
+		{Model: twin(m, "alpha"), Samples: samples},
+		{Model: twin(m, "beta"), Samples: samples},
+	}, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := NewEstimator(pool, m, samples, EstimatorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cap alpha at roughly its coverage throughput; beta stays uncapped.
+	capQPS := est.Rank(budget)[len(est.Rank(budget))-1].UpperBound // cheapest config's bound
+	capped, err := PlanFleet(pool, []ModelDemand{
+		{Model: twin(m, "alpha"), Samples: samples, ArrivalQPS: capQPS / (1 + DefaultHeadroom)},
+		{Model: twin(m, "beta"), Samples: samples},
+	}, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.Cost(capped["alpha"]) > pool.Cost(base["alpha"])+1e-9 {
+		t.Fatalf("capped model grew: %v vs %v", capped, base)
+	}
+	if pool.Cost(capped["beta"]) < pool.Cost(base["beta"])-1e-9 {
+		t.Fatalf("freed budget must not shrink the uncapped model: %v vs %v", capped, base)
+	}
+	if capped["beta"].Total() <= capped["alpha"].Total() {
+		t.Fatalf("upgrade dollars must flow to the uncapped model: %v", capped)
+	}
+}
+
 // flatModel builds a model whose latency is constant per instance type —
 // a lever for shaping frontier economics precisely.
 func flatModel(name string, qos float64, lat map[string]float64) models.Model {

@@ -1,0 +1,37 @@
+package ingress
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// The ingress hot-path benchmarks measure the external Submit→complete
+// cost through each transport over the shared fixture (see benchutil.go);
+// cmd/kairos-microbench runs the same loops into BENCH_micro.json.
+
+func benchTransport(b *testing.B, tcp bool) {
+	fix, err := StartBenchIngress(1e-6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer fix.Close()
+	var worker int64
+	b.SetParallelism(16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		w := atomic.AddInt64(&worker, 1)
+		var err error
+		if tcp {
+			err = fix.TCPWorker(w, pb.Next)
+		} else {
+			err = fix.HTTPWorker(w, pb.Next)
+		}
+		if err != nil {
+			b.Error(err)
+		}
+	})
+}
+
+func BenchmarkIngressSubmitTCP(b *testing.B)  { benchTransport(b, true) }
+func BenchmarkIngressSubmitHTTP(b *testing.B) { benchTransport(b, false) }

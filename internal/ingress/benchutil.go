@@ -1,0 +1,117 @@
+package ingress
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"kairos/internal/server"
+)
+
+// This file is the shared support for the ingress hot-path benchmarks:
+// the in-package go-test benchmarks and cmd/kairos-microbench (which
+// writes the BENCH_micro.json trajectory CI tracks) must measure the same
+// workload, so the fixture and the per-transport worker loops live here
+// once.
+
+// BenchIngress is the canonical ingress benchmark fixture: the server
+// package's bench cluster (2 models x 2 loopback instances each,
+// LeastBacklog policy) behind a front-end serving both transports on
+// loopback.
+type BenchIngress struct {
+	Cluster *server.BenchCluster
+	Ing     *Server
+
+	httpClient *http.Client
+	httpURL    string
+
+	mu      sync.Mutex
+	clients []*Client
+}
+
+// StartBenchIngress boots the fixture. scale compresses emulated service
+// time (1e-6 makes the front-end + controller path the measured cost).
+func StartBenchIngress(scale float64) (*BenchIngress, error) {
+	cluster, err := server.StartBenchCluster(scale, nil)
+	if err != nil {
+		return nil, err
+	}
+	ing, err := New(cluster.Ctrl, Options{
+		HTTPAddr: "127.0.0.1:0",
+		TCPAddr:  "127.0.0.1:0",
+		MaxQueue: 4096,
+	})
+	if err != nil {
+		cluster.Close()
+		return nil, err
+	}
+	return &BenchIngress{
+		Cluster: cluster,
+		Ing:     ing,
+		httpClient: &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        512,
+			MaxIdleConnsPerHost: 512,
+		}},
+		httpURL: "http://" + ing.HTTPAddr() + "/submit",
+	}, nil
+}
+
+// Close tears the front-end, controller, and servers down.
+func (b *BenchIngress) Close() {
+	b.mu.Lock()
+	clients := b.clients
+	b.clients = nil
+	b.mu.Unlock()
+	for _, c := range clients {
+		c.Close()
+	}
+	b.Ing.Close()
+	b.Cluster.Close()
+}
+
+// TCPWorker is one closed-loop binary-TCP submitter on its own
+// connection, alternating models by worker index; next() keeps it running
+// (testing.PB's Next, typically).
+func (b *BenchIngress) TCPWorker(w int64, next func() bool) error {
+	cli, err := Dial(b.Ing.TCPAddr())
+	if err != nil {
+		return err
+	}
+	b.mu.Lock()
+	b.clients = append(b.clients, cli)
+	b.mu.Unlock()
+	model := b.Cluster.ModelNames[w%2]
+	batch := 1 + int(w%8)*20
+	for next() {
+		rep, err := cli.Submit(model, batch)
+		if err != nil {
+			return err
+		}
+		if rep.Err != "" {
+			return fmt.Errorf("ingress bench: %s", rep.Err)
+		}
+	}
+	return nil
+}
+
+// HTTPWorker is one closed-loop HTTP submitter over the fixture's shared
+// keep-alive transport.
+func (b *BenchIngress) HTTPWorker(w int64, next func() bool) error {
+	model := b.Cluster.ModelNames[w%2]
+	batch := 1 + int(w%8)*20
+	body := []byte(fmt.Sprintf(`{"model":%q,"batch":%d}`, model, batch))
+	for next() {
+		resp, err := b.httpClient.Post(b.httpURL, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("ingress bench: HTTP %d", resp.StatusCode)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,142 @@
+package ingress
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"kairos/internal/server"
+)
+
+// Client speaks the front-end's TCP protocol: one connection, concurrent
+// Submit callers, O(1) reply correlation. Dial negotiates the binary
+// codec from the Hello banner exactly like the controller does against an
+// instance server; a legacy (JSON-only) front-end degrades transparently.
+type Client struct {
+	conn   net.Conn
+	binary bool
+	nextID atomic.Int64
+
+	wmu  sync.Mutex
+	wbuf []byte
+
+	mu      sync.Mutex
+	pending map[int64]chan server.Reply
+	err     error // terminal read-loop error; set before pending close
+}
+
+// Dial connects to a front-end's TCP endpoint.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	br := bufio.NewReaderSize(conn, 16<<10)
+	var hello server.Hello
+	if err := server.ReadFrame(br, &hello); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c := &Client{conn: conn, pending: make(map[int64]chan server.Reply)}
+	if hello.Proto >= server.ProtoBinary {
+		if err := server.WriteFrame(conn, server.HelloAck{Proto: server.ProtoBinary}); err != nil {
+			conn.Close()
+			return nil, err
+		}
+		c.binary = true
+	}
+	go c.readLoop(br)
+	return c, nil
+}
+
+// Submit sends one query for the named model and blocks for its reply.
+// The returned error is a transport failure; a serving failure or
+// backpressure NACK arrives in Reply.Err (compare against QueueFullMsg).
+// On success Reply.ServiceMS carries the end-to-end serving latency in
+// model milliseconds.
+func (c *Client) Submit(model string, batch int) (server.Reply, error) {
+	id := c.nextID.Add(1)
+	ch := make(chan server.Reply, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return server.Reply{}, err
+	}
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	var werr error
+	if c.binary {
+		frame, err := server.AppendRequestFrame(c.wbuf[:0], server.Request{ID: id, Model: model, Batch: batch})
+		if err == nil {
+			c.wbuf = frame
+			_, werr = c.conn.Write(frame)
+		} else {
+			werr = err
+		}
+	} else {
+		werr = server.WriteFrame(c.conn, server.Request{ID: id, Model: model, Batch: batch})
+	}
+	c.wmu.Unlock()
+	if werr != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return server.Reply{}, werr
+	}
+
+	rep, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = errors.New("ingress: connection closed")
+		}
+		return server.Reply{}, err
+	}
+	return rep, nil
+}
+
+// readLoop correlates replies to waiting Submit callers. On a terminal
+// error every pending channel is closed, failing its caller.
+func (c *Client) readLoop(br *bufio.Reader) {
+	var rbuf []byte
+	for {
+		var rep server.Reply
+		var err error
+		if c.binary {
+			var p []byte
+			if p, err = server.ReadRawFrame(br, rbuf); err == nil {
+				rbuf = p[:0]
+				rep, err = server.DecodeReplyFrame(p)
+			}
+		} else {
+			err = server.ReadFrame(br, &rep)
+		}
+		if err != nil {
+			c.mu.Lock()
+			c.err = err
+			for id, ch := range c.pending {
+				close(ch)
+				delete(c.pending, id)
+			}
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[rep.ID]
+		delete(c.pending, rep.ID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- rep
+		}
+	}
+}
+
+// Close tears the connection down; pending Submits fail.
+func (c *Client) Close() error { return c.conn.Close() }

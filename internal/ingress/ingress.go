@@ -1,0 +1,489 @@
+// Package ingress is the external query front-end of the serving path:
+// it accepts traffic the system did not generate itself and feeds it into
+// the central controller with per-model routing. Two transports share one
+// admission path: an HTTP endpoint speaking JSON (POST /submit) and a raw
+// TCP endpoint speaking the controller's negotiated binary wire codec
+// (the same Hello/HelloAck handshake an instance server performs, so one
+// codec serves the whole system). Overload pushes back instead of piling
+// up: each model has a bounded admission queue, and a submission beyond
+// the bound is answered immediately with HTTP 429 or a binary NACK reply
+// — never silently dropped. Per-model ingress accounting is merged into
+// the controller's Stats snapshot (server.SetStatsAugmenter), so
+// kairosctl and the autopilot admin /metrics see front-end and serving
+// counters on one surface.
+package ingress
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kairos/internal/server"
+)
+
+// DefaultMaxQueue bounds each model's admitted-but-unfinished queries
+// when Options.MaxQueue is zero.
+const DefaultMaxQueue = 1024
+
+// QueueFullMsg is the exact error string a backpressure rejection
+// carries, on both transports (the HTTP 429 body's "error" field and the
+// binary NACK reply's Err). Clients match it to distinguish overload from
+// serving failures.
+const QueueFullMsg = "ingress: queue full"
+
+// Options configure a front-end. At least one of HTTPAddr and TCPAddr
+// must be set.
+type Options struct {
+	// HTTPAddr binds the JSON endpoint ("" disables; "127.0.0.1:0" for an
+	// ephemeral port). Routes: POST /submit, GET /stats, GET /healthz.
+	HTTPAddr string
+	// TCPAddr binds the binary endpoint ("" disables).
+	TCPAddr string
+	// MaxQueue bounds each model's admitted-but-unfinished queries;
+	// submissions beyond it are rejected with 429/NACK. 0 uses
+	// DefaultMaxQueue.
+	MaxQueue int
+	// Logf, when set, receives one line per lifecycle event.
+	Logf func(format string, args ...any)
+}
+
+// modelFront is one served model's admission state and accounting. All
+// fields are atomic: the hot path never takes a lock.
+type modelFront struct {
+	queue     atomic.Int64 // admitted-but-unfinished
+	submitted atomic.Int64
+	http      atomic.Int64
+	tcp       atomic.Int64
+	rejected  atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+}
+
+// admit reserves one slot in the model's bounded queue; false rejects.
+func (m *modelFront) admit(max int64) bool {
+	for {
+		cur := m.queue.Load()
+		if cur >= max {
+			return false
+		}
+		if m.queue.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
+}
+
+// snapshot renders the model's counters. Submitted is read first and
+// queue before the outcome counters: combined with the writers' ordering
+// (admit raises queue before submitted; serveOne records the outcome
+// before releasing the slot), completed+failed+queue never falls short
+// of submitted in any snapshot — a concurrent query may transiently
+// count twice, never zero times.
+func (m *modelFront) snapshot() server.IngressStats {
+	st := server.IngressStats{Submitted: m.submitted.Load()}
+	st.Queue = m.queue.Load()
+	st.Completed = m.completed.Load()
+	st.Failed = m.failed.Load()
+	st.Rejected = m.rejected.Load()
+	st.HTTP = m.http.Load()
+	st.TCP = m.tcp.Load()
+	return st
+}
+
+// Server is one running front-end over a controller. Build it with New
+// (it starts serving immediately) and stop it with Close: the listeners
+// go away first, then every admitted query finishes and its reply is
+// delivered — an orderly Close drops nothing.
+type Server struct {
+	ctrl     *server.Controller
+	maxQueue int64
+	logf     func(format string, args ...any)
+
+	models map[string]*modelFront
+	order  []string
+
+	httpLn  net.Listener
+	httpSrv *http.Server
+	tcpLn   net.Listener
+
+	wg        sync.WaitGroup // accept loop + per-connection loops + query waiters
+	closed    chan struct{}
+	closeOnce sync.Once
+
+	tracker server.ConnTracker
+}
+
+// New binds the configured endpoints over a running controller, registers
+// the stats augmenter, and starts serving.
+func New(ctrl *server.Controller, opts Options) (*Server, error) {
+	if ctrl == nil {
+		return nil, errors.New("ingress: needs a controller")
+	}
+	if opts.HTTPAddr == "" && opts.TCPAddr == "" {
+		return nil, errors.New("ingress: needs at least one of an HTTP and a TCP address")
+	}
+	if opts.MaxQueue < 0 {
+		return nil, fmt.Errorf("ingress: negative queue bound %d", opts.MaxQueue)
+	}
+	maxQueue := int64(opts.MaxQueue)
+	if maxQueue == 0 {
+		maxQueue = DefaultMaxQueue
+	}
+	s := &Server{
+		ctrl:     ctrl,
+		maxQueue: maxQueue,
+		logf:     opts.Logf,
+		models:   make(map[string]*modelFront),
+		closed:   make(chan struct{}),
+	}
+	if s.logf == nil {
+		s.logf = func(string, ...any) {}
+	}
+	for _, name := range ctrl.Models() {
+		s.models[name] = &modelFront{}
+		s.order = append(s.order, name)
+	}
+	if opts.HTTPAddr != "" {
+		ln, err := net.Listen("tcp", opts.HTTPAddr)
+		if err != nil {
+			return nil, fmt.Errorf("ingress: binding HTTP %s: %w", opts.HTTPAddr, err)
+		}
+		s.httpLn = ln
+		s.httpSrv = &http.Server{Handler: s.HTTPHandler()}
+		go s.httpSrv.Serve(ln)
+	}
+	if opts.TCPAddr != "" {
+		ln, err := net.Listen("tcp", opts.TCPAddr)
+		if err != nil {
+			if s.httpLn != nil {
+				// Close the listener directly: httpSrv.Close alone races
+				// the Serve goroutine's listener registration and could
+				// leave the port bound.
+				s.httpLn.Close()
+				s.httpSrv.Close()
+			}
+			return nil, fmt.Errorf("ingress: binding TCP %s: %w", opts.TCPAddr, err)
+		}
+		s.tcpLn = ln
+		s.wg.Add(1)
+		go s.acceptLoop()
+	}
+	ctrl.SetStatsAugmenter(s.augment)
+	s.logf("ingress: serving (http %s, tcp %s, queue %d per model)", s.HTTPAddr(), s.TCPAddr(), maxQueue)
+	return s, nil
+}
+
+// HTTPAddr returns the bound HTTP address, "" when disabled.
+func (s *Server) HTTPAddr() string {
+	if s.httpLn == nil {
+		return ""
+	}
+	return s.httpLn.Addr().String()
+}
+
+// TCPAddr returns the bound binary-TCP address, "" when disabled.
+func (s *Server) TCPAddr() string {
+	if s.tcpLn == nil {
+		return ""
+	}
+	return s.tcpLn.Addr().String()
+}
+
+// Stats snapshots the per-model front-end counters.
+func (s *Server) Stats() map[string]server.IngressStats {
+	out := make(map[string]server.IngressStats, len(s.order))
+	for _, name := range s.order {
+		out[name] = s.models[name].snapshot()
+	}
+	return out
+}
+
+// augment merges the front-end counters into a controller Stats snapshot.
+func (s *Server) augment(st *server.Stats) {
+	if st.Ingress == nil {
+		st.Ingress = make(map[string]server.IngressStats, len(s.order))
+	}
+	for _, name := range s.order {
+		st.Ingress[name] = s.models[name].snapshot()
+	}
+}
+
+// serveOne runs one admitted query to completion, accounting the outcome
+// and releasing its queue slot. The outcome counter moves before the
+// slot releases (and admit raises queue before submitted), so a
+// concurrent stats snapshot may transiently overcount the in-progress
+// query but never sees completed+failed+queue fall short of submitted;
+// the counters are exactly equal at quiescence.
+func (s *Server) serveOne(mf *modelFront, model string, batch int) server.QueryResult {
+	res := s.ctrl.SubmitWait(model, batch)
+	if res.Err != nil {
+		mf.failed.Add(1)
+	} else {
+		mf.completed.Add(1)
+	}
+	mf.queue.Add(-1)
+	return res
+}
+
+// --- HTTP transport ---
+
+// submitRequest is the POST /submit body.
+type submitRequest struct {
+	Model string `json:"model"`
+	Batch int    `json:"batch"`
+}
+
+// submitReply is the POST /submit response body.
+type submitReply struct {
+	Model string `json:"model"`
+	Batch int    `json:"batch"`
+	// LatencyMS is the end-to-end serving latency in model milliseconds.
+	LatencyMS float64 `json:"latency_ms"`
+	// Instance is the serving instance type.
+	Instance string `json:"instance,omitempty"`
+	// Error carries a rejection or serving failure; empty on success.
+	Error string `json:"error,omitempty"`
+}
+
+// HTTPHandler returns the JSON endpoint's routes: POST /submit (one
+// query, synchronous), GET /stats (per-model front-end counters), and
+// GET /healthz. Exposed so callers can mount the front-end under their
+// own mux; New's HTTPAddr serves exactly this handler.
+func (s *Server) HTTPHandler() http.Handler {
+	mux := http.NewServeMux()
+	writeJSON := func(w http.ResponseWriter, code int, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		json.NewEncoder(w).Encode(v)
+	}
+	mux.HandleFunc("/submit", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeJSON(w, http.StatusMethodNotAllowed, submitReply{Error: "ingress: POST only"})
+			return
+		}
+		var req submitRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, submitReply{Error: "ingress: bad request: " + err.Error()})
+			return
+		}
+		mf := s.models[req.Model]
+		if mf == nil {
+			writeJSON(w, http.StatusBadRequest, submitReply{
+				Model: req.Model, Batch: req.Batch,
+				Error: fmt.Sprintf("ingress: unknown model %q (serving %v)", req.Model, s.order),
+			})
+			return
+		}
+		if !mf.admit(s.maxQueue) {
+			mf.rejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, submitReply{Model: req.Model, Batch: req.Batch, Error: QueueFullMsg})
+			return
+		}
+		mf.submitted.Add(1)
+		mf.http.Add(1)
+		res := s.serveOne(mf, req.Model, req.Batch)
+		if res.Err != nil {
+			writeJSON(w, http.StatusBadGateway, submitReply{Model: req.Model, Batch: req.Batch, Error: res.Err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, submitReply{
+			Model: req.Model, Batch: req.Batch,
+			LatencyMS: res.LatencyMS, Instance: res.Instance,
+		})
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "models": s.order})
+	})
+	return mux
+}
+
+// --- binary TCP transport ---
+
+// writeTimeout bounds every reply write: a client that stops reading
+// (full kernel send buffer) stalls only its own connection, and only for
+// this long — waiter goroutines must never be parked on a dead peer
+// forever or Close could not drain them.
+const writeTimeout = 30 * time.Second
+
+// replyWriter serializes whole-frame reply writes from concurrent query
+// waiters onto one connection.
+type replyWriter struct {
+	mu   sync.Mutex
+	conn net.Conn
+	buf  []byte
+}
+
+func (w *replyWriter) writeJSON(v any) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+	return server.WriteFrame(w.conn, v)
+}
+
+func (w *replyWriter) send(rep server.Reply, binary bool) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+	if !binary {
+		return server.WriteFrame(w.conn, rep)
+	}
+	frame, err := server.AppendReplyFrame(w.buf[:0], rep)
+	if err != nil {
+		return err
+	}
+	w.buf = frame
+	_, err = w.conn.Write(frame)
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.tcpLn.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// serveConn handles one external TCP client: banner, version negotiation,
+// then a request loop. Requests are admitted synchronously (a NACK is
+// written in request order) and served concurrently, each waiter writing
+// its reply when the controller delivers — so one slow query never blocks
+// the client's other in-flight queries.
+func (s *Server) serveConn(conn net.Conn) {
+	w := &replyWriter{conn: conn}
+	var inflight sync.WaitGroup
+	defer func() {
+		// Admitted queries still complete and reply after a read error or
+		// a drain; the connection closes only when the last reply is out.
+		inflight.Wait()
+		conn.Close()
+	}()
+	defer s.tracker.Track(conn)()
+	if err := w.writeJSON(server.Hello{TypeName: "ingress", Proto: server.ProtoBinary}); err != nil {
+		return
+	}
+	br := bufio.NewReaderSize(conn, 16<<10)
+	payload, err := server.ReadRawFrame(br, nil)
+	if err != nil {
+		return
+	}
+	var probe server.HandshakeProbe
+	if err := json.Unmarshal(payload, &probe); err != nil {
+		return
+	}
+	binary := false
+	if probe.Proto != nil {
+		binary = *probe.Proto >= server.ProtoBinary
+	} else {
+		// Legacy JSON client: the probe frame was its first query.
+		s.handle(probe.ID, probe.Model, probe.Batch, w, false, &inflight)
+	}
+	var rbuf []byte
+	for {
+		if binary {
+			p, err := server.ReadRawFrame(br, rbuf)
+			if err != nil {
+				return
+			}
+			rbuf = p[:0]
+			id, batch, model, err := server.DecodeRequestFrame(p)
+			if err != nil {
+				return
+			}
+			s.handle(id, string(model), batch, w, true, &inflight)
+		} else {
+			var req server.Request
+			if err := server.ReadFrame(br, &req); err != nil {
+				return
+			}
+			s.handle(req.ID, req.Model, req.Batch, w, false, &inflight)
+		}
+	}
+}
+
+// handle admits one TCP query and spawns its waiter; rejections are
+// answered inline.
+func (s *Server) handle(id int64, model string, batch int, w *replyWriter, binary bool, inflight *sync.WaitGroup) {
+	mf := s.models[model]
+	if mf == nil {
+		w.send(server.Reply{ID: id, Err: fmt.Sprintf("ingress: unknown model %q (serving %v)", model, s.order)}, binary)
+		return
+	}
+	if !mf.admit(s.maxQueue) {
+		mf.rejected.Add(1)
+		w.send(server.Reply{ID: id, Err: QueueFullMsg}, binary)
+		return
+	}
+	mf.submitted.Add(1)
+	mf.tcp.Add(1)
+	inflight.Add(1)
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer inflight.Done()
+		res := s.serveOne(mf, model, batch)
+		rep := server.Reply{ID: id, ServiceMS: res.LatencyMS}
+		if res.Err != nil {
+			rep.Err = res.Err.Error()
+		}
+		w.send(rep, binary)
+	}()
+}
+
+// Close stops the front-end in order: listeners go away (nothing new is
+// admitted), in-flight HTTP requests and admitted TCP queries finish and
+// reply, then the connections close. It must run before the controller's
+// Close so those in-flight queries can still complete.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		if s.tcpLn != nil {
+			s.tcpLn.Close()
+		}
+		// Pop the per-connection read loops out of their blocked reads;
+		// their waiters finish and reply before the conns close.
+		s.tracker.SweepReadDeadlines()
+		if s.httpSrv != nil {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			s.httpSrv.Shutdown(ctx)
+			cancel()
+			s.httpSrv.Close()
+		}
+		// Bounded drain: reply writes carry writeTimeout deadlines, so
+		// waiters on a stalled client unblock on their own; the
+		// force-close below is the backstop that guarantees Close always
+		// returns (an unkillable Close would wedge Autopilot.Close).
+		done := make(chan struct{})
+		go func() {
+			s.wg.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(writeTimeout + 5*time.Second):
+			s.tracker.CloseAll()
+			<-done
+		}
+		// The controller may outlive this front-end; stop reporting a
+		// section for an ingress that no longer exists.
+		s.ctrl.SetStatsAugmenter(nil)
+		s.logf("ingress: closed")
+	})
+}

@@ -1,0 +1,73 @@
+package server
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// ConnTracker is the shared drain machinery for serving-side listeners
+// (the instance server and the ingress front-end): it tracks live
+// connections so a graceful shutdown can pop their blocked readers with
+// expired read deadlines — fully-received buffered frames keep being
+// served because bufio satisfies those reads without touching the socket
+// — and force-close whatever remains once a drain deadline passes. The
+// subtle ordering (a connection registered after the sweep must start
+// with an expired deadline, or it would sleep through the drain) lives
+// here once.
+type ConnTracker struct {
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	draining bool
+}
+
+// Track registers a live connection and returns its untrack func. If the
+// drain sweep already ran, the connection starts with an expired read
+// deadline so it serves only what is already buffered.
+func (t *ConnTracker) Track(conn net.Conn) (untrack func()) {
+	t.mu.Lock()
+	if t.conns == nil {
+		t.conns = make(map[net.Conn]struct{})
+	}
+	t.conns[conn] = struct{}{}
+	draining := t.draining
+	t.mu.Unlock()
+	if draining {
+		conn.SetReadDeadline(time.Now())
+	}
+	return func() {
+		t.mu.Lock()
+		delete(t.conns, conn)
+		t.mu.Unlock()
+	}
+}
+
+// SweepReadDeadlines marks the tracker draining and expires every live
+// connection's read deadline.
+func (t *ConnTracker) SweepReadDeadlines() {
+	t.mu.Lock()
+	t.draining = true
+	conns := make([]net.Conn, 0, len(t.conns))
+	for conn := range t.conns {
+		conns = append(conns, conn)
+	}
+	t.mu.Unlock()
+	now := time.Now()
+	for _, conn := range conns {
+		conn.SetReadDeadline(now)
+	}
+}
+
+// CloseAll force-closes every still-tracked connection — the drain
+// backstop.
+func (t *ConnTracker) CloseAll() {
+	t.mu.Lock()
+	conns := make([]net.Conn, 0, len(t.conns))
+	for conn := range t.conns {
+		conns = append(conns, conn)
+	}
+	t.mu.Unlock()
+	for _, conn := range conns {
+		conn.Close()
+	}
+}

@@ -48,6 +48,8 @@ type Controller struct {
 
 	// onComplete, when set, observes every delivered QueryResult.
 	onComplete atomic.Pointer[completionFunc]
+	// augment, when set, merges front-end accounting into Stats snapshots.
+	augment atomic.Pointer[func(*Stats)]
 }
 
 type completionFunc = func(model string, batch int, res QueryResult)
@@ -185,6 +187,28 @@ type ModelStats struct {
 	Instances []InstanceStats `json:"instances"`
 }
 
+// IngressStats is one model's external front-end accounting — queries
+// that arrived over an ingress endpoint rather than from an in-process
+// submitter. An ingress front-end (internal/ingress) merges its counters
+// into every Stats snapshot through SetStatsAugmenter, so kairosctl and
+// the autopilot admin endpoint see one observability surface for the
+// whole serving path.
+type IngressStats struct {
+	// Submitted counts queries the front-end admitted into the
+	// controller; HTTP and TCP split it by transport.
+	Submitted int64 `json:"submitted"`
+	HTTP      int64 `json:"http"`
+	TCP       int64 `json:"tcp"`
+	// Rejected counts queries pushed back by the bounded admission queue
+	// (HTTP 429 / binary NACK). They never reached the controller.
+	Rejected int64 `json:"rejected"`
+	// Completed and Failed count delivered outcomes of admitted queries.
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	// Queue is the current admitted-but-unfinished depth.
+	Queue int64 `json:"queue"`
+}
+
 // Stats is a point-in-time snapshot of the controller's accounting — the
 // shared observability surface read by kairosctl and the autopilot. The
 // top-level counters aggregate every model; Models carries the per-model
@@ -202,6 +226,9 @@ type Stats struct {
 	Models map[string]ModelStats `json:"models"`
 	// Instances snapshots every instance in model-then-fleet order.
 	Instances []InstanceStats `json:"instances"`
+	// Ingress carries per-model front-end accounting when an ingress is
+	// attached (see SetStatsAugmenter); nil otherwise.
+	Ingress map[string]IngressStats `json:"ingress,omitempty"`
 }
 
 // NewController dials the instance servers and starts the scheduling loop
@@ -496,7 +523,22 @@ func (c *Controller) Stats() Stats {
 		s.Failed += ms.Failed
 		s.Instances = append(s.Instances, ms.Instances...)
 	}
+	if fn := c.augment.Load(); fn != nil {
+		(*fn)(&s)
+	}
 	return s
+}
+
+// SetStatsAugmenter registers fn, invoked on every Stats snapshot to
+// merge front-end accounting (e.g. per-model ingress counters) into the
+// controller's view. It must be fast and must not call back into the
+// controller. nil unregisters.
+func (c *Controller) SetStatsAugmenter(fn func(*Stats)) {
+	if fn == nil {
+		c.augment.Store(nil)
+		return
+	}
+	c.augment.Store(&fn)
 }
 
 // SetOnComplete installs a callback observing every delivered QueryResult

@@ -1,0 +1,168 @@
+package server
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"kairos/internal/cloud"
+	"kairos/internal/models"
+)
+
+// TestInstanceServerShutdownDrains: Shutdown must stop accepting new
+// connections but serve every fully-received request — including ones
+// queued behind a request that is mid-service when the drain starts —
+// before the connection goes away. This is what lets kairosd honor
+// SIGTERM without dropping queries (exec actuation provider).
+func TestInstanceServerShutdownDrains(t *testing.T) {
+	t.Parallel()
+	m := models.MustByName("NCF")
+	typeName := cloud.R5nLarge.Name
+	const batch = 200
+	// Scale so one query takes ~80ms of real time: long enough that the
+	// drain provably overlaps an executing query.
+	scale := 80 / m.Latency(typeName, batch)
+	s, err := NewInstanceServer(typeName, m, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	addr := s.Addr()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var hello Hello
+	if err := ReadFrame(conn, &hello); err != nil {
+		t.Fatal(err)
+	}
+	// Legacy JSON controller: two requests back-to-back, so the second is
+	// sitting fully received in the server's read buffer while the first
+	// executes.
+	if err := WriteFrame(conn, Request{ID: 1, Batch: batch}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(conn, Request{ID: 2, Batch: batch}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // let request 1 start executing
+
+	done := make(chan error, 1)
+	go func() { done <- s.Shutdown(5 * time.Second) }()
+
+	for want := int64(1); want <= 2; want++ {
+		var rep Reply
+		conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		if err := ReadFrame(conn, &rep); err != nil {
+			t.Fatalf("reply %d lost across the drain: %v", want, err)
+		}
+		if rep.ID != want || rep.Err != "" {
+			t.Fatalf("reply %d = %+v", want, rep)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// The drained connection is closed by the server.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	var rep Reply
+	if err := ReadFrame(conn, &rep); err == nil {
+		t.Fatal("connection must close after the drain")
+	}
+	// Nothing new can connect.
+	if c, err := net.DialTimeout("tcp", addr, 250*time.Millisecond); err == nil {
+		c.Close()
+		t.Fatal("listener must refuse connections after Shutdown")
+	}
+	// Close after Shutdown is a clean no-op.
+	if err := s.Close(); err != nil {
+		t.Fatalf("close after shutdown: %v", err)
+	}
+}
+
+// TestInstanceServerShutdownIdleConn: an idle connection (no pending
+// request) drains immediately — the deadline sweep pops its blocked read
+// and the server exits cleanly within the timeout.
+func TestInstanceServerShutdownIdleConn(t *testing.T) {
+	t.Parallel()
+	m := models.MustByName("NCF")
+	s, err := NewInstanceServer(cloud.R5nLarge.Name, m, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var hello Hello
+	if err := ReadFrame(conn, &hello); err != nil {
+		t.Fatal(err)
+	}
+	// An idle connection (no pending request) drains immediately: the
+	// deadline sweep pops its blocked read and the server exits cleanly.
+	if err := s.Shutdown(5 * time.Second); err != nil {
+		t.Fatalf("idle-conn drain: %v", err)
+	}
+}
+
+// TestInstanceServerShutdownTimeoutForceCloses: a drain that cannot
+// finish within the timeout (a query still executing) is cut short — the
+// lingering connection is force-closed, Shutdown still returns (never
+// hangs), and it reports the exceeded drain.
+func TestInstanceServerShutdownTimeoutForceCloses(t *testing.T) {
+	t.Parallel()
+	m := models.MustByName("NCF")
+	typeName := cloud.R5nLarge.Name
+	const batch = 200
+	// One query takes ~500ms; the drain timeout below is far shorter.
+	scale := 500 / m.Latency(typeName, batch)
+	s, err := NewInstanceServer(typeName, m, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var hello Hello
+	if err := ReadFrame(conn, &hello); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(conn, Request{ID: 1, Batch: batch}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // the query is now executing
+
+	start := time.Now()
+	err = s.Shutdown(50 * time.Millisecond)
+	if err == nil || !strings.Contains(err.Error(), "drain exceeded") {
+		t.Fatalf("timed-out drain must be reported: %v", err)
+	}
+	// The executing query still finishes internally (service is not
+	// interruptible), but its connection was force-closed at the timeout
+	// so the drain is cut to roughly the one in-flight service — Shutdown
+	// reports the exceeded drain and returns instead of hanging on a
+	// connection that would otherwise keep reading.
+	if elapsed := time.Since(start); elapsed >= 5*time.Second {
+		t.Fatalf("shutdown took %v; the force-close backstop did not bound the drain", elapsed)
+	}
+	// The client sees the cut connection, not a reply.
+	conn.SetReadDeadline(time.Now().Add(time.Second))
+	var rep Reply
+	if err := ReadFrame(conn, &rep); err == nil {
+		t.Fatalf("force-closed connection still delivered %+v", rep)
+	}
+}

@@ -29,6 +29,15 @@ type InstanceServer struct {
 	listener net.Listener
 	wg       sync.WaitGroup
 	closed   chan struct{}
+
+	// draining is closed by Shutdown; active connections finish serving
+	// their fully-received requests and then go away.
+	draining  chan struct{}
+	drainOnce sync.Once
+	closeOnce sync.Once
+	closeErr  error
+
+	tracker ConnTracker
 }
 
 // NewInstanceServer validates the fields and prepares a server.
@@ -45,7 +54,13 @@ func NewInstanceServer(typeName string, model models.Model, timeScale float64) (
 	if timeScale == 0 {
 		timeScale = 1
 	}
-	return &InstanceServer{TypeName: typeName, Model: model, TimeScale: timeScale, closed: make(chan struct{})}, nil
+	return &InstanceServer{
+		TypeName:  typeName,
+		Model:     model,
+		TimeScale: timeScale,
+		closed:    make(chan struct{}),
+		draining:  make(chan struct{}),
+	}, nil
 }
 
 // Start listens on addr ("127.0.0.1:0" for an ephemeral test port) and
@@ -64,12 +79,68 @@ func (s *InstanceServer) Start(addr string) error {
 // Addr returns the bound address; only valid after Start.
 func (s *InstanceServer) Addr() string { return s.listener.Addr().String() }
 
-// Close stops the listener and waits for in-flight connections.
+// Close stops the listener and waits for in-flight connections. It does
+// not force active connections shut; peers (the controller) close them.
+// Idempotent, and safe after Shutdown.
 func (s *InstanceServer) Close() error {
-	close(s.closed)
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		err := s.listener.Close()
+		if err != nil && errors.Is(err, net.ErrClosed) {
+			err = nil // Shutdown already closed it
+		}
+		s.closeErr = err
+		s.wg.Wait()
+	})
+	return s.closeErr
+}
+
+// Shutdown gracefully drains the server: the listener closes so nothing
+// new connects, every fully-received request is served and its reply
+// flushed, and only then do the connections go away — so a SIGTERM'd
+// kairosd (see the exec actuation provider) never drops a query it has
+// accepted. Requests still in flight on the network when the drain
+// starts are not waited for; the controller sees the close and fails
+// them like any lost instance. Shutdown waits up to timeout for the
+// drain before force-closing lingering connections.
+func (s *InstanceServer) Shutdown(timeout time.Duration) error {
+	s.drainOnce.Do(func() { close(s.draining) })
 	err := s.listener.Close()
-	s.wg.Wait()
+	if err != nil && errors.Is(err, net.ErrClosed) {
+		err = nil
+	}
+	// Expired read deadlines pop blocked readers out of their syscalls;
+	// buffered (fully-received) requests keep being served because the
+	// bufio window satisfies those reads without touching the socket.
+	s.tracker.SweepReadDeadlines()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		s.tracker.CloseAll()
+		<-done
+		if err == nil {
+			err = fmt.Errorf("server: drain exceeded %v; connections force-closed", timeout)
+		}
+	}
 	return err
+}
+
+// drainExit reports whether a read error is the drain deadline firing
+// (an orderly exit with everything buffered already served) rather than
+// a real connection failure.
+func (s *InstanceServer) drainExit(err error) bool {
+	select {
+	case <-s.draining:
+	default:
+		return false
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 func (s *InstanceServer) acceptLoop() {
@@ -92,21 +163,12 @@ func (s *InstanceServer) acceptLoop() {
 	}
 }
 
-// helloProbe decodes the first post-banner frame: a HelloAck from a
-// version-aware controller carries "proto"; a legacy JSON controller sends
-// a Request straight away.
-type helloProbe struct {
-	Proto *int   `json:"proto"`
-	ID    int64  `json:"id"`
-	Model string `json:"model"`
-	Batch int    `json:"batch"`
-}
-
 // serveConn handles one controller connection: banner, version
 // negotiation, then a request loop. Service is serialized across every
 // connection so the instance truly serves one query at a time.
 func (s *InstanceServer) serveConn(conn net.Conn) {
 	defer conn.Close()
+	defer s.tracker.Track(conn)()
 	wc := newWireConn(conn)
 	if err := wc.writeJSON(Hello{TypeName: s.TypeName, Model: s.Model.Name, Proto: ProtoBinary}); err != nil {
 		return
@@ -118,7 +180,7 @@ func (s *InstanceServer) serveConn(conn net.Conn) {
 		return
 	}
 	wc.rbuf = payload
-	var probe helloProbe
+	var probe HandshakeProbe
 	if err := json.Unmarshal(payload, &probe); err != nil {
 		return
 	}
@@ -139,6 +201,9 @@ func (s *InstanceServer) serveConn(conn net.Conn) {
 		if wc.binary {
 			bid, bbatch, bmodel, err := wc.readBinaryRequest()
 			if err != nil {
+				if s.drainExit(err) {
+					wc.flush()
+				}
 				return
 			}
 			id, batch = bid, bbatch
@@ -152,6 +217,9 @@ func (s *InstanceServer) serveConn(conn net.Conn) {
 		} else {
 			var req Request
 			if err := ReadFrame(wc.br, &req); err != nil {
+				if s.drainExit(err) {
+					wc.flush()
+				}
 				return
 			}
 			id, batch, model = req.ID, req.Batch, req.Model

@@ -74,6 +74,18 @@ type HelloAck struct {
 	Proto int `json:"proto"`
 }
 
+// HandshakeProbe decodes the first post-banner frame of a serving-side
+// connection: a HelloAck from a version-aware peer carries "proto"; a
+// legacy JSON peer sends a Request straight away. Both the instance
+// server and the ingress front-end perform this negotiation, so the
+// probe shape lives here once.
+type HandshakeProbe struct {
+	Proto *int   `json:"proto"`
+	ID    int64  `json:"id"`
+	Model string `json:"model"`
+	Batch int    `json:"batch"`
+}
+
 // WriteFrame writes one length-prefixed JSON message.
 func WriteFrame(w io.Writer, v any) error {
 	payload, err := json.Marshal(v)
@@ -102,6 +114,15 @@ func ReadFrame(r io.Reader, v any) error {
 		return fmt.Errorf("server: decoding frame: %w", err)
 	}
 	return nil
+}
+
+// ReadRawFrame reads one length-prefixed payload without decoding it,
+// reusing buf when it is large enough. The returned slice is only valid
+// until the next call with the same buffer. Front-ends that speak the
+// binary codec (internal/ingress) pair it with DecodeRequestFrame /
+// DecodeReplyFrame.
+func ReadRawFrame(r io.Reader, buf []byte) ([]byte, error) {
+	return readRawFrame(r, buf)
 }
 
 // readRawFrame reads one length-prefixed payload, reusing buf when it is

@@ -30,6 +30,9 @@ type (
 	ControllerModelStats = server.ModelStats
 	// InstanceStats is one connected instance's cumulative accounting.
 	InstanceStats = server.InstanceStats
+	// IngressStats is one model's external front-end accounting, merged
+	// into ControllerStats when an ingress is attached.
+	IngressStats = server.IngressStats
 	// GroupSpec describes one served model's scheduling group for callers
 	// assembling controllers by hand (see server.NewMultiController).
 	GroupSpec = server.GroupSpec
