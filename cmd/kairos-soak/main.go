@@ -1,0 +1,252 @@
+// Command kairos-soak replays adversarial workload scenarios through the
+// external ingress against a live autopilot-managed fleet while injecting
+// faults mid-run — SIGKILLed instances, wedged processes, slow or
+// partitioned networks — and asserts the serving invariant the whole
+// system is built around: no admitted query is ever dropped. Each
+// scenario runs against a freshly launched fleet; the outcome (recovery
+// times, tail-latency trajectory, every invariant violation) lands in
+// BENCH_soak.json and the exit status is non-zero if any invariant broke.
+//
+// Usage:
+//
+//	kairos-soak -scenario flash-crowd -fault kill@0.4 -o BENCH_soak.json
+//	kairos-soak -scenario flash-crowd -scenario heavy-tail \
+//	    -model NCF -model MT-WND -budget 1.2 -duration 10000 -rate 120 \
+//	    -fault kill@0.3 -fault stall@0.6:500ms \
+//	    -provider exec -kairosd ./kairosd -o BENCH_soak.json
+//
+// Fault specs are KIND@AT[:DURATION[:DELAY]] with AT a fraction of the
+// scenario in [0,1): kill@0.3, wedge@0.5:500ms, stall@0.6:1s,
+// delay@0.2:1s:20ms, partition@0.7.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"kairos"
+	"kairos/internal/soak"
+)
+
+// findKairosd resolves the kairosd binary for -provider exec: the
+// -kairosd flag, a kairosd next to this executable, or PATH.
+func findKairosd(flagValue string) (string, error) {
+	if flagValue != "" {
+		return flagValue, nil
+	}
+	if self, err := os.Executable(); err == nil {
+		sibling := filepath.Join(filepath.Dir(self), "kairosd")
+		if _, err := os.Stat(sibling); err == nil {
+			return sibling, nil
+		}
+	}
+	if path, err := exec.LookPath("kairosd"); err == nil {
+		return path, nil
+	}
+	return "", fmt.Errorf("no kairosd binary found: pass -kairosd, place it next to kairos-soak, or add it to PATH")
+}
+
+// parseFault resolves one KIND@AT[:DURATION[:DELAY]] spec.
+func parseFault(spec string) (soak.FaultSpec, error) {
+	bad := func() (soak.FaultSpec, error) {
+		return soak.FaultSpec{}, fmt.Errorf("bad fault %q (want KIND@AT[:DURATION[:DELAY]], e.g. kill@0.3, stall@0.6:500ms, delay@0.2:1s:20ms)", spec)
+	}
+	kindAt, rest, _ := strings.Cut(spec, ":")
+	kind, atStr, ok := strings.Cut(kindAt, "@")
+	if !ok {
+		return bad()
+	}
+	at, err := strconv.ParseFloat(atStr, 64)
+	if err != nil {
+		return bad()
+	}
+	f := soak.FaultSpec{Kind: soak.FaultKind(kind), At: at}
+	if rest != "" {
+		durStr, delayStr, hasDelay := strings.Cut(rest, ":")
+		if f.Duration, err = time.ParseDuration(durStr); err != nil {
+			return bad()
+		}
+		if hasDelay {
+			if f.Delay, err = time.ParseDuration(delayStr); err != nil {
+				return bad()
+			}
+		}
+	}
+	return f, nil
+}
+
+func main() {
+	var scenarioNames, modelNames, faultSpecs []string
+	flag.Func("scenario", "scenario to replay (repeatable): flash-crowd, diurnal, batch-mix-inversion, heavy-tail", func(v string) error {
+		scenarioNames = append(scenarioNames, v)
+		return nil
+	})
+	flag.Func("model", "served model (repeatable; models share the budget)", func(v string) error {
+		modelNames = append(modelNames, v)
+		return nil
+	})
+	flag.Func("fault", "fault to inject (repeatable): KIND@AT[:DURATION[:DELAY]]", func(v string) error {
+		faultSpecs = append(faultSpecs, v)
+		return nil
+	})
+	budget := flag.Float64("budget", 0.8, "shared cost budget in $/hr")
+	duration := flag.Float64("duration", 8000, "scenario duration in model milliseconds")
+	rate := flag.Float64("rate", 100, "scenario base arrival rate (QPS)")
+	timeScale := flag.Float64("timescale", 1.0, "real seconds per model second")
+	seed := flag.Int64("seed", 42, "base random seed; every run is deterministic from it")
+	provider := flag.String("provider", "inprocess", "actuation provider: inprocess (loopback servers) or exec (real kairosd processes)")
+	kairosdBin := flag.String("kairosd", "", "kairosd binary for -provider exec (default: next to this binary, then PATH)")
+	ingressQueue := flag.Int("ingress-queue", 8192, "per-model bound on admitted-but-unfinished ingress queries")
+	emptyHold := flag.Duration("empty-hold", 30*time.Second, "how long a model's queries park when a fault takes its last instance")
+	converge := flag.Duration("converge-timeout", 30*time.Second, "post-replay drain and re-convergence bound")
+	out := flag.String("o", "BENCH_soak.json", "output path for the soak report")
+	verbose := flag.Bool("v", false, "log per-run progress")
+	flag.Parse()
+
+	if len(scenarioNames) == 0 {
+		scenarioNames = []string{"flash-crowd"}
+	}
+	if len(modelNames) == 0 {
+		modelNames = []string{"NCF"}
+	}
+	if len(faultSpecs) == 0 {
+		faultSpecs = []string{"kill@0.4"}
+	}
+	faults := make([]soak.FaultSpec, len(faultSpecs))
+	for i, spec := range faultSpecs {
+		f, err := parseFault(spec)
+		if err != nil {
+			log.Fatalf("kairos-soak: %v", err)
+		}
+		faults[i] = f
+	}
+	// Resolve every scenario before launching anything.
+	scenarios := make([]kairos.Scenario, len(scenarioNames))
+	for i, name := range scenarioNames {
+		s, err := kairos.ScenarioByName(name, *duration, *rate)
+		if err != nil {
+			log.Fatalf("kairos-soak: %v", err)
+		}
+		scenarios[i] = s
+	}
+	binPath := ""
+	if *provider == "exec" {
+		bin, err := findKairosd(*kairosdBin)
+		if err != nil {
+			log.Fatalf("kairos-soak: %v", err)
+		}
+		binPath = bin
+	} else if *provider != "inprocess" {
+		log.Fatalf("kairos-soak: unknown provider %q (want inprocess or exec)", *provider)
+	}
+	logf := func(string, ...any) {}
+	if *verbose {
+		logf = log.Printf
+	}
+
+	bench := soak.Bench{Seed: *seed, TimeScale: *timeScale}
+	for _, sc := range scenarios {
+		report, err := runScenario(sc, modelNames, faults, *budget, *timeScale,
+			*seed, binPath, *ingressQueue, *emptyHold, *converge, logf)
+		if err != nil {
+			log.Fatalf("kairos-soak: %s: %v", sc.Name, err)
+		}
+		bench.Scenarios = append(bench.Scenarios, *report)
+		verdict := "PASS"
+		if !report.Passed() {
+			verdict = "FAIL"
+		}
+		fmt.Printf("kairos-soak: %-20s %s  submitted=%d admitted=%d rejected=%d failed=%d faults=%d violations=%d\n",
+			sc.Name, verdict, report.Submitted, report.Admitted, report.Rejected,
+			report.Failed, len(report.Faults), len(report.Violations))
+		for _, v := range report.Violations {
+			fmt.Printf("kairos-soak:   violation: %s\n", v)
+		}
+		for _, ev := range report.Faults {
+			if ev.RecoveryMS >= 0 {
+				fmt.Printf("kairos-soak:   %s at t=%.0fms recovered in %.0fms\n", ev.Kind, ev.AtMS, ev.RecoveryMS)
+			}
+		}
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatalf("kairos-soak: %v", err)
+	}
+	if err := bench.WriteJSON(f); err != nil {
+		f.Close()
+		log.Fatalf("kairos-soak: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatalf("kairos-soak: %v", err)
+	}
+	fmt.Printf("kairos-soak: wrote %s\n", *out)
+	if !bench.Passed() {
+		os.Exit(1)
+	}
+}
+
+// runScenario launches a fresh fleet, replays one scenario against it,
+// and tears everything down — faults never leak across runs.
+func runScenario(sc kairos.Scenario, modelNames []string, faults []soak.FaultSpec,
+	budget, timeScale float64, seed int64, binPath string, ingressQueue int,
+	emptyHold, converge time.Duration, logf func(string, ...any)) (*soak.Report, error) {
+	// The initial plan is sized for the scenario's opening mix.
+	rng := rand.New(rand.NewSource(seed))
+	reference := make([]int, 4000)
+	for i := range reference {
+		reference[i] = sc.Phases[0].Dist.Sample(rng)
+	}
+	engine, err := kairos.New(
+		kairos.WithPool(kairos.DefaultPool()),
+		kairos.WithModels(modelNames...),
+		kairos.WithBudget(budget),
+		kairos.WithBatchSamples(reference),
+		kairos.WithSeed(seed),
+	)
+	if err != nil {
+		return nil, err
+	}
+	var inner kairos.Provider
+	if binPath != "" {
+		ef := kairos.NewExecFleet(binPath, timeScale, modelNames...)
+		ef.Logf = logf
+		inner = ef
+	} else {
+		inner = kairos.NewFleet(timeScale, engine.Models()...)
+	}
+	chaos := soak.WrapChaos(inner)
+	ap, err := engine.Autopilot(timeScale, kairos.AutopilotOptions{
+		Interval: 50 * time.Millisecond,
+		Logf:     logf,
+	},
+		kairos.WithProvider(chaos),
+		kairos.WithIngress("", "127.0.0.1:0"),
+		kairos.WithIngressQueue(ingressQueue),
+	)
+	if err != nil {
+		chaos.Close()
+		return nil, err
+	}
+	defer ap.Close()
+	ap.Start()
+
+	return soak.Run(soak.System{AP: ap, Chaos: chaos}, soak.Config{
+		Scenario:        sc,
+		Seed:            seed,
+		TimeScale:       timeScale,
+		Models:          modelNames,
+		Faults:          faults,
+		EmptyHold:       emptyHold,
+		ConvergeTimeout: converge,
+		Logf:            logf,
+	})
+}

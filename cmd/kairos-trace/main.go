@@ -5,6 +5,7 @@
 // Usage:
 //
 //	kairos-trace -gen -n 10000 -rate 100 -dist lognormal -o trace.csv
+//	kairos-trace -scenario flash-crowd -duration 60000 -rate 100 -seed 42 -o trace.csv
 //	kairos-trace -summary trace.csv
 //	kairos-trace -convert trace.csv -o trace.json
 package main
@@ -26,12 +27,22 @@ func main() {
 	rate := flag.Float64("rate", 100, "Poisson arrival rate (QPS)")
 	distName := flag.String("dist", "lognormal", "batch distribution: lognormal or gaussian")
 	seed := flag.Int64("seed", 42, "random seed")
+	scenario := flag.String("scenario", "", "generate a scenario preset: flash-crowd, diurnal, batch-mix-inversion or heavy-tail")
+	duration := flag.Float64("duration", 60000, "scenario duration in model milliseconds")
 	out := flag.String("o", "", "output path (.csv or .json); empty = stdout csv")
 	summary := flag.String("summary", "", "summarize an existing trace file")
 	convert := flag.String("convert", "", "convert an existing trace file to the -o format")
 	flag.Parse()
 
 	switch {
+	case *scenario != "":
+		s, err := kairos.ScenarioByName(*scenario, *duration, *rate)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := writeTrace(s.Trace(*seed), *out); err != nil {
+			log.Fatal(err)
+		}
 	case *gen:
 		var dist kairos.BatchDistribution
 		switch *distName {

@@ -29,6 +29,18 @@ func ReadTraceCSV(r io.Reader) (Trace, error) { return workload.ReadCSV(r) }
 // ReadTraceJSON parses a trace from its JSON form.
 func ReadTraceJSON(r io.Reader) (Trace, error) { return workload.ReadJSON(r) }
 
+// Scenario is a named adversarial workload shape — a sequence of
+// rate/mix phases rendered into a deterministic arrival stream; see
+// cmd/kairos-trace -scenario and the soak harness.
+type Scenario = workload.Scenario
+
+// ScenarioByName resolves a scenario preset (flash-crowd, diurnal,
+// batch-mix-inversion, heavy-tail) with default shape parameters scaled
+// to durationMS at base rate qps.
+func ScenarioByName(name string, durationMS, qps float64) (Scenario, error) {
+	return workload.ScenarioByName(name, durationMS, qps)
+}
+
 // Gaussian returns a truncated Gaussian batch-size distribution (the
 // paper's alternative workload shape, Sec. 7).
 func Gaussian(mean, std float64) BatchDistribution {

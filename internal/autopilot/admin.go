@@ -66,6 +66,28 @@ type ModelStatus struct {
 	Plan ModelPlanStatus `json:"plan"`
 	// Window is the model's live rolling-window summary.
 	Window WindowStatus `json:"window"`
+	// IngressQueue is the model's current admitted-but-unfinished ingress
+	// admission-queue depth (0 when no front-end is attached) — the
+	// backlog an operator watches while a fault drains.
+	IngressQueue int64 `json:"ingress_queue"`
+}
+
+// FaultStatus reports instance-death faults and the heals answering them
+// — the recovery view soak runs and operators watch from outside.
+type FaultStatus struct {
+	// InstancesLost counts evictions (deaths outside orderly removals).
+	InstancesLost int64 `json:"instances_lost"`
+	// Heals counts completed fault-heal actuations.
+	Heals int64 `json:"heals"`
+	// Pending is true while a fault awaits its heal.
+	Pending bool `json:"pending"`
+	// LastFault and LastRecovery timestamp the most recent death and the
+	// most recent completed heal (zero when none yet).
+	LastFault    time.Time `json:"last_fault,omitempty"`
+	LastRecovery time.Time `json:"last_recovery,omitempty"`
+	// LastDetail describes the most recent death (model/type, address,
+	// cause).
+	LastDetail string `json:"last_detail,omitempty"`
 }
 
 // ScaleInStatus reports the under-utilization trigger's configuration and
@@ -108,6 +130,8 @@ type Status struct {
 	Utilization   float64 `json:"utilization"`
 	// ScaleIn reports the under-utilization trigger.
 	ScaleIn ScaleInStatus `json:"scale_in"`
+	// Faults reports instance deaths and fault heals.
+	Faults FaultStatus `json:"faults"`
 	// LastError is the latest replan/actuation failure, empty when none.
 	LastError string `json:"last_error,omitempty"`
 	// Plan is the fleet plan in force.
@@ -190,6 +214,7 @@ func fleetCounts(cs server.Stats) map[string]map[string]int {
 // Status snapshots the control plane.
 func (a *Autopilot) Status() Status {
 	plan := a.planStatus()
+	ctrlStats := a.ctrl.Stats()
 
 	modelViews := make(map[string]ModelStatus, len(a.names))
 	for _, name := range a.names {
@@ -216,6 +241,7 @@ func (a *Autopilot) Status() Status {
 			SLOLatencyMS: st.sloMS,
 			Plan:         plan.Models[name],
 			Window:       win,
+			IngressQueue: ctrlStats.Ingress[name].Queue,
 		}
 	}
 
@@ -238,7 +264,7 @@ func (a *Autopilot) Status() Status {
 			TCPAddr:  a.ingress.TCPAddr(),
 		}
 	}
-	ctrlStats := a.ctrl.Stats()
+	lastFault, lastRecovery, faultDetail, lost, heals, faultPending := a.FaultState()
 
 	return Status{
 		Healthy:        lastErr == "",
@@ -253,6 +279,14 @@ func (a *Autopilot) Status() Status {
 			Hysteresis:  a.opts.ScaleInHysteresis,
 			TicksBelow:  lowTicks,
 			TicksNeeded: a.opts.ScaleInTicks,
+		},
+		Faults: FaultStatus{
+			InstancesLost: lost,
+			Heals:         heals,
+			Pending:       faultPending,
+			LastFault:     lastFault,
+			LastRecovery:  lastRecovery,
+			LastDetail:    faultDetail,
 		},
 		LastError:  lastErr,
 		Plan:       plan,

@@ -249,6 +249,18 @@ type Autopilot struct {
 	started    time.Time
 	lowTicks   int // consecutive under-utilized control ticks
 
+	// Fault state (mu): instance deaths reported by the controller's
+	// eviction path, and the heal bookkeeping answering them.
+	lastFault       time.Time
+	lastFaultDetail string
+	lastRecovery    time.Time
+	instancesLost   int64
+	heals           int64
+	faultPending    bool
+	// faultKick wakes the control loop for an immediate heal instead of
+	// waiting out the tick (buffered: the callback never blocks).
+	faultKick chan struct{}
+
 	// step-delta state for recent throughput/utilization estimates.
 	lastStepAt        time.Time
 	lastStepCompleted int64
@@ -341,14 +353,15 @@ func New(ctrl *server.Controller, provider Provider, initial core.FleetPlan, opt
 		}
 	}
 	a := &Autopilot{
-		ctrl:     ctrl,
-		provider: provider,
-		opts:     o,
-		states:   make(map[string]*modelState, len(o.Models)),
-		current:  initial.Clone(),
-		started:  time.Now(),
-		stop:     make(chan struct{}),
-		loopDone: make(chan struct{}),
+		ctrl:      ctrl,
+		provider:  provider,
+		opts:      o,
+		states:    make(map[string]*modelState, len(o.Models)),
+		current:   initial.Clone(),
+		started:   time.Now(),
+		stop:      make(chan struct{}),
+		loopDone:  make(chan struct{}),
+		faultKick: make(chan struct{}, 1),
 	}
 	for _, m := range o.Models {
 		st := &modelState{
@@ -372,6 +385,7 @@ func New(ctrl *server.Controller, provider Provider, initial core.FleetPlan, opt
 	}
 	sort.Strings(a.names)
 	ctrl.SetOnComplete(a.observe)
+	ctrl.SetOnInstanceDown(a.onInstanceDown)
 	if o.Ingress != nil {
 		ing, err := ingress.New(ctrl, *o.Ingress)
 		if err != nil {
@@ -404,6 +418,80 @@ func (a *Autopilot) observe(model string, batch int, res server.QueryResult) {
 	a.latMu.Unlock()
 }
 
+// onInstanceDown is the controller's eviction callback: an instance died
+// outside an orderly removal. The fault is recorded, the provider's
+// bookkeeping for the dead address is reaped (asynchronously — this runs
+// on the controller's read path), and the control loop is kicked for an
+// immediate heal instead of retrying a dead address until the next drift
+// tick.
+func (a *Autopilot) onInstanceDown(model, typeName, addr string, cause error) {
+	detail := fmt.Sprintf("%s/%s at %s: %v", model, typeName, addr, cause)
+	a.mu.Lock()
+	a.lastFault = time.Now()
+	a.lastFaultDetail = detail
+	a.instancesLost++
+	a.faultPending = true
+	a.mu.Unlock()
+	a.logf("autopilot: instance down: %s", detail)
+	go func() {
+		if err := reap(a.provider, addr); err != nil {
+			a.logf("autopilot: reaping %s: %v", addr, err)
+		}
+		select {
+		case a.faultKick <- struct{}{}:
+		default:
+		}
+	}()
+}
+
+// Heal answers pending instance-death faults: it re-actuates the plan in
+// force so the diff-based actuator relaunches exactly the missing
+// instances. Unlike Step it bypasses the triggers and the cooldown — lost
+// capacity is restored immediately, not on the next drift tick. It
+// reports whether a heal ran. A failed heal leaves the fault pending so
+// the next tick (or kick) retries.
+func (a *Autopilot) Heal() (bool, error) {
+	a.stepMu.Lock()
+	defer a.stepMu.Unlock()
+	a.mu.Lock()
+	pending := a.faultPending
+	a.faultPending = false
+	plan := a.current.Clone()
+	a.mu.Unlock()
+	if !pending {
+		return false, nil
+	}
+	if err := a.actuate(plan); err != nil {
+		a.mu.Lock()
+		a.faultPending = true
+		a.mu.Unlock()
+		a.setErr(fmt.Sprintf("heal: %v", err))
+		return false, fmt.Errorf("autopilot: heal: %w", err)
+	}
+	a.mu.Lock()
+	a.lastRecovery = time.Now()
+	a.heals++
+	if a.lastErr != "" && strings.HasPrefix(a.lastErr, "heal:") {
+		a.lastErr = ""
+	}
+	// The reshaped fleet invalidates the rate baseline, exactly as after a
+	// replan.
+	a.lastStepAt = time.Time{}
+	a.mu.Unlock()
+	a.logf("autopilot: healed fleet back to %v", plan)
+	return true, nil
+}
+
+// FaultState reports the fault/heal bookkeeping for observability: when
+// the last instance death was observed and what it was, when the last
+// heal completed, cumulative counts, and whether a fault is still
+// unanswered.
+func (a *Autopilot) FaultState() (lastFault, lastRecovery time.Time, detail string, lost, heals int64, pending bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.lastFault, a.lastRecovery, a.lastFaultDetail, a.instancesLost, a.heals, a.faultPending
+}
+
 // Current returns the fleet plan in force.
 func (a *Autopilot) Current() core.FleetPlan {
 	a.mu.Lock()
@@ -434,7 +522,18 @@ func (a *Autopilot) loop() {
 		select {
 		case <-a.stop:
 			return
+		case <-a.faultKick:
+			// An instance died: heal now, not at the next tick.
+			if _, err := a.Heal(); err != nil {
+				a.logf("autopilot: heal failed: %v", err)
+			}
 		case <-ticker.C:
+			// A failed heal leaves its fault pending; retry it before the
+			// regular trigger evaluation so lost capacity is not stuck
+			// behind a cooldown.
+			if _, err := a.Heal(); err != nil {
+				a.logf("autopilot: heal failed: %v", err)
+			}
 			dec, err := a.Step()
 			switch {
 			case err != nil:

@@ -53,7 +53,10 @@ type ExecFleet struct {
 	procs map[string]*execProc // keyed by listen address
 }
 
-var _ Provider = (*ExecFleet)(nil)
+var (
+	_ Provider = (*ExecFleet)(nil)
+	_ Reaper   = (*ExecFleet)(nil)
+)
 
 type execProc struct {
 	model    string
@@ -251,6 +254,74 @@ func (f *ExecFleet) stop(addr string, p *execProc) error {
 		<-p.waited
 		return fmt.Errorf("autopilot: kairosd %s/%s at %s ignored SIGTERM for %v; killed", p.model, p.typeName, addr, f.stopTimeout())
 	}
+}
+
+// Reap releases a kairosd that died on its own (implements Reaper): the
+// process is killed if anything is somehow still running, the zombie is
+// waited on, and the bookkeeping entry is dropped. Unknown addresses are
+// fine — the fault may already have been reaped.
+func (f *ExecFleet) Reap(addr string) error {
+	f.mu.Lock()
+	p := f.procs[addr]
+	delete(f.procs, addr)
+	f.mu.Unlock()
+	if p == nil {
+		return nil
+	}
+	p.cmd.Process.Kill() // harmless when already dead
+	<-p.waited
+	f.logf("autopilot: exec reaped %s/%s at %s", p.model, p.typeName, addr)
+	return nil
+}
+
+// Pid returns the OS process ID of the kairosd at addr, or 0 when the
+// address is unknown.
+func (f *ExecFleet) Pid(addr string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if p := f.procs[addr]; p != nil {
+		return p.cmd.Process.Pid
+	}
+	return 0
+}
+
+// Kill SIGKILLs the kairosd at addr without reaping it — the crash fault.
+// The controller discovers the death through its connection; the reap
+// happens when the fault-heal path calls Reap for the dead address.
+func (f *ExecFleet) Kill(addr string) error {
+	f.mu.Lock()
+	p := f.procs[addr]
+	f.mu.Unlock()
+	if p == nil {
+		return fmt.Errorf("autopilot: no exec instance at %s", addr)
+	}
+	f.logf("autopilot: exec killing %s/%s pid %d at %s", p.model, p.typeName, p.cmd.Process.Pid, addr)
+	return p.cmd.Process.Kill()
+}
+
+// Wedge SIGSTOPs the kairosd at addr — the stalled-instance fault: the
+// process keeps its sockets open but stops replying. Resume un-wedges it.
+func (f *ExecFleet) Wedge(addr string) error {
+	f.mu.Lock()
+	p := f.procs[addr]
+	f.mu.Unlock()
+	if p == nil {
+		return fmt.Errorf("autopilot: no exec instance at %s", addr)
+	}
+	f.logf("autopilot: exec wedging %s/%s pid %d at %s", p.model, p.typeName, p.cmd.Process.Pid, addr)
+	return suspendProcess(p.cmd.Process)
+}
+
+// Resume SIGCONTs a wedged kairosd at addr.
+func (f *ExecFleet) Resume(addr string) error {
+	f.mu.Lock()
+	p := f.procs[addr]
+	f.mu.Unlock()
+	if p == nil {
+		return fmt.Errorf("autopilot: no exec instance at %s", addr)
+	}
+	f.logf("autopilot: exec resuming %s/%s pid %d at %s", p.model, p.typeName, p.cmd.Process.Pid, addr)
+	return resumeProcess(p.cmd.Process)
 }
 
 // Addrs lists the running processes' addresses in unspecified order.

@@ -21,7 +21,10 @@ type Fleet struct {
 	servers map[string]*fleetServer // keyed by listen address
 }
 
-var _ Provider = (*Fleet)(nil)
+var (
+	_ Provider = (*Fleet)(nil)
+	_ Reaper   = (*Fleet)(nil)
+)
 
 type fleetServer struct {
 	model    string
@@ -86,6 +89,33 @@ func (f *Fleet) Stop(addr string) error {
 		return fmt.Errorf("autopilot: no fleet server at %s", addr)
 	}
 	return fs.srv.Close()
+}
+
+// Kill abruptly closes the server at addr without forgetting it — the
+// in-process analogue of SIGKILLing a kairosd: controller connections
+// drop, the eviction path fires, and the fault-heal reap (Reap) later
+// clears the bookkeeping.
+func (f *Fleet) Kill(addr string) error {
+	f.mu.Lock()
+	fs, ok := f.servers[addr]
+	f.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("autopilot: no fleet server at %s", addr)
+	}
+	return fs.srv.Kill()
+}
+
+// Reap forgets a server that died on its own (implements Reaper).
+// Unknown addresses are fine — the fault may already have been reaped.
+func (f *Fleet) Reap(addr string) error {
+	f.mu.Lock()
+	fs, ok := f.servers[addr]
+	delete(f.servers, addr)
+	f.mu.Unlock()
+	if ok {
+		fs.srv.Kill()
+	}
+	return nil
 }
 
 // Addrs lists the running servers' addresses in unspecified order.

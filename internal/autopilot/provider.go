@@ -32,6 +32,24 @@ type Provider interface {
 	Close() error
 }
 
+// Reaper is an optional Provider extension for fault handling: Reap
+// releases whatever the provider still holds for an instance that died on
+// its own — the exec provider reaps the OS process, the in-process fleet
+// forgets the server — without the drained-first contract Stop assumes.
+// Reaping an address the provider no longer tracks is not an error.
+type Reaper interface {
+	Reap(addr string) error
+}
+
+// reap releases a dead instance through the provider's Reaper extension
+// when it has one, falling back to a best-effort Stop.
+func reap(p Provider, addr string) error {
+	if r, ok := p.(Reaper); ok {
+		return r.Reap(addr)
+	}
+	return p.Stop(addr)
+}
+
 // Deploy launches plan[model][i] instances of pool[i] for every model on
 // the provider and returns all started addresses. On any launch failure
 // it stops what it started.

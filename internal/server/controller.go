@@ -46,13 +46,22 @@ type Controller struct {
 	closeOnce sync.Once
 	wg        sync.WaitGroup
 
+	// emptyHold is how long (ns) a group that lost all capacity parks its
+	// queries waiting for capacity to return; 0 fails them immediately.
+	emptyHold atomic.Int64
+
 	// onComplete, when set, observes every delivered QueryResult.
 	onComplete atomic.Pointer[completionFunc]
+	// onDown, when set, observes every instance eviction (death outside an
+	// orderly RemoveInstance).
+	onDown atomic.Pointer[instanceDownFunc]
 	// augment, when set, merges front-end accounting into Stats snapshots.
 	augment atomic.Pointer[func(*Stats)]
 }
 
 type completionFunc = func(model string, batch int, res QueryResult)
+
+type instanceDownFunc = func(model, typeName, addr string, cause error)
 
 // GroupSpec describes one served model's scheduling group: the
 // query-distribution policy deciding dispatches (it sees times in model
@@ -83,6 +92,10 @@ type modelGroup struct {
 	mu        sync.Mutex
 	instances []*remoteInstance
 	waiting   []*pendingQuery
+	// holdTimer bounds an empty-hold window: it is armed when the group
+	// loses its last instance while queries wait (see SetEmptyHold) and
+	// stopped when capacity returns.
+	holdTimer *time.Timer
 
 	// Round scratch, reused by the scheduler goroutine under mu.
 	qviews    []sim.QueryView
@@ -350,6 +363,11 @@ func (c *Controller) AddInstance(addr string) (string, error) {
 	default:
 	}
 	g.instances = append(g.instances, ri)
+	if g.holdTimer != nil {
+		// Capacity is back; held queries are dispatchable again.
+		g.holdTimer.Stop()
+		g.holdTimer = nil
+	}
 	c.wg.Add(1)
 	g.mu.Unlock()
 	go c.readLoop(ri)
@@ -402,40 +420,90 @@ func (c *Controller) RemoveInstance(model, typeName string) (string, error) {
 		case <-time.After(2 * time.Millisecond):
 		}
 	}
-	// Close the connection (its readLoop exits) and drop it from the fleet.
-	target.wc.close()
+	// Drop it from the fleet before closing the connection: the readLoop's
+	// eviction path must see an already-removed instance, or this orderly
+	// removal would race it into reporting a fault.
 	g.mu.Lock()
 	dropLocked(g, target)
-	orphans := orphanedLocked(g)
+	orphans := c.capacityLostLocked(g)
 	g.mu.Unlock()
+	target.wc.close()
 	for _, q := range orphans {
 		c.deliver(q, QueryResult{Err: fmt.Errorf("server: model %s has no serving capacity", model)})
 	}
 	return target.addr, nil
 }
 
-// dropLocked removes the instance from its group; callers hold g.mu.
-func dropLocked(g *modelGroup, target *remoteInstance) {
+// dropLocked removes the instance from its group, reporting whether it
+// was still a fleet member; callers hold g.mu.
+func dropLocked(g *modelGroup, target *remoteInstance) bool {
 	for i, ri := range g.instances {
 		if ri == target {
 			g.instances = append(g.instances[:i], g.instances[i+1:]...)
-			return
+			return true
 		}
 	}
+	return false
 }
 
-// orphanedLocked empties a group's central queue when its last instance
-// is gone: with nothing left to dispatch to, the waiting queries would
-// otherwise hang forever. The returned queries must be failed with
+// capacityLostLocked handles a group that may have just lost its last
+// instance. Without an empty-hold window the waiting queries are returned
+// for orphan failure (with nothing left to dispatch to they would hang
+// forever). With one (SetEmptyHold), they stay parked so a control plane
+// has a bounded window to relaunch capacity after a fault; the hold timer
+// fails them if none arrives. The returned queries must be failed with
 // deliver outside the lock. Callers hold g.mu.
-func orphanedLocked(g *modelGroup) []*pendingQuery {
+func (c *Controller) capacityLostLocked(g *modelGroup) []*pendingQuery {
 	if len(g.instances) > 0 || len(g.waiting) == 0 {
+		return nil
+	}
+	if c.emptyHold.Load() > 0 {
+		c.armHoldLocked(g)
 		return nil
 	}
 	orphans := g.waiting
 	g.waiting = nil
 	return orphans
 }
+
+// armHoldLocked starts the group's empty-hold timer if the hold window is
+// configured and no timer is already running. Callers hold g.mu.
+func (c *Controller) armHoldLocked(g *modelGroup) {
+	hold := time.Duration(c.emptyHold.Load())
+	if hold <= 0 || g.holdTimer != nil {
+		return
+	}
+	g.holdTimer = time.AfterFunc(hold, func() { c.holdExpired(g) })
+}
+
+// holdExpired fires when an empty-hold window elapses: if the group still
+// has no instances, the parked queries are failed — the hold bounds how
+// long an admitted query can wait for capacity to return, it is not a
+// license to hang forever.
+func (c *Controller) holdExpired(g *modelGroup) {
+	g.mu.Lock()
+	g.holdTimer = nil
+	if len(g.instances) > 0 {
+		// Capacity came back between the timer firing and the lock; the
+		// scheduler owns the queue again.
+		g.mu.Unlock()
+		return
+	}
+	orphans := g.waiting
+	g.waiting = nil
+	g.mu.Unlock()
+	for _, q := range orphans {
+		c.deliver(q, QueryResult{Err: fmt.Errorf("server: model %s has no serving capacity (hold window expired)", g.model)})
+	}
+}
+
+// SetEmptyHold configures how long a model group that has lost every
+// instance parks its waiting and newly submitted queries before failing
+// them. The default (0) keeps the historical fail-fast behavior. A control
+// plane that relaunches dead instances (internal/autopilot fault healing)
+// sets this to its expected recovery time so the window between an
+// instance crash and its replacement does not drop admitted queries.
+func (c *Controller) SetEmptyHold(d time.Duration) { c.emptyHold.Store(int64(d)) }
 
 // InstanceTypes lists the connected instance types in model-then-fleet
 // order, including draining ones.
@@ -541,6 +609,20 @@ func (c *Controller) SetStatsAugmenter(fn func(*Stats)) {
 	c.augment.Store(&fn)
 }
 
+// SetOnInstanceDown installs a callback observing every instance eviction
+// — a connection lost outside an orderly RemoveInstance, i.e. a crash,
+// wedge-then-reset, or network cut. It runs outside the controller locks,
+// after the dead instance's queries have been requeued, and must not block
+// for long. A control plane uses it to reap the dead process and trigger
+// an immediate replan instead of waiting for the next drift tick.
+func (c *Controller) SetOnInstanceDown(fn func(model, typeName, addr string, cause error)) {
+	if fn == nil {
+		c.onDown.Store(nil)
+		return
+	}
+	c.onDown.Store(&fn)
+}
+
 // SetOnComplete installs a callback observing every delivered QueryResult
 // (successes and failures; check res.Err). It runs outside the controller
 // locks and must not block for long — it is on the completion path.
@@ -564,7 +646,9 @@ var queryPool = sync.Pool{New: func() any {
 // delivering its result. Unknown models, models whose group currently has
 // no serving capacity (every instance removed or draining — reachable
 // when the shared-budget planner starves a model), and submissions after
-// Close all fail immediately instead of hanging. Every accepted or
+// Close all fail immediately instead of hanging — except that a
+// configured empty-hold window (SetEmptyHold) parks capacity-less
+// submissions for bounded fault recovery instead. Every accepted or
 // rejected submission is accounted, so completed + failed never exceeds
 // submitted on any path.
 func (c *Controller) Submit(model string, batch int) <-chan QueryResult {
@@ -623,10 +707,19 @@ func (c *Controller) submit(model string, batch int, q *pendingQuery) {
 		}
 	}
 	if !capacity {
-		g.submitted.Add(1)
-		g.mu.Unlock()
-		c.deliver(q, QueryResult{Err: fmt.Errorf("server: model %s has no serving capacity", model)})
-		return
+		if c.emptyHold.Load() > 0 {
+			// Hold instead of fail-fast: park the query in the central
+			// queue and bound the wait with the hold timer — fault healing
+			// is expected to bring capacity back within the window.
+			if len(g.instances) == 0 {
+				c.armHoldLocked(g)
+			}
+		} else {
+			g.submitted.Add(1)
+			g.mu.Unlock()
+			c.deliver(q, QueryResult{Err: fmt.Errorf("server: model %s has no serving capacity", model)})
+			return
+		}
 	}
 	q.id = c.nextID.Add(1)
 	q.enqueued = time.Now()
@@ -668,6 +761,10 @@ func (c *Controller) Close() {
 		for _, model := range c.order {
 			g := c.groups[model]
 			g.mu.Lock()
+			if g.holdTimer != nil {
+				g.holdTimer.Stop()
+				g.holdTimer = nil
+			}
 			var inflight []dispatchItem
 			for _, ri := range g.instances {
 				ri.wc.close()
@@ -691,27 +788,42 @@ func (c *Controller) Close() {
 	c.wg.Wait()
 }
 
-// evict removes a dead instance from its group and fails its in-flight
-// queries. Draining is set first so no scheduling round re-dispatches to
-// it while the failures are delivered.
+// evict removes a dead instance from its group and requeues its in-flight
+// queries at the head of the central queue for redispatch to surviving
+// capacity. A query still in ri.pending has provably not been delivered
+// (every delivery path removes it from pending under g.mu first), and the
+// emulated inference is idempotent, so re-serving is always safe — an
+// instance crash must not drop admitted queries. Draining is set first so
+// no scheduling round re-dispatches to the corpse. If the group just lost
+// its last instance the queue is either held (SetEmptyHold) or orphaned.
+// The instance-down callback (SetOnInstanceDown) fires last, outside the
+// locks, so a control plane can reap the process and heal the fleet.
 func (c *Controller) evict(ri *remoteInstance, cause error) {
 	g := c.groups[ri.model]
 	g.mu.Lock()
 	ri.draining = true
-	failed := ri.pending
+	stranded := ri.pending
 	ri.pending = nil
 	clear(ri.byID)
-	dropLocked(g, ri)
-	orphans := orphanedLocked(g)
+	// An instance already dropped by RemoveInstance died of its own close;
+	// that is an orderly removal, not a fault worth reporting.
+	wasMember := dropLocked(g, ri)
+	if len(stranded) > 0 {
+		// Head of the queue, original enqueue times intact: redispatched
+		// queries keep their accumulated wait for latency accounting and
+		// scheduling priority.
+		g.waiting = append(stranded, g.waiting...)
+	}
+	orphans := c.capacityLostLocked(g)
 	g.mu.Unlock()
 	ri.wc.close()
-	for _, q := range failed {
-		c.deliver(q, QueryResult{Err: fmt.Errorf("server: instance %s lost: %w", ri.typeName, cause), Instance: ri.typeName})
-	}
 	for _, q := range orphans {
 		c.deliver(q, QueryResult{Err: fmt.Errorf("server: model %s has no serving capacity (instance %s lost: %v)", ri.model, ri.typeName, cause)})
 	}
 	g.wake()
+	if cb := c.onDown.Load(); cb != nil && wasMember {
+		(*cb)(ri.model, ri.typeName, ri.addr, cause)
+	}
 }
 
 // groupLoop is one model's scheduler goroutine: it runs that group's
@@ -796,10 +908,16 @@ func (c *Controller) groupRound(g *modelGroup) {
 // undoDispatch rolls back one failed dispatch write: the query leaves the
 // instance's pending set, the dispatch count reverts, and the busy-time
 // reservation groupRoundLocked took is undone — the policy must not see
-// phantom busy time on a flaky instance. A query already completed through
-// another path (reply, eviction, close) has left byID and is left alone;
-// the identity check also keeps a recycled pendingQuery safe.
+// phantom busy time on a flaky instance. The query goes back to the head
+// of the central queue instead of failing: a write error means the
+// connection is broken (the read side will evict the instance momentarily)
+// and an admitted query must survive a flaky instance. The instance is
+// marked draining so the next round routes around it rather than spinning
+// on the dead connection. A query already completed through another path
+// (reply, eviction, close) has left byID and is left alone; the identity
+// check also keeps a recycled pendingQuery safe.
 func (c *Controller) undoDispatch(g *modelGroup, d dispatchItem, cause error) {
+	_ = cause // recorded by the eviction that follows the broken write
 	g.mu.Lock()
 	if d.ri.byID[d.id] != d.q {
 		g.mu.Unlock()
@@ -814,8 +932,10 @@ func (c *Controller) undoDispatch(g *modelGroup, d dispatchItem, cause error) {
 	}
 	d.ri.dispatched--
 	d.ri.busyUntil = d.ri.busyUntil.Add(-d.reserve)
+	d.ri.draining = true
+	g.waiting = append([]*pendingQuery{d.q}, g.waiting...)
 	g.mu.Unlock()
-	c.deliver(d.q, QueryResult{Err: cause, Instance: d.ri.typeName})
+	g.wake()
 }
 
 // groupRoundLocked builds one model group's policy views and collects its
@@ -946,9 +1066,9 @@ func (c *Controller) groupRoundLocked(g *modelGroup, now time.Time) []dispatchIt
 
 // readLoop consumes replies from one instance and completes queries.
 // When the connection dies outside Close, the instance is evicted from
-// the fleet and its in-flight queries fail — so drains never wait on a
-// dead instance and submitters never hang on a lost reply. Correlation is
-// O(1) through the instance's byID index.
+// the fleet and its in-flight queries are requeued for redispatch — so
+// drains never wait on a dead instance and submitters never hang on a
+// lost reply. Correlation is O(1) through the instance's byID index.
 func (c *Controller) readLoop(ri *remoteInstance) {
 	defer c.wg.Done()
 	g := c.groups[ri.model]

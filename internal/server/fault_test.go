@@ -1,0 +1,304 @@
+package server
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"kairos/internal/cloud"
+	"kairos/internal/models"
+)
+
+// listenLocal opens a loopback listener that the test owns.
+func listenLocal(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	return ln
+}
+
+// fakeInstance is a handshaking instance server that swallows every
+// request and never replies, dying when its die channel closes — the
+// minimal stand-in for a wedged-then-crashed kairosd.
+func fakeInstance(t *testing.T, typeName, model string) (addr string, die chan struct{}) {
+	t.Helper()
+	ln := listenLocal(t)
+	die = make(chan struct{})
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		if err := WriteFrame(conn, Hello{TypeName: typeName, Model: model}); err != nil {
+			return
+		}
+		go func() {
+			var req Request
+			for ReadFrame(conn, &req) == nil {
+			}
+		}()
+		<-die
+		conn.Close()
+	}()
+	return ln.Addr().String(), die
+}
+
+// TestOnInstanceDownFiresOnEviction: the instance-down callback must
+// report every eviction with the model, type, address, and cause, and
+// must not fire for an orderly RemoveInstance.
+func TestOnInstanceDownFiresOnEviction(t *testing.T) {
+	t.Parallel()
+	m := models.MustByName("NCF")
+	fakeAddr, die := fakeInstance(t, cloud.G4dnXlarge.Name, m.Name)
+	healthy := startServer(t, cloud.R5nLarge.Name, 1)
+	types := []string{cloud.G4dnXlarge.Name, cloud.R5nLarge.Name}
+	ctrl, err := NewController(m.Name, kairosPolicy(m, types), 1, m.Latency, []string{fakeAddr, healthy.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+
+	type downEvent struct {
+		model, typeName, addr string
+		cause                 error
+	}
+	events := make(chan downEvent, 4)
+	ctrl.SetOnInstanceDown(func(model, typeName, addr string, cause error) {
+		events <- downEvent{model, typeName, addr, cause}
+	})
+
+	// An orderly removal of the healthy instance must not raise a fault.
+	if _, err := ctrl.RemoveInstance(m.Name, cloud.R5nLarge.Name); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-events:
+		t.Fatalf("orderly RemoveInstance raised a down event: %+v", ev)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(die) // crash
+	select {
+	case ev := <-events:
+		if ev.model != m.Name || ev.typeName != cloud.G4dnXlarge.Name || ev.addr != fakeAddr {
+			t.Fatalf("down event = %+v", ev)
+		}
+		if ev.cause == nil {
+			t.Fatal("down event must carry the cause")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("eviction never reached the instance-down callback")
+	}
+}
+
+// TestEmptyHoldParksAndRescues: with an empty-hold window, a group that
+// loses its only instance parks in-flight and new queries instead of
+// failing them, and AddInstance within the window rescues every one.
+func TestEmptyHoldParksAndRescues(t *testing.T) {
+	t.Parallel()
+	m := models.MustByName("NCF")
+	fakeAddr, die := fakeInstance(t, cloud.G4dnXlarge.Name, m.Name)
+	ctrl, err := NewController(m.Name, kairosPolicy(m, []string{cloud.G4dnXlarge.Name, cloud.R5nLarge.Name}), 1, m.Latency, []string{fakeAddr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+	ctrl.SetEmptyHold(10 * time.Second)
+
+	// Queries dispatch to the fake instance and wedge there.
+	var chans []<-chan QueryResult
+	for i := 0; i < 3; i++ {
+		chans = append(chans, ctrl.Submit(m.Name, 100))
+	}
+	waitPending(t, ctrl)
+	close(die) // the only instance crashes; the group is empty
+
+	deadline := time.Now().Add(5 * time.Second)
+	for len(ctrl.InstanceTypes()) != 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := ctrl.InstanceTypes(); len(got) != 0 {
+		t.Fatalf("dead instance not evicted: fleet %v", got)
+	}
+
+	// The group is capacity-less but held: new submissions park too.
+	chans = append(chans, ctrl.Submit(m.Name, 50))
+	select {
+	case r := <-chans[0]:
+		t.Fatalf("held query delivered during the hold window: %+v", r)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// Capacity returns within the window: every held query completes.
+	replacement := startServer(t, cloud.R5nLarge.Name, 1)
+	if _, err := ctrl.AddInstance(replacement.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	for i, ch := range chans {
+		select {
+		case r := <-ch:
+			if r.Err != nil {
+				t.Fatalf("held query %d dropped: %v", i, r.Err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("held query %d never rescued", i)
+		}
+	}
+	s := ctrl.Stats()
+	if s.Failed != 0 || s.Completed != int64(len(chans)) {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestEmptyHoldExpiryFailsParkedQueries: the hold window is a bound, not
+// a hang — if capacity never returns, the parked queries fail once the
+// timer fires.
+func TestEmptyHoldExpiryFailsParkedQueries(t *testing.T) {
+	t.Parallel()
+	m := models.MustByName("NCF")
+	fakeAddr, die := fakeInstance(t, cloud.G4dnXlarge.Name, m.Name)
+	ctrl, err := NewController(m.Name, kairosPolicy(m, []string{cloud.G4dnXlarge.Name}), 1, m.Latency, []string{fakeAddr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+	ctrl.SetEmptyHold(150 * time.Millisecond)
+
+	ch := ctrl.Submit(m.Name, 100)
+	waitPending(t, ctrl)
+	close(die)
+
+	select {
+	case r := <-ch:
+		if r.Err == nil {
+			t.Fatal("query completed with no instance serving it")
+		}
+		if !strings.Contains(r.Err.Error(), "hold window expired") {
+			t.Fatalf("unexpected failure cause: %v", r.Err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("hold window never expired")
+	}
+	s := ctrl.Stats()
+	if s.Failed != 1 || s.Completed != 0 || s.Waiting != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestEmptyHoldZeroKeepsFailFast: without a hold window (the default),
+// submissions to a capacity-less group fail immediately, as before.
+func TestEmptyHoldZeroKeepsFailFast(t *testing.T) {
+	t.Parallel()
+	m := models.MustByName("NCF")
+	fakeAddr, die := fakeInstance(t, cloud.G4dnXlarge.Name, m.Name)
+	ctrl, err := NewController(m.Name, kairosPolicy(m, []string{cloud.G4dnXlarge.Name}), 1, m.Latency, []string{fakeAddr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+	close(die)
+	deadline := time.Now().Add(5 * time.Second)
+	for len(ctrl.InstanceTypes()) != 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	select {
+	case r := <-ctrl.Submit(m.Name, 100):
+		if r.Err == nil {
+			t.Fatal("capacity-less submit must fail fast by default")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("capacity-less submit hung with no hold window configured")
+	}
+}
+
+// TestRedispatchPreservesCompletedPlusFailedInvariant hammers a crashing
+// instance while snapshotting stats: in every snapshot completed+failed
+// must not exceed submitted, and after the crash every admitted query
+// must still be delivered exactly once.
+func TestRedispatchPreservesCompletedPlusFailedInvariant(t *testing.T) {
+	t.Parallel()
+	m := models.MustByName("NCF")
+	fakeAddr, die := fakeInstance(t, cloud.G4dnXlarge.Name, m.Name)
+	healthy := startServer(t, cloud.R5nLarge.Name, 1)
+	types := []string{cloud.G4dnXlarge.Name, cloud.R5nLarge.Name}
+	ctrl, err := NewController(m.Name, kairosPolicy(m, types), 1, m.Latency, []string{fakeAddr, healthy.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+
+	stop := make(chan struct{})
+	var snapErr error
+	var snapWG sync.WaitGroup
+	snapWG.Add(1)
+	go func() {
+		defer snapWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := ctrl.Stats()
+			if s.Completed+s.Failed > s.Submitted {
+				snapErr = &statErr{s}
+				return
+			}
+		}
+	}()
+
+	const n = 64
+	var wg sync.WaitGroup
+	results := make(chan QueryResult, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(batch int) {
+			defer wg.Done()
+			results <- ctrl.SubmitWait(m.Name, batch)
+		}(1 + i%900)
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(die)
+	wg.Wait()
+	close(stop)
+	snapWG.Wait()
+	if snapErr != nil {
+		t.Fatalf("invariant violated: %v", snapErr)
+	}
+	close(results)
+	delivered := 0
+	for r := range results {
+		delivered++
+		if r.Err != nil {
+			t.Fatalf("admitted query dropped: %v", r.Err)
+		}
+	}
+	if delivered != n {
+		t.Fatalf("delivered %d of %d", delivered, n)
+	}
+}
+
+type statErr struct{ s Stats }
+
+func (e *statErr) Error() string { return "completed+failed > submitted" }
+
+// waitPending blocks until some instance reports pending queries.
+func waitPending(t *testing.T, ctrl *Controller) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		s := ctrl.Stats()
+		for _, inst := range s.Instances {
+			if inst.Pending > 0 {
+				return
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("no query ever dispatched")
+}

@@ -95,6 +95,25 @@ func (s *InstanceServer) Close() error {
 	return s.closeErr
 }
 
+// Kill abruptly terminates the server: the listener and every active
+// connection close immediately, dropping whatever was in flight — the
+// in-process analogue of SIGKILLing a kairosd. Fault-injection harnesses
+// use it to exercise the controller's eviction and redispatch path; an
+// orderly teardown wants Close or Shutdown instead.
+func (s *InstanceServer) Kill() error {
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		err := s.listener.Close()
+		if err != nil && errors.Is(err, net.ErrClosed) {
+			err = nil
+		}
+		s.tracker.CloseAll()
+		s.closeErr = err
+		s.wg.Wait()
+	})
+	return s.closeErr
+}
+
 // Shutdown gracefully drains the server: the listener closes so nothing
 // new connects, every fully-received request is served and its reply
 // flushed, and only then do the connections go away — so a SIGTERM'd

@@ -465,8 +465,9 @@ func TestControllerStatsAndOnComplete(t *testing.T) {
 }
 
 // TestControllerEvictsDeadInstance: when an instance's connection dies
-// outside Close, its in-flight queries must fail promptly and the
-// instance must leave the fleet — drains never wait on a ghost.
+// outside Close, its in-flight queries must be requeued and redispatched
+// to surviving capacity — an instance crash drops no admitted query — and
+// the instance must leave the fleet so drains never wait on a ghost.
 func TestControllerEvictsDeadInstance(t *testing.T) {
 	t.Parallel()
 	m := models.MustByName("NCF")
@@ -518,19 +519,20 @@ func TestControllerEvictsDeadInstance(t *testing.T) {
 	}
 	close(die) // the instance crashes mid-flight
 
-	failed := 0
+	// Every stranded query must complete via the surviving CPU instance:
+	// eviction requeues, the next round redispatches.
 	for i, ch := range chans {
 		select {
 		case r := <-ch:
 			if r.Err != nil {
-				failed++
+				t.Fatalf("query %d dropped by the crash: %v", i, r.Err)
+			}
+			if r.Instance != cloud.R5nLarge.Name {
+				t.Fatalf("query %d served by %q, want the survivor %q", i, r.Instance, cloud.R5nLarge.Name)
 			}
 		case <-time.After(15 * time.Second):
 			t.Fatalf("query %d hung after the instance died", i)
 		}
-	}
-	if failed == 0 {
-		t.Fatal("expected the dead instance's in-flight queries to fail")
 	}
 	deadline = time.Now().Add(5 * time.Second)
 	for len(ctrl.InstanceTypes()) != 1 && time.Now().Before(deadline) {

@@ -215,6 +215,9 @@ func TestSubmitRejectsOutOfRangeBatch(t *testing.T) {
 // phantom-busy-time bug: when a dispatch write fails, the busy-until
 // reservation groupRoundLocked took must be undone along with the pending
 // entry, so the policy does not keep seeing a flaky instance as loaded.
+// The query itself must be requeued, not failed — a broken write means the
+// instance is dying, not that the admitted query may be dropped — and the
+// instance must be marked draining so rounds route around it.
 func TestUndoDispatchRollsBackReservation(t *testing.T) {
 	t.Parallel()
 	m := models.MustByName("NCF")
@@ -244,18 +247,23 @@ func TestUndoDispatchRollsBackReservation(t *testing.T) {
 
 	select {
 	case res := <-q.done:
-		if res.Err == nil {
-			t.Fatal("undone dispatch must fail the query")
-		}
-	case <-time.After(2 * time.Second):
-		t.Fatal("undone dispatch never delivered")
+		t.Fatalf("undone dispatch must requeue, not deliver (got %+v)", res)
+	case <-time.After(50 * time.Millisecond):
 	}
 	g.mu.Lock()
 	rolledBack := ri.busyUntil
 	pendingLeft := len(ri.pending)
 	stillIndexed := ri.byID[q.id] != nil
 	dispatched := ri.dispatched
+	requeued := len(g.waiting) == 1 && g.waiting[0] == q
+	draining := ri.draining
 	g.mu.Unlock()
+	if !requeued {
+		t.Fatal("undone dispatch did not requeue the query at the head of the central queue")
+	}
+	if !draining {
+		t.Fatal("a failed write must mark the instance draining")
+	}
 	if !rolledBack.Equal(base) {
 		t.Fatalf("busyUntil not rolled back: %v, want %v (phantom busy time of %v)",
 			rolledBack, base, rolledBack.Sub(base))

@@ -1,0 +1,219 @@
+package soak
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"kairos/internal/autopilot"
+)
+
+// ChaosProvider wraps an actuation provider with an interposing TCP
+// proxy per instance: the controller dials the proxy, the proxy dials
+// the real instance, and the harness perturbs the wire in between —
+// delay, stall (transient partition), or cut (hard partition). Launch,
+// Stop, Reap, and the process-level chaos surface (Kill/Wedge/Resume)
+// all translate proxy addresses back to the wrapped provider's, so the
+// autopilot's fault-heal loop works unchanged through the interposition.
+type ChaosProvider struct {
+	inner autopilot.Provider
+
+	mu      sync.Mutex
+	byFront map[string]*chaosEntry // proxy addr -> entry
+}
+
+type chaosEntry struct {
+	prox    *proxy
+	backend string
+}
+
+var (
+	_ autopilot.Provider = (*ChaosProvider)(nil)
+	_ autopilot.Reaper   = (*ChaosProvider)(nil)
+)
+
+// killer and wedger are the process-level chaos capabilities a wrapped
+// provider may offer (both fleets kill; only the exec fleet wedges).
+type killer interface{ Kill(addr string) error }
+
+type wedger interface {
+	Wedge(addr string) error
+	Resume(addr string) error
+}
+
+// WrapChaos interposes proxies around every instance inner launches.
+func WrapChaos(inner autopilot.Provider) *ChaosProvider {
+	return &ChaosProvider{inner: inner, byFront: make(map[string]*chaosEntry)}
+}
+
+// Inner returns the wrapped provider.
+func (c *ChaosProvider) Inner() autopilot.Provider { return c.inner }
+
+// TimeScale forwards the wrapped provider's time dilation so the
+// facade's scale-mismatch check still sees it through the wrapper.
+func (c *ChaosProvider) TimeScale() float64 {
+	if ts, ok := c.inner.(interface{ TimeScale() float64 }); ok {
+		return ts.TimeScale()
+	}
+	return 1
+}
+
+// Launch starts an instance on the wrapped provider and fronts it with a
+// fresh proxy; the returned (and controller-dialed) address is the
+// proxy's.
+func (c *ChaosProvider) Launch(model, typeName string) (string, error) {
+	backend, err := c.inner.Launch(model, typeName)
+	if err != nil {
+		return "", err
+	}
+	prox, err := newProxy(backend)
+	if err != nil {
+		c.inner.Stop(backend)
+		return "", err
+	}
+	front := prox.addr()
+	c.mu.Lock()
+	c.byFront[front] = &chaosEntry{prox: prox, backend: backend}
+	c.mu.Unlock()
+	return front, nil
+}
+
+// lookup resolves a proxy address; the bool reports whether it is one.
+func (c *ChaosProvider) lookup(front string) (*chaosEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.byFront[front]
+	return e, ok
+}
+
+// forget drops the entry and returns it for teardown.
+func (c *ChaosProvider) forget(front string) (*chaosEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.byFront[front]
+	delete(c.byFront, front)
+	return e, ok
+}
+
+// Stop tears down the proxy and the instance behind it. Unknown
+// addresses pass through to the wrapped provider unchanged.
+func (c *ChaosProvider) Stop(front string) error {
+	e, ok := c.forget(front)
+	if !ok {
+		return c.inner.Stop(front)
+	}
+	e.prox.close()
+	return c.inner.Stop(e.backend)
+}
+
+// Reap releases a dead instance (implements autopilot.Reaper): the proxy
+// closes and the wrapped provider reaps whatever is left of the backend.
+func (c *ChaosProvider) Reap(front string) error {
+	e, ok := c.forget(front)
+	if !ok {
+		return nil
+	}
+	e.prox.close()
+	if r, ok := c.inner.(autopilot.Reaper); ok {
+		return r.Reap(e.backend)
+	}
+	c.inner.Stop(e.backend)
+	return nil
+}
+
+// Addrs lists the controller-facing (proxy) addresses.
+func (c *ChaosProvider) Addrs() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.byFront))
+	for front := range c.byFront {
+		out = append(out, front)
+	}
+	return out
+}
+
+// Close tears down every proxy and the wrapped provider.
+func (c *ChaosProvider) Close() error {
+	c.mu.Lock()
+	entries := c.byFront
+	c.byFront = make(map[string]*chaosEntry)
+	c.mu.Unlock()
+	for _, e := range entries {
+		e.prox.close()
+	}
+	return c.inner.Close()
+}
+
+// SetDelay adds d of one-way latency per forwarded chunk on the
+// instance's wire; 0 restores the clean network.
+func (c *ChaosProvider) SetDelay(front string, d time.Duration) error {
+	e, ok := c.lookup(front)
+	if !ok {
+		return fmt.Errorf("soak: no proxied instance at %s", front)
+	}
+	e.prox.setDelay(d)
+	return nil
+}
+
+// SetStall pauses (true) or resumes (false) all traffic to and from the
+// instance without dropping a byte — a transient network partition.
+func (c *ChaosProvider) SetStall(front string, on bool) error {
+	e, ok := c.lookup(front)
+	if !ok {
+		return fmt.Errorf("soak: no proxied instance at %s", front)
+	}
+	e.prox.setStall(on)
+	return nil
+}
+
+// Cut hard-partitions the instance: live connections reset, new ones
+// refused. The controller evicts it and the fault path reaps the
+// healthy-but-unreachable backend, exactly as a production fleet manager
+// treats a machine it can no longer talk to.
+func (c *ChaosProvider) Cut(front string) error {
+	e, ok := c.lookup(front)
+	if !ok {
+		return fmt.Errorf("soak: no proxied instance at %s", front)
+	}
+	e.prox.cut()
+	return nil
+}
+
+// Kill SIGKILLs (or force-closes) the instance behind the proxy.
+func (c *ChaosProvider) Kill(front string) error {
+	e, ok := c.lookup(front)
+	if !ok {
+		return fmt.Errorf("soak: no proxied instance at %s", front)
+	}
+	k, ok := c.inner.(killer)
+	if !ok {
+		return fmt.Errorf("soak: provider %T cannot kill instances", c.inner)
+	}
+	return k.Kill(e.backend)
+}
+
+// Wedge SIGSTOPs the instance behind the proxy.
+func (c *ChaosProvider) Wedge(front string) error {
+	e, ok := c.lookup(front)
+	if !ok {
+		return fmt.Errorf("soak: no proxied instance at %s", front)
+	}
+	w, ok := c.inner.(wedger)
+	if !ok {
+		return fmt.Errorf("soak: provider %T cannot wedge instances", c.inner)
+	}
+	return w.Wedge(e.backend)
+}
+
+// Resume SIGCONTs a wedged instance.
+func (c *ChaosProvider) Resume(front string) error {
+	e, ok := c.lookup(front)
+	if !ok {
+		return fmt.Errorf("soak: no proxied instance at %s", front)
+	}
+	w, ok := c.inner.(wedger)
+	if !ok {
+		return fmt.Errorf("soak: provider %T cannot wedge instances", c.inner)
+	}
+	return w.Resume(e.backend)
+}

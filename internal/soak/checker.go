@@ -1,0 +1,111 @@
+package soak
+
+import (
+	"fmt"
+
+	"kairos/internal/server"
+)
+
+// Checker streams controller snapshots and asserts the soak invariants
+// continuously — not only at the end, so a transiently violated
+// conservation law is caught even if later counters paper over it:
+//
+//   - counters are monotone: submitted, completed, and failed never go
+//     backwards, globally or per ingress model;
+//   - conservation: completed + failed ≤ submitted in every snapshot —
+//     a delivered outcome must correspond to an admitted query;
+//   - at quiesce (Finalize): every admitted query was delivered exactly
+//     once with no failures (completed == submitted, failed == 0, empty
+//     queues), and the fleet re-converged after its last fault.
+//
+// Violations accumulate; a soak run reports them all rather than dying
+// on the first.
+type Checker struct {
+	prev       server.Stats
+	seen       bool
+	violations []string
+}
+
+// violatef records one violation.
+func (c *Checker) violatef(format string, args ...any) {
+	c.violations = append(c.violations, fmt.Sprintf(format, args...))
+}
+
+// Observe checks one snapshot against the streaming invariants.
+func (c *Checker) Observe(st server.Stats) {
+	if st.Completed+st.Failed > st.Submitted {
+		c.violatef("conservation: completed %d + failed %d > submitted %d",
+			st.Completed, st.Failed, st.Submitted)
+	}
+	for model, is := range st.Ingress {
+		if is.Completed+is.Failed > is.Submitted {
+			c.violatef("conservation[%s]: ingress completed %d + failed %d > submitted %d",
+				model, is.Completed, is.Failed, is.Submitted)
+		}
+		if is.Queue < 0 {
+			c.violatef("ingress[%s]: negative queue depth %d", model, is.Queue)
+		}
+	}
+	if c.seen {
+		if st.Submitted < c.prev.Submitted {
+			c.violatef("monotonicity: submitted went %d -> %d", c.prev.Submitted, st.Submitted)
+		}
+		if st.Completed < c.prev.Completed {
+			c.violatef("monotonicity: completed went %d -> %d", c.prev.Completed, st.Completed)
+		}
+		if st.Failed < c.prev.Failed {
+			c.violatef("monotonicity: failed went %d -> %d", c.prev.Failed, st.Failed)
+		}
+		for model, is := range st.Ingress {
+			was, ok := c.prev.Ingress[model]
+			if !ok {
+				continue
+			}
+			if is.Submitted < was.Submitted || is.Completed < was.Completed || is.Failed < was.Failed {
+				c.violatef("monotonicity[%s]: ingress counters went backwards (%+v -> %+v)",
+					model, was, is)
+			}
+		}
+	}
+	c.prev, c.seen = st, true
+}
+
+// Finalize checks the quiesced end state: the load has stopped, every
+// in-flight query has had time to drain, and faultPending reports
+// whether the autopilot still owes the fleet a heal. It returns the full
+// violation list (streaming plus final).
+func (c *Checker) Finalize(st server.Stats, faultPending bool) []string {
+	c.Observe(st)
+	if st.Failed != 0 {
+		c.violatef("dropped: %d admitted queries failed", st.Failed)
+	}
+	if st.Completed != st.Submitted {
+		c.violatef("dropped: %d admitted queries never delivered (submitted %d, completed %d)",
+			st.Submitted-st.Completed-st.Failed, st.Submitted, st.Completed)
+	}
+	if st.Waiting != 0 {
+		c.violatef("quiesce: %d queries still waiting after drain", st.Waiting)
+	}
+	for model, is := range st.Ingress {
+		if is.Failed != 0 {
+			c.violatef("dropped[%s]: %d ingress-admitted queries failed", model, is.Failed)
+		}
+		if is.Completed != is.Submitted {
+			c.violatef("dropped[%s]: ingress submitted %d but completed %d", model, is.Submitted, is.Completed)
+		}
+		if is.Queue != 0 {
+			c.violatef("quiesce[%s]: ingress queue still holds %d", model, is.Queue)
+		}
+	}
+	if faultPending {
+		c.violatef("convergence: fleet did not re-converge after its last fault")
+	}
+	return c.Violations()
+}
+
+// Violations returns every violation recorded so far.
+func (c *Checker) Violations() []string {
+	out := make([]string, len(c.violations))
+	copy(out, c.violations)
+	return out
+}

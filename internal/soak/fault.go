@@ -1,0 +1,88 @@
+package soak
+
+import (
+	"fmt"
+	"time"
+)
+
+// FaultKind names an injectable fault.
+type FaultKind string
+
+const (
+	// FaultKill SIGKILLs (or force-closes) an instance mid-run. The
+	// controller discovers the death through the broken connection,
+	// redispatches the stranded queries, and the autopilot's fault path
+	// reaps and relaunches — the canonical crash.
+	FaultKill FaultKind = "kill"
+	// FaultWedge SIGSTOPs an instance for Duration, then SIGCONTs it: the
+	// process is alive but serves nothing, queries queue behind it, and
+	// everything must still complete once it wakes. Requires a provider
+	// that can wedge (the exec fleet).
+	FaultWedge FaultKind = "wedge"
+	// FaultDelay adds Delay of one-way latency to every chunk on the
+	// instance's wire for Duration. Requires a ChaosProvider.
+	FaultDelay FaultKind = "delay"
+	// FaultStall pauses all traffic to and from the instance for
+	// Duration without losing a byte — a transient partition. Requires a
+	// ChaosProvider.
+	FaultStall FaultKind = "stall"
+	// FaultPartition hard-partitions the instance: its connections reset
+	// and new ones are refused, so the controller treats it as dead and
+	// the fleet must heal around a backend that is still running.
+	// Requires a ChaosProvider.
+	FaultPartition FaultKind = "partition"
+)
+
+// capacityLosing reports whether the fault makes the controller evict
+// the instance, so recovery means a relaunch rather than a lift.
+func (k FaultKind) capacityLosing() bool {
+	return k == FaultKill || k == FaultPartition
+}
+
+// FaultSpec schedules one fault within a soak run.
+type FaultSpec struct {
+	// Kind selects the fault.
+	Kind FaultKind
+	// At places the injection as a fraction of the scenario duration in
+	// [0, 1).
+	At float64
+	// Duration is the lift window for wedge, delay, and stall faults
+	// (wall clock).
+	Duration time.Duration
+	// Delay is the added per-chunk latency for FaultDelay.
+	Delay time.Duration
+	// Model optionally restricts the target to one model's instances;
+	// empty targets any instance.
+	Model string
+}
+
+// validate rejects malformed specs before anything launches.
+func (f FaultSpec) validate(hasChaos bool) error {
+	if f.At < 0 || f.At >= 1 {
+		return fmt.Errorf("soak: fault %s at %.2f outside [0,1)", f.Kind, f.At)
+	}
+	switch f.Kind {
+	case FaultKill:
+	case FaultWedge, FaultStall:
+		if f.Duration <= 0 {
+			return fmt.Errorf("soak: fault %s needs a positive duration", f.Kind)
+		}
+	case FaultDelay:
+		if f.Duration <= 0 || f.Delay <= 0 {
+			return fmt.Errorf("soak: fault delay needs positive duration and delay")
+		}
+	case FaultPartition:
+	default:
+		return fmt.Errorf("soak: unknown fault kind %q", f.Kind)
+	}
+	switch f.Kind {
+	case FaultDelay, FaultStall, FaultPartition:
+		if !hasChaos {
+			return fmt.Errorf("soak: fault %s needs a ChaosProvider (see WrapChaos)", f.Kind)
+		}
+	}
+	return nil
+}
+
+// KillAt is the one-fault spec most runs start from.
+func KillAt(at float64) FaultSpec { return FaultSpec{Kind: FaultKill, At: at} }
