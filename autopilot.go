@@ -28,6 +28,9 @@ type (
 	// ExecFleet is the exec actuation provider: it spawns, banner
 	// health-checks, and gracefully SIGTERMs real kairosd processes.
 	ExecFleet = autopilot.ExecFleet
+	// AutopilotDecisionEvent is one entry of the autopilot's bounded
+	// decision journal (Autopilot.Decisions, admin /decisionz).
+	AutopilotDecisionEvent = autopilot.DecisionEvent
 	// IngressServer is the external query front-end (HTTP JSON + binary
 	// TCP) feeding a controller; see Engine.Autopilot's WithIngress.
 	IngressServer = ingress.Server

@@ -26,9 +26,11 @@
 //	    -provider exec -kairosd ./kairosd \
 //	    -ingress 127.0.0.1:8080 -ingress-tcp 127.0.0.1:8081 -queries 0
 //
-// While it runs, the admin endpoint serves /healthz, /metrics, and /plan
-// as JSON with per-model sections (including per-model ingress counters
-// when a front-end is open).
+// While it runs, the admin endpoint serves /metrics (Prometheus text
+// exposition), /statusz and /plan (JSON with per-model sections,
+// including per-model ingress counters when a front-end is open),
+// /tracez (flight-recorder traces), /decisionz (the autopilot's
+// decision journal), and /healthz.
 package main
 
 import (
@@ -36,6 +38,8 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/exec"
 	"os/signal"
@@ -158,7 +162,15 @@ func main() {
 	shiftSpec := flag.String("shift-mix", "gaussian:600:100", "phase-2 batch mix (applies to the last -model)")
 	shiftAt := flag.Float64("shift", 0.4, "fraction of queries after which the mix shifts (1 = never)")
 	seed := flag.Int64("seed", 42, "random seed")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("kairos-autopilot: pprof on http://%s/debug/pprof/", *pprofAddr)
+			log.Println(http.ListenAndServe(*pprofAddr, nil))
+		}()
+	}
 
 	if len(modelNames) == 0 {
 		modelNames = []string{"NCF"}
@@ -244,7 +256,7 @@ func main() {
 	fmt.Printf("kairos-autopilot: %v under policy %s, shared budget $%.2f/hr (%s provider)\n",
 		[]string(modelNames), engine.Policy(), *budget, *provider)
 	printPlan("kairos-autopilot:   ", ap.Status().Plan)
-	fmt.Printf("kairos-autopilot: admin on http://%s (/healthz /metrics /plan)\n", adminAddr)
+	fmt.Printf("kairos-autopilot: admin on http://%s (/healthz /metrics /statusz /plan /tracez /decisionz)\n", adminAddr)
 	if ing := ap.Ingress(); ing != nil {
 		if a := ing.HTTPAddr(); a != "" {
 			fmt.Printf("kairos-autopilot: HTTP ingress on http://%s (POST /submit, GET /stats)\n", a)

@@ -3,8 +3,10 @@
 // inner loop), the matching-distributor Assign hot path (the controller's
 // per-round scheduling cost), the shared-budget fleet allocator, the
 // live serving path (wire-frame encode/decode and loopback
-// Submit→complete throughput through the sharded controller), and the
-// ingress hot path (external Submit→complete over HTTP and binary TCP) —
+// Submit→complete throughput through the sharded controller), the
+// flight-recorder hot paths (histogram record and trace stamping), and
+// the ingress hot path (external Submit→complete over HTTP and binary
+// TCP) —
 // via testing.Benchmark and writes the results as machine-readable JSON,
 // so CI can track the performance trajectory commit over commit.
 //
@@ -28,6 +30,7 @@ import (
 	"kairos"
 	"kairos/internal/assignment"
 	"kairos/internal/ingress"
+	"kairos/internal/obs"
 	"kairos/internal/server"
 )
 
@@ -155,6 +158,17 @@ func frameBench(c server.FrameBenchCase) func(*testing.B) {
 	}
 }
 
+// obsBench wraps one shared flight-recorder case (see obs.BenchCases:
+// the per-query tracing and histogram hot paths that ride the serving
+// path must stay allocation-free and cheap).
+func obsBench(c obs.BenchCase) func(*testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		c.Loop(b.N)
+	}
+}
+
 // controllerThroughputBench drives closed-loop submitters through the
 // shared serving-path fixture (server.StartBenchCluster: 2 models x 2
 // loopback instance servers each, LeastBacklog policy): ns/op is the
@@ -233,6 +247,12 @@ func main() {
 			name string
 			fn   func(*testing.B)
 		}{c.Name, frameBench(c)})
+	}
+	for _, c := range obs.BenchCases() {
+		benches = append(benches, struct {
+			name string
+			fn   func(*testing.B)
+		}{c.Name, obsBench(c)})
 	}
 	benches = append(benches, struct {
 		name string

@@ -21,6 +21,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -153,12 +154,14 @@ func main() {
 	}
 
 	bench := soak.Bench{Seed: *seed, TimeScale: *timeScale}
+	decisions := make(map[string][]kairos.AutopilotDecisionEvent, len(scenarios))
 	for _, sc := range scenarios {
-		report, err := runScenario(sc, modelNames, faults, *budget, *timeScale,
+		report, decs, err := runScenario(sc, modelNames, faults, *budget, *timeScale,
 			*seed, binPath, *ingressQueue, *emptyHold, *converge, logf)
 		if err != nil {
 			log.Fatalf("kairos-soak: %s: %v", sc.Name, err)
 		}
+		decisions[sc.Name] = decs
 		bench.Scenarios = append(bench.Scenarios, *report)
 		verdict := "PASS"
 		if !report.Passed() {
@@ -189,16 +192,42 @@ func main() {
 		log.Fatalf("kairos-soak: %v", err)
 	}
 	fmt.Printf("kairos-soak: wrote %s\n", *out)
+
+	// The autopilot decision journal rides next to the report: each
+	// scenario's trigger→replan→actuate cycles, so replans and heals can
+	// be lined up against the injected faults after the fact.
+	decPath := decisionsPath(*out)
+	df, err := os.Create(decPath)
+	if err != nil {
+		log.Fatalf("kairos-soak: %v", err)
+	}
+	denc := json.NewEncoder(df)
+	denc.SetIndent("", "  ")
+	if err := denc.Encode(decisions); err != nil {
+		df.Close()
+		log.Fatalf("kairos-soak: %v", err)
+	}
+	if err := df.Close(); err != nil {
+		log.Fatalf("kairos-soak: %v", err)
+	}
+	fmt.Printf("kairos-soak: wrote %s\n", decPath)
 	if !bench.Passed() {
 		os.Exit(1)
 	}
+}
+
+// decisionsPath derives the decision-journal path from the report path:
+// BENCH_soak.json -> BENCH_soak_decisions.json.
+func decisionsPath(out string) string {
+	ext := filepath.Ext(out)
+	return strings.TrimSuffix(out, ext) + "_decisions" + ext
 }
 
 // runScenario launches a fresh fleet, replays one scenario against it,
 // and tears everything down — faults never leak across runs.
 func runScenario(sc kairos.Scenario, modelNames []string, faults []soak.FaultSpec,
 	budget, timeScale float64, seed int64, binPath string, ingressQueue int,
-	emptyHold, converge time.Duration, logf func(string, ...any)) (*soak.Report, error) {
+	emptyHold, converge time.Duration, logf func(string, ...any)) (*soak.Report, []kairos.AutopilotDecisionEvent, error) {
 	// The initial plan is sized for the scenario's opening mix.
 	rng := rand.New(rand.NewSource(seed))
 	reference := make([]int, 4000)
@@ -213,7 +242,7 @@ func runScenario(sc kairos.Scenario, modelNames []string, faults []soak.FaultSpe
 		kairos.WithSeed(seed),
 	)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var inner kairos.Provider
 	if binPath != "" {
@@ -234,12 +263,12 @@ func runScenario(sc kairos.Scenario, modelNames []string, faults []soak.FaultSpe
 	)
 	if err != nil {
 		chaos.Close()
-		return nil, err
+		return nil, nil, err
 	}
 	defer ap.Close()
 	ap.Start()
 
-	return soak.Run(soak.System{AP: ap, Chaos: chaos}, soak.Config{
+	report, err := soak.Run(soak.System{AP: ap, Chaos: chaos}, soak.Config{
 		Scenario:        sc,
 		Seed:            seed,
 		TimeScale:       timeScale,
@@ -249,4 +278,7 @@ func runScenario(sc kairos.Scenario, modelNames []string, faults []soak.FaultSpe
 		ConvergeTimeout: converge,
 		Logf:            logf,
 	})
+	// Snapshot the decision journal before the deferred Close tears the
+	// autopilot down.
+	return report, ap.Decisions(), err
 }

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"sort"
+	"time"
+
+	"kairos/internal/autopilot"
+)
+
+// runTrace implements `kairosctl trace`: it reads the autopilot admin
+// endpoint's /tracez view and renders each model's retained flight
+// recorder traces, newest first.
+func runTrace(args []string) {
+	fs := flag.NewFlagSet("kairosctl trace", flag.ExitOnError)
+	admin := fs.String("admin", "", "autopilot admin address (host:port)")
+	model := fs.String("model", "", "limit to one model")
+	n := fs.Int("n", 20, "traces per model")
+	fs.Parse(args)
+	if *admin == "" {
+		log.Fatal("kairosctl trace: -admin required")
+	}
+	url := fmt.Sprintf("http://%s/tracez?n=%d", *admin, *n)
+	if *model != "" {
+		url += "&model=" + *model
+	}
+	var tz autopilot.TracezStatus
+	getJSON(url, &tz)
+	fmt.Printf("trace sampling: 1/%d (seed %d)\n", tz.SampleEvery, tz.SampleSeed)
+	names := make([]string, 0, len(tz.Models))
+	for name := range tz.Models {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		traces := tz.Models[name]
+		fmt.Printf("%s: %d traces (newest first)\n", name, len(traces))
+		for _, tr := range traces {
+			status := ""
+			if tr.Err {
+				status = "  FAILED"
+			}
+			fmt.Printf("  id=%-8d %s batch=%-5d %-14s queue=%s flight=%s wait=%s serve=%s e2e=%s%s\n",
+				tr.ID, tr.Start().Format("15:04:05.000"), tr.Batch, tr.Instance,
+				ms(tr.QueueNS), ms(tr.FlightNS), ms(tr.WaitNS), ms(tr.ServeNS), ms(tr.E2ENS), status)
+		}
+	}
+}
+
+// runStatus implements `kairosctl status`: the admin endpoint's full
+// JSON control-plane snapshot (/statusz), streamed as-is.
+func runStatus(args []string) {
+	fs := flag.NewFlagSet("kairosctl status", flag.ExitOnError)
+	admin := fs.String("admin", "", "autopilot admin address (host:port)")
+	fs.Parse(args)
+	if *admin == "" {
+		log.Fatal("kairosctl status: -admin required")
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/statusz", *admin))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// getJSON fetches one admin URL into v, failing the command on any
+// transport or decode error.
+func getJSON(url string, v any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		log.Fatalf("kairosctl: %s: %s: %s", url, resp.Status, body)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		log.Fatalf("kairosctl: decoding %s: %v", url, err)
+	}
+}
+
+// ms renders a nanosecond stage duration as wall milliseconds.
+func ms(ns int64) string {
+	return fmt.Sprintf("%.2fms", float64(ns)/float64(time.Millisecond))
+}

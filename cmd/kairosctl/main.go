@@ -10,6 +10,12 @@
 //
 //	kairosctl -model RM2 -addrs 127.0.0.1:7001,127.0.0.1:7002 -rate 20 -queries 200
 //	kairosctl -model RM2 -model NCF -addrs 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003
+//
+// Against a running kairos-autopilot admin endpoint it also speaks the
+// observability surface:
+//
+//	kairosctl status -admin 127.0.0.1:9090
+//	kairosctl trace -admin 127.0.0.1:9090 -model NCF -n 50
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 	"strings"
 	"sync"
 	"time"
@@ -25,6 +32,22 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "trace":
+			runTrace(os.Args[2:])
+			return
+		case "status":
+			runStatus(os.Args[2:])
+			return
+		}
+	}
+	runLoad()
+}
+
+// runLoad is the original kairosctl mode: drive a Poisson query load
+// through a locally-built controller against running kairosd daemons.
+func runLoad() {
 	var modelNames []string
 	flag.Func("model", "served model (repeatable)", func(v string) error {
 		modelNames = append(modelNames, v)

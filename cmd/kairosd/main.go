@@ -21,6 +21,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -35,7 +37,15 @@ func main() {
 	modelName := flag.String("model", "RM2", "served model (see kairos-bench -run table3)")
 	timeScale := flag.Float64("timescale", 1.0, "real seconds per simulated second (0.1 = 10x faster)")
 	drain := flag.Duration("drain", 10*time.Second, "max time to drain in-flight queries on SIGTERM")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("kairosd: pprof on http://%s/debug/pprof/", *pprofAddr)
+			log.Println(http.ListenAndServe(*pprofAddr, nil))
+		}()
+	}
 
 	model, err := kairos.ModelByName(*modelName)
 	if err != nil {

@@ -3,10 +3,13 @@ package autopilot
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net"
 	"net/http"
+	"strconv"
 	"time"
 
+	"kairos/internal/obs"
 	"kairos/internal/server"
 )
 
@@ -307,9 +310,15 @@ func (s *adminServer) close() {
 	s.srv.Close()
 }
 
-// AdminHandler returns the admin endpoint's routes: /healthz (liveness),
-// /metrics (full Status, with per-model sections), and /plan (the fleet
-// plan in force). All responses are JSON.
+// AdminHandler returns the admin endpoint's routes:
+//
+//	/healthz   liveness (JSON)
+//	/metrics   Prometheus text exposition (format 0.0.4)
+//	/statusz   full Status (JSON; the view /metrics served before the
+//	           Prometheus migration)
+//	/plan      the fleet plan in force (JSON)
+//	/tracez    flight-recorder trace rings (?model=NAME&n=COUNT)
+//	/decisionz the bounded control-decision journal (JSON)
 func (a *Autopilot) AdminHandler() http.Handler {
 	mux := http.NewServeMux()
 	writeJSON := func(w http.ResponseWriter, v any) {
@@ -332,12 +341,62 @@ func (a *Autopilot) AdminHandler() http.Handler {
 		})
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", PromContentType)
+		a.WritePrometheus(w)
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, a.Status())
 	})
 	mux.HandleFunc("/plan", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, a.planStatus())
 	})
+	mux.HandleFunc("/tracez", func(w http.ResponseWriter, r *http.Request) {
+		n := 100
+		if s := r.URL.Query().Get("n"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v < 1 {
+				w.WriteHeader(http.StatusBadRequest)
+				writeJSON(w, map[string]string{"error": "tracez: n must be a positive integer"})
+				return
+			}
+			n = v
+		}
+		reg := a.ctrl.Obs()
+		names := reg.Models()
+		if m := r.URL.Query().Get("model"); m != "" {
+			if reg.Model(m) == nil {
+				w.WriteHeader(http.StatusNotFound)
+				writeJSON(w, map[string]string{"error": fmt.Sprintf("tracez: unknown model %q", m)})
+				return
+			}
+			names = []string{m}
+		}
+		every, seed := reg.Sampling()
+		out := TracezStatus{
+			SampleEvery: every,
+			SampleSeed:  seed,
+			Models:      make(map[string][]obs.TraceRecord, len(names)),
+		}
+		for _, name := range names {
+			out.Models[name] = reg.Model(name).Traces(n)
+		}
+		writeJSON(w, out)
+	})
+	mux.HandleFunc("/decisionz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, a.Decisions())
+	})
 	return mux
+}
+
+// TracezStatus is the /tracez view: each model's retained trace ring
+// (newest first) plus the sampling configuration that produced it.
+type TracezStatus struct {
+	// SampleEvery is the trace sampling rate (~1/every; 0 disabled).
+	SampleEvery uint64 `json:"sample_every"`
+	// SampleSeed keys the deterministic sampler.
+	SampleSeed uint64 `json:"sample_seed"`
+	// Models maps each model to its retained traces, newest first.
+	Models map[string][]obs.TraceRecord `json:"models"`
 }
 
 func (a *Autopilot) startedAt() time.Time {

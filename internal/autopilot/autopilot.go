@@ -277,6 +277,15 @@ type Autopilot struct {
 	adminMu     sync.Mutex
 	admin       *adminServer
 	adminClosed bool
+
+	// journal is the bounded decision log behind /decisionz (read-only
+	// after New; internally synchronized).
+	journal *journal
+
+	// lastActuateMS is the wall-clock cost of the most recent fleet
+	// reconciliation, read by the journal entry for the step that ran it
+	// (guarded by stepMu).
+	lastActuateMS float64
 }
 
 // ModelDecision reports one model's trigger evaluation within a control
@@ -314,6 +323,8 @@ type Decision struct {
 	// PlanBudget is the budget handed to the planner when one fired
 	// (0 = the planner's full configured budget).
 	PlanBudget float64
+	// Held is true when a fired trigger was suppressed by the cooldown.
+	Held bool
 	// Replanned is true when a fresh plan was produced and actuated.
 	Replanned bool
 	// From and To are the fleet plans before and after; To is nil when no
@@ -362,6 +373,7 @@ func New(ctrl *server.Controller, provider Provider, initial core.FleetPlan, opt
 		stop:      make(chan struct{}),
 		loopDone:  make(chan struct{}),
 		faultKick: make(chan struct{}, 1),
+		journal:   newJournal(defaultJournalSize),
 	}
 	for _, m := range o.Models {
 		st := &modelState{
@@ -461,13 +473,24 @@ func (a *Autopilot) Heal() (bool, error) {
 	if !pending {
 		return false, nil
 	}
+	a.mu.Lock()
+	faultDetail := a.lastFaultDetail
+	a.mu.Unlock()
+	healStart := time.Now()
 	if err := a.actuate(plan); err != nil {
 		a.mu.Lock()
 		a.faultPending = true
 		a.mu.Unlock()
 		a.setErr(fmt.Sprintf("heal: %v", err))
+		a.journal.add(DecisionEvent{
+			At: time.Now(), Kind: "error", Reason: "heal: " + faultDetail, Err: err.Error(),
+		})
 		return false, fmt.Errorf("autopilot: heal: %w", err)
 	}
+	a.journal.add(DecisionEvent{
+		At: time.Now(), Kind: "heal", Reason: "healing fault: " + faultDetail,
+		To: a.planCounts(plan), ActuationMS: float64(time.Since(healStart)) / float64(time.Millisecond),
+	})
 	a.mu.Lock()
 	a.lastRecovery = time.Now()
 	a.heals++
@@ -575,6 +598,14 @@ func (dec *Decision) triggerNames() string {
 func (a *Autopilot) Step() (Decision, error) {
 	a.stepMu.Lock()
 	defer a.stepMu.Unlock()
+	a.lastActuateMS = 0
+	dec, err := a.step()
+	a.journal.add(a.decisionEvent(dec, err, a.lastActuateMS))
+	return dec, err
+}
+
+// step is Step's body; callers hold stepMu.
+func (a *Autopilot) step() (Decision, error) {
 	now := time.Now()
 	util, utilOK := a.updateRates(now)
 
@@ -660,6 +691,7 @@ func (a *Autopilot) Step() (Decision, error) {
 		return dec, nil
 	case sinceChange < a.opts.Cooldown:
 		a.setErr("")
+		dec.Held = true
 		dec.Reason = fmt.Sprintf("%s in cooldown (%.1fs of %.1fs)", dec.triggerNames(), sinceChange.Seconds(), a.opts.Cooldown.Seconds())
 		return dec, nil
 	}
@@ -753,10 +785,12 @@ func (a *Autopilot) Step() (Decision, error) {
 		return dec, nil
 	}
 
+	actuateStart := time.Now()
 	if err := a.actuate(next); err != nil {
 		a.setErr(fmt.Sprintf("actuate: %v", err))
 		return dec, fmt.Errorf("autopilot: actuate: %w", err)
 	}
+	a.lastActuateMS = float64(time.Since(actuateStart)) / float64(time.Millisecond)
 
 	a.mu.Lock()
 	for name, det := range rebased {

@@ -3,8 +3,10 @@ package autopilot
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
+	"strings"
 	"testing"
 	"time"
 
@@ -498,8 +500,8 @@ func TestAdminEndpoints(t *testing.T) {
 		t.Fatalf("single-model fleet cost %v != model cost %v", plan.Cost, mp.Cost)
 	}
 	var st Status
-	if code := get("/metrics", &st); code != http.StatusOK {
-		t.Fatalf("metrics code=%d", code)
+	if code := get("/statusz", &st); code != http.StatusOK {
+		t.Fatalf("statusz code=%d", code)
 	}
 	if !st.Healthy || st.Controller.Completed != 5 {
 		t.Fatalf("status = %+v", st)
@@ -513,6 +515,68 @@ func TestAdminEndpoints(t *testing.T) {
 	}
 	if cs, ok := st.Controller.Models[m.Name]; !ok || cs.Completed != 5 {
 		t.Fatalf("controller per-model stats = %+v", st.Controller.Models)
+	}
+
+	// /metrics is the Prometheus text exposition.
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != PromContentType {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE kairos_up gauge",
+		"kairos_up 1",
+		"kairos_queries_completed_total 5",
+		"# TYPE kairos_stage_latency_seconds histogram",
+		fmt.Sprintf("kairos_stage_latency_seconds_count{model=%q,stage=\"e2e\"} 5", m.Name),
+		fmt.Sprintf("kairos_fleet_instances{model=%q,type=%q} 2", m.Name, cloud.R5nLarge.Name),
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics exposition missing %q:\n%s", want, text)
+		}
+	}
+
+	// /tracez reports the sampling config and per-model rings (tracing
+	// defaults to 1/64 sampling, so the ring may legitimately be empty).
+	var tz TracezStatus
+	if code := get("/tracez", &tz); code != http.StatusOK {
+		t.Fatalf("tracez code=%d", code)
+	}
+	if tz.SampleEvery == 0 {
+		t.Fatalf("tracez sampling disabled by default: %+v", tz)
+	}
+	if _, ok := tz.Models[m.Name]; !ok {
+		t.Fatalf("tracez missing model section: %+v", tz)
+	}
+	var bad map[string]string
+	if code := get("/tracez?model=nope", &bad); code != http.StatusNotFound {
+		t.Fatalf("tracez unknown model code=%d", code)
+	}
+
+	// /decisionz serves the journal; no Step has run, so it is empty.
+	var devs []DecisionEvent
+	if code := get("/decisionz", &devs); code != http.StatusOK {
+		t.Fatalf("decisionz code=%d", code)
+	}
+	if len(devs) != 0 {
+		t.Fatalf("decision journal unexpectedly has %d entries", len(devs))
+	}
+	if _, err := ap.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if code := get("/decisionz", &devs); code != http.StatusOK || len(devs) != 1 {
+		t.Fatalf("decisionz after one step: code=%d entries=%d", code, len(devs))
+	}
+	if devs[0].Seq != 1 || devs[0].Kind == "" {
+		t.Fatalf("decision entry = %+v", devs[0])
 	}
 }
 

@@ -1,0 +1,180 @@
+package autopilot
+
+import (
+	"sync"
+	"time"
+
+	"kairos/internal/core"
+)
+
+// defaultJournalSize bounds the in-memory decision journal. At the
+// default one-second control interval it holds the last ~8 minutes of
+// decisions, and replans/heals (the entries an incident review needs)
+// are far rarer than steady ticks.
+const defaultJournalSize = 512
+
+// DecisionModelView is one model's trigger reading inside a journal
+// entry — the window snapshot the decision was made from.
+type DecisionModelView struct {
+	// Checked is false while the model's live window was too cold.
+	Checked bool `json:"checked"`
+	// Drift is the total-variation distance from the armed reference.
+	Drift float64 `json:"drift"`
+	// TailMS is the windowed SLO-percentile latency in model ms.
+	TailMS float64 `json:"tail_ms"`
+	// ArrivalQPS is the smoothed demand estimate handed to the planner.
+	ArrivalQPS float64 `json:"arrival_qps"`
+	// DriftTriggered / SLOTriggered report the model's fired triggers.
+	DriftTriggered bool `json:"drift_triggered,omitempty"`
+	SLOTriggered   bool `json:"slo_triggered,omitempty"`
+}
+
+// DecisionEvent is one entry in the autopilot's bounded decision
+// journal: a trigger→replan→actuate cycle (or the decision not to run
+// one), with enough context to reconstruct why the control plane moved.
+// The journal is the /decisionz view and rides next to BENCH_soak.json
+// in soak runs.
+type DecisionEvent struct {
+	// Seq is the entry's monotone sequence number (1-based); gaps mean
+	// the bounded journal rotated older entries out.
+	Seq int64 `json:"seq"`
+	// At is when the decision completed.
+	At time.Time `json:"at"`
+	// Kind classifies the cycle: "replan" (a fresh plan was actuated),
+	// "plan-unchanged" (a trigger fired but planning reproduced the
+	// current fleet), "held" (a trigger fired inside the cooldown),
+	// "steady" (no trigger), "cold" (windows too cold to evaluate),
+	// "heal" (a fault-recovery actuation), or "error" (the cycle failed;
+	// see Err).
+	Kind string `json:"kind"`
+	// Triggers names the fired triggers ("drift", "slo", "scale-in",
+	// joined with +); empty when none fired.
+	Triggers string `json:"triggers,omitempty"`
+	// Reason is the human-readable decision summary (mirrors the log).
+	Reason string `json:"reason,omitempty"`
+	// Utilization is the fleet-wide busy fraction read this cycle.
+	Utilization float64 `json:"utilization"`
+	// PlanBudget is the shrunk budget handed to the planner by a pure
+	// scale-in (0 = the full configured budget).
+	PlanBudget float64 `json:"plan_budget,omitempty"`
+	// Models carries the per-model window snapshot behind the decision.
+	Models map[string]DecisionModelView `json:"models,omitempty"`
+	// From and To are the fleet allocations before and after, keyed by
+	// model then instance type; To is set only when the plan changed
+	// (replans and heals).
+	From map[string]ModelPlanStatus `json:"from,omitempty"`
+	To   map[string]ModelPlanStatus `json:"to,omitempty"`
+	// ActuationMS is the wall-clock cost of reconciling the fleet
+	// (replans and heals only).
+	ActuationMS float64 `json:"actuation_ms,omitempty"`
+	// Err is the failure behind an "error" kind, empty otherwise.
+	Err string `json:"err,omitempty"`
+}
+
+// journal is a bounded ring of decision events. Writes happen at
+// control-loop frequency (roughly one per second), so a plain mutex is
+// fine — this is nowhere near the serving hot path.
+type journal struct {
+	mu   sync.Mutex
+	seq  int64
+	buf  []DecisionEvent
+	next int  // slot the next event lands in
+	full bool // the ring has wrapped at least once
+}
+
+func newJournal(n int) *journal {
+	if n <= 0 {
+		n = defaultJournalSize
+	}
+	return &journal{buf: make([]DecisionEvent, n)}
+}
+
+// add stamps the event's sequence number and appends it, rotating the
+// oldest entry out once the ring is full.
+func (j *journal) add(ev DecisionEvent) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.seq++
+	ev.Seq = j.seq
+	j.buf[j.next] = ev
+	j.next++
+	if j.next == len(j.buf) {
+		j.next = 0
+		j.full = true
+	}
+}
+
+// events returns up to max retained entries in chronological order
+// (oldest first); max <= 0 returns everything retained.
+func (j *journal) events(max int) []DecisionEvent {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var out []DecisionEvent
+	if j.full {
+		out = append(out, j.buf[j.next:]...)
+	}
+	out = append(out, j.buf[:j.next]...)
+	if max > 0 && len(out) > max {
+		out = out[len(out)-max:]
+	}
+	return out
+}
+
+// Decisions returns the retained decision journal in chronological
+// order. Soak runs write it next to their benchmark report so replan
+// entries can be lined up against injected faults.
+func (a *Autopilot) Decisions() []DecisionEvent {
+	return a.journal.events(0)
+}
+
+// planCounts renders a fleet plan as the journal's per-model allocation
+// view.
+func (a *Autopilot) planCounts(p core.FleetPlan) map[string]ModelPlanStatus {
+	if len(p) == 0 {
+		return nil
+	}
+	out := make(map[string]ModelPlanStatus, len(p))
+	for name, cfg := range p {
+		out[name] = a.modelPlanStatus(cfg)
+	}
+	return out
+}
+
+// decisionEvent assembles the journal entry for one completed Step.
+func (a *Autopilot) decisionEvent(dec Decision, err error, actuateMS float64) DecisionEvent {
+	ev := DecisionEvent{
+		At:          time.Now(),
+		Triggers:    dec.triggerNames(),
+		Reason:      dec.Reason,
+		Utilization: dec.Utilization,
+		PlanBudget:  dec.PlanBudget,
+		From:        a.planCounts(dec.From),
+	}
+	switch {
+	case err != nil:
+		ev.Kind = "error"
+		ev.Err = err.Error()
+	case dec.Replanned:
+		ev.Kind = "replan"
+		ev.To = a.planCounts(dec.To)
+		ev.ActuationMS = actuateMS
+	case !dec.Checked:
+		ev.Kind = "cold"
+	case dec.Held:
+		ev.Kind = "held"
+	case dec.DriftTriggered || dec.SLOTriggered || dec.ScaleInTriggered:
+		ev.Kind = "plan-unchanged"
+	default:
+		ev.Kind = "steady"
+	}
+	if len(dec.Models) > 0 {
+		ev.Models = make(map[string]DecisionModelView, len(dec.Models))
+		for name, md := range dec.Models {
+			ev.Models[name] = DecisionModelView{
+				Checked: md.Checked, Drift: md.Drift, TailMS: zeroNaN(md.TailMS),
+				ArrivalQPS: md.ArrivalQPS, DriftTriggered: md.DriftTriggered, SLOTriggered: md.SLOTriggered,
+			}
+		}
+	}
+	return ev
+}

@@ -1,0 +1,170 @@
+package autopilot
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"kairos/internal/obs"
+)
+
+// PromContentType is the Prometheus text exposition format version the
+// admin /metrics endpoint serves.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// promWriter accumulates one exposition in deterministic family order.
+type promWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (p *promWriter) family(name, help, typ string) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func (p *promWriter) sample(name, labels string, v float64) {
+	if p.err != nil {
+		return
+	}
+	if labels != "" {
+		_, p.err = fmt.Fprintf(p.w, "%s{%s} %g\n", name, labels, v)
+	} else {
+		_, p.err = fmt.Fprintf(p.w, "%s %g\n", name, v)
+	}
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// WritePrometheus writes the whole control plane as one Prometheus text
+// exposition (format 0.0.4): control-loop health, the fleet plan in
+// force, serving-path counters, ingress admission state, fault/heal
+// accounting, and the flight recorder's per-stage and per-instance-type
+// latency histograms. Families and label sets come out in deterministic
+// order so scrapes diff cleanly.
+func (a *Autopilot) WritePrometheus(w io.Writer) error {
+	st := a.Status()
+	p := &promWriter{w: bufio.NewWriter(w)}
+
+	p.family("kairos_up", "Control plane health (0 after a failed replan or actuation).", "gauge")
+	p.sample("kairos_up", "", boolGauge(st.Healthy))
+	p.family("kairos_uptime_seconds", "Wall-clock seconds since the autopilot started.", "gauge")
+	p.sample("kairos_uptime_seconds", "", st.UptimeSeconds)
+	p.family("kairos_throughput_qps", "Recent fleet-wide completion rate in model-time QPS.", "gauge")
+	p.sample("kairos_throughput_qps", "", st.ThroughputQPS)
+	p.family("kairos_utilization_ratio", "Recent fleet-average busy fraction in [0,1].", "gauge")
+	p.sample("kairos_utilization_ratio", "", st.Utilization)
+
+	p.family("kairos_plan_cost_dollars_per_hour", "Hourly cost of the fleet plan in force.", "gauge")
+	p.sample("kairos_plan_cost_dollars_per_hour", "", st.Plan.Cost)
+	p.family("kairos_replans_total", "Actuated fleet reconfigurations.", "counter")
+	p.sample("kairos_replans_total", "", float64(st.Plan.Replans))
+
+	p.family("kairos_instances_lost_total", "Instance deaths observed outside orderly removals.", "counter")
+	p.sample("kairos_instances_lost_total", "", float64(st.Faults.InstancesLost))
+	p.family("kairos_heals_total", "Completed fault-heal actuations.", "counter")
+	p.sample("kairos_heals_total", "", float64(st.Faults.Heals))
+	p.family("kairos_fault_pending", "1 while an instance-death fault awaits its heal.", "gauge")
+	p.sample("kairos_fault_pending", "", boolGauge(st.Faults.Pending))
+
+	p.family("kairos_queries_submitted_total", "Queries accepted by the controller.", "counter")
+	p.sample("kairos_queries_submitted_total", "", float64(st.Controller.Submitted))
+	p.family("kairos_queries_completed_total", "Queries delivered without error.", "counter")
+	p.sample("kairos_queries_completed_total", "", float64(st.Controller.Completed))
+	p.family("kairos_queries_failed_total", "Queries delivered with an error.", "counter")
+	p.sample("kairos_queries_failed_total", "", float64(st.Controller.Failed))
+	p.family("kairos_queue_depth", "Central scheduler queue depth per model.", "gauge")
+	for _, name := range a.names {
+		p.sample("kairos_queue_depth", fmt.Sprintf("model=%q", escapeLabel(name)), float64(st.Controller.Models[name].Waiting))
+	}
+
+	p.family("kairos_model_drift", "Last measured total-variation distance from the armed reference.", "gauge")
+	for _, name := range a.names {
+		p.sample("kairos_model_drift", fmt.Sprintf("model=%q", escapeLabel(name)), st.Models[name].Drift)
+	}
+	p.family("kairos_model_tail_latency_seconds", "Windowed SLO-percentile latency per model (model time).", "gauge")
+	for _, name := range a.names {
+		p.sample("kairos_model_tail_latency_seconds", fmt.Sprintf("model=%q", escapeLabel(name)), st.Models[name].Window.P99MS/1000)
+	}
+	p.family("kairos_model_throughput_qps", "Recent per-model completion rate in model-time QPS.", "gauge")
+	for _, name := range a.names {
+		p.sample("kairos_model_throughput_qps", fmt.Sprintf("model=%q", escapeLabel(name)), st.Models[name].Window.ThroughputQPS)
+	}
+	p.family("kairos_model_arrival_qps", "Smoothed observed per-model arrival rate in model-time QPS.", "gauge")
+	for _, name := range a.names {
+		p.sample("kairos_model_arrival_qps", fmt.Sprintf("model=%q", escapeLabel(name)), st.Models[name].Window.ArrivalQPS)
+	}
+
+	if len(st.Controller.Ingress) > 0 {
+		p.family("kairos_ingress_queue_depth", "Admitted-but-unfinished ingress queries per model.", "gauge")
+		for _, name := range a.names {
+			p.sample("kairos_ingress_queue_depth", fmt.Sprintf("model=%q", escapeLabel(name)), float64(st.Controller.Ingress[name].Queue))
+		}
+		p.family("kairos_ingress_submitted_total", "Queries the front-end admitted into the controller.", "counter")
+		for _, name := range a.names {
+			p.sample("kairos_ingress_submitted_total", fmt.Sprintf("model=%q", escapeLabel(name)), float64(st.Controller.Ingress[name].Submitted))
+		}
+		p.family("kairos_ingress_rejected_total", "Queries pushed back by the bounded admission queue.", "counter")
+		for _, name := range a.names {
+			p.sample("kairos_ingress_rejected_total", fmt.Sprintf("model=%q", escapeLabel(name)), float64(st.Controller.Ingress[name].Rejected))
+		}
+	}
+
+	p.family("kairos_fleet_instances", "Connected, non-draining instances per model per type.", "gauge")
+	for _, name := range a.names {
+		types := make([]string, 0, len(st.Fleet[name]))
+		for t := range st.Fleet[name] {
+			types = append(types, t)
+		}
+		sort.Strings(types)
+		for _, t := range types {
+			labels := fmt.Sprintf("model=%q,type=%q", escapeLabel(name), escapeLabel(t))
+			p.sample("kairos_fleet_instances", labels, float64(st.Fleet[name][t]))
+		}
+	}
+
+	// Flight-recorder histograms: per-stage wall-time latency and the
+	// per-instance-type serve-time breakdown, straight off the atomic
+	// counters (no locks taken on the serving path).
+	reg := a.ctrl.Obs()
+	p.family("kairos_stage_latency_seconds", "Per-stage wall-clock latency of served queries.", "histogram")
+	for _, name := range reg.Models() {
+		mo := reg.Model(name)
+		for _, stage := range obs.Stages() {
+			snap := mo.StageSnapshot(stage)
+			labels := fmt.Sprintf("model=%q,stage=%q", escapeLabel(name), escapeLabel(stage.String()))
+			if p.err == nil {
+				snap.WriteProm(p.w, "kairos_stage_latency_seconds", labels)
+			}
+		}
+	}
+	p.family("kairos_instance_serve_seconds", "Serve-time distribution per model per instance type.", "histogram")
+	for _, name := range reg.Models() {
+		for _, se := range reg.Model(name).ServeByType() {
+			labels := fmt.Sprintf("model=%q,instance_type=%q", escapeLabel(name), escapeLabel(se.Type))
+			if p.err == nil {
+				se.Snap.WriteProm(p.w, "kairos_instance_serve_seconds", labels)
+			}
+		}
+	}
+
+	if p.err != nil {
+		return p.err
+	}
+	return p.w.Flush()
+}

@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"kairos/internal/obs"
 	"kairos/internal/server"
 )
 
@@ -64,6 +65,9 @@ type modelFront struct {
 	rejected  atomic.Int64
 	completed atomic.Int64
 	failed    atomic.Int64
+	// mo is the model's flight-recorder shard (shared with the
+	// controller): the front-end stamps StageAdmit and StageIngress.
+	mo *obs.ModelObs
 }
 
 // admit reserves one slot in the model's bounded queue; false rejects.
@@ -146,7 +150,7 @@ func New(ctrl *server.Controller, opts Options) (*Server, error) {
 		s.logf = func(string, ...any) {}
 	}
 	for _, name := range ctrl.Models() {
-		s.models[name] = &modelFront{}
+		s.models[name] = &modelFront{mo: ctrl.Obs().Model(name)}
 		s.order = append(s.order, name)
 	}
 	if opts.HTTPAddr != "" {
@@ -263,6 +267,7 @@ func (s *Server) HTTPHandler() http.Handler {
 		json.NewEncoder(w).Encode(v)
 	}
 	mux.HandleFunc("/submit", func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
 		if r.Method != http.MethodPost {
 			writeJSON(w, http.StatusMethodNotAllowed, submitReply{Error: "ingress: POST only"})
 			return
@@ -288,7 +293,9 @@ func (s *Server) HTTPHandler() http.Handler {
 		}
 		mf.submitted.Add(1)
 		mf.http.Add(1)
+		mf.mo.Record(obs.StageAdmit, time.Since(t0))
 		res := s.serveOne(mf, req.Model, req.Batch)
+		mf.mo.Record(obs.StageIngress, time.Since(t0))
 		if res.Err != nil {
 			writeJSON(w, http.StatusBadGateway, submitReply{Model: req.Model, Batch: req.Batch, Error: res.Err.Error()})
 			return
@@ -393,7 +400,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		binary = *probe.Proto >= server.ProtoBinary
 	} else {
 		// Legacy JSON client: the probe frame was its first query.
-		s.handle(probe.ID, probe.Model, probe.Batch, w, false, &inflight)
+		s.handle(probe.ID, probe.Model, probe.Batch, w, false, &inflight, time.Now())
 	}
 	var rbuf []byte
 	for {
@@ -403,24 +410,25 @@ func (s *Server) serveConn(conn net.Conn) {
 				return
 			}
 			rbuf = p[:0]
-			id, batch, model, err := server.DecodeRequestFrame(p)
+			id, batch, model, _, err := server.DecodeRequestFrame(p)
 			if err != nil {
 				return
 			}
-			s.handle(id, string(model), batch, w, true, &inflight)
+			s.handle(id, string(model), batch, w, true, &inflight, time.Now())
 		} else {
 			var req server.Request
 			if err := server.ReadFrame(br, &req); err != nil {
 				return
 			}
-			s.handle(req.ID, req.Model, req.Batch, w, false, &inflight)
+			s.handle(req.ID, req.Model, req.Batch, w, false, &inflight, time.Now())
 		}
 	}
 }
 
 // handle admits one TCP query and spawns its waiter; rejections are
-// answered inline.
-func (s *Server) handle(id int64, model string, batch int, w *replyWriter, binary bool, inflight *sync.WaitGroup) {
+// answered inline. t0 is the request's receive timestamp, the anchor
+// for the front-door flight-recorder stages.
+func (s *Server) handle(id int64, model string, batch int, w *replyWriter, binary bool, inflight *sync.WaitGroup, t0 time.Time) {
 	mf := s.models[model]
 	if mf == nil {
 		w.send(server.Reply{ID: id, Err: fmt.Sprintf("ingress: unknown model %q (serving %v)", model, s.order)}, binary)
@@ -433,12 +441,14 @@ func (s *Server) handle(id int64, model string, batch int, w *replyWriter, binar
 	}
 	mf.submitted.Add(1)
 	mf.tcp.Add(1)
+	mf.mo.Record(obs.StageAdmit, time.Since(t0))
 	inflight.Add(1)
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
 		defer inflight.Done()
 		res := s.serveOne(mf, model, batch)
+		mf.mo.Record(obs.StageIngress, time.Since(t0))
 		rep := server.Reply{ID: id, ServiceMS: res.LatencyMS}
 		if res.Err != nil {
 			rep.Err = res.Err.Error()

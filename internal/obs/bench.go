@@ -1,0 +1,59 @@
+package obs
+
+import "time"
+
+// BenchCase is a named measurement loop shared between this package's
+// benchmarks and cmd/kairos-microbench, so the committed BENCH_micro
+// numbers and `go test -bench` run identical code.
+type BenchCase struct {
+	Name string
+	Loop func(n int)
+}
+
+// BenchCases returns the flight-recorder hot-path benchmarks:
+//
+//   - HistogramRecord: one stage-histogram observation (the unit cost
+//     paid several times per completed query).
+//   - TraceStampOverhead: everything the controller pays per completed
+//     query at the default sampling rate — the sampling decision, the
+//     four completion-side histogram records plus the per-type serve
+//     record, and (for the sampled ~1/64) the ring write.
+func BenchCases() []BenchCase {
+	return []BenchCase{
+		{
+			Name: "HistogramRecord",
+			Loop: func(n int) {
+				var h Histogram
+				for i := 0; i < n; i++ {
+					h.Record(time.Duration(1000 + i*37))
+				}
+			},
+		},
+		{
+			Name: "TraceStampOverhead",
+			Loop: func(n int) {
+				reg := NewRegistry(1024, "bench")
+				mo := reg.Model("bench")
+				serve := mo.ServeHist("g4dn.xlarge")
+				typeID := reg.Intern("g4dn.xlarge")
+				for i := 0; i < n; i++ {
+					id := int64(i)
+					d := time.Duration(900 + i*53)
+					traced := mo.Sampled(id)
+					mo.Record(StageQueue, d/4)
+					mo.Record(StageFlight, d)
+					mo.Record(StageServe, d/2)
+					mo.Record(StageE2E, d+d/4)
+					serve.Record(d / 2)
+					if traced {
+						mo.Trace(&TraceRecord{
+							ID: id, StartUnixNano: int64(i), Batch: 8,
+							QueueNS: int64(d / 4), FlightNS: int64(d),
+							ServeNS: int64(d / 2), E2ENS: int64(d + d/4),
+						}, typeID)
+					}
+				}
+			},
+		},
+	}
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// TraceRecord is one sampled query's completed lifecycle: every stage
+// duration the flight recorder stamped between controller enqueue and
+// reply delivery. Durations are wall nanoseconds (divide by the
+// engine's TimeScale to recover model time).
+type TraceRecord struct {
+	ID            int64  `json:"id"`
+	StartUnixNano int64  `json:"start_unix_nano"`
+	Batch         int    `json:"batch"`
+	Instance      string `json:"instance,omitempty"`
+	QueueNS       int64  `json:"queue_ns"`
+	FlightNS      int64  `json:"flight_ns"`
+	WaitNS        int64  `json:"wait_ns"`
+	ServeNS       int64  `json:"serve_ns"`
+	E2ENS         int64  `json:"e2e_ns"`
+	Err           bool   `json:"err,omitempty"`
+}
+
+// Ring slot layout: a fixed number of int64 words per record, all
+// accessed atomically. The seq word is written last (and checked
+// first/last by readers), so a reader that races a writer detects the
+// torn record and skips it instead of locking anybody out.
+const (
+	ringWords = 11
+
+	slotSeq = iota - 1
+	slotID
+	slotStart
+	slotBatch
+	slotType
+	slotQueue
+	slotFlight
+	slotWait
+	slotServe
+	slotE2E
+	slotErr
+)
+
+// Ring is a lock-free, fixed-capacity, overwrite-oldest buffer of
+// trace records. Writers claim a slot with one atomic add and store
+// fields with plain atomic stores; readers never block writers.
+type Ring struct {
+	n     uint64
+	head  atomic.Uint64
+	slots []atomic.Int64
+}
+
+func newRing(n int) *Ring {
+	if n <= 0 {
+		n = 1024
+	}
+	return &Ring{n: uint64(n), slots: make([]atomic.Int64, n*ringWords)}
+}
+
+// put records one completed trace. typeID is the interned instance
+// type (-1 when the query never reached an instance).
+func (r *Ring) put(rec *TraceRecord, typeID int) {
+	seq := r.head.Add(1) // 1-based; 0 marks an empty/in-progress slot
+	base := ((seq - 1) % r.n) * ringWords
+	s := r.slots[base:]
+	s[slotSeq].Store(0) // invalidate while we overwrite
+	s[slotID].Store(rec.ID)
+	s[slotStart].Store(rec.StartUnixNano)
+	s[slotBatch].Store(int64(rec.Batch))
+	s[slotType].Store(int64(typeID))
+	s[slotQueue].Store(rec.QueueNS)
+	s[slotFlight].Store(rec.FlightNS)
+	s[slotWait].Store(rec.WaitNS)
+	s[slotServe].Store(rec.ServeNS)
+	s[slotE2E].Store(rec.E2ENS)
+	var errFlag int64
+	if rec.Err {
+		errFlag = 1
+	}
+	s[slotErr].Store(errFlag)
+	s[slotSeq].Store(int64(seq))
+}
+
+// dump returns up to max records, newest first. Records that are being
+// overwritten concurrently are skipped (seq mismatch before/after the
+// field reads). typeName resolves interned instance-type IDs.
+func (r *Ring) dump(max int, typeName func(int) string) []TraceRecord {
+	if max <= 0 || max > int(r.n) {
+		max = int(r.n)
+	}
+	head := r.head.Load()
+	out := make([]TraceRecord, 0, max)
+	for i := uint64(0); i < r.n && len(out) < max; i++ {
+		seq := head - i
+		if seq == 0 {
+			break
+		}
+		base := ((seq - 1) % r.n) * ringWords
+		s := r.slots[base:]
+		if uint64(s[slotSeq].Load()) != seq {
+			continue // empty, torn, or already lapped
+		}
+		rec := TraceRecord{
+			ID:            s[slotID].Load(),
+			StartUnixNano: s[slotStart].Load(),
+			Batch:         int(s[slotBatch].Load()),
+			QueueNS:       s[slotQueue].Load(),
+			FlightNS:      s[slotFlight].Load(),
+			WaitNS:        s[slotWait].Load(),
+			ServeNS:       s[slotServe].Load(),
+			E2ENS:         s[slotE2E].Load(),
+			Err:           s[slotErr].Load() != 0,
+		}
+		if tid := int(s[slotType].Load()); tid >= 0 && typeName != nil {
+			rec.Instance = typeName(tid)
+		}
+		if uint64(s[slotSeq].Load()) != seq {
+			continue // overwritten mid-read
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// Start returns the record's start timestamp as a time.Time.
+func (t *TraceRecord) Start() time.Time { return time.Unix(0, t.StartUnixNano) }

@@ -1,0 +1,58 @@
+package obs
+
+import "sync/atomic"
+
+// DefaultSampleEvery is the default trace sampling rate: on average one
+// query in 64 carries a full trace record. Histograms always see every
+// query; sampling only gates the per-query ring records and the wire
+// trace flag.
+const DefaultSampleEvery = 64
+
+// Sampler decides deterministically whether a query ID is traced. The
+// decision is a pure function of (id, seed, every): the same seed
+// always traces the same query set, so a replayed scenario traces the
+// same queries — and two processes configured alike agree on the set.
+// All fields are atomics so the rate can be retuned at runtime without
+// stalling recorders.
+type Sampler struct {
+	every atomic.Uint64
+	seed  atomic.Uint64
+}
+
+// Configure sets the sampling rate (trace ~1/every queries; 0 disables,
+// 1 traces everything) and the hash seed.
+func (s *Sampler) Configure(every uint64, seed uint64) {
+	s.every.Store(every)
+	s.seed.Store(seed)
+}
+
+// Every returns the current sampling modulus.
+func (s *Sampler) Every() uint64 { return s.every.Load() }
+
+// Seed returns the current hash seed.
+func (s *Sampler) Seed() uint64 { return s.seed.Load() }
+
+// Sample reports whether the query with this ID is traced. One integer
+// mix and a modulus — no locks, no allocations.
+func (s *Sampler) Sample(id uint64) bool {
+	n := s.every.Load()
+	switch n {
+	case 0:
+		return false
+	case 1:
+		return true
+	}
+	return mix64(id+s.seed.Load())%n == 0
+}
+
+// mix64 is the splitmix64 finalizer: a cheap, well-distributed 64-bit
+// mixer, so sampling is unbiased even for sequential query IDs.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"kairos/internal/models"
+	"kairos/internal/obs"
 	"kairos/internal/sim"
 )
 
@@ -40,6 +41,12 @@ type Controller struct {
 	// groups and order are immutable after construction.
 	groups map[string]*modelGroup
 	order  []string // sorted model names: deterministic iteration
+
+	// obs is the flight recorder: per-model stage histograms, sampled
+	// trace rings, and the sampling policy. Always on — the stamps reuse
+	// timestamps the serving path already takes, so recording costs a few
+	// atomic adds per query and nothing allocates.
+	obs *obs.Registry
 
 	nextID    atomic.Int64
 	closed    chan struct{}
@@ -84,6 +91,7 @@ type modelGroup struct {
 	observer sim.Observer // policy's Observe, nil if not implemented
 	predict  func(typeName string, batch int) float64
 	kick     chan struct{}
+	obs      *obs.ModelObs // the model's flight-recorder shard
 
 	submitted atomic.Int64
 	completed atomic.Int64
@@ -138,6 +146,11 @@ type remoteInstance struct {
 	// needsFlush marks the instance as touched by the current dispatch
 	// burst; only the group's scheduler goroutine uses it.
 	needsFlush bool
+	// serveHist and typeID are the flight recorder's per-instance-type
+	// hooks, resolved once at dial time so the reply path records with a
+	// cached pointer and stores an interned int.
+	serveHist *obs.Histogram
+	typeID    int
 }
 
 type pendingQuery struct {
@@ -145,7 +158,13 @@ type pendingQuery struct {
 	model    string
 	batch    int
 	enqueued time.Time
-	done     chan QueryResult
+	// dispatched is stamped with the scheduling round's clock read when
+	// the query leaves the central queue (re-stamped on redispatch).
+	dispatched time.Time
+	// traced marks a sampled query: it carries the trace flag on the wire
+	// and writes a ring record on completion.
+	traced bool
+	done   chan QueryResult
 	// completed flips exactly once: the first completion path (reply,
 	// eviction, close, failed write) wins the delivery.
 	completed atomic.Bool
@@ -283,6 +302,10 @@ func NewMultiController(groups map[string]GroupSpec, timeScale float64, addrs []
 		c.order = append(c.order, model)
 	}
 	sort.Strings(c.order)
+	c.obs = obs.NewRegistry(0, c.order...)
+	for _, model := range c.order {
+		c.groups[model].obs = c.obs.Model(model)
+	}
 	for _, addr := range addrs {
 		ri, err := c.dialInstance(addr)
 		if err != nil {
@@ -322,12 +345,17 @@ func (c *Controller) dialInstance(addr string) (*remoteInstance, error) {
 			hello.TypeName, addr, hello.Model, c.order)
 	}
 	if hello.Proto >= ProtoBinary {
-		if err := wc.writeJSON(HelloAck{Proto: ProtoBinary}); err != nil {
+		// Ack the highest version both sides speak; a ProtoBinary-only
+		// instance never sees the traced frame kinds.
+		ack := min(hello.Proto, ProtoTraced)
+		if err := wc.writeJSON(HelloAck{Proto: ack}); err != nil {
 			conn.Close()
 			return nil, fmt.Errorf("server: handshake with %s: %w", addr, err)
 		}
 		wc.binary = true
+		wc.proto = ack
 	}
+	mo := c.obs.Model(hello.Model)
 	return &remoteInstance{
 		model:     hello.Model,
 		typeName:  hello.TypeName,
@@ -335,8 +363,20 @@ func (c *Controller) dialInstance(addr string) (*remoteInstance, error) {
 		wc:        wc,
 		busyUntil: time.Now(),
 		byID:      make(map[int64]*pendingQuery),
+		serveHist: mo.ServeHist(hello.TypeName),
+		typeID:    c.obs.Intern(hello.TypeName),
 	}, nil
 }
+
+// Obs exposes the controller's flight recorder: per-model stage
+// histograms, per-instance-type serve histograms, and the sampled
+// trace rings (see internal/obs).
+func (c *Controller) Obs() *obs.Registry { return c.obs }
+
+// SetTraceSampling retunes trace sampling at runtime: trace ~1/every
+// queries (0 disables, 1 traces everything), deterministically keyed by
+// seed — the same seed always traces the same query IDs.
+func (c *Controller) SetTraceSampling(every, seed uint64) { c.obs.SetSampling(every, seed) }
 
 // Models lists the served model names in sorted order.
 func (c *Controller) Models() []string {
@@ -597,6 +637,57 @@ func (c *Controller) Stats() Stats {
 	return s
 }
 
+// OutstandingQuery names one admitted-but-undelivered query: which
+// model, where it is stuck ("queued" in the central queue or
+// "dispatched" to an instance), and how long it has been in flight.
+// The ID doubles as the trace ID, so a sampled query's full stage
+// breakdown is one /tracez lookup away.
+type OutstandingQuery struct {
+	Model string `json:"model"`
+	ID    int64  `json:"id"`
+	Batch int    `json:"batch"`
+	// Stage is the last recorded lifecycle stage: "queued" or "dispatched".
+	Stage string `json:"stage"`
+	// Instance is the dispatch target's type (dispatched queries only).
+	Instance string `json:"instance,omitempty"`
+	// AgeMS is time since enqueue in model milliseconds.
+	AgeMS float64 `json:"age_ms"`
+	// Traced marks a sampled query with a ring record to correlate.
+	Traced bool `json:"traced"`
+}
+
+// OutstandingQueries snapshots every query the controller has accepted
+// but not yet delivered, in model order. A drained fleet returns an
+// empty slice; the soak checker uses this to name the exact stuck
+// queries behind a zero-drop violation.
+func (c *Controller) OutstandingQueries() []OutstandingQuery {
+	now := time.Now()
+	ageMS := func(enq time.Time) float64 {
+		return float64(now.Sub(enq)) / float64(time.Millisecond) / c.TimeScale
+	}
+	var out []OutstandingQuery
+	for _, model := range c.order {
+		g := c.groups[model]
+		g.mu.Lock()
+		for _, q := range g.waiting {
+			out = append(out, OutstandingQuery{
+				Model: model, ID: q.id, Batch: q.batch, Stage: "queued",
+				AgeMS: ageMS(q.enqueued), Traced: q.traced,
+			})
+		}
+		for _, ri := range g.instances {
+			for _, q := range ri.pending {
+				out = append(out, OutstandingQuery{
+					Model: model, ID: q.id, Batch: q.batch, Stage: "dispatched",
+					Instance: ri.typeName, AgeMS: ageMS(q.enqueued), Traced: q.traced,
+				})
+			}
+		}
+		g.mu.Unlock()
+	}
+	return out
+}
+
 // SetStatsAugmenter registers fn, invoked on every Stats snapshot to
 // merge front-end accounting (e.g. per-model ingress counters) into the
 // controller's view. It must be fast and must not call back into the
@@ -675,6 +766,7 @@ func (c *Controller) SubmitWait(model string, batch int) QueryResult {
 // submit enqueues q — freshly allocated or pooled — for the named model.
 func (c *Controller) submit(model string, batch int, q *pendingQuery) {
 	q.model, q.batch = model, batch
+	q.traced = false // pooled queries carry the previous query's flag
 	g, ok := c.groups[model]
 	if !ok {
 		c.deliver(q, QueryResult{
@@ -723,6 +815,7 @@ func (c *Controller) submit(model string, batch int, q *pendingQuery) {
 	}
 	q.id = c.nextID.Add(1)
 	q.enqueued = time.Now()
+	q.traced = g.obs.Sampled(q.id)
 	g.submitted.Add(1)
 	g.waiting = append(g.waiting, q)
 	g.mu.Unlock()
@@ -741,6 +834,15 @@ func (c *Controller) deliver(q *pendingQuery, res QueryResult) {
 	if g, ok := c.groups[res.Model]; ok {
 		if res.Err != nil {
 			g.failed.Add(1)
+			if q.traced {
+				// Failed traced queries still leave a ring record (the
+				// success path records in readLoop with full timings).
+				rec := obs.TraceRecord{
+					ID: q.id, StartUnixNano: q.enqueued.UnixNano(), Batch: q.batch,
+					E2ENS: int64(time.Since(q.enqueued)), Err: true,
+				}
+				g.obs.Trace(&rec, -1)
+			}
 		} else {
 			g.completed.Add(1)
 		}
@@ -856,6 +958,7 @@ type dispatchItem struct {
 	ri      *remoteInstance
 	id      int64
 	batch   int
+	traced  bool
 	reserve time.Duration
 }
 
@@ -872,7 +975,7 @@ func (c *Controller) groupRound(g *modelGroup) {
 	}
 	flush := g.flushSet[:0]
 	for _, d := range dispatch {
-		if err := d.ri.wc.queueRequest(Request{ID: d.id, Model: g.model, Batch: d.batch}); err != nil {
+		if err := d.ri.wc.queueRequest(Request{ID: d.id, Model: g.model, Batch: d.batch, Trace: d.traced}); err != nil {
 			c.undoDispatch(g, d, err)
 			continue
 		}
@@ -1039,7 +1142,11 @@ func (c *Controller) groupRoundLocked(g *modelGroup, now time.Time) []dispatchIt
 		ri.pending = append(ri.pending, q)
 		ri.byID[q.id] = q
 		ri.dispatched++
-		dispatch = append(dispatch, dispatchItem{q: q, ri: ri, id: q.id, batch: q.batch, reserve: scaled})
+		// Flight-recorder stamp: the round's clock read doubles as the
+		// dispatch timestamp — scheduler wait is enqueue → here.
+		q.dispatched = now
+		g.obs.Record(obs.StageQueue, now.Sub(q.enqueued))
+		dispatch = append(dispatch, dispatchItem{q: q, ri: ri, id: q.id, batch: q.batch, traced: q.traced, reserve: scaled})
 	}
 	g.dispatch = dispatch
 	if ntaken > 0 {
@@ -1122,6 +1229,31 @@ func (c *Controller) readLoop(ri *remoteInstance) {
 		}
 		if reply.Err != "" {
 			res.Err = errors.New(reply.Err)
+		} else {
+			// Flight-recorder stamps, reusing this read's clock sample: a
+			// few atomic adds per completion, a ring write for the sampled.
+			// Failure timings are excluded so stage histograms reflect
+			// serving latency, not eviction timing; failed traced queries
+			// get their ring record in deliver.
+			e2e := now.Sub(q.enqueued)
+			flight := now.Sub(q.dispatched)
+			serve := time.Duration(reply.ServiceMS * c.TimeScale * float64(time.Millisecond))
+			g.obs.Record(obs.StageFlight, flight)
+			g.obs.Record(obs.StageServe, serve)
+			g.obs.Record(obs.StageE2E, e2e)
+			ri.serveHist.Record(serve)
+			if q.traced {
+				if reply.Traced {
+					g.obs.Record(obs.StageWait, time.Duration(reply.WaitNS))
+				}
+				rec := obs.TraceRecord{
+					ID: q.id, StartUnixNano: q.enqueued.UnixNano(), Batch: q.batch,
+					QueueNS:  int64(q.dispatched.Sub(q.enqueued)),
+					FlightNS: int64(flight), WaitNS: reply.WaitNS,
+					ServeNS: int64(serve), E2ENS: int64(e2e),
+				}
+				g.obs.Trace(&rec, ri.typeID)
+			}
 		}
 		c.deliver(q, res)
 		g.wake()

@@ -189,7 +189,7 @@ func (s *InstanceServer) serveConn(conn net.Conn) {
 	defer conn.Close()
 	defer s.tracker.Track(conn)()
 	wc := newWireConn(conn)
-	if err := wc.writeJSON(Hello{TypeName: s.TypeName, Model: s.Model.Name, Proto: ProtoBinary}); err != nil {
+	if err := wc.writeJSON(Hello{TypeName: s.TypeName, Model: s.Model.Name, Proto: ProtoTraced}); err != nil {
 		return
 	}
 	// The first frame is always JSON: either the controller's HelloAck
@@ -204,7 +204,8 @@ func (s *InstanceServer) serveConn(conn net.Conn) {
 		return
 	}
 	if probe.Proto != nil {
-		wc.binary = *probe.Proto >= ProtoBinary
+		wc.proto = min(*probe.Proto, ProtoTraced)
+		wc.binary = wc.proto >= ProtoBinary
 	} else {
 		// Legacy JSON controller: the probe frame was its first query.
 		reply := s.serve(probe.ID, probe.Batch, probe.Model)
@@ -217,15 +218,16 @@ func (s *InstanceServer) serveConn(conn net.Conn) {
 		var id int64
 		var batch int
 		var model string
+		var traced bool
 		if wc.binary {
-			bid, bbatch, bmodel, err := wc.readBinaryRequest()
+			bid, bbatch, bmodel, btraced, err := wc.readBinaryRequest()
 			if err != nil {
 				if s.drainExit(err) {
 					wc.flush()
 				}
 				return
 			}
-			id, batch = bid, bbatch
+			id, batch, traced = bid, bbatch, btraced
 			// Compare in place; the conversion in the comparison below does
 			// not allocate, and s.serve only needs the name on mismatch.
 			if len(bmodel) > 0 && string(bmodel) != s.Model.Name {
@@ -241,7 +243,7 @@ func (s *InstanceServer) serveConn(conn net.Conn) {
 				}
 				return
 			}
-			id, batch, model = req.ID, req.Batch, req.Model
+			id, batch, model, traced = req.ID, req.Batch, req.Model, req.Trace
 		}
 		reply := s.validate(id, batch, model)
 		if reply.Err == "" {
@@ -256,7 +258,9 @@ func (s *InstanceServer) serveConn(conn net.Conn) {
 				}
 				queued = 0
 			}
-			reply = s.execute(id, serviceMS)
+			reply = s.execute(id, serviceMS, traced)
+		} else if traced {
+			reply.Traced = true
 		}
 		if err := wc.queueReply(reply); err != nil {
 			return
@@ -293,11 +297,23 @@ func (s *InstanceServer) validate(id int64, batch int, model string) Reply {
 }
 
 // execute performs the (emulated) inference for a validated request.
-func (s *InstanceServer) execute(id int64, serviceMS float64) Reply {
+// Traced requests additionally measure how long they waited for the
+// serve slot (the instance serves one query at a time, so requests
+// queue on s.mu) and carry it back as Reply.WaitNS.
+func (s *InstanceServer) execute(id int64, serviceMS float64, traced bool) Reply {
+	var t0 time.Time
+	if traced {
+		t0 = time.Now()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	rep := Reply{ID: id, ServiceMS: serviceMS}
+	if traced {
+		rep.Traced = true
+		rep.WaitNS = int64(time.Since(t0))
+	}
 	time.Sleep(time.Duration(serviceMS * s.TimeScale * float64(time.Millisecond)))
-	return Reply{ID: id, ServiceMS: serviceMS}
+	return rep
 }
 
 // serve validates and executes one request.
@@ -305,5 +321,5 @@ func (s *InstanceServer) serve(id int64, batch int, model string) Reply {
 	if rep := s.validate(id, batch, model); rep.Err != "" {
 		return rep
 	}
-	return s.execute(id, s.Model.Latency(s.TypeName, batch))
+	return s.execute(id, s.Model.Latency(s.TypeName, batch), false)
 }

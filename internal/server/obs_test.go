@@ -1,0 +1,169 @@
+package server
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"kairos/internal/cloud"
+	"kairos/internal/models"
+	"kairos/internal/obs"
+)
+
+// TestFlightRecorderEndToEnd serves real queries with sampling forced to
+// 1 and checks every observability surface: per-stage histograms, the
+// per-instance-type serve histogram, and the trace ring — including the
+// instance-side wait stage that only traced wire frames carry.
+func TestFlightRecorderEndToEnd(t *testing.T) {
+	t.Parallel()
+	m := models.MustByName("NCF")
+	types := []string{cloud.G4dnXlarge.Name}
+	addrs := startCluster(t, types, 0.05)
+	ctrl, err := NewController(m.Name, kairosPolicy(m, types), 0.05, m.Latency, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+	ctrl.SetTraceSampling(1, 0) // trace everything
+
+	const n = 20
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if res := ctrl.SubmitWait(m.Name, 10+i); res.Err != nil {
+				t.Errorf("query %d: %v", i, res.Err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	mo := ctrl.Obs().Model(m.Name)
+	if mo == nil {
+		t.Fatal("registry has no shard for the served model")
+	}
+	for _, st := range []obs.Stage{obs.StageQueue, obs.StageFlight, obs.StageServe, obs.StageE2E, obs.StageWait} {
+		snap := mo.StageSnapshot(st)
+		if snap.Count != n {
+			t.Fatalf("stage %s recorded %d samples, want %d", st, snap.Count, n)
+		}
+		if st != obs.StageQueue && snap.SumNS <= 0 {
+			t.Fatalf("stage %s has non-positive total %d", st, snap.SumNS)
+		}
+	}
+	serve := mo.ServeByType()
+	if len(serve) != 1 || serve[0].Type != cloud.G4dnXlarge.Name || serve[0].Snap.Count != n {
+		t.Fatalf("serve-by-type = %+v, want %d samples on %s", serve, n, cloud.G4dnXlarge.Name)
+	}
+	traces := mo.Traces(2 * n)
+	if len(traces) != n {
+		t.Fatalf("ring holds %d traces, want %d", len(traces), n)
+	}
+	for _, tr := range traces {
+		if tr.Err {
+			t.Fatalf("trace %d flagged as error", tr.ID)
+		}
+		if tr.Instance != cloud.G4dnXlarge.Name {
+			t.Fatalf("trace %d served by %q", tr.ID, tr.Instance)
+		}
+		if tr.ServeNS <= 0 || tr.E2ENS < tr.ServeNS || tr.QueueNS < 0 || tr.WaitNS < 0 {
+			t.Fatalf("trace %d has inconsistent stages: %+v", tr.ID, tr)
+		}
+	}
+}
+
+// TestTraceSamplingZeroStillAggregates: sampling 0 disables per-query
+// traces entirely, but the always-on stage histograms keep counting —
+// the aggregate layer never depends on the sampler.
+func TestTraceSamplingZeroStillAggregates(t *testing.T) {
+	t.Parallel()
+	m := models.MustByName("NCF")
+	types := []string{cloud.G4dnXlarge.Name}
+	addrs := startCluster(t, types, 0.05)
+	ctrl, err := NewController(m.Name, kairosPolicy(m, types), 0.05, m.Latency, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+	ctrl.SetTraceSampling(0, 0)
+
+	const n = 8
+	for i := 0; i < n; i++ {
+		if res := ctrl.SubmitWait(m.Name, 50); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+	mo := ctrl.Obs().Model(m.Name)
+	if got := mo.StageSnapshot(obs.StageE2E).Count; got != n {
+		t.Fatalf("e2e histogram counted %d, want %d", got, n)
+	}
+	if got := mo.StageSnapshot(obs.StageWait).Count; got != 0 {
+		t.Fatalf("wait stage counted %d with sampling off, want 0", got)
+	}
+	if traces := mo.Traces(16); len(traces) != 0 {
+		t.Fatalf("ring holds %d traces with sampling off", len(traces))
+	}
+}
+
+// TestOutstandingQueriesNamesStuckWork submits against a deliberately
+// slow instance and checks that the in-flight snapshot names each
+// undelivered query with its last stage, then empties once served.
+func TestOutstandingQueriesNamesStuckWork(t *testing.T) {
+	t.Parallel()
+	m := models.MustByName("NCF")
+	types := []string{cloud.G4dnXlarge.Name}
+	// Dilate time hard so queries stay in flight long enough to observe.
+	const scale = 20.0
+	addrs := startCluster(t, types, scale)
+	ctrl, err := NewController(m.Name, kairosPolicy(m, types), scale, m.Latency, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+	ctrl.SetTraceSampling(1, 0)
+
+	const n = 3
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctrl.SubmitWait(m.Name, 1000) // ~13ms true latency → ~260ms dilated
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	seen := 0
+	for time.Now().Before(deadline) {
+		out := ctrl.OutstandingQueries()
+		seen = len(out)
+		for _, q := range out {
+			if q.Model != m.Name {
+				t.Fatalf("outstanding query names model %q", q.Model)
+			}
+			if q.Stage != "queued" && q.Stage != "dispatched" {
+				t.Fatalf("outstanding query in unknown stage %q", q.Stage)
+			}
+			if q.Stage == "dispatched" && q.Instance != cloud.G4dnXlarge.Name {
+				t.Fatalf("dispatched query on %q", q.Instance)
+			}
+			if !q.Traced {
+				t.Fatalf("query %d not traced despite sampling 1", q.ID)
+			}
+			if q.AgeMS < 0 {
+				t.Fatalf("query %d has negative age %f", q.ID, q.AgeMS)
+			}
+		}
+		if seen == n {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if seen != n {
+		t.Fatalf("never observed all %d queries outstanding (last saw %d)", n, seen)
+	}
+	wg.Wait()
+	if out := ctrl.OutstandingQueries(); len(out) != 0 {
+		t.Fatalf("drained controller still reports %d outstanding: %+v", len(out), out)
+	}
+}

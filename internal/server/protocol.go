@@ -31,6 +31,11 @@ const (
 	ProtoJSON = 0
 	// ProtoBinary is the fixed-width binary Request/Reply encoding.
 	ProtoBinary = 1
+	// ProtoTraced extends ProtoBinary with the flight-recorder frame
+	// kinds: a traced request (the kind byte is the trace flag) and a
+	// traced reply carrying the instance-side wait time. Peers that
+	// negotiated ProtoBinary never see the new kinds.
+	ProtoTraced = 2
 )
 
 // Request asks an instance server to serve one batched query.
@@ -42,6 +47,10 @@ type Request struct {
 	Model string `json:"model,omitempty"`
 	// Batch is the query batch size.
 	Batch int `json:"batch"`
+	// Trace marks a sampled query: the instance measures its serve-slot
+	// wait and echoes a traced reply. On the wire it is the frame kind
+	// (binary) or this field (JSON fallback); legacy peers ignore it.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // Reply reports a served query.
@@ -52,6 +61,11 @@ type Reply struct {
 	ServiceMS float64 `json:"service_ms"`
 	// Err carries a server-side failure, empty on success.
 	Err string `json:"err,omitempty"`
+	// Traced echoes Request.Trace; only traced replies carry WaitNS.
+	Traced bool `json:"traced,omitempty"`
+	// WaitNS is the wall time the request waited for the instance's
+	// serve slot (receive → service start), measured instance-side.
+	WaitNS int64 `json:"wait_ns,omitempty"`
 }
 
 // Hello is the banner an instance server sends on connect, announcing what
@@ -148,13 +162,20 @@ func readRawFrame(r io.Reader, buf []byte) ([]byte, error) {
 }
 
 // Binary (ProtoBinary) payloads: a kind byte followed by fixed-width
-// fields, with the two variable strings length-prefixed.
+// fields, with the two variable strings length-prefixed. ProtoTraced
+// adds two kinds: a traced request shares the request layout (the kind
+// byte carries the flag), and a traced reply inserts the instance-side
+// wait before the error string.
 //
-//	Request: kind(1) id(8) batch(4) modelLen(1) model
-//	Reply:   kind(1) id(8) serviceMS(8) errLen(2) err
+//	Request:       kind(1) id(8) batch(4) modelLen(1) model
+//	Reply:         kind(1) id(8) serviceMS(8) errLen(2) err
+//	RequestTraced: kind(1) id(8) batch(4) modelLen(1) model
+//	ReplyTraced:   kind(1) id(8) serviceMS(8) waitNS(8) errLen(2) err
 const (
-	frameRequest = 0x01
-	frameReply   = 0x02
+	frameRequest       = 0x01
+	frameReply         = 0x02
+	frameRequestTraced = 0x03
+	frameReplyTraced   = 0x04
 )
 
 // AppendRequestFrame appends the length-prefixed binary encoding of req.
@@ -167,7 +188,11 @@ func AppendRequestFrame(buf []byte, req Request) ([]byte, error) {
 	}
 	n := 1 + 8 + 4 + 1 + len(req.Model)
 	buf = binary.BigEndian.AppendUint32(buf, uint32(n))
-	buf = append(buf, frameRequest)
+	kind := byte(frameRequest)
+	if req.Trace {
+		kind = frameRequestTraced
+	}
+	buf = append(buf, kind)
 	buf = binary.BigEndian.AppendUint64(buf, uint64(req.ID))
 	buf = binary.BigEndian.AppendUint32(buf, uint32(int32(req.Batch)))
 	buf = append(buf, byte(len(req.Model)))
@@ -177,53 +202,76 @@ func AppendRequestFrame(buf []byte, req Request) ([]byte, error) {
 
 // DecodeRequestFrame parses a binary request payload without copying: the
 // returned model bytes alias p and are only valid until p is reused.
-func DecodeRequestFrame(p []byte) (id int64, batch int, model []byte, err error) {
-	if len(p) < 14 || p[0] != frameRequest {
-		return 0, 0, nil, fmt.Errorf("server: malformed binary request frame (%d bytes)", len(p))
+// Both request kinds decode here; traced reports which one arrived.
+func DecodeRequestFrame(p []byte) (id int64, batch int, model []byte, traced bool, err error) {
+	if len(p) < 14 || (p[0] != frameRequest && p[0] != frameRequestTraced) {
+		return 0, 0, nil, false, fmt.Errorf("server: malformed binary request frame (%d bytes)", len(p))
 	}
 	id = int64(binary.BigEndian.Uint64(p[1:9]))
 	batch = int(int32(binary.BigEndian.Uint32(p[9:13])))
 	mlen := int(p[13])
 	if len(p) != 14+mlen {
-		return 0, 0, nil, fmt.Errorf("server: binary request frame length %d, want %d", len(p), 14+mlen)
+		return 0, 0, nil, false, fmt.Errorf("server: binary request frame length %d, want %d", len(p), 14+mlen)
 	}
-	return id, batch, p[14:], nil
+	return id, batch, p[14:], p[0] == frameRequestTraced, nil
 }
 
 // AppendReplyFrame appends the length-prefixed binary encoding of rep.
+// A traced reply uses the extended layout carrying WaitNS.
 func AppendReplyFrame(buf []byte, rep Reply) ([]byte, error) {
 	if len(rep.Err) > math.MaxUint16 {
 		return buf, fmt.Errorf("server: reply error of %d bytes exceeds limit", len(rep.Err))
 	}
-	n := 1 + 8 + 8 + 2 + len(rep.Err)
+	extra := 0
+	if rep.Traced {
+		extra = 8
+	}
+	n := 1 + 8 + 8 + extra + 2 + len(rep.Err)
 	if n > MaxFrame {
 		return buf, fmt.Errorf("server: frame of %d bytes exceeds limit", n)
 	}
 	buf = binary.BigEndian.AppendUint32(buf, uint32(n))
-	buf = append(buf, frameReply)
+	if rep.Traced {
+		buf = append(buf, frameReplyTraced)
+	} else {
+		buf = append(buf, frameReply)
+	}
 	buf = binary.BigEndian.AppendUint64(buf, uint64(rep.ID))
 	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(rep.ServiceMS))
+	if rep.Traced {
+		buf = binary.BigEndian.AppendUint64(buf, uint64(rep.WaitNS))
+	}
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(rep.Err)))
 	buf = append(buf, rep.Err...)
 	return buf, nil
 }
 
-// DecodeReplyFrame parses a binary reply payload. The error string is
-// copied (replies carry one only on failure), so the result outlives p.
+// DecodeReplyFrame parses a binary reply payload (either kind). The
+// error string is copied (replies carry one only on failure), so the
+// result outlives p.
 func DecodeReplyFrame(p []byte) (Reply, error) {
-	if len(p) < 19 || p[0] != frameReply {
+	if len(p) < 19 || (p[0] != frameReply && p[0] != frameReplyTraced) {
 		return Reply{}, fmt.Errorf("server: malformed binary reply frame (%d bytes)", len(p))
-	}
-	elen := int(binary.BigEndian.Uint16(p[17:19]))
-	if len(p) != 19+elen {
-		return Reply{}, fmt.Errorf("server: binary reply frame length %d, want %d", len(p), 19+elen)
 	}
 	rep := Reply{
 		ID:        int64(binary.BigEndian.Uint64(p[1:9])),
 		ServiceMS: math.Float64frombits(binary.BigEndian.Uint64(p[9:17])),
 	}
+	off := 17
+	if p[0] == frameReplyTraced {
+		if len(p) < 27 {
+			return Reply{}, fmt.Errorf("server: malformed traced reply frame (%d bytes)", len(p))
+		}
+		rep.Traced = true
+		rep.WaitNS = int64(binary.BigEndian.Uint64(p[17:25]))
+		off = 25
+	}
+	elen := int(binary.BigEndian.Uint16(p[off : off+2]))
+	if len(p) != off+2+elen {
+		return Reply{}, fmt.Errorf("server: binary reply frame length %d, want %d", len(p), off+2+elen)
+	}
 	if elen > 0 {
-		rep.Err = string(p[19:])
+		rep.Err = string(p[off+2:])
 	}
 	return rep, nil
 }

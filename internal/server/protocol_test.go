@@ -23,18 +23,19 @@ func TestBinaryRequestRoundTrip(t *testing.T) {
 			ID:    rng.Int63() - rng.Int63(),
 			Batch: int(int32(rng.Uint32())),
 			Model: strings.Repeat("m", rng.Intn(256)),
+			Trace: rng.Intn(2) == 1,
 		}
 		var err error
 		buf, err = AppendRequestFrame(buf[:0], in)
 		if err != nil {
 			t.Fatalf("encode %+v: %v", in, err)
 		}
-		id, batch, model, err := DecodeRequestFrame(buf[4:])
+		id, batch, model, traced, err := DecodeRequestFrame(buf[4:])
 		if err != nil {
 			t.Fatalf("decode %+v: %v", in, err)
 		}
-		if id != in.ID || batch != in.Batch || string(model) != in.Model {
-			t.Fatalf("round trip: got (%d,%d,%q), want (%d,%d,%q)", id, batch, model, in.ID, in.Batch, in.Model)
+		if id != in.ID || batch != in.Batch || string(model) != in.Model || traced != in.Trace {
+			t.Fatalf("round trip: got (%d,%d,%q,%v), want (%d,%d,%q,%v)", id, batch, model, traced, in.ID, in.Batch, in.Model, in.Trace)
 		}
 	}
 }
@@ -49,6 +50,10 @@ func TestBinaryReplyRoundTrip(t *testing.T) {
 			ID:        rng.Int63() - rng.Int63(),
 			ServiceMS: math.Float64frombits(rng.Uint64()),
 			Err:       strings.Repeat("e", rng.Intn(512)),
+		}
+		if rng.Intn(2) == 1 {
+			in.Traced = true
+			in.WaitNS = rng.Int63() - rng.Int63()
 		}
 		if math.IsNaN(in.ServiceMS) {
 			in.ServiceMS = 0 // NaN != NaN breaks the equality check below
@@ -88,20 +93,31 @@ func TestBinaryCodecRejectsMalformed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, _, err := DecodeRequestFrame(rep[4:]); err == nil {
+	if _, _, _, _, err := DecodeRequestFrame(rep[4:]); err == nil {
 		t.Fatal("request decoder must reject a reply frame")
 	}
 	if _, err := DecodeReplyFrame(req[4:]); err == nil {
 		t.Fatal("reply decoder must reject a request frame")
 	}
 	for _, p := range [][]byte{nil, {frameRequest}, req[4 : len(req)-1], append(append([]byte{}, req[4:]...), 0)} {
-		if _, _, _, err := DecodeRequestFrame(p); err == nil {
+		if _, _, _, _, err := DecodeRequestFrame(p); err == nil {
 			t.Fatalf("truncated/padded request %v must fail", p)
 		}
 	}
 	for _, p := range [][]byte{nil, {frameReply}, rep[4 : len(rep)-1], append(append([]byte{}, rep[4:]...), 0)} {
 		if _, err := DecodeReplyFrame(p); err == nil {
 			t.Fatalf("truncated/padded reply %v must fail", p)
+		}
+	}
+	// A traced reply that is too short for its WaitNS field must not
+	// misparse as a plain reply.
+	trep, err := AppendReplyFrame(nil, Reply{ID: 9, ServiceMS: 1, Traced: true, WaitNS: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range [][]byte{trep[4:23], trep[4 : len(trep)-1], append(append([]byte{}, trep[4:]...), 0)} {
+		if _, err := DecodeReplyFrame(p); err == nil {
+			t.Fatalf("truncated/padded traced reply %v must fail", p)
 		}
 	}
 }

@@ -17,8 +17,11 @@ import (
 type wireConn struct {
 	conn net.Conn
 	br   *bufio.Reader
-	// binary is set once during the handshake, before concurrent use.
+	// binary and proto are set once during the handshake, before
+	// concurrent use. proto is the negotiated wire version; binary is
+	// proto >= ProtoBinary, kept separate for the hot-path branch.
 	binary bool
+	proto  int
 
 	wmu  sync.Mutex
 	bw   *connWriter
@@ -106,10 +109,15 @@ func (w *wireConn) writeJSON(v any) error {
 }
 
 // queueRequest encodes req with the negotiated codec into the write
-// buffer without flushing; callers coalesce a burst and flush once.
+// buffer without flushing; callers coalesce a burst and flush once. A
+// trace flag is dropped when the peer predates ProtoTraced: the query
+// still serves, it just loses its instance-wait sample.
 func (w *wireConn) queueRequest(req Request) error {
 	w.wmu.Lock()
 	defer w.wmu.Unlock()
+	if req.Trace && w.binary && w.proto < ProtoTraced {
+		req.Trace = false
+	}
 	if !w.binary {
 		return WriteFrame(w.bw, req)
 	}
@@ -200,10 +208,10 @@ func (w *wireConn) readReply(rep *Reply) error {
 // readBinaryRequest reads one binary request (instance side, negotiated
 // connections). The model bytes alias the read buffer and are only
 // valid until the next read.
-func (w *wireConn) readBinaryRequest() (id int64, batch int, model []byte, err error) {
+func (w *wireConn) readBinaryRequest() (id int64, batch int, model []byte, traced bool, err error) {
 	p, err := w.readFrame()
 	if err != nil {
-		return 0, 0, nil, err
+		return 0, 0, nil, false, err
 	}
 	return DecodeRequestFrame(p)
 }

@@ -103,6 +103,26 @@ func (c *Checker) Finalize(st server.Stats, faultPending bool) []string {
 	return c.Violations()
 }
 
+// NameOutstanding turns a controller in-flight snapshot into named
+// violations: a zero-drop failure then points at the exact stuck query
+// — its trace ID, last recorded lifecycle stage, and where it sits —
+// instead of only an aggregate counter mismatch. Call it at quiesce,
+// when anything still outstanding is by definition stuck.
+func (c *Checker) NameOutstanding(out []server.OutstandingQuery) {
+	for _, q := range out {
+		where := q.Stage
+		if q.Instance != "" {
+			where += " to " + q.Instance
+		}
+		traced := ""
+		if q.Traced {
+			traced = "; traced, see /tracez"
+		}
+		c.violatef("stuck[%s]: query %d (batch %d) undelivered after %.0fms, last stage %s%s",
+			q.Model, q.ID, q.Batch, q.AgeMS, where, traced)
+	}
+}
+
 // Violations returns every violation recorded so far.
 func (c *Checker) Violations() []string {
 	out := make([]string, len(c.violations))

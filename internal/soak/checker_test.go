@@ -155,3 +155,21 @@ func TestCheckerViolationsAccumulate(t *testing.T) {
 		t.Fatal("Violations exposed internal state")
 	}
 }
+
+func TestCheckerNamesOutstandingQueries(t *testing.T) {
+	t.Parallel()
+	var c Checker
+	c.NameOutstanding([]server.OutstandingQuery{
+		{Model: "NCF", ID: 42, Batch: 100, Stage: "queued", AgeMS: 350, Traced: true},
+		{Model: "DRN", ID: 7, Batch: 5, Stage: "dispatched", Instance: "g4dn.xlarge", AgeMS: 120},
+	})
+	got := strings.Join(c.Violations(), "\n")
+	for _, want := range []string{
+		"stuck[NCF]: query 42 (batch 100) undelivered after 350ms, last stage queued; traced, see /tracez",
+		"stuck[DRN]: query 7 (batch 5) undelivered after 120ms, last stage dispatched to g4dn.xlarge",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing violation %q in:\n%s", want, got)
+		}
+	}
+}

@@ -62,9 +62,26 @@ type Report struct {
 	Faults []FaultEvent `json:"faults"`
 	// Trajectory is the tail-latency time series across the run.
 	Trajectory []TrajectoryPoint `json:"trajectory"`
+	// StageLatency breaks the run's serving latency down by lifecycle
+	// stage (model → stage → quantiles), read off the controller's
+	// flight-recorder histograms at quiesce. Times are model
+	// milliseconds, comparable across time-compressed runs.
+	StageLatency map[string]map[string]StageQuantiles `json:"stage_latency,omitempty"`
 	// Violations lists every invariant violation; empty means the run
 	// upheld the zero-dropped-queries ratchet.
 	Violations []string `json:"violations"`
+}
+
+// StageQuantiles summarizes one lifecycle stage's latency histogram in
+// model milliseconds.
+type StageQuantiles struct {
+	// Count is how many samples the stage recorded.
+	Count uint64 `json:"count"`
+	// P50MS/P99MS/P999MS are log-bucket quantile estimates (≤√2
+	// multiplicative error; see internal/obs).
+	P50MS  float64 `json:"p50_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	P999MS float64 `json:"p999_ms"`
 }
 
 // Passed reports whether the run upheld every invariant.

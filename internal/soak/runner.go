@@ -16,6 +16,7 @@ import (
 
 	"kairos/internal/autopilot"
 	"kairos/internal/ingress"
+	"kairos/internal/obs"
 	"kairos/internal/workload"
 
 	"math/rand"
@@ -246,21 +247,27 @@ func Run(sys System, cfg Config) (*Report, error) {
 	<-snapshotsDone
 	_, _, _, _, _, pending := sys.AP.FaultState()
 	checkMu.Lock()
+	// Anything still outstanding after the drain is a stuck query; name
+	// each one (trace ID, last stage) before the aggregate checks run.
+	if outstanding := ctrl.OutstandingQueries(); len(outstanding) > 0 {
+		checker.NameOutstanding(outstanding)
+	}
 	violations := checker.Finalize(ctrl.Stats(), pending)
 	checkMu.Unlock()
 
 	report := &Report{
-		Scenario:   cfg.Scenario.Name,
-		Seed:       cfg.Seed,
-		DurationMS: durMS,
-		TimeScale:  cfg.TimeScale,
-		Submitted:  submitted.Load(),
-		Admitted:   admitted.Load(),
-		Rejected:   rejected.Load(),
-		Failed:     failed.Load(),
-		Faults:     rec.faultEvents(),
-		Trajectory: rec.trajectory(),
-		Violations: violations,
+		Scenario:     cfg.Scenario.Name,
+		Seed:         cfg.Seed,
+		DurationMS:   durMS,
+		TimeScale:    cfg.TimeScale,
+		Submitted:    submitted.Load(),
+		Admitted:     admitted.Load(),
+		Rejected:     rejected.Load(),
+		Failed:       failed.Load(),
+		Faults:       rec.faultEvents(),
+		Trajectory:   rec.trajectory(),
+		StageLatency: stageLatency(ctrl.Obs(), cfg.TimeScale),
+		Violations:   violations,
 	}
 	if report.Failed > 0 {
 		report.Violations = append(report.Violations,
@@ -279,6 +286,39 @@ func Run(sys System, cfg Config) (*Report, error) {
 		cfg.Scenario.Name, report.Submitted, report.Admitted, report.Rejected,
 		report.Failed, len(report.Violations))
 	return report, nil
+}
+
+// stageLatency reads the flight recorder's per-stage histograms into
+// the report's breakdown, converting wall nanoseconds to model
+// milliseconds. Stages that recorded nothing are omitted.
+func stageLatency(reg *obs.Registry, timeScale float64) map[string]map[string]StageQuantiles {
+	out := make(map[string]map[string]StageQuantiles)
+	toMS := func(d time.Duration) float64 {
+		return float64(d) / float64(time.Millisecond) / timeScale
+	}
+	for _, name := range reg.Models() {
+		mo := reg.Model(name)
+		stages := make(map[string]StageQuantiles)
+		for _, st := range obs.Stages() {
+			snap := mo.StageSnapshot(st)
+			if snap.Count == 0 {
+				continue
+			}
+			stages[st.String()] = StageQuantiles{
+				Count:  snap.Count,
+				P50MS:  toMS(snap.Quantile(0.50)),
+				P99MS:  toMS(snap.Quantile(0.99)),
+				P999MS: toMS(snap.Quantile(0.999)),
+			}
+		}
+		if len(stages) > 0 {
+			out[name] = stages
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }
 
 // injectFault picks a live target and applies one fault spec, recording
