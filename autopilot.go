@@ -59,6 +59,14 @@ type (
 	// the observed arrival rate) describing its recent traffic — the
 	// per-model input to PlanFleetFor.
 	ModelDemand = core.ModelDemand
+	// FleetPlanner is the incremental shared-budget allocator: it keeps
+	// the configuration enumeration and each model's Pareto frontier
+	// cached across replans, rebuilding only for models whose sample
+	// window actually moved, so steady-state fleet replans are nearly
+	// allocation-free. PlanFleetFor answers one-shot questions; hold a
+	// FleetPlanner when planning repeatedly over drifting windows (see
+	// NewFleetPlanner).
+	FleetPlanner = core.FleetPlanner
 )
 
 // IngressQueueFullMsg is the exact error string a backpressure rejection
@@ -71,6 +79,16 @@ const IngressQueueFullMsg = ingress.QueueFullMsg
 // ArrivalQPS are demand-capped (see core.PlanFleet).
 func PlanFleetFor(pool Pool, demands []ModelDemand, budget float64) (FleetPlan, error) {
 	return core.PlanFleet(pool, demands, budget)
+}
+
+// NewFleetPlanner builds an incremental fleet planner over the pool,
+// pre-enumerating configurations up to enumBudget (later Plan calls at or
+// below it reuse the enumeration; a larger budget re-enumerates). Feed it
+// demands with SetDemands (or ReplanModel for a single moved window),
+// then Plan; frontiers for unmoved sample windows are served from cache.
+// A FleetPlanner is not safe for concurrent use.
+func NewFleetPlanner(pool Pool, enumBudget float64) (*FleetPlanner, error) {
+	return core.NewFleetPlanner(pool, enumBudget)
 }
 
 // NewFleet builds the in-process actuation provider serving the given
@@ -224,6 +242,15 @@ func (e *Engine) Autopilot(timeScale float64, opts AutopilotOptions, extra ...Au
 		return nil, fmt.Errorf("kairos: negative demand headroom %v", opts.DemandHeadroom)
 	}
 	fullBudget := e.budget
+	// One planner lives for the autopilot's whole lifetime: replans hand it
+	// the fresh windows and it reuses every per-model frontier whose window
+	// did not move, so steady-state replans skip enumeration and frontier
+	// construction entirely (see core.FleetPlanner). Safe without extra
+	// locking — the autopilot serializes planning under its step mutex.
+	planner, err := core.NewFleetPlanner(e.pool, fullBudget)
+	if err != nil {
+		return nil, err
+	}
 	plan := func(samples map[string][]int, arrivals map[string]float64, budget float64) (core.FleetPlan, error) {
 		if budget <= 0 {
 			budget = fullBudget
@@ -242,7 +269,17 @@ func (e *Engine) Autopilot(timeScale float64, opts AutopilotOptions, extra ...Au
 		if len(demands) == 0 {
 			return nil, fmt.Errorf("kairos: no model has a planning sample")
 		}
-		return core.PlanFleet(e.pool, demands, budget)
+		if err := planner.SetDemands(demands); err != nil {
+			return nil, err
+		}
+		got, err := planner.Plan(budget)
+		if err != nil {
+			return nil, err
+		}
+		// The planner owns the returned plan's storage; the control loop
+		// mutates the plan it actuates (heals decrement counts), so hand
+		// it a private copy.
+		return got.Clone(), nil
 	}
 	references := make(map[string][]int, len(e.models))
 	for _, m := range e.models {

@@ -145,6 +145,87 @@ func planFleetBench() func(*testing.B) {
 	}
 }
 
+// benchFleetDemands builds n catalog-model twins with 2000-sample trace
+// windows each — the fleet-allocator benchmarks' common input shape.
+func benchFleetDemands(n int) []kairos.ModelDemand {
+	rng := rand.New(rand.NewSource(42))
+	cat := kairos.Models()
+	mix := kairos.DefaultTrace()
+	out := make([]kairos.ModelDemand, n)
+	for i := range out {
+		samples := make([]int, 2000)
+		for j := range samples {
+			samples[j] = mix.Sample(rng)
+		}
+		m := cat[i%len(cat)]
+		m.Name = fmt.Sprintf("bench-%03d", i)
+		out[i] = kairos.ModelDemand{Model: m, Samples: samples}
+	}
+	return out
+}
+
+// planFleet100Bench benchmarks a full 100-model replan through a warm
+// incremental planner: every window is refingerprinted (none moved) and
+// the greedy allocation reruns. CI holds this at or below the seed's
+// 2-model from-scratch time.
+func planFleet100Bench() func(*testing.B) {
+	return func(b *testing.B) {
+		demands := benchFleetDemands(100)
+		planner, err := kairos.NewFleetPlanner(kairos.DefaultPool(), 2.5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := planner.SetDemands(demands); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := planner.Plan(2.5); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := planner.SetDemands(demands); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := planner.Plan(2.5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// planFleetOneDirtyBench benchmarks the autopilot's single-trigger path:
+// 1 of 100 sample windows moved, replanned via ReplanModel. Pays one
+// estimator reset and frontier rebuild plus the greedy rerun.
+func planFleetOneDirtyBench() func(*testing.B) {
+	return func(b *testing.B) {
+		demands := benchFleetDemands(100)
+		planner, err := kairos.NewFleetPlanner(kairos.DefaultPool(), 2.5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := planner.SetDemands(demands); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := planner.Plan(2.5); err != nil {
+			b.Fatal(err)
+		}
+		// Alternate two windows for the dirty model so every iteration
+		// really invalidates and rebuilds its frontier.
+		dirty := demands[50]
+		alt := benchFleetDemands(1)[0]
+		windows := [2][]int{dirty.Samples, alt.Samples}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dirty.Samples = windows[i%2]
+			if _, err := planner.ReplanModel(dirty, 2.5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 // frameBench wraps one shared wire-codec case (see
 // server.FrameBenchCases: the same loops back the in-package benchmarks,
 // so the BENCH_micro.json trajectory and `go test -bench` agree).
@@ -241,6 +322,8 @@ func main() {
 		{"DistributorAssign32x8", assignBench(32, 8)},
 		{"DistributorAssign64x16", assignBench(64, 16)},
 		{"PlanFleet2Models", planFleetBench()},
+		{"PlanFleet100Models", planFleet100Bench()},
+		{"PlanFleetIncrementalOneDirty", planFleetOneDirtyBench()},
 	}
 	for _, c := range server.FrameBenchCases() {
 		benches = append(benches, struct {

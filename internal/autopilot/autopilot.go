@@ -34,6 +34,7 @@ import (
 	"kairos/internal/ingress"
 	"kairos/internal/metrics"
 	"kairos/internal/models"
+	"kairos/internal/obs"
 	"kairos/internal/server"
 	"kairos/internal/workload"
 )
@@ -282,10 +283,15 @@ type Autopilot struct {
 	// after New; internally synchronized).
 	journal *journal
 
-	// lastActuateMS is the wall-clock cost of the most recent fleet
-	// reconciliation, read by the journal entry for the step that ran it
-	// (guarded by stepMu).
+	// lastActuateMS and lastPlanMS are the wall-clock costs of the most
+	// recent fleet reconciliation and fleet replan computation, read by
+	// the journal entry for the step that ran them (guarded by stepMu).
 	lastActuateMS float64
+	lastPlanMS    float64
+
+	// planHist aggregates plan-computation latency for /metrics
+	// (internally synchronized; the zero value is ready).
+	planHist obs.Histogram
 }
 
 // ModelDecision reports one model's trigger evaluation within a control
@@ -599,8 +605,9 @@ func (a *Autopilot) Step() (Decision, error) {
 	a.stepMu.Lock()
 	defer a.stepMu.Unlock()
 	a.lastActuateMS = 0
+	a.lastPlanMS = 0
 	dec, err := a.step()
-	a.journal.add(a.decisionEvent(dec, err, a.lastActuateMS))
+	a.journal.add(a.decisionEvent(dec, err, a.lastPlanMS, a.lastActuateMS))
 	return dec, err
 }
 
@@ -717,7 +724,11 @@ func (a *Autopilot) step() (Decision, error) {
 		dec.PlanBudget = shrunk
 	}
 
+	planStart := time.Now()
 	next, err := a.opts.Plan(samples, arrivals, dec.PlanBudget)
+	planTook := time.Since(planStart)
+	a.lastPlanMS = float64(planTook) / float64(time.Millisecond)
+	a.planHist.Record(planTook)
 	if err != nil {
 		a.setErr(fmt.Sprintf("replan: %v", err))
 		return dec, fmt.Errorf("autopilot: replan: %w", err)

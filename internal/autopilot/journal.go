@@ -64,6 +64,10 @@ type DecisionEvent struct {
 	// (replans and heals).
 	From map[string]ModelPlanStatus `json:"from,omitempty"`
 	To   map[string]ModelPlanStatus `json:"to,omitempty"`
+	// PlanMS is the wall-clock cost of computing the fleet plan this
+	// cycle (0 when the cycle never reached the planner). Always
+	// serialized so journal consumers can rely on the field.
+	PlanMS float64 `json:"plan_ms"`
 	// ActuationMS is the wall-clock cost of reconciling the fleet
 	// (replans and heals only).
 	ActuationMS float64 `json:"actuation_ms,omitempty"`
@@ -141,13 +145,14 @@ func (a *Autopilot) planCounts(p core.FleetPlan) map[string]ModelPlanStatus {
 }
 
 // decisionEvent assembles the journal entry for one completed Step.
-func (a *Autopilot) decisionEvent(dec Decision, err error, actuateMS float64) DecisionEvent {
+func (a *Autopilot) decisionEvent(dec Decision, err error, planMS, actuateMS float64) DecisionEvent {
 	ev := DecisionEvent{
 		At:          time.Now(),
 		Triggers:    dec.triggerNames(),
 		Reason:      dec.Reason,
 		Utilization: dec.Utilization,
 		PlanBudget:  dec.PlanBudget,
+		PlanMS:      planMS,
 		From:        a.planCounts(dec.From),
 	}
 	switch {

@@ -42,8 +42,12 @@ func TestDecisionEventKinds(t *testing.T) {
 		{Decision{Checked: true}, nil, "steady"},
 	}
 	for _, c := range cases {
-		if ev := a.decisionEvent(c.dec, c.err, 1.5); ev.Kind != c.want {
+		ev := a.decisionEvent(c.dec, c.err, 0.7, 1.5)
+		if ev.Kind != c.want {
 			t.Fatalf("decision %+v journaled as %q, want %q", c.dec, ev.Kind, c.want)
+		}
+		if ev.PlanMS != 0.7 {
+			t.Fatalf("decision %+v journaled plan_ms %v, want 0.7", c.dec, ev.PlanMS)
 		}
 	}
 }

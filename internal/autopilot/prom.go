@@ -74,6 +74,11 @@ func (a *Autopilot) WritePrometheus(w io.Writer) error {
 	p.sample("kairos_plan_cost_dollars_per_hour", "", st.Plan.Cost)
 	p.family("kairos_replans_total", "Actuated fleet reconfigurations.", "counter")
 	p.sample("kairos_replans_total", "", float64(st.Plan.Replans))
+	p.family("kairos_plan_duration_seconds", "Fleet replan compute time (the planner call, not actuation).", "histogram")
+	if p.err == nil {
+		snap := a.planHist.Snapshot()
+		snap.WriteProm(p.w, "kairos_plan_duration_seconds", "")
+	}
 
 	p.family("kairos_instances_lost_total", "Instance deaths observed outside orderly removals.", "counter")
 	p.sample("kairos_instances_lost_total", "", float64(st.Faults.InstancesLost))

@@ -129,103 +129,6 @@ func (p FleetPlan) String() string {
 	return b.String()
 }
 
-// frontierPoint is one step on a model's cost/throughput efficient
-// frontier: the cheapest configuration achieving its upper bound.
-type frontierPoint struct {
-	cfg  cloud.Config
-	cost float64
-	ub   float64
-}
-
-// modelLadder is one model's frontier plus the greedy allocator's cursor:
-// cur == -1 is the empty configuration (cost 0, upper bound 0).
-type modelLadder struct {
-	name   string
-	points []frontierPoint
-	cur    int
-}
-
-func (l *modelLadder) at() (cost, ub float64) {
-	if l.cur < 0 {
-		return 0, 0
-	}
-	return l.points[l.cur].cost, l.points[l.cur].ub
-}
-
-// frontier builds the Pareto frontier of (cost, upper bound) over every
-// configuration within budget: sorted by ascending cost, keeping only
-// configurations whose bound strictly improves on all cheaper ones. Both
-// cost and bound are strictly increasing along the result.
-func frontier(pool cloud.Pool, est *Estimator, budget float64) []frontierPoint {
-	configs := pool.Enumerate(budget)
-	pts := make([]frontierPoint, 0, len(configs))
-	for _, cfg := range configs {
-		if ub := est.UpperBound(cfg); ub > 0 {
-			pts = append(pts, frontierPoint{cfg: cfg, cost: pool.Cost(cfg), ub: ub})
-		}
-	}
-	sort.Slice(pts, func(i, j int) bool {
-		if pts[i].cost != pts[j].cost {
-			return pts[i].cost < pts[j].cost
-		}
-		if pts[i].ub != pts[j].ub {
-			return pts[i].ub > pts[j].ub
-		}
-		return pts[i].cfg.Key() < pts[j].cfg.Key()
-	})
-	out := pts[:0]
-	best := 0.0
-	for _, p := range pts {
-		if p.ub > best {
-			out = append(out, p)
-			best = p.ub
-		}
-	}
-	return out
-}
-
-// capFrontier clamps a frontier's upper bounds at the demand ceiling and
-// truncates it there: everything past the first point reaching the cap
-// costs more without serving any additional demand, so the greedy
-// allocator must never be offered it.
-func capFrontier(pts []frontierPoint, cap float64) []frontierPoint {
-	if cap <= 0 {
-		return pts
-	}
-	for i := range pts {
-		if pts[i].ub >= cap {
-			pts[i].ub = cap
-			return pts[:i+1]
-		}
-	}
-	return pts
-}
-
-const costEps = 1e-9
-
-// bestJump finds the ladder's most efficient affordable upgrade: the
-// frontier point beyond the cursor maximizing marginal upper bound per
-// marginal dollar within the remaining budget. It returns the point index
-// and the ratio, or (-1, 0) when no upgrade fits.
-func (l *modelLadder) bestJump(remaining float64) (int, float64) {
-	curCost, curUB := l.at()
-	bestIdx, bestRatio := -1, 0.0
-	for j := l.cur + 1; j < len(l.points); j++ {
-		dc := l.points[j].cost - curCost
-		if dc > remaining+costEps {
-			break // frontier cost is increasing: later points cost more
-		}
-		du := l.points[j].ub - curUB
-		if du <= 0 || dc <= 0 {
-			continue
-		}
-		if ratio := du / dc; ratio > bestRatio+costEps {
-			bestIdx, bestRatio = j, ratio
-		}
-	}
-	return bestIdx, bestRatio
-}
-
 // PlanFleet splits one dollar budget across several models' fleets by
 // greedy marginal throughput-per-dollar over each model's ranked
 // configurations (the multi-model generalization of the paper's one-shot
@@ -254,76 +157,22 @@ func (l *modelLadder) bestJump(remaining float64) (int, float64) {
 // upgrades have zero marginal value and the budget they would cost stays
 // unspent. When demand exceeds everything the budget can buy, the cap
 // never binds and the plan is the uncapped maximize-throughput one.
+//
+// PlanFleet is the from-scratch entry point: it builds a fresh
+// FleetPlanner, plans once, and returns an independent copy. Callers
+// replanning every tick should hold a FleetPlanner so the frontier
+// cache and pooled scratch amortize the work across ticks.
 func PlanFleet(pool cloud.Pool, demands []ModelDemand, budget float64) (FleetPlan, error) {
-	if budget <= 0 {
-		return nil, fmt.Errorf("core: fleet planning needs a positive budget (got %v)", budget)
+	p, err := NewFleetPlanner(pool, budget)
+	if err != nil {
+		return nil, err
 	}
-	if len(demands) == 0 {
-		return nil, fmt.Errorf("core: fleet planning needs at least one model demand")
+	if err := p.SetDemands(demands); err != nil {
+		return nil, err
 	}
-	ladders := make([]*modelLadder, 0, len(demands))
-	seen := make(map[string]bool, len(demands))
-	for _, d := range demands {
-		if d.Model.Name == "" {
-			return nil, fmt.Errorf("core: fleet demand with an unnamed model")
-		}
-		if seen[d.Model.Name] {
-			return nil, fmt.Errorf("core: duplicate fleet demand for model %s", d.Model.Name)
-		}
-		seen[d.Model.Name] = true
-		est, err := NewEstimator(pool, d.Model, d.Samples, EstimatorOptions{})
-		if err != nil {
-			return nil, fmt.Errorf("core: fleet demand for %s: %w", d.Model.Name, err)
-		}
-		ladders = append(ladders, &modelLadder{
-			name:   d.Model.Name,
-			points: capFrontier(frontier(pool, est, budget), d.cap()),
-			cur:    -1,
-		})
+	plan, err := p.Plan(budget)
+	if err != nil {
+		return nil, err
 	}
-	// Deterministic tie-breaking needs a stable scan order.
-	sort.Slice(ladders, func(i, j int) bool { return ladders[i].name < ladders[j].name })
-
-	remaining := budget
-	for {
-		// Coverage first: uncovered models with an affordable first step
-		// take absolute priority over upgrades to already-served models,
-		// and coverage buys exactly the cheapest positive-throughput
-		// configuration — never a deeper jump, which could spend the
-		// budget another coverable model still needs. Upgrades come later
-		// from the greedy phase.
-		var pick *modelLadder
-		pickIdx, pickRatio := -1, 0.0
-		for _, l := range ladders {
-			if l.cur < 0 && len(l.points) > 0 && l.points[0].cost <= remaining+costEps {
-				if ratio := l.points[0].ub / l.points[0].cost; ratio > pickRatio+costEps {
-					pick, pickIdx, pickRatio = l, 0, ratio
-				}
-			}
-		}
-		if pick == nil {
-			// Everyone affordable is covered: greedy marginal upgrades.
-			for _, l := range ladders {
-				if idx, ratio := l.bestJump(remaining); idx >= 0 && ratio > pickRatio+costEps {
-					pick, pickIdx, pickRatio = l, idx, ratio
-				}
-			}
-		}
-		if pick == nil {
-			break
-		}
-		curCost, _ := pick.at()
-		remaining -= pick.points[pickIdx].cost - curCost
-		pick.cur = pickIdx
-	}
-
-	plan := make(FleetPlan, len(ladders))
-	for _, l := range ladders {
-		if l.cur < 0 {
-			plan[l.name] = cloud.NewConfig(pool)
-		} else {
-			plan[l.name] = l.points[l.cur].cfg.Clone()
-		}
-	}
-	return plan, nil
+	return plan.Clone(), nil
 }

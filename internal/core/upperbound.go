@@ -63,15 +63,33 @@ type Estimator struct {
 	// Per-pool-type cached aggregates (lazily built): cutoffs and, per
 	// candidate shared region, conditional mean latencies.
 	cutoffs []int
-	// qpsCache memoizes meanQPS by (instance, lo, hi); the shared region
-	// boundary takes one of at most len(pool) values, so ranking a
-	// 100k-configuration space (Fig. 15a's 4x budget) stays cheap.
-	qpsCache map[qpsKey]float64
+
+	// latTable[i][b] is pool type i's latency at batch b — the latency
+	// surface is sample-independent, so the table outlives window swaps.
+	// latPrefix[i][k] sums type i's latencies over sorted[:k], rebuilt
+	// per window: any conditional mean over a sorted-sample range is then
+	// two loads and a divide, so ranking a 100k-configuration space
+	// (Fig. 15a's 4x budget) and swapping windows both stay cheap.
+	latTable  [][]float64
+	latPrefix [][]float64
+
+	// Window-swap and hot-path state: counting-sort buckets reused by
+	// Reset, and the per-region aggregates upperBoundInto reads.
+	counts   []int
+	prepared bool
+	qB       float64    // base-type QPS over the whole window
+	regions  []ubRegion // one per distinct positive auxiliary cutoff
 }
 
-type qpsKey struct {
-	instance string
-	lo, hi   int
+// ubRegion holds Eq. 15's sample-dependent aggregates for one candidate
+// shared auxiliary region (one distinct positive aux cutoff): every
+// configuration whose allocated auxiliary types share this sMax reuses
+// them, so evaluating a configuration costs a handful of multiplies.
+type ubRegion struct {
+	sMax    int
+	fPrime  float64
+	qBSPlus float64
+	qa      []float64 // standalone region QPS per pool index (0 for base)
 }
 
 // EstimatorOptions configure NewEstimator.
@@ -111,7 +129,145 @@ func NewEstimator(pool cloud.Pool, model models.Model, samples []int, opts Estim
 	for i, t := range pool {
 		e.cutoffs[i] = e.cutoffBatch(t.Name)
 	}
+	e.buildWindowSums()
 	return e, nil
+}
+
+// buildWindowSums (re)derives the latency prefix sums for the current
+// window, tabling the latency surface on first use.
+func (e *Estimator) buildWindowSums() {
+	if e.latTable == nil {
+		e.latTable = make([][]float64, len(e.pool))
+		for i, t := range e.pool {
+			tab := make([]float64, models.MaxBatch+1)
+			for b := 1; b <= models.MaxBatch; b++ {
+				tab[b] = e.latency(t.Name, b)
+			}
+			e.latTable[i] = tab
+		}
+	}
+	if e.latPrefix == nil {
+		e.latPrefix = make([][]float64, len(e.pool))
+	}
+	for i := range e.pool {
+		if cap(e.latPrefix[i]) < len(e.sorted)+1 {
+			e.latPrefix[i] = make([]float64, len(e.sorted)+1)
+		}
+		pfx := e.latPrefix[i][:len(e.sorted)+1]
+		tab := e.latTable[i]
+		sum := 0.0
+		pfx[0] = 0
+		for k, b := range e.sorted {
+			sum += tab[b]
+			pfx[k+1] = sum
+		}
+		e.latPrefix[i] = pfx
+	}
+}
+
+// Reset repoints the estimator at a new batch-size window, keeping every
+// sample-independent aggregate (the per-type QoS cutoffs depend only on
+// the latency surface and the QoS target). The samples are
+// counting-sorted — batch sizes live in [1, models.MaxBatch], so one
+// bucket pass replaces the comparison sort and a window swap costs
+// microseconds. On error the estimator's window is unchanged.
+func (e *Estimator) Reset(samples []int) error {
+	if len(samples) == 0 {
+		return fmt.Errorf("core: estimator needs batch samples")
+	}
+	if e.counts == nil {
+		e.counts = make([]int, models.MaxBatch+1)
+	}
+	for _, b := range samples {
+		if b < 1 || b > models.MaxBatch {
+			clear(e.counts)
+			return fmt.Errorf("core: batch samples outside [1,%d]", models.MaxBatch)
+		}
+		e.counts[b]++
+	}
+	if cap(e.sorted) < len(samples) {
+		e.sorted = make([]int, 0, len(samples))
+	}
+	e.sorted = e.sorted[:0]
+	for b := 1; b <= models.MaxBatch; b++ {
+		for n := e.counts[b]; n > 0; n-- {
+			e.sorted = append(e.sorted, b)
+		}
+		e.counts[b] = 0
+	}
+	e.buildWindowSums()
+	e.prepared = false
+	return nil
+}
+
+// prepare precomputes the per-region aggregates upperBoundInto reads, so
+// a frontier rebuild evaluates each candidate configuration in a few
+// dozen nanoseconds instead of re-deriving conditional means per call.
+func (e *Estimator) prepare() {
+	if e.prepared {
+		return
+	}
+	e.qB = e.meanQPS(cloud.BaseIndex, 0, len(e.sorted))
+	e.regions = e.regions[:0]
+regions:
+	for i := range e.pool {
+		if i == cloud.BaseIndex || e.cutoffs[i] == 0 {
+			continue
+		}
+		s := e.cutoffs[i]
+		for _, r := range e.regions {
+			if r.sMax == s {
+				continue regions
+			}
+		}
+		split := sort.SearchInts(e.sorted, s+1)
+		r := ubRegion{
+			sMax:    s,
+			fPrime:  float64(split) / float64(len(e.sorted)),
+			qBSPlus: e.meanQPS(cloud.BaseIndex, split, len(e.sorted)),
+			qa:      make([]float64, len(e.pool)),
+		}
+		for j := range e.pool {
+			if j != cloud.BaseIndex {
+				r.qa[j] = e.meanQPS(j, 0, split)
+			}
+		}
+		e.regions = append(e.regions, r)
+	}
+	e.prepared = true
+}
+
+// upperBoundInto is UpperBound on the prepared aggregates with a
+// caller-owned vQa scratch buffer — the fleet planner's allocation-free
+// hot path. It reads the same memoized conditional means in the same
+// order as UpperBound, so the results are bit-identical.
+func (e *Estimator) upperBoundInto(cfg cloud.Config, scratch []float64) (float64, []float64) {
+	e.prepare()
+	u := cfg[cloud.BaseIndex]
+	sMax := 0
+	for i := range e.pool {
+		if i != cloud.BaseIndex && cfg[i] != 0 && e.cutoffs[i] > sMax {
+			sMax = e.cutoffs[i]
+		}
+	}
+	if sMax == 0 {
+		return UpperBoundRaw(u, e.qB, 0, nil, 0), scratch
+	}
+	var reg *ubRegion
+	for k := range e.regions {
+		if e.regions[k].sMax == sMax {
+			reg = &e.regions[k]
+			break
+		}
+	}
+	scratch = scratch[:0]
+	for i := range e.pool {
+		if i == cloud.BaseIndex || cfg[i] == 0 {
+			continue
+		}
+		scratch = append(scratch, float64(cfg[i])*reg.qa[i])
+	}
+	return UpperBoundRaw(u, e.qB, reg.qBSPlus, scratch, reg.fPrime), scratch
 }
 
 // cutoffBatch finds the largest batch within QoS on the instance type by
@@ -141,31 +297,20 @@ func (e *Estimator) fractionAtMost(s int) float64 {
 	return float64(idx) / float64(len(e.sorted))
 }
 
-// meanQPS returns the standalone QPS of one instance of the type over the
-// sample batches in the half-open index range [lo, hi) of the sorted
-// samples: 1000 / mean latency. Returns 0 for an empty range.
-func (e *Estimator) meanQPS(instance string, lo, hi int) float64 {
+// meanQPS returns the standalone QPS of one instance of pool type i over
+// the sample batches in the half-open index range [lo, hi) of the sorted
+// samples: 1000 / mean latency, read off the per-type latency prefix
+// sums. Returns 0 for an empty range.
+func (e *Estimator) meanQPS(i, lo, hi int) float64 {
 	if lo >= hi {
 		return 0
 	}
-	key := qpsKey{instance, lo, hi}
-	if v, ok := e.qpsCache[key]; ok {
-		return v
-	}
-	sum := 0.0
-	for _, b := range e.sorted[lo:hi] {
-		sum += e.latency(instance, b)
-	}
-	mean := sum / float64(hi-lo)
-	v := 0.0
+	pfx := e.latPrefix[i]
+	mean := (pfx[hi] - pfx[lo]) / float64(hi-lo)
 	if mean > 0 {
-		v = 1000 / mean
+		return 1000 / mean
 	}
-	if e.qpsCache == nil {
-		e.qpsCache = make(map[qpsKey]float64)
-	}
-	e.qpsCache[key] = v
-	return v
+	return 0
 }
 
 // UpperBound computes QPS_max for one configuration (Eq. 15 with the
@@ -186,20 +331,19 @@ func (e *Estimator) UpperBound(cfg cloud.Config) float64 {
 			sMax = e.cutoffs[i]
 		}
 	}
-	base := e.pool.Base().Name
-	qB := e.meanQPS(base, 0, len(e.sorted))
+	qB := e.meanQPS(cloud.BaseIndex, 0, len(e.sorted))
 	if sMax == 0 {
 		return UpperBoundRaw(u, qB, 0, nil, 0)
 	}
 	split := sort.SearchInts(e.sorted, sMax+1) // samples[:split] are <= sMax
 	fPrime := float64(split) / float64(len(e.sorted))
-	qBSPlus := e.meanQPS(base, split, len(e.sorted))
+	qBSPlus := e.meanQPS(cloud.BaseIndex, split, len(e.sorted))
 	var vQa []float64
 	for i := range e.pool {
 		if i == cloud.BaseIndex || cfg[i] == 0 {
 			continue
 		}
-		qa := e.meanQPS(e.pool[i].Name, 0, split)
+		qa := e.meanQPS(i, 0, split)
 		vQa = append(vQa, float64(cfg[i])*qa)
 	}
 	return UpperBoundRaw(u, qB, qBSPlus, vQa, fPrime)
