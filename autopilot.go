@@ -140,12 +140,23 @@ type AutopilotOptions struct {
 	// ScaleInHysteresis is the utilization band above the floor that
 	// resets the tick counter (default 0.05).
 	ScaleInHysteresis float64
-	// DemandHeadroom arms demand-aware replanning: every replan caps each
+	// DemandHeadroom tunes demand-aware replanning: every replan caps each
 	// model's planned throughput at its observed arrival rate times
 	// (1 + DemandHeadroom), leaving surplus budget unspent instead of
-	// buying capacity no model needs (see core.PlanFleet). 0 disables
-	// capping and replans maximize throughput under the full budget.
+	// buying capacity no model needs (see core.PlanFleet). Demand capping
+	// is on by default: 0 uses the default headroom
+	// (core.DefaultHeadroom); a negative value disables capping, so
+	// replans maximize throughput under the full budget.
 	DemandHeadroom float64
+	// OnDemandFloor arms risk-bounded spot planning, as a fraction of each
+	// model's observed arrival rate: in a pool carrying spot capacity
+	// (Pool.WithSpotMarket), every latency-critical model's allocation
+	// must keep an on-demand-only throughput upper bound of at least
+	// OnDemandFloor times its arrival rate, so losing every spot instance
+	// at once still leaves that fraction of demand servable (see
+	// core.ModelDemand.OnDemandFloor). 0 disables the floor; it is also
+	// inert in pools without spot capacity.
+	OnDemandFloor float64
 	// Logf, when set, receives one line per control decision.
 	Logf func(format string, args ...any)
 }
@@ -238,8 +249,13 @@ func (e *Engine) Autopilot(timeScale float64, opts AutopilotOptions, extra ...Au
 	if cfg.ingressQueue > 0 && cfg.ingressHTTP == "" && cfg.ingressTCP == "" {
 		return nil, fmt.Errorf("kairos: WithIngressQueue without WithIngress")
 	}
-	if opts.DemandHeadroom < 0 {
-		return nil, fmt.Errorf("kairos: negative demand headroom %v", opts.DemandHeadroom)
+	if opts.OnDemandFloor < 0 {
+		return nil, fmt.Errorf("kairos: negative on-demand floor %v", opts.OnDemandFloor)
+	}
+	// Demand capping defaults on; a negative headroom opts out.
+	headroom := opts.DemandHeadroom
+	if headroom == 0 {
+		headroom = core.DefaultHeadroom
 	}
 	fullBudget := e.budget
 	// One planner lives for the autopilot's whole lifetime: replans hand it
@@ -251,6 +267,18 @@ func (e *Engine) Autopilot(timeScale float64, opts AutopilotOptions, extra ...Au
 	if err != nil {
 		return nil, err
 	}
+	demandFor := func(m Model, s []int, arrival float64) core.ModelDemand {
+		d := core.ModelDemand{Model: m, Samples: s}
+		if headroom > 0 {
+			d.ArrivalQPS = arrival
+			d.Headroom = headroom
+			// The on-demand floor derives from the same observed demand the
+			// cap does, so it rides the same arrival rate (and is inert
+			// while demand capping is disabled or the rate is unknown).
+			d.OnDemandFloor = opts.OnDemandFloor
+		}
+		return d
+	}
 	plan := func(samples map[string][]int, arrivals map[string]float64, budget float64) (core.FleetPlan, error) {
 		if budget <= 0 {
 			budget = fullBudget
@@ -258,12 +286,7 @@ func (e *Engine) Autopilot(timeScale float64, opts AutopilotOptions, extra ...Au
 		demands := make([]core.ModelDemand, 0, len(e.models))
 		for _, m := range e.models {
 			if s := samples[m.Name]; len(s) > 0 {
-				d := core.ModelDemand{Model: m, Samples: s}
-				if opts.DemandHeadroom > 0 {
-					d.ArrivalQPS = arrivals[m.Name]
-					d.Headroom = opts.DemandHeadroom
-				}
-				demands = append(demands, d)
+				demands = append(demands, demandFor(m, s, arrivals[m.Name]))
 			}
 		}
 		if len(demands) == 0 {
@@ -279,6 +302,20 @@ func (e *Engine) Autopilot(timeScale float64, opts AutopilotOptions, extra ...Au
 		// The planner owns the returned plan's storage; the control loop
 		// mutates the plan it actuates (heals decrement counts), so hand
 		// it a private copy.
+		return got.Clone(), nil
+	}
+	replanModel := func(model string, samples []int, arrivalQPS float64, budget float64) (core.FleetPlan, error) {
+		if budget <= 0 {
+			budget = fullBudget
+		}
+		m := e.modelByName(model)
+		if m == nil {
+			return nil, fmt.Errorf("kairos: replan for unknown model %q", model)
+		}
+		got, err := planner.ReplanModel(demandFor(*m, samples, arrivalQPS), budget)
+		if err != nil {
+			return nil, err
+		}
 		return got.Clone(), nil
 	}
 	references := make(map[string][]int, len(e.models))
@@ -334,6 +371,7 @@ func (e *Engine) Autopilot(timeScale float64, opts AutopilotOptions, extra ...Au
 		Pool:              e.pool,
 		Models:            e.models,
 		Plan:              plan,
+		ReplanModel:       replanModel,
 		TimeScale:         timeScale,
 		Ingress:           ingOpts,
 		Interval:          opts.Interval,

@@ -150,7 +150,10 @@ func main() {
 	minObs := flag.Int("min-obs", 0, "observations before a model's triggers arm (0 = window/10)")
 	scaleInFloor := flag.Float64("scale-in", 0, "utilization floor arming the scale-in trigger (0 = disabled)")
 	scaleInTicks := flag.Int("scale-in-ticks", 0, "consecutive under-utilized ticks firing scale-in (0 = default 5)")
-	demandHeadroom := flag.Float64("demand-headroom", 0, "cap replanned capacity at observed arrivals x (1+headroom), leaving surplus budget unspent (0 = disabled)")
+	demandHeadroom := flag.Float64("demand-headroom", 0, "cap replanned capacity at observed arrivals x (1+headroom), leaving surplus budget unspent (0 = default 0.25, negative = disabled)")
+	spotDiscount := flag.Float64("spot-discount", 0, "add a spot-market tier: every type gains a spot variant at (1-discount) x price that can be revoked on notice (0 = on-demand only)")
+	spotRisk := flag.Float64("spot-risk", 0.05, "revocation-risk knob recorded on spot types (informational; used with -spot-discount)")
+	onDemandFloor := flag.Float64("on-demand-floor", 0, "fraction of each model's observed arrivals that must survive on on-demand capacity alone if every spot instance is revoked at once (0 = no floor)")
 	provider := flag.String("provider", "inprocess", "actuation provider: inprocess (loopback servers) or exec (real kairosd processes)")
 	kairosdBin := flag.String("kairosd", "", "kairosd binary for -provider exec (default: next to this binary, then PATH)")
 	ingressHTTP := flag.String("ingress", "", "HTTP ingress address for external queries (e.g. 127.0.0.1:8080; empty = disabled)")
@@ -190,13 +193,23 @@ func main() {
 		log.Fatalf("kairos-autopilot: %v", err)
 	}
 
+	pool := kairos.DefaultPool()
+	if *spotDiscount > 0 {
+		if *spotDiscount >= 1 {
+			log.Fatalf("kairos-autopilot: -spot-discount %v outside (0,1)", *spotDiscount)
+		}
+		pool = pool.WithSpotMarket(*spotDiscount, *spotRisk)
+	} else if *onDemandFloor > 0 {
+		log.Fatal("kairos-autopilot: -on-demand-floor needs a spot market (-spot-discount)")
+	}
+
 	rng := rand.New(rand.NewSource(*seed))
 	reference := make([]int, 4000)
 	for i := range reference {
 		reference[i] = mix.Sample(rng)
 	}
 	engine, err := kairos.New(
-		kairos.WithPool(kairos.DefaultPool()),
+		kairos.WithPool(pool),
 		kairos.WithModels(modelNames...),
 		kairos.WithBudget(*budget),
 		kairos.WithPolicy(*policy),
@@ -238,6 +251,7 @@ func main() {
 		ScaleInFloor:    *scaleInFloor,
 		ScaleInTicks:    *scaleInTicks,
 		DemandHeadroom:  *demandHeadroom,
+		OnDemandFloor:   *onDemandFloor,
 		Logf:            log.Printf,
 	}, extra...)
 	if err != nil {

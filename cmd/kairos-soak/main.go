@@ -17,7 +17,14 @@
 //
 // Fault specs are KIND@AT[:DURATION[:DELAY]] with AT a fraction of the
 // scenario in [0,1): kill@0.3, wedge@0.5:500ms, stall@0.6:1s,
-// delay@0.2:1s:20ms, partition@0.7.
+// delay@0.2:1s:20ms, partition@0.7, preempt@0.4:800ms (DURATION is the
+// spot revocation notice window; the instance is hard-killed at the
+// deadline if its drain has not finished).
+//
+// With -spot-discount the fleet plans over a spot market: every
+// instance type gains a discounted spot variant, and -on-demand-floor
+// keeps a risk-bounded slice of each latency-critical model's demand on
+// revocation-proof on-demand capacity.
 package main
 
 import (
@@ -99,6 +106,9 @@ func main() {
 		return nil
 	})
 	budget := flag.Float64("budget", 0.8, "shared cost budget in $/hr")
+	spotDiscount := flag.Float64("spot-discount", 0, "spot price discount in (0,1): 0.7 means spot costs 30% of on-demand; 0 = on-demand only")
+	spotRisk := flag.Float64("spot-risk", 0.05, "assumed per-hour spot revocation probability (informational, recorded on the spot types)")
+	onDemandFloor := flag.Float64("on-demand-floor", 0, "fraction of each latency-critical model's arrival rate that must stay on on-demand capacity")
 	duration := flag.Float64("duration", 8000, "scenario duration in model milliseconds")
 	rate := flag.Float64("rate", 100, "scenario base arrival rate (QPS)")
 	timeScale := flag.Float64("timescale", 1.0, "real seconds per model second")
@@ -148,6 +158,15 @@ func main() {
 	} else if *provider != "inprocess" {
 		log.Fatalf("kairos-soak: unknown provider %q (want inprocess or exec)", *provider)
 	}
+	pool := kairos.DefaultPool()
+	if *spotDiscount > 0 {
+		if *spotDiscount >= 1 {
+			log.Fatalf("kairos-soak: -spot-discount %g out of range (want (0,1))", *spotDiscount)
+		}
+		pool = pool.WithSpotMarket(*spotDiscount, *spotRisk)
+	} else if *onDemandFloor > 0 {
+		log.Fatal("kairos-soak: -on-demand-floor needs a spot market (-spot-discount)")
+	}
 	logf := func(string, ...any) {}
 	if *verbose {
 		logf = log.Printf
@@ -156,8 +175,8 @@ func main() {
 	bench := soak.Bench{Seed: *seed, TimeScale: *timeScale}
 	decisions := make(map[string][]kairos.AutopilotDecisionEvent, len(scenarios))
 	for _, sc := range scenarios {
-		report, decs, err := runScenario(sc, modelNames, faults, *budget, *timeScale,
-			*seed, binPath, *ingressQueue, *emptyHold, *converge, logf)
+		report, decs, err := runScenario(sc, pool, modelNames, faults, *budget, *onDemandFloor,
+			*timeScale, *seed, binPath, *ingressQueue, *emptyHold, *converge, logf)
 		if err != nil {
 			log.Fatalf("kairos-soak: %s: %v", sc.Name, err)
 		}
@@ -167,9 +186,10 @@ func main() {
 		if !report.Passed() {
 			verdict = "FAIL"
 		}
-		fmt.Printf("kairos-soak: %-20s %s  submitted=%d admitted=%d rejected=%d failed=%d faults=%d violations=%d\n",
+		fmt.Printf("kairos-soak: %-20s %s  submitted=%d admitted=%d rejected=%d failed=%d faults=%d violations=%d cost=$%.3f/hr ($%.4f per 1k queries)\n",
 			sc.Name, verdict, report.Submitted, report.Admitted, report.Rejected,
-			report.Failed, len(report.Faults), len(report.Violations))
+			report.Failed, len(report.Faults), len(report.Violations),
+			report.PlanCost, report.CostPer1KQueries)
 		for _, v := range report.Violations {
 			fmt.Printf("kairos-soak:   violation: %s\n", v)
 		}
@@ -225,8 +245,8 @@ func decisionsPath(out string) string {
 
 // runScenario launches a fresh fleet, replays one scenario against it,
 // and tears everything down — faults never leak across runs.
-func runScenario(sc kairos.Scenario, modelNames []string, faults []soak.FaultSpec,
-	budget, timeScale float64, seed int64, binPath string, ingressQueue int,
+func runScenario(sc kairos.Scenario, pool kairos.Pool, modelNames []string, faults []soak.FaultSpec,
+	budget, onDemandFloor, timeScale float64, seed int64, binPath string, ingressQueue int,
 	emptyHold, converge time.Duration, logf func(string, ...any)) (*soak.Report, []kairos.AutopilotDecisionEvent, error) {
 	// The initial plan is sized for the scenario's opening mix.
 	rng := rand.New(rand.NewSource(seed))
@@ -235,7 +255,7 @@ func runScenario(sc kairos.Scenario, modelNames []string, faults []soak.FaultSpe
 		reference[i] = sc.Phases[0].Dist.Sample(rng)
 	}
 	engine, err := kairos.New(
-		kairos.WithPool(kairos.DefaultPool()),
+		kairos.WithPool(pool),
 		kairos.WithModels(modelNames...),
 		kairos.WithBudget(budget),
 		kairos.WithBatchSamples(reference),
@@ -254,8 +274,9 @@ func runScenario(sc kairos.Scenario, modelNames []string, faults []soak.FaultSpe
 	}
 	chaos := soak.WrapChaos(inner)
 	ap, err := engine.Autopilot(timeScale, kairos.AutopilotOptions{
-		Interval: 50 * time.Millisecond,
-		Logf:     logf,
+		Interval:      50 * time.Millisecond,
+		OnDemandFloor: onDemandFloor,
+		Logf:          logf,
 	},
 		kairos.WithProvider(chaos),
 		kairos.WithIngress("", "127.0.0.1:0"),

@@ -76,8 +76,8 @@ func TestAutopilotOptionValidation(t *testing.T) {
 	if _, err := e.Autopilot(1, AutopilotOptions{}, WithIngressQueue(64)); err == nil {
 		t.Fatal("WithIngressQueue without WithIngress must error, not be silently dropped")
 	}
-	if _, err := e.Autopilot(1, AutopilotOptions{DemandHeadroom: -0.5}); err == nil {
-		t.Fatal("negative demand headroom must error")
+	if _, err := e.Autopilot(1, AutopilotOptions{OnDemandFloor: -0.5}); err == nil {
+		t.Fatal("negative on-demand floor must error")
 	}
 	// A provider whose time dilation disagrees with the autopilot's would
 	// skew every rate reading; the mismatch is caught before launch.

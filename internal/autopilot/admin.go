@@ -91,6 +91,19 @@ type FaultStatus struct {
 	// LastDetail describes the most recent death (model/type, address,
 	// cause).
 	LastDetail string `json:"last_detail,omitempty"`
+
+	// Preemptions counts spot revocation notices received;
+	// PreemptionsDrained of those finished their drain ahead of the
+	// deadline, PreemptionsReplanned also reconciled the fleet around the
+	// hole, and PreemptionDeadlineDeaths died mid-drain (the eviction
+	// fallback answered those).
+	Preemptions              int64 `json:"preemptions,omitempty"`
+	PreemptionsDrained       int64 `json:"preemptions_drained,omitempty"`
+	PreemptionsReplanned     int64 `json:"preemptions_replanned,omitempty"`
+	PreemptionDeadlineDeaths int64 `json:"preemption_deadline_deaths,omitempty"`
+	// LastPreempt and LastPreemptDetail describe the most recent notice.
+	LastPreempt       time.Time `json:"last_preempt,omitempty"`
+	LastPreemptDetail string    `json:"last_preempt_detail,omitempty"`
 }
 
 // ScaleInStatus reports the under-utilization trigger's configuration and
@@ -268,6 +281,11 @@ func (a *Autopilot) Status() Status {
 		}
 	}
 	lastFault, lastRecovery, faultDetail, lost, heals, faultPending := a.FaultState()
+	noticed, drained, replanned, deadlineDeaths := a.PreemptState()
+	a.mu.Lock()
+	lastPreempt := a.lastPreempt
+	lastPreemptDetail := a.lastPreemptDetail
+	a.mu.Unlock()
 
 	return Status{
 		Healthy:        lastErr == "",
@@ -284,12 +302,18 @@ func (a *Autopilot) Status() Status {
 			TicksNeeded: a.opts.ScaleInTicks,
 		},
 		Faults: FaultStatus{
-			InstancesLost: lost,
-			Heals:         heals,
-			Pending:       faultPending,
-			LastFault:     lastFault,
-			LastRecovery:  lastRecovery,
-			LastDetail:    faultDetail,
+			InstancesLost:            lost,
+			Heals:                    heals,
+			Pending:                  faultPending,
+			LastFault:                lastFault,
+			LastRecovery:             lastRecovery,
+			LastDetail:               faultDetail,
+			Preemptions:              noticed,
+			PreemptionsDrained:       drained,
+			PreemptionsReplanned:     replanned,
+			PreemptionDeadlineDeaths: deadlineDeaths,
+			LastPreempt:              lastPreempt,
+			LastPreemptDetail:        lastPreemptDetail,
 		},
 		LastError:  lastErr,
 		Plan:       plan,

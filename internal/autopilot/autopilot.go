@@ -73,6 +73,14 @@ type Options struct {
 	// Plan produces a fresh fleet plan from the live windows — normally
 	// the engine's shared-budget allocator.
 	Plan PlanFunc
+	// ReplanModel, when set, replans a single model's allocation (other
+	// models' slices stay fixed) from its live sample and arrival rate —
+	// normally the engine's incremental single-model replanner. The
+	// preemption path uses it to fill the hole a revoked instance leaves
+	// before the revocation deadline, without paying a full-fleet replan.
+	// A non-positive budget asks for the planner's full configured budget.
+	// When nil, a preemption falls back to re-actuating the plan in force.
+	ReplanModel func(model string, samples []int, arrivalQPS float64, budget float64) (core.FleetPlan, error)
 
 	// TimeScale is the serving path's time dilation factor (it must match
 	// the controller's and the instances'); non-positive means real time.
@@ -262,6 +270,15 @@ type Autopilot struct {
 	// waiting out the tick (buffered: the callback never blocks).
 	faultKick chan struct{}
 
+	// Preemption state (mu): spot-market revocation notices and the
+	// drain-ahead-of-death bookkeeping answering them.
+	preemptNoticed        int64
+	preemptDrained        int64
+	preemptReplanned      int64
+	preemptDeadlineDeaths int64
+	lastPreempt           time.Time
+	lastPreemptDetail     string
+
 	// step-delta state for recent throughput/utilization estimates.
 	lastStepAt        time.Time
 	lastStepCompleted int64
@@ -292,6 +309,9 @@ type Autopilot struct {
 	// planHist aggregates plan-computation latency for /metrics
 	// (internally synchronized; the zero value is ready).
 	planHist obs.Histogram
+	// preemptHist aggregates notice-to-drained latency for /metrics
+	// (internally synchronized; the zero value is ready).
+	preemptHist obs.Histogram
 }
 
 // ModelDecision reports one model's trigger evaluation within a control
@@ -521,6 +541,185 @@ func (a *Autopilot) FaultState() (lastFault, lastRecovery time.Time, detail stri
 	return a.lastFault, a.lastRecovery, a.lastFaultDetail, a.instancesLost, a.heals, a.faultPending
 }
 
+// PreemptState reports the spot-revocation bookkeeping: notices received,
+// instances drained ahead of their deadline, replans answering a drained
+// notice, and notices whose instance died mid-drain (the deadline or
+// another fault won the race — the eviction fallback handled those).
+func (a *Autopilot) PreemptState() (noticed, drained, replanned, deadlineDeaths int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.preemptNoticed, a.preemptDrained, a.preemptReplanned, a.preemptDeadlineDeaths
+}
+
+// handlePreemption answers one revocation notice: drain the doomed
+// instance immediately (reusing the controller's orderly removal, so
+// in-flight queries finish and the backlog redistributes), release it at
+// the provider, then replan the affected model around the hole — all
+// racing the revocation deadline. An instance that dies mid-drain falls
+// back to the eviction path: stranded queries were already redispatched
+// and a heal kicked, so the notice handler just records the loss.
+//
+// Runs on its own goroutine per notice: the drain blocks on in-flight
+// work and must not stall the control loop or other notices.
+func (a *Autopilot) handlePreemption(p Preemption) {
+	noticeAt := time.Now()
+	a.mu.Lock()
+	a.preemptNoticed++
+	a.lastPreempt = noticeAt
+	a.lastPreemptDetail = "notice for " + p.Addr
+	a.mu.Unlock()
+	a.logf("autopilot: preemption notice for %s (deadline in %v)", p.Addr, time.Until(p.Deadline).Round(time.Millisecond))
+
+	model, typeName, died, err := a.ctrl.RemoveInstanceAddr(p.Addr)
+	drainMS := float64(time.Since(noticeAt)) / float64(time.Millisecond)
+	if err != nil {
+		a.mu.Lock()
+		a.lastPreemptDetail = fmt.Sprintf("notice for %s: %v", p.Addr, err)
+		a.mu.Unlock()
+		a.journal.add(DecisionEvent{
+			At: time.Now(), Kind: "preempt",
+			Reason: "preemption notice for " + p.Addr, Err: err.Error(), PreemptDrainMS: drainMS,
+		})
+		a.logf("autopilot: preemption drain of %s failed: %v", p.Addr, err)
+		return
+	}
+	detail := fmt.Sprintf("%s/%s at %s", model, typeName, p.Addr)
+	if died {
+		a.mu.Lock()
+		a.preemptDeadlineDeaths++
+		a.lastPreemptDetail = detail + ": died mid-drain"
+		a.mu.Unlock()
+		a.journal.add(DecisionEvent{
+			At: time.Now(), Kind: "preempt", PreemptDrainMS: drainMS,
+			Reason: "preempted " + detail + " died mid-drain; eviction redispatch + heal fallback",
+		})
+		a.logf("autopilot: preempted %s died mid-drain; eviction fallback handled it", detail)
+		return
+	}
+	a.preemptHist.Record(time.Since(noticeAt))
+	if err := a.provider.Stop(p.Addr); err != nil {
+		a.logf("autopilot: stopping preempted %s: %v", detail, err)
+	}
+	a.mu.Lock()
+	a.preemptDrained++
+	a.lastPreemptDetail = detail + ": drained"
+	a.mu.Unlock()
+	beatDeadline := ""
+	if left := time.Until(p.Deadline); left > 0 {
+		beatDeadline = fmt.Sprintf(", %v ahead of the deadline", left.Round(time.Millisecond))
+	}
+	a.logf("autopilot: drained preempted %s in %.1fms%s", detail, drainMS, beatDeadline)
+	a.replanAfterPreemption(model, detail, noticeAt, drainMS)
+}
+
+// replanAfterPreemption fills the capacity hole a drained preemption
+// left: a single-model incremental replan from the model's live window
+// (Options.ReplanModel) when available, otherwise re-actuating the plan
+// in force so the diff-based actuator relaunches the missing instance.
+func (a *Autopilot) replanAfterPreemption(model, detail string, noticeAt time.Time, drainMS float64) {
+	a.stepMu.Lock()
+	defer a.stepMu.Unlock()
+
+	var samples []int
+	var arrival float64
+	if st := a.states[model]; st != nil {
+		if snap := st.monitor.Snapshot(); len(snap) >= a.opts.MinObservations {
+			samples = snap
+		} else if ref := a.opts.References[model]; ref != nil {
+			samples = ref
+		} else if len(snap) > 0 {
+			samples = snap
+		}
+		a.mu.Lock()
+		arrival = st.arrivalQPS
+		a.mu.Unlock()
+	}
+	a.mu.Lock()
+	current := a.current.Clone()
+	a.mu.Unlock()
+
+	var planMS float64
+	next := core.FleetPlan(nil)
+	if a.opts.ReplanModel != nil && len(samples) > 0 {
+		planStart := time.Now()
+		p, err := a.opts.ReplanModel(model, samples, arrival, 0)
+		planTook := time.Since(planStart)
+		planMS = float64(planTook) / float64(time.Millisecond)
+		a.planHist.Record(planTook)
+		switch {
+		case err != nil:
+			a.logf("autopilot: preemption replan for %s: %v (re-actuating current plan)", model, err)
+		case p.Total() == 0:
+			a.logf("autopilot: preemption replan for %s returned an empty plan (re-actuating current plan)", model)
+		default:
+			ok := true
+			for name, cfg := range p {
+				if _, known := a.states[name]; !known || len(cfg) != len(a.opts.Pool) {
+					a.logf("autopilot: preemption replan returned unusable config %v for %q (re-actuating current plan)", cfg, name)
+					ok = false
+					break
+				}
+			}
+			if ok {
+				next = p
+			}
+		}
+	}
+	reActuated := next == nil
+	if reActuated {
+		next = current
+	}
+
+	actuateStart := time.Now()
+	if err := a.actuate(next); err != nil {
+		// Leave recovery to the fault machinery: mark a fault pending and
+		// kick the loop so Heal retries outside this handler.
+		a.mu.Lock()
+		a.faultPending = true
+		a.mu.Unlock()
+		a.setErr(fmt.Sprintf("preempt actuate: %v", err))
+		a.journal.add(DecisionEvent{
+			At: time.Now(), Kind: "preempt", Reason: "preempted " + detail + ": post-drain actuation failed",
+			Err: err.Error(), PlanMS: planMS, PreemptDrainMS: drainMS,
+		})
+		select {
+		case a.faultKick <- struct{}{}:
+		default:
+		}
+		a.logf("autopilot: post-preemption actuation failed: %v", err)
+		return
+	}
+	actuateMS := float64(time.Since(actuateStart)) / float64(time.Millisecond)
+	replanMS := float64(time.Since(noticeAt)) / float64(time.Millisecond)
+
+	a.mu.Lock()
+	changed := !reActuated && !next.Equal(current)
+	if changed {
+		a.current = next.Clone()
+		a.replans++
+	}
+	a.preemptReplanned++
+	if a.lastErr != "" && strings.HasPrefix(a.lastErr, "preempt") {
+		a.lastErr = ""
+	}
+	// The reshaped fleet invalidates the rate baseline, as after any
+	// replan or heal.
+	a.lastStepAt = time.Time{}
+	a.mu.Unlock()
+
+	reason := "preempted " + detail + ": drained and replanned"
+	if reActuated {
+		reason = "preempted " + detail + ": drained and re-actuated the plan in force"
+	}
+	a.journal.add(DecisionEvent{
+		At: time.Now(), Kind: "preempt", Reason: reason,
+		From: a.planCounts(current), To: a.planCounts(next),
+		PlanMS: planMS, ActuationMS: actuateMS,
+		PreemptDrainMS: drainMS, PreemptReplanMS: replanMS,
+	})
+	a.logf("autopilot: replanned around preempted %s in %.1fms (drain %.1fms)", detail, replanMS, drainMS)
+}
+
 // Current returns the fleet plan in force.
 func (a *Autopilot) Current() core.FleetPlan {
 	a.mu.Lock()
@@ -547,10 +746,23 @@ func (a *Autopilot) loop() {
 	defer close(a.loopDone)
 	ticker := time.NewTicker(a.opts.Interval)
 	defer ticker.Stop()
+	// Providers backed by revocable capacity announce preemptions; a nil
+	// channel (no Noticer, or one that cannot deliver) never fires.
+	var notices <-chan Preemption
+	if n, ok := a.provider.(Noticer); ok {
+		notices = n.Notices()
+	}
 	for {
 		select {
 		case <-a.stop:
 			return
+		case p := <-notices:
+			// A revocation notice is a first-class trigger distinct from
+			// death: drain the doomed instance and replan around the hole
+			// before the deadline. Handled concurrently — overlapping
+			// notices in a preemption storm must drain in parallel, not
+			// queue behind each other's drains.
+			go a.handlePreemption(p)
 		case <-a.faultKick:
 			// An instance died: heal now, not at the next tick.
 			if _, err := a.Heal(); err != nil {

@@ -49,13 +49,17 @@ type ExecFleet struct {
 	// Logf, when set, receives one line per process lifecycle event.
 	Logf func(format string, args ...any)
 
+	notices chan Preemption
+
 	mu    sync.Mutex
 	procs map[string]*execProc // keyed by listen address
 }
 
 var (
-	_ Provider = (*ExecFleet)(nil)
-	_ Reaper   = (*ExecFleet)(nil)
+	_ Provider  = (*ExecFleet)(nil)
+	_ Reaper    = (*ExecFleet)(nil)
+	_ Noticer   = (*ExecFleet)(nil)
+	_ Preempter = (*ExecFleet)(nil)
 )
 
 type execProc struct {
@@ -83,8 +87,44 @@ func NewExecFleet(bin string, timeScale float64, models ...string) *ExecFleet {
 		bin:       bin,
 		timeScale: timeScale,
 		models:    byName,
+		notices:   make(chan Preemption, 64),
 		procs:     map[string]*execProc{},
 	}
+}
+
+// Notices implements Noticer: the channel Preempt announces revocations
+// on.
+func (f *ExecFleet) Notices() <-chan Preemption { return f.notices }
+
+// Preempt implements Preempter, emulating the cloud reclaiming spot
+// capacity: the notice lands on Notices immediately and the kairosd at
+// addr is SIGKILLed once the window elapses — unless an orderly Stop (a
+// completed drain) reaped it first.
+func (f *ExecFleet) Preempt(addr string, notice time.Duration) (time.Time, error) {
+	f.mu.Lock()
+	_, ok := f.procs[addr]
+	f.mu.Unlock()
+	if !ok {
+		return time.Time{}, fmt.Errorf("autopilot: no exec instance at %s", addr)
+	}
+	deadline := time.Now().Add(notice)
+	select {
+	case f.notices <- Preemption{Addr: addr, Deadline: deadline}:
+	default:
+		// A stalled consumer loses the notice but never the revocation:
+		// the deadline kill below still fires and surfaces as a plain
+		// instance death.
+	}
+	time.AfterFunc(notice, func() {
+		f.mu.Lock()
+		p := f.procs[addr]
+		f.mu.Unlock()
+		if p != nil {
+			f.logf("autopilot: exec preemption deadline killing %s/%s pid %d at %s", p.model, p.typeName, p.cmd.Process.Pid, addr)
+			p.cmd.Process.Kill()
+		}
+	})
+	return deadline, nil
 }
 
 // TimeScale returns the fleet's time dilation factor.

@@ -3,6 +3,7 @@ package autopilot
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"kairos/internal/models"
 	"kairos/internal/server"
@@ -16,14 +17,17 @@ import (
 type Fleet struct {
 	timeScale float64
 	models    map[string]models.Model
+	notices   chan Preemption
 
 	mu      sync.Mutex
 	servers map[string]*fleetServer // keyed by listen address
 }
 
 var (
-	_ Provider = (*Fleet)(nil)
-	_ Reaper   = (*Fleet)(nil)
+	_ Provider  = (*Fleet)(nil)
+	_ Reaper    = (*Fleet)(nil)
+	_ Noticer   = (*Fleet)(nil)
+	_ Preempter = (*Fleet)(nil)
 )
 
 type fleetServer struct {
@@ -43,7 +47,46 @@ func NewFleet(timeScale float64, ms ...models.Model) *Fleet {
 	for _, m := range ms {
 		byName[m.Name] = m
 	}
-	return &Fleet{timeScale: timeScale, models: byName, servers: map[string]*fleetServer{}}
+	return &Fleet{
+		timeScale: timeScale,
+		models:    byName,
+		notices:   make(chan Preemption, 64),
+		servers:   map[string]*fleetServer{},
+	}
+}
+
+// Notices implements Noticer: the channel Preempt announces revocations
+// on.
+func (f *Fleet) Notices() <-chan Preemption { return f.notices }
+
+// Preempt implements Preempter, emulating the cloud reclaiming spot
+// capacity: the notice lands on Notices immediately and the server at
+// addr is killed as abruptly as a SIGKILL once the window elapses —
+// unless an orderly Stop (a completed drain) removed it first.
+func (f *Fleet) Preempt(addr string, notice time.Duration) (time.Time, error) {
+	f.mu.Lock()
+	_, ok := f.servers[addr]
+	f.mu.Unlock()
+	if !ok {
+		return time.Time{}, fmt.Errorf("autopilot: no fleet server at %s", addr)
+	}
+	deadline := time.Now().Add(notice)
+	select {
+	case f.notices <- Preemption{Addr: addr, Deadline: deadline}:
+	default:
+		// A stalled consumer loses the notice but never the revocation:
+		// the deadline kill below still fires and surfaces as a plain
+		// instance death.
+	}
+	time.AfterFunc(notice, func() {
+		f.mu.Lock()
+		fs, ok := f.servers[addr]
+		f.mu.Unlock()
+		if ok {
+			fs.srv.Kill()
+		}
+	})
+	return deadline, nil
 }
 
 // TimeScale returns the fleet's time dilation factor.

@@ -44,8 +44,10 @@ type DecisionEvent struct {
 	// "plan-unchanged" (a trigger fired but planning reproduced the
 	// current fleet), "held" (a trigger fired inside the cooldown),
 	// "steady" (no trigger), "cold" (windows too cold to evaluate),
-	// "heal" (a fault-recovery actuation), or "error" (the cycle failed;
-	// see Err).
+	// "heal" (a fault-recovery actuation), "preempt" (a spot revocation
+	// notice was answered: drain-ahead-of-death plus the replan filling
+	// the hole; see PreemptDrainMS/PreemptReplanMS), or "error" (the
+	// cycle failed; see Err).
 	Kind string `json:"kind"`
 	// Triggers names the fired triggers ("drift", "slo", "scale-in",
 	// joined with +); empty when none fired.
@@ -71,6 +73,12 @@ type DecisionEvent struct {
 	// ActuationMS is the wall-clock cost of reconciling the fleet
 	// (replans and heals only).
 	ActuationMS float64 `json:"actuation_ms,omitempty"`
+	// PreemptDrainMS and PreemptReplanMS time a "preempt" entry's two
+	// deadlines: notice-to-drained (the doomed instance is empty and
+	// disconnected) and notice-to-replanned (the fleet is reconciled
+	// around the hole). Both race the revocation deadline.
+	PreemptDrainMS  float64 `json:"preempt_drain_ms,omitempty"`
+	PreemptReplanMS float64 `json:"preempt_replan_ms,omitempty"`
 	// Err is the failure behind an "error" kind, empty otherwise.
 	Err string `json:"err,omitempty"`
 }

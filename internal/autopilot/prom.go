@@ -87,6 +87,20 @@ func (a *Autopilot) WritePrometheus(w io.Writer) error {
 	p.family("kairos_fault_pending", "1 while an instance-death fault awaits its heal.", "gauge")
 	p.sample("kairos_fault_pending", "", boolGauge(st.Faults.Pending))
 
+	p.family("kairos_preemptions_total", "Spot revocation notices received.", "counter")
+	p.sample("kairos_preemptions_total", "", float64(st.Faults.Preemptions))
+	p.family("kairos_preemptions_drained_total", "Preempted instances drained ahead of their revocation deadline.", "counter")
+	p.sample("kairos_preemptions_drained_total", "", float64(st.Faults.PreemptionsDrained))
+	p.family("kairos_preemptions_replanned_total", "Preemption notices answered by a completed replan.", "counter")
+	p.sample("kairos_preemptions_replanned_total", "", float64(st.Faults.PreemptionsReplanned))
+	p.family("kairos_preemption_deadline_deaths_total", "Preempted instances that died mid-drain (eviction fallback).", "counter")
+	p.sample("kairos_preemption_deadline_deaths_total", "", float64(st.Faults.PreemptionDeadlineDeaths))
+	p.family("kairos_preemption_drain_seconds", "Notice-to-drained latency of answered preemptions.", "histogram")
+	if p.err == nil {
+		snap := a.preemptHist.Snapshot()
+		snap.WriteProm(p.w, "kairos_preemption_drain_seconds", "")
+	}
+
 	p.family("kairos_queries_submitted_total", "Queries accepted by the controller.", "counter")
 	p.sample("kairos_queries_submitted_total", "", float64(st.Controller.Submitted))
 	p.family("kairos_queries_completed_total", "Queries delivered without error.", "counter")

@@ -2,6 +2,7 @@ package autopilot
 
 import (
 	"fmt"
+	"time"
 
 	"kairos/internal/cloud"
 	"kairos/internal/core"
@@ -48,6 +49,38 @@ func reap(p Provider, addr string) error {
 		return r.Reap(addr)
 	}
 	return p.Stop(addr)
+}
+
+// Preemption is a spot-market revocation notice: the capacity market
+// reclaims the instance at Addr no later than Deadline. Between notice
+// and deadline the instance serves normally — the window exists so a
+// control plane can drain it ahead of death.
+type Preemption struct {
+	// Addr is the doomed instance's dialable address.
+	Addr string
+	// Deadline is when the instance dies regardless of drain progress.
+	Deadline time.Time
+}
+
+// Noticer is an optional Provider extension for revocable capacity:
+// Notices delivers preemption notices for instances the market is about
+// to reclaim. The channel is never closed and may be nil when the
+// provider cannot deliver notices. The control loop treats each notice
+// as a first-class trigger distinct from death: drain the doomed
+// instance immediately, then replan around the hole before the deadline.
+type Noticer interface {
+	Notices() <-chan Preemption
+}
+
+// Preempter is an optional Provider extension for injecting
+// revocations: Preempt delivers a notice for the instance at addr and
+// schedules its hard kill at the end of the notice window — the exact
+// sequence a cloud spot market performs. It returns the kill deadline.
+// An instance stopped (drained) before the deadline is simply gone when
+// the kill fires. Tests and the soak harness script preemptions through
+// this.
+type Preempter interface {
+	Preempt(addr string, notice time.Duration) (time.Time, error)
 }
 
 // Deploy launches plan[model][i] instances of pool[i] for every model on

@@ -40,14 +40,83 @@ func (c Class) String() string {
 	}
 }
 
+// Market is the capacity market an instance type is bought from.
+type Market int
+
+const (
+	// OnDemand capacity is reserved until the renter releases it.
+	OnDemand Market = iota
+	// Spot capacity is discounted but revocable: the provider may reclaim
+	// it after a short preemption notice.
+	Spot
+)
+
+// String names the market tier.
+func (m Market) String() string {
+	switch m {
+	case OnDemand:
+		return "on-demand"
+	case Spot:
+		return "spot"
+	default:
+		return fmt.Sprintf("Market(%d)", int(m))
+	}
+}
+
 // InstanceType describes one rentable instance type.
 type InstanceType struct {
-	// Name is the cloud provider's type name, e.g. "g4dn.xlarge".
+	// Name is the cloud provider's type name, e.g. "g4dn.xlarge". Spot
+	// variants carry the ":spot" suffix (e.g. "g4dn.xlarge:spot") so the
+	// two markets coexist in one pool.
 	Name string
 	// Class is the broad hardware category.
 	Class Class
-	// PricePerHour is the on-demand price in $/hr.
+	// PricePerHour is the price in $/hr at this market tier.
 	PricePerHour float64
+	// Market is the capacity market tier (OnDemand unless set).
+	Market Market
+	// RevocationRisk is the expected preemption rate of Spot capacity in
+	// preemptions per instance-hour (0 for OnDemand) — the risk knob a
+	// planner or operator weighs against the discount.
+	RevocationRisk float64
+}
+
+// spotSuffix marks spot-market variants in instance-type names.
+const spotSuffix = ":spot"
+
+// SpotOf derives the spot-market variant of an on-demand type: same
+// hardware (so the same latency surface), the name tagged with ":spot",
+// and the price discounted by the given fraction in (0,1).
+func SpotOf(t InstanceType, discount, risk float64) InstanceType {
+	if t.Market != OnDemand {
+		panic(fmt.Sprintf("cloud: SpotOf on non-on-demand type %s", t.Name))
+	}
+	if discount <= 0 || discount >= 1 {
+		panic(fmt.Sprintf("cloud: spot discount %v outside (0,1)", discount))
+	}
+	if risk < 0 {
+		panic(fmt.Sprintf("cloud: negative revocation risk %v", risk))
+	}
+	return InstanceType{
+		Name:           t.Name + spotSuffix,
+		Class:          t.Class,
+		PricePerHour:   t.PricePerHour * (1 - discount),
+		Market:         Spot,
+		RevocationRisk: risk,
+	}
+}
+
+// OnDemandName maps an instance-type name back to its on-demand hardware
+// name by stripping the spot marker; on-demand names pass through. Latency
+// surfaces are keyed by hardware, so curve lookups resolve spot variants
+// through this.
+func OnDemandName(name string) string {
+	return strings.TrimSuffix(name, spotSuffix)
+}
+
+// IsSpotName reports whether the type name carries the spot marker.
+func IsSpotName(name string) bool {
+	return strings.HasSuffix(name, spotSuffix)
 }
 
 // The heterogeneous pool evaluated in the paper (Table 4). g4dn.xlarge is
@@ -75,6 +144,33 @@ func DefaultPool() Pool {
 // (Fig. 1-3): g4dn.xlarge, c5n.2xlarge, r5n.large.
 func ThreeTypePool() Pool {
 	return Pool{G4dnXlarge, C5n2xlarge, R5nLarge}
+}
+
+// WithSpotMarket returns a new pool extending p with a spot variant of
+// every on-demand type, discounted by the given fraction in (0,1) and
+// tagged with the revocation risk. The on-demand types keep their
+// positions (the base type stays at BaseIndex); the spot variants append
+// in the same order, so configurations over the extended pool embed the
+// original pool as a prefix.
+func (p Pool) WithSpotMarket(discount, risk float64) Pool {
+	out := make(Pool, 0, 2*len(p))
+	out = append(out, p...)
+	for _, t := range p {
+		if t.Market == OnDemand {
+			out = append(out, SpotOf(t, discount, risk))
+		}
+	}
+	return out
+}
+
+// HasSpot reports whether any pool type is spot-market capacity.
+func (p Pool) HasSpot() bool {
+	for _, t := range p {
+		if t.Market == Spot {
+			return true
+		}
+	}
+	return false
 }
 
 // BaseIndex is the position of the base instance type in every Pool.

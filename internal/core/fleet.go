@@ -13,6 +13,20 @@ import (
 // model keeps above its observed arrival rate (ModelDemand.ArrivalQPS).
 const DefaultHeadroom = 0.25
 
+// QoSClass tiers a served model for spot-market planning.
+type QoSClass int
+
+const (
+	// LatencyCritical models (the default) carry a hard tail-latency
+	// target: the allocator's on-demand floor applies to them, so a
+	// simultaneous revocation of every spot instance cannot take the
+	// model below its survival capacity.
+	LatencyCritical QoSClass = iota
+	// BestEffort models tolerate transient capacity loss and may be
+	// served entirely from revocable spot capacity.
+	BestEffort
+)
+
 // ModelDemand couples one served model with the batch-size sample
 // describing its recent traffic — the per-model input to the shared-budget
 // fleet allocator. The sample plays the same role as the query monitor's
@@ -33,6 +47,19 @@ type ModelDemand struct {
 	// ordinary rate fluctuation does not immediately breach the SLO;
 	// non-positive uses DefaultHeadroom. Ignored while ArrivalQPS is zero.
 	Headroom float64
+
+	// Class tiers the model for spot-market planning; the on-demand floor
+	// below binds only LatencyCritical (the default) models.
+	Class QoSClass
+	// OnDemandFloor arms the spot-survival constraint, as a fraction of
+	// ArrivalQPS: every configuration the allocator may select for the
+	// model must retain an on-demand-only throughput upper bound of at
+	// least OnDemandFloor*ArrivalQPS, so losing every spot instance at
+	// once still leaves that fraction of the observed demand servable
+	// (1 = full demand survives on on-demand capacity alone). Zero
+	// disables the floor; it is also inert while ArrivalQPS is zero, for
+	// BestEffort models, and in pools without spot capacity.
+	OnDemandFloor float64
 }
 
 // cap returns the demand's useful-throughput ceiling, or 0 when uncapped.
@@ -45,6 +72,21 @@ func (d ModelDemand) cap() float64 {
 		head = DefaultHeadroom
 	}
 	return d.ArrivalQPS * (1 + head)
+}
+
+// floorQPS returns the demand's on-demand survival floor in QPS, or 0
+// when no floor applies. The floor never exceeds the demand cap:
+// surviving revocation requires at most what the cap lets the model
+// serve anyway.
+func (d ModelDemand) floorQPS() float64 {
+	if d.Class != LatencyCritical || d.OnDemandFloor <= 0 || d.ArrivalQPS <= 0 {
+		return 0
+	}
+	f := d.OnDemandFloor * d.ArrivalQPS
+	if c := d.cap(); f > c {
+		f = c
+	}
+	return f
 }
 
 // FleetPlan is a multi-model deployment: one heterogeneous configuration
@@ -157,6 +199,13 @@ func (p FleetPlan) String() string {
 // upgrades have zero marginal value and the budget they would cost stays
 // unspent. When demand exceeds everything the budget can buy, the cap
 // never binds and the plan is the uncapped maximize-throughput one.
+//
+// In pools carrying spot-market capacity (cloud.Pool.WithSpotMarket),
+// demands with an OnDemandFloor are additionally risk-bounded: the
+// allocator only considers configurations whose on-demand-only upper
+// bound covers the floor, so a latency-critical model survives losing
+// every spot instance at once (see ModelDemand.OnDemandFloor). Like the
+// demand cap, the floor is applied at read time over cached frontiers.
 //
 // PlanFleet is the from-scratch entry point: it builds a fresh
 // FleetPlanner, plans once, and returns an independent copy. Callers

@@ -18,6 +18,13 @@ type frontierPoint struct {
 	cfg  cloud.Config
 	cost float64
 	ub   float64
+	// od is the configuration's upper bound with every spot count zeroed
+	// — the throughput that survives a simultaneous revocation of all
+	// spot capacity. It depends only on the samples and the pool (never
+	// on demand), so it is cached with the frontier; the read-time
+	// on-demand floor filters on it. Spot-free pools (and spot-free
+	// configurations) have od == ub.
+	od float64
 }
 
 // enumEntry is one candidate configuration with its price. The
@@ -31,9 +38,10 @@ type enumEntry struct {
 
 // ladder is one model's cached Pareto frontier plus the greedy
 // allocator's per-plan working state. pts is owned by the planner and
-// never mutated by a plan: the demand cap and the plan budget are
-// applied as read-time views (capUB clamp, n prefix), so a cap change
-// between ticks cannot corrupt the cached frontier.
+// never mutated by a plan: the demand cap, the on-demand floor, and the
+// plan budget are applied as read-time views (capUB clamp, floor filter,
+// n prefix), so a cap or floor change between ticks cannot corrupt the
+// cached frontier.
 type ladder struct {
 	name   string
 	demand ModelDemand
@@ -45,9 +53,18 @@ type ladder struct {
 	// Per-Plan working state.
 	n     int     // effective frontier length after budget/cap truncation
 	capUB float64 // demand ceiling (0 = uncapped)
+	floor float64 // on-demand survival floor in QPS (0 = unfloored)
+	first int     // cheapest floor-allowed point; -1 when none fits
 	cur   int     // greedy cursor; -1 is the empty configuration
 
 	result cloud.Config // reused output buffer for Plan's FleetPlan
+}
+
+// allowed reports whether point i satisfies the on-demand floor: any
+// configuration the greedy cursor may rest on must keep at least the
+// floor servable after losing all spot capacity.
+func (l *ladder) allowed(i int) bool {
+	return l.floor <= 0 || l.pts[i].od >= l.floor-costEps
 }
 
 // ubAt returns point i's upper bound clamped at the demand ceiling:
@@ -77,7 +94,10 @@ func (l *ladder) bestJump(remaining float64) (int, float64) {
 	for j := l.cur + 1; j < l.n; j++ {
 		dc := l.pts[j].cost - curCost
 		if dc > remaining+costEps {
-			break // frontier cost is increasing: later points cost more
+			break // frontier cost is non-decreasing: later points cost more
+		}
+		if !l.allowed(j) {
+			continue
 		}
 		du := l.ubAt(j) - curUB
 		if du <= 0 || dc <= 0 {
@@ -185,6 +205,10 @@ type FleetPlanner struct {
 	enumBudget float64
 	enum       []enumEntry
 
+	// spotIdx holds the pool indices of spot-market types; empty pools
+	// plan exactly as before the market dimension existed.
+	spotIdx []int
+
 	models map[string]*ladder
 	order  []*ladder // active ladders in name order
 	stale  bool      // active set changed; order needs rebuilding
@@ -192,11 +216,14 @@ type FleetPlanner struct {
 	plan FleetPlan // reused result map, aliased by Plan's return value
 
 	// Scratch reused across calls.
-	vQa  []float64
-	cov  []*ladder
-	heap []jumpEntry
-	fps  []uint64
-	seen map[string]bool
+	vQa   []float64
+	cov   []*ladder
+	heap  []jumpEntry
+	fps   []uint64
+	seen  map[string]bool
+	odCfg cloud.Config    // spot-zeroed copy for od evaluation
+	group []frontierPoint // scanFrontier per-cost-group candidates
+	stair []frontierPoint // scanFrontier (ub, od) maxima of kept points
 }
 
 // NewFleetPlanner builds a planner over the pool. enumBudget is the
@@ -210,6 +237,11 @@ func NewFleetPlanner(pool cloud.Pool, enumBudget float64) (*FleetPlanner, error)
 		return nil, fmt.Errorf("core: fleet planning needs a positive budget (got %v)", enumBudget)
 	}
 	p := &FleetPlanner{pool: pool, models: make(map[string]*ladder)}
+	for i, t := range pool {
+		if t.Market == cloud.Spot {
+			p.spotIdx = append(p.spotIdx, i)
+		}
+	}
 	p.enumerate(enumBudget)
 	return p, nil
 }
@@ -243,38 +275,142 @@ func (p *FleetPlanner) enumerate(budget float64) {
 }
 
 // scanFrontier rebuilds l's Pareto frontier from the shared enumeration:
-// ascending cost, keeping only configurations whose upper bound strictly
-// improves on all cheaper ones (within an equal-cost group the best
-// bound wins, first in enumeration order on ties). Cost and bound are
-// strictly increasing along the result. Frontier configs alias the
-// enumeration entries, which stay untouched until the next enumerate —
-// and that rescans every frontier.
+// ascending cost, keeping only configurations not dominated by a cheaper
+// (or equal-cost, earlier-kept) one. In spot-free pools domination is on
+// the upper bound alone — the classic strictly-increasing cost/bound
+// staircase, with the best bound winning inside an equal-cost group
+// (first in enumeration order on ties). Pools with spot capacity keep
+// points Pareto-optimal in (ub, od) jointly: a spot-heavy configuration
+// with a great bound but no revocation survival must not shadow the
+// on-demand configuration a floored model needs, so both staircases
+// coexist on one frontier (cost non-decreasing; within a cost, ub
+// descending). Frontier configs alias the enumeration entries, which
+// stay untouched until the next enumerate — and that rescans every
+// frontier.
 func (p *FleetPlanner) scanFrontier(l *ladder) {
-	pts := l.pts[:0]
-	best := 0.0
+	if len(p.spotIdx) == 0 {
+		pts := l.pts[:0]
+		best := 0.0
+		for i := 0; i < len(p.enum); {
+			cost := p.enum[i].cost
+			groupUB, groupCfg := 0.0, cloud.Config(nil)
+			for ; i < len(p.enum) && p.enum[i].cost == cost; i++ {
+				var ub float64
+				ub, p.vQa = l.est.upperBoundInto(p.enum[i].cfg, p.vQa)
+				if ub > groupUB {
+					groupUB, groupCfg = ub, p.enum[i].cfg
+				}
+			}
+			if groupUB > best {
+				pts = append(pts, frontierPoint{cfg: groupCfg, cost: cost, ub: groupUB, od: groupUB})
+				best = groupUB
+			}
+		}
+		l.pts = pts
+		return
+	}
+
+	pts, stair := l.pts[:0], p.stair[:0]
 	for i := 0; i < len(p.enum); {
 		cost := p.enum[i].cost
-		groupUB, groupCfg := 0.0, cloud.Config(nil)
+		group := p.group[:0]
 		for ; i < len(p.enum) && p.enum[i].cost == cost; i++ {
 			var ub float64
 			ub, p.vQa = l.est.upperBoundInto(p.enum[i].cfg, p.vQa)
-			if ub > groupUB {
-				groupUB, groupCfg = ub, p.enum[i].cfg
+			if ub <= 0 {
+				continue
 			}
+			od := ub
+			if odCfg := p.spotFree(p.enum[i].cfg); odCfg != nil {
+				od, p.vQa = l.est.upperBoundInto(odCfg, p.vQa)
+			}
+			group = append(group, frontierPoint{cfg: p.enum[i].cfg, cost: cost, ub: ub, od: od})
 		}
-		if groupUB > best {
-			pts = append(pts, frontierPoint{cfg: groupCfg, cost: cost, ub: groupUB})
-			best = groupUB
+		// Within an equal-cost group the highest bound leads, so the first
+		// kept point at each cost is that cost's best — the same pick the
+		// 1-D scan makes — and the rest survive only on better survival.
+		slices.SortStableFunc(group, func(a, b frontierPoint) int {
+			switch {
+			case a.ub > b.ub:
+				return -1
+			case a.ub < b.ub:
+				return 1
+			case a.od > b.od:
+				return -1
+			case a.od < b.od:
+				return 1
+			}
+			return 0
+		})
+		for _, pt := range group {
+			if stairDominated(stair, pt.ub, pt.od) {
+				continue
+			}
+			pts = append(pts, pt)
+			stair = stairAdd(stair, pt.ub, pt.od)
 		}
+		p.group = group[:0]
 	}
 	l.pts = pts
+	p.stair = stair[:0]
+}
+
+// spotFree returns cfg with every spot count zeroed (in planner-owned
+// scratch), or nil when cfg holds no spot capacity and its od equals its
+// ub.
+func (p *FleetPlanner) spotFree(cfg cloud.Config) cloud.Config {
+	has := false
+	for _, i := range p.spotIdx {
+		if cfg[i] > 0 {
+			has = true
+			break
+		}
+	}
+	if !has {
+		return nil
+	}
+	if cap(p.odCfg) < len(cfg) {
+		p.odCfg = make(cloud.Config, len(cfg))
+	}
+	od := p.odCfg[:len(cfg)]
+	copy(od, cfg)
+	for _, i := range p.spotIdx {
+		od[i] = 0
+	}
+	p.odCfg = od
+	return od
+}
+
+// stairDominated reports whether an already-kept (cheaper or equal-cost)
+// point achieves at least both bounds; stair holds the (ub, od) Pareto
+// maxima of the kept points, so it stays a handful of entries.
+func stairDominated(stair []frontierPoint, ub, od float64) bool {
+	for _, s := range stair {
+		if s.ub >= ub && s.od >= od {
+			return true
+		}
+	}
+	return false
+}
+
+// stairAdd inserts a kept point's bounds, evicting maxima it covers.
+func stairAdd(stair []frontierPoint, ub, od float64) []frontierPoint {
+	out := stair[:0]
+	for _, s := range stair {
+		if s.ub <= ub && s.od <= od {
+			continue
+		}
+		out = append(out, s)
+	}
+	return append(out, frontierPoint{ub: ub, od: od})
 }
 
 // SetDemands declares the full demand set for subsequent Plan calls.
 // Models whose sample-window fingerprint is unchanged keep their cached
 // frontier; only moved windows pay the estimator reset and the frontier
-// rescan. Demand caps (ArrivalQPS/Headroom) are plan-time inputs and
-// never invalidate the cache. Models absent from the set are excluded
+// rescan. Demand caps (ArrivalQPS/Headroom) and on-demand floors
+// (Class/OnDemandFloor) are plan-time inputs and never invalidate the
+// cache. Models absent from the set are excluded
 // from planning but keep their cache in case they return. On error the
 // planner's cached state is unchanged.
 func (p *FleetPlanner) SetDemands(demands []ModelDemand) error {
@@ -408,40 +544,64 @@ func (p *FleetPlanner) Plan(budget float64) (FleetPlan, error) {
 		return nil, fmt.Errorf("core: fleet planning needs at least one model demand")
 	}
 
-	// Per-call ladder views: reset the cursor, bind the demand ceiling,
-	// and truncate to the affordable prefix. Everything at or past the
-	// first cap-reaching point costs more without serving additional
-	// demand, so the view ends one past it.
+	// Per-call ladder views: reset the cursor, bind the demand ceiling
+	// and the on-demand floor, and truncate to the affordable prefix.
+	// Everything at or past the first usable cap-reaching point costs
+	// more without serving additional demand, so the view ends one past
+	// it. The floor, like the cap, is a read-time filter — the cached
+	// frontier is never touched.
+	hasSpot := len(p.spotIdx) > 0
 	for _, l := range order {
 		l.cur = -1
 		l.capUB = l.demand.cap()
+		l.floor = 0
+		if hasSpot {
+			l.floor = l.demand.floorQPS()
+		}
 		pts := l.pts
 		n := len(pts)
 		if budget < p.enumBudget {
 			n = sort.Search(n, func(i int) bool { return pts[i].cost > budget+costEps })
 		}
 		if l.capUB > 0 {
-			if k := sort.Search(n, func(i int) bool { return pts[i].ub >= l.capUB }); k < n {
-				n = k + 1
+			// The bound is not monotone along a two-staircase frontier, so
+			// this is a linear scan for the first floor-allowed point that
+			// covers the cap; any later allowed point costs at least as
+			// much for the same clamped bound.
+			for k := 0; k < n; k++ {
+				if l.allowed(k) && pts[k].ub >= l.capUB {
+					n = k + 1
+					break
+				}
 			}
 		}
 		l.n = n
+		l.first = -1
+		for k := 0; k < l.n; k++ {
+			if l.allowed(k) {
+				l.first = k
+				break
+			}
+		}
 	}
 
 	// Coverage first: uncovered models with an affordable first step
 	// take absolute priority over upgrades, and coverage buys exactly
-	// the cheapest positive-throughput configuration. The remaining
-	// budget only shrinks, so funding in descending first-step
-	// efficiency order reproduces the rescan-per-round pick sequence.
+	// the cheapest positive-throughput floor-allowed configuration. The
+	// remaining budget only shrinks, so funding in descending first-step
+	// efficiency order reproduces the rescan-per-round pick sequence. A
+	// floored model with no allowed point is starved outright — the
+	// allocator never trades the survival constraint away.
 	remaining := budget
 	cov := p.cov[:0]
 	for _, l := range order {
-		if l.n > 0 {
+		if l.first >= 0 {
 			cov = append(cov, l)
 		}
 	}
 	slices.SortFunc(cov, func(a, b *ladder) int {
-		ra, rb := a.ubAt(0)/a.pts[0].cost, b.ubAt(0)/b.pts[0].cost
+		ra := a.ubAt(a.first) / a.pts[a.first].cost
+		rb := b.ubAt(b.first) / b.pts[b.first].cost
 		switch {
 		case ra > rb:
 			return -1
@@ -451,9 +611,9 @@ func (p *FleetPlanner) Plan(budget float64) (FleetPlan, error) {
 		return strings.Compare(a.name, b.name)
 	})
 	for _, l := range cov {
-		if l.pts[0].cost <= remaining+costEps {
-			remaining -= l.pts[0].cost
-			l.cur = 0
+		if l.pts[l.first].cost <= remaining+costEps {
+			remaining -= l.pts[l.first].cost
+			l.cur = l.first
 		}
 	}
 	p.cov = cov

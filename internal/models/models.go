@@ -58,12 +58,24 @@ type Oracle interface {
 	Latency(instance string, batch int) float64
 }
 
+// curve resolves the latency curve for an instance-type name. Spot-market
+// variants ("g4dn.xlarge:spot") run the same hardware as their on-demand
+// twin, so a missing exact entry falls back to the on-demand name.
+func (m Model) curve(instance string) Linear {
+	if c, ok := m.Curves[instance]; ok {
+		return c
+	}
+	if od := cloud.OnDemandName(instance); od != instance {
+		if c, ok := m.Curves[od]; ok {
+			return c
+		}
+	}
+	panic(fmt.Sprintf("models: model %s has no curve for instance type %s", m.Name, instance))
+}
+
 // Latency implements Oracle with the deterministic calibrated surface.
 func (m Model) Latency(instance string, batch int) float64 {
-	c, ok := m.Curves[instance]
-	if !ok {
-		panic(fmt.Sprintf("models: model %s has no curve for instance type %s", m.Name, instance))
-	}
+	c := m.curve(instance)
 	if batch < 1 || batch > MaxBatch {
 		panic(fmt.Sprintf("models: batch %d outside [1,%d]", batch, MaxBatch))
 	}
@@ -80,10 +92,7 @@ func (m Model) CutoffBatch(instance string) int {
 // CutoffBatchAt is CutoffBatch against an explicit latency target, used when
 // evaluating relaxed QoS settings (Fig. 15b).
 func (m Model) CutoffBatchAt(instance string, qos float64) int {
-	c, ok := m.Curves[instance]
-	if !ok {
-		panic(fmt.Sprintf("models: model %s has no curve for instance type %s", m.Name, instance))
-	}
+	c := m.curve(instance)
 	if c.At(1) > qos {
 		return 0
 	}

@@ -474,6 +474,75 @@ func (c *Controller) RemoveInstance(model, typeName string) (string, error) {
 	return target.addr, nil
 }
 
+// RemoveInstanceAddr is RemoveInstance keyed by instance address — the
+// drain-ahead-of-death path a preemption notice takes, where the doomed
+// instance is known exactly rather than picked by type. It drains and
+// disconnects the instance at addr, blocking until its backlog is
+// delivered, and reports the instance's model and type so the caller can
+// replan around the hole. died reports that the instance died mid-drain
+// (e.g. a preemption deadline or another fault closed its connection
+// first): the eviction path already redispatched its undelivered queries,
+// reported the fault, and closed the connection, so the caller should
+// fall back to fault healing instead of an orderly stop.
+func (c *Controller) RemoveInstanceAddr(addr string) (model, typeName string, died bool, err error) {
+	var g *modelGroup
+	var target *remoteInstance
+	for _, name := range c.order {
+		grp := c.groups[name]
+		grp.mu.Lock()
+		for _, ri := range grp.instances {
+			if ri.addr == addr && !ri.draining {
+				g, target = grp, ri
+				target.draining = true
+				break
+			}
+		}
+		grp.mu.Unlock()
+		if target != nil {
+			break
+		}
+	}
+	if target == nil {
+		return "", "", false, fmt.Errorf("server: no removable instance at %s", addr)
+	}
+	g.wake() // re-dispatch anything the policy was routing here
+
+	// Drain: dispatched queries finish through the normal reply path. An
+	// eviction empties the backlog too (by stranding it for redispatch),
+	// so a mid-drain death also ends this loop.
+	for {
+		g.mu.Lock()
+		depth := len(target.pending)
+		g.mu.Unlock()
+		if depth == 0 {
+			break
+		}
+		select {
+		case <-c.closed:
+			return "", "", false, errors.New("server: controller closed during drain")
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	// Drop before closing, exactly like RemoveInstance — unless the
+	// eviction path got here first: dropLocked reporting a non-member is
+	// how the lost race surfaces, and eviction has then already handled
+	// orphans and closed the connection.
+	g.mu.Lock()
+	member := dropLocked(g, target)
+	var orphans []*pendingQuery
+	if member {
+		orphans = c.capacityLostLocked(g)
+	}
+	g.mu.Unlock()
+	if member {
+		target.wc.close()
+	}
+	for _, q := range orphans {
+		c.deliver(q, QueryResult{Err: fmt.Errorf("server: model %s has no serving capacity", target.model)})
+	}
+	return target.model, target.typeName, !member, nil
+}
+
 // dropLocked removes the instance from its group, reporting whether it
 // was still a fleet member; callers hold g.mu.
 func dropLocked(g *modelGroup, target *remoteInstance) bool {

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"kairos/internal/cloud"
 	"kairos/internal/models"
 )
 
@@ -46,7 +47,11 @@ func NewInstanceServer(typeName string, model models.Model, timeScale float64) (
 		return nil, errors.New("server: empty instance type")
 	}
 	if _, ok := model.Curves[typeName]; !ok {
-		return nil, fmt.Errorf("server: model %s has no curve for %s", model.Name, typeName)
+		// Spot variants serve on the same hardware as their on-demand base
+		// type, so they share its calibrated curve.
+		if _, ok := model.Curves[cloud.OnDemandName(typeName)]; !ok {
+			return nil, fmt.Errorf("server: model %s has no curve for %s", model.Name, typeName)
+		}
 	}
 	if timeScale < 0 {
 		return nil, errors.New("server: negative time scale")

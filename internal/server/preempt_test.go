@@ -1,0 +1,140 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"kairos/internal/cloud"
+	"kairos/internal/models"
+)
+
+// TestRemoveInstanceAddrDrains: the drain-ahead-of-death path — removing
+// a preemption-noticed instance by address blocks until its dispatched
+// backlog is delivered, reports the instance's identity for the replan,
+// and drops nothing.
+func TestRemoveInstanceAddrDrains(t *testing.T) {
+	t.Parallel()
+	m := models.MustByName("NCF")
+	typeName := cloud.G4dnXlarge.Name
+	const batch = 100
+	// ~30ms per query: the drain provably overlaps live service.
+	scale := 30 / m.Latency(typeName, batch)
+	doomed := startServer(t, typeName, scale)
+	ctrl, err := NewController(m.Name, kairosPolicy(m, []string{typeName}), 1, m.Latency, []string{doomed.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+
+	// Backlog on the doomed instance, then survivor capacity to take over.
+	var results []<-chan QueryResult
+	for i := 0; i < 3; i++ {
+		results = append(results, ctrl.Submit(m.Name, batch))
+	}
+	waitPending(t, ctrl)
+	survivor := startServer(t, typeName, 1e-6)
+	if _, err := ctrl.AddInstance(survivor.Addr()); err != nil {
+		t.Fatal(err)
+	}
+
+	model, gotType, died, err := ctrl.RemoveInstanceAddr(doomed.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if died {
+		t.Fatal("an orderly drain must not report a mid-drain death")
+	}
+	if model != m.Name || gotType != typeName {
+		t.Fatalf("drained instance reported as %s/%s", model, gotType)
+	}
+	for i, ch := range results {
+		select {
+		case res := <-ch:
+			if res.Err != nil {
+				t.Fatalf("query %d dropped across the drain: %v", i, res.Err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("query %d never delivered", i)
+		}
+	}
+	// The drained instance is gone; the survivor serves on.
+	if got := ctrl.ModelInstanceCounts(m.Name)[typeName]; got != 1 {
+		t.Fatalf("fleet holds %d %s instances after the drain, want 1", got, typeName)
+	}
+	if res := ctrl.SubmitWait(m.Name, batch); res.Err != nil {
+		t.Fatalf("post-drain query failed: %v", res.Err)
+	}
+	// A second removal of the same address must refuse: nothing is there.
+	if _, _, _, err := ctrl.RemoveInstanceAddr(doomed.Addr()); err == nil {
+		t.Fatal("removing an already-removed address must error")
+	}
+}
+
+// TestRemoveInstanceAddrDiedMidDrain: the race the preemption deadline
+// forces — the noticed instance crashes while its drain is still waiting
+// on a wedged backlog. The eviction path must win cleanly: the backlog is
+// redispatched to surviving capacity with zero drops, and
+// RemoveInstanceAddr reports died=true so the caller falls back to fault
+// healing instead of an orderly stop.
+func TestRemoveInstanceAddrDiedMidDrain(t *testing.T) {
+	t.Parallel()
+	m := models.MustByName("NCF")
+	typeName := cloud.G4dnXlarge.Name
+	fakeAddr, die := fakeInstance(t, typeName, m.Name)
+	ctrl, err := NewController(m.Name, kairosPolicy(m, []string{typeName}), 1, m.Latency, []string{fakeAddr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+
+	// Queries dispatch to the doomed instance and wedge there.
+	var results []<-chan QueryResult
+	for i := 0; i < 3; i++ {
+		results = append(results, ctrl.Submit(m.Name, 100))
+	}
+	waitPending(t, ctrl)
+	survivor := startServer(t, typeName, 1e-6)
+	if _, err := ctrl.AddInstance(survivor.Addr()); err != nil {
+		t.Fatal(err)
+	}
+
+	// The drain blocks on the wedged backlog; the deadline kill lands
+	// mid-drain.
+	type removal struct {
+		died bool
+		err  error
+	}
+	done := make(chan removal, 1)
+	go func() {
+		_, _, died, err := ctrl.RemoveInstanceAddr(fakeAddr)
+		done <- removal{died, err}
+	}()
+	time.Sleep(20 * time.Millisecond) // the drain loop is now polling
+	close(die)                        // revocation deadline: the instance dies mid-drain
+
+	select {
+	case r := <-done:
+		if r.err != nil {
+			t.Fatalf("mid-drain death must not error the removal: %v", r.err)
+		}
+		if !r.died {
+			t.Fatal("a mid-drain death must be reported so the caller falls back to healing")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("RemoveInstanceAddr hung on an instance that died mid-drain")
+	}
+	// Zero drops: eviction redispatched the wedged backlog to the survivor.
+	for i, ch := range results {
+		select {
+		case res := <-ch:
+			if res.Err != nil {
+				t.Fatalf("query %d dropped in the drain/death race: %v", i, res.Err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("query %d never redispatched after the mid-drain death", i)
+		}
+	}
+	if st := ctrl.Stats(); st.Failed != 0 {
+		t.Fatalf("%d queries failed across the drain/death race", st.Failed)
+	}
+}

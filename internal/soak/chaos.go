@@ -20,6 +20,14 @@ type ChaosProvider struct {
 
 	mu      sync.Mutex
 	byFront map[string]*chaosEntry // proxy addr -> entry
+
+	// notices forwards the wrapped provider's preemption notices with
+	// backend addresses translated to proxy addresses (started lazily by
+	// Notices; stopNotices ends the forwarder at Close).
+	noticesOnce sync.Once
+	notices     chan autopilot.Preemption
+	stopNotices chan struct{}
+	closeOnce   sync.Once
 }
 
 type chaosEntry struct {
@@ -28,8 +36,10 @@ type chaosEntry struct {
 }
 
 var (
-	_ autopilot.Provider = (*ChaosProvider)(nil)
-	_ autopilot.Reaper   = (*ChaosProvider)(nil)
+	_ autopilot.Provider  = (*ChaosProvider)(nil)
+	_ autopilot.Reaper    = (*ChaosProvider)(nil)
+	_ autopilot.Noticer   = (*ChaosProvider)(nil)
+	_ autopilot.Preempter = (*ChaosProvider)(nil)
 )
 
 // killer and wedger are the process-level chaos capabilities a wrapped
@@ -43,7 +53,11 @@ type wedger interface {
 
 // WrapChaos interposes proxies around every instance inner launches.
 func WrapChaos(inner autopilot.Provider) *ChaosProvider {
-	return &ChaosProvider{inner: inner, byFront: make(map[string]*chaosEntry)}
+	return &ChaosProvider{
+		inner:       inner,
+		byFront:     make(map[string]*chaosEntry),
+		stopNotices: make(chan struct{}),
+	}
 }
 
 // Inner returns the wrapped provider.
@@ -84,6 +98,18 @@ func (c *ChaosProvider) lookup(front string) (*chaosEntry, bool) {
 	defer c.mu.Unlock()
 	e, ok := c.byFront[front]
 	return e, ok
+}
+
+// frontOf reverse-resolves a backend address to its proxy address.
+func (c *ChaosProvider) frontOf(backend string) (string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for front, e := range c.byFront {
+		if e.backend == backend {
+			return front, true
+		}
+	}
+	return "", false
 }
 
 // forget drops the entry and returns it for teardown.
@@ -134,6 +160,7 @@ func (c *ChaosProvider) Addrs() []string {
 
 // Close tears down every proxy and the wrapped provider.
 func (c *ChaosProvider) Close() error {
+	c.closeOnce.Do(func() { close(c.stopNotices) })
 	c.mu.Lock()
 	entries := c.byFront
 	c.byFront = make(map[string]*chaosEntry)
@@ -142,6 +169,59 @@ func (c *ChaosProvider) Close() error {
 		e.prox.close()
 	}
 	return c.inner.Close()
+}
+
+// Notices implements autopilot.Noticer through the proxy translation:
+// the wrapped provider announces revocations by backend address, and the
+// control plane only knows the proxy addresses it dialed, so a forwarder
+// rewrites each notice on the way through. Returns nil (never fires)
+// when the wrapped provider delivers no notices.
+func (c *ChaosProvider) Notices() <-chan autopilot.Preemption {
+	n, ok := c.inner.(autopilot.Noticer)
+	if !ok {
+		return nil
+	}
+	inner := n.Notices()
+	if inner == nil {
+		return nil
+	}
+	c.noticesOnce.Do(func() {
+		c.notices = make(chan autopilot.Preemption, 64)
+		go func() {
+			for {
+				select {
+				case <-c.stopNotices:
+					return
+				case p := <-inner:
+					if front, ok := c.frontOf(p.Addr); ok {
+						p.Addr = front
+					}
+					select {
+					case c.notices <- p:
+					default:
+						// Mirror the providers: a lost notice still dies at
+						// the deadline and surfaces as a plain death.
+					}
+				}
+			}
+		}()
+	})
+	return c.notices
+}
+
+// Preempt implements autopilot.Preempter through the proxy translation:
+// the revocation (notice now, hard kill at the deadline) lands on the
+// backend instance behind the proxy at front.
+func (c *ChaosProvider) Preempt(front string, notice time.Duration) (time.Time, error) {
+	e, ok := c.lookup(front)
+	if !ok {
+		return time.Time{}, fmt.Errorf("soak: no proxied instance at %s", front)
+	}
+	p, ok := c.inner.(autopilot.Preempter)
+	if !ok {
+		return time.Time{}, fmt.Errorf("soak: provider %T cannot preempt instances", c.inner)
+	}
+	return p.Preempt(e.backend, notice)
 }
 
 // SetDelay adds d of one-way latency per forwarded chunk on the

@@ -103,6 +103,24 @@ func (c *Checker) Finalize(st server.Stats, faultPending bool) []string {
 	return c.Violations()
 }
 
+// CheckPreemptions asserts the drain-ahead-of-death invariant over the
+// autopilot's revocation bookkeeping: a noticed preemption must never
+// surface as an instance-death fault (the drain must win the race
+// against the revocation deadline), and every notice must have finished
+// its drain by quiesce.
+func (c *Checker) CheckPreemptions(noticed, drained, replanned, deadlineDeaths int64) {
+	if deadlineDeaths > 0 {
+		c.violatef("preempt: %d of %d noticed preemptions surfaced as instance deaths (drain lost the race)",
+			deadlineDeaths, noticed)
+	}
+	if drained+deadlineDeaths < noticed {
+		c.violatef("preempt: %d notices but only %d drained by quiesce", noticed, drained)
+	}
+	if replanned < drained {
+		c.violatef("preempt: %d drained preemptions but only %d answered by a replan", drained, replanned)
+	}
+}
+
 // NameOutstanding turns a controller in-flight snapshot into named
 // violations: a zero-drop failure then points at the exact stuck query
 // — its trace ID, last recorded lifecycle stage, and where it sits —

@@ -31,6 +31,14 @@ const (
 	// the fleet must heal around a backend that is still running.
 	// Requires a ChaosProvider.
 	FaultPartition FaultKind = "partition"
+	// FaultPreempt delivers a spot-market revocation notice for the
+	// instance (Duration is the notice window), then hard-kills it at the
+	// deadline — exactly the sequence a cloud spot market performs. The
+	// autopilot must drain ahead of the death and replan before the
+	// deadline; a preemption that surfaces as an instance-death fault is
+	// an invariant violation (the drain lost the race). Requires a
+	// provider implementing autopilot.Preempter (both built-in fleets do).
+	FaultPreempt FaultKind = "preempt"
 )
 
 // capacityLosing reports whether the fault makes the controller evict
@@ -46,7 +54,8 @@ type FaultSpec struct {
 	// At places the injection as a fraction of the scenario duration in
 	// [0, 1).
 	At float64
-	// Duration is the lift window for wedge, delay, and stall faults
+	// Duration is the lift window for wedge, delay, and stall faults, and
+	// the notice window (notice to deadline kill) for preempt faults
 	// (wall clock).
 	Duration time.Duration
 	// Delay is the added per-chunk latency for FaultDelay.
@@ -67,6 +76,10 @@ func (f FaultSpec) validate(hasChaos bool) error {
 		if f.Duration <= 0 {
 			return fmt.Errorf("soak: fault %s needs a positive duration", f.Kind)
 		}
+	case FaultPreempt:
+		if f.Duration <= 0 {
+			return fmt.Errorf("soak: fault preempt needs a positive notice window (duration)")
+		}
 	case FaultDelay:
 		if f.Duration <= 0 || f.Delay <= 0 {
 			return fmt.Errorf("soak: fault delay needs positive duration and delay")
@@ -86,3 +99,9 @@ func (f FaultSpec) validate(hasChaos bool) error {
 
 // KillAt is the one-fault spec most runs start from.
 func KillAt(at float64) FaultSpec { return FaultSpec{Kind: FaultKill, At: at} }
+
+// PreemptAt schedules a spot revocation: notice at the given fraction of
+// the run, hard kill notice later.
+func PreemptAt(at float64, notice time.Duration) FaultSpec {
+	return FaultSpec{Kind: FaultPreempt, At: at, Duration: notice}
+}

@@ -58,6 +58,15 @@ type Report struct {
 	Admitted  int64 `json:"admitted"`
 	Rejected  int64 `json:"rejected"`
 	Failed    int64 `json:"failed"`
+	// PlanCost is the fleet plan's $/hr at quiesce. With a spot market
+	// (-spot-discount) this is the discounted bill, so a run at the same
+	// budget over the plain on-demand pool makes the saving directly
+	// comparable.
+	PlanCost float64 `json:"plan_cost_per_hour"`
+	// CostPer1KQueries is dollars per thousand admitted queries (plan
+	// cost x model-time duration / admitted) — the $/query economics
+	// injected preemptions must not break.
+	CostPer1KQueries float64 `json:"cost_per_1k_queries"`
 	// Faults lists every injected fault with its measured recovery.
 	Faults []FaultEvent `json:"faults"`
 	// Trajectory is the tail-latency time series across the run.

@@ -252,6 +252,8 @@ func Run(sys System, cfg Config) (*Report, error) {
 	if outstanding := ctrl.OutstandingQueries(); len(outstanding) > 0 {
 		checker.NameOutstanding(outstanding)
 	}
+	noticed, drained, replanned, deadlineDeaths := sys.AP.PreemptState()
+	checker.CheckPreemptions(noticed, drained, replanned, deadlineDeaths)
 	violations := checker.Finalize(ctrl.Stats(), pending)
 	checkMu.Unlock()
 
@@ -264,10 +266,14 @@ func Run(sys System, cfg Config) (*Report, error) {
 		Admitted:     admitted.Load(),
 		Rejected:     rejected.Load(),
 		Failed:       failed.Load(),
+		PlanCost:     sys.AP.Status().Plan.Cost,
 		Faults:       rec.faultEvents(),
 		Trajectory:   rec.trajectory(),
 		StageLatency: stageLatency(ctrl.Obs(), cfg.TimeScale),
 		Violations:   violations,
+	}
+	if report.Admitted > 0 {
+		report.CostPer1KQueries = report.PlanCost * (durMS / 3.6e6) / float64(report.Admitted) * 1000
 	}
 	if report.Failed > 0 {
 		report.Violations = append(report.Violations,
@@ -280,6 +286,9 @@ func Run(sys System, cfg Config) (*Report, error) {
 		} else if FaultKind(ev.Kind).capacityLosing() && ev.RecoveryMS < 0 {
 			report.Violations = append(report.Violations,
 				fmt.Sprintf("recovery: %s at %s never re-converged", ev.Kind, ev.Target))
+		} else if FaultKind(ev.Kind) == FaultPreempt && ev.RecoveryMS < 0 {
+			report.Violations = append(report.Violations,
+				fmt.Sprintf("recovery: preempt at %s was never answered by a replan", ev.Target))
 		}
 	}
 	logf("soak: %s done: submitted=%d admitted=%d rejected=%d failed=%d violations=%d",
@@ -333,6 +342,11 @@ func injectFault(sys System, spec FaultSpec, rng *rand.Rand, rec *recorder,
 		if spec.Model != "" && is.Model != spec.Model {
 			continue
 		}
+		if spec.Kind == FaultPreempt && is.Draining {
+			// Already noticed (or being removed): a second notice for the
+			// same instance would have nothing left to drain.
+			continue
+		}
 		cands = append(cands, cand{is.Addr, is.Model})
 	}
 	ev := FaultEvent{Kind: string(spec.Kind), AtMS: modelMS(), RecoveryMS: -1}
@@ -345,6 +359,7 @@ func injectFault(sys System, spec FaultSpec, rng *rand.Rand, rec *recorder,
 	ev.Target, ev.Model = pick.addr, pick.model
 
 	_, _, _, _, heals0, _ := sys.AP.FaultState()
+	_, _, replanned0, deaths0 := sys.AP.PreemptState()
 	t0 := time.Now()
 	var err error
 	switch spec.Kind {
@@ -395,6 +410,14 @@ func injectFault(sys System, spec FaultSpec, rng *rand.Rand, rec *recorder,
 		}
 	case FaultPartition:
 		err = sys.Chaos.Cut(pick.addr)
+	case FaultPreempt:
+		if sys.Chaos != nil {
+			_, err = sys.Chaos.Preempt(pick.addr, spec.Duration)
+		} else if pr, ok := sys.AP.Provider().(autopilot.Preempter); ok {
+			_, err = pr.Preempt(pick.addr, spec.Duration)
+		} else {
+			err = fmt.Errorf("provider %T cannot preempt instances", sys.AP.Provider())
+		}
 	}
 	if err != nil {
 		ev.Err = err.Error()
@@ -419,6 +442,35 @@ func injectFault(sys System, spec FaultSpec, rng *rand.Rand, rec *recorder,
 					rec.setRecovery(pick.addr, rms)
 					logf("soak: %s at %s healed in %.0fms", spec.Kind, pick.addr, rms)
 					return
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		}()
+	}
+	if spec.Kind == FaultPreempt {
+		// Recovery = the notice was answered end to end: drained and
+		// replanned (notice-to-replanned latency). A preemption the drain
+		// lost (died mid-drain) recovers through the heal path instead.
+		faultWG.Add(1)
+		go func() {
+			defer faultWG.Done()
+			deadline := time.Now().Add(cfg.ConvergeTimeout)
+			for time.Now().Before(deadline) {
+				_, _, replanned, deaths := sys.AP.PreemptState()
+				if replanned > replanned0 {
+					rms := float64(time.Since(t0)) / float64(time.Millisecond) / cfg.TimeScale
+					rec.setRecovery(pick.addr, rms)
+					logf("soak: preempt at %s drained and replanned in %.0fms", pick.addr, rms)
+					return
+				}
+				if deaths > deaths0 {
+					_, _, _, _, heals, pending := sys.AP.FaultState()
+					if heals > heals0 && !pending {
+						rms := float64(time.Since(t0)) / float64(time.Millisecond) / cfg.TimeScale
+						rec.setRecovery(pick.addr, rms)
+						logf("soak: preempt at %s died mid-drain; healed in %.0fms", pick.addr, rms)
+						return
+					}
 				}
 				time.Sleep(5 * time.Millisecond)
 			}
