@@ -36,6 +36,9 @@ type (
 	IngressServer = ingress.Server
 	// IngressClient is the binary-TCP ingress client (see DialIngress).
 	IngressClient = ingress.Client
+	// IngressSubmitOptions are IngressClient.SubmitOpts' per-query
+	// extras: a session-affinity key and a deadline.
+	IngressSubmitOptions = ingress.SubmitOptions
 	// AutopilotStatus is the /metrics view of the control plane.
 	AutopilotStatus = autopilot.Status
 	// AutopilotModelStatus is one model's control section within
@@ -73,6 +76,16 @@ type (
 // carries on both ingress transports (HTTP 429 body, binary NACK reply).
 const IngressQueueFullMsg = ingress.QueueFullMsg
 
+// IngressRateLimitedMsg is the exact error string an over-budget client
+// receives from a rate-limited front door (see WithIngressRateLimit) —
+// distinct from IngressQueueFullMsg so clients can tell their own
+// overage from system overload.
+const IngressRateLimitedMsg = ingress.RateLimitedMsg
+
+// IngressUnauthorizedMsg is the exact error string an unauthenticated
+// submission receives from a token-gated front door (see WithIngressAuth).
+const IngressUnauthorizedMsg = ingress.UnauthorizedMsg
+
 // PlanFleetFor runs the shared-budget allocator directly over explicit
 // per-model demands — the library entry point for callers that manage
 // their own samples instead of an engine's monitors. Demands carrying an
@@ -108,6 +121,12 @@ func NewExecFleet(bin string, timeScale float64, models ...string) *ExecFleet {
 // DialIngress connects a binary-TCP client to an ingress front-end.
 func DialIngress(addr string) (*IngressClient, error) {
 	return ingress.Dial(addr)
+}
+
+// DialIngressAuth is DialIngress presenting a bearer token to a
+// token-gated front door (see WithIngressAuth).
+func DialIngressAuth(addr, token string) (*IngressClient, error) {
+	return ingress.DialWith(addr, ingress.DialOptions{Token: token})
 }
 
 // AutopilotOptions tune Engine.Autopilot's control loop. Zero values
@@ -167,10 +186,14 @@ type AutopilotOptions struct {
 type AutopilotOption func(*autopilotConfig) error
 
 type autopilotConfig struct {
-	provider     autopilot.Provider
-	ingressHTTP  string
-	ingressTCP   string
-	ingressQueue int
+	provider         autopilot.Provider
+	ingressHTTP      string
+	ingressTCP       string
+	ingressQueue     int
+	ingressShards    int
+	ingressRateLimit float64
+	ingressRateBurst int
+	ingressTokens    []string
 }
 
 // WithProvider actuates through p instead of the default in-process
@@ -214,6 +237,56 @@ func WithIngressQueue(n int) AutopilotOption {
 	}
 }
 
+// WithIngressShards shards the ingress front door: n independent accept
+// loops per transport (over SO_REUSEPORT where the platform has it), each
+// with its own admission state and waiter pool. 0 or 1 runs unsharded.
+func WithIngressShards(n int) AutopilotOption {
+	return func(c *autopilotConfig) error {
+		if n < 0 {
+			return fmt.Errorf("kairos: negative ingress shard count %d", n)
+		}
+		c.ingressShards = n
+		return nil
+	}
+}
+
+// WithIngressRateLimit caps each ingress client's sustained submit rate
+// in queries/sec (token bucket; burst 0 derives max(1, qps)). Over-budget
+// submissions are rejected with IngressRateLimitedMsg — distinct from the
+// queue-full rejection — on both transports.
+func WithIngressRateLimit(qps float64, burst int) AutopilotOption {
+	return func(c *autopilotConfig) error {
+		if qps <= 0 {
+			return fmt.Errorf("kairos: ingress rate limit must be positive (got %v)", qps)
+		}
+		if burst < 0 {
+			return fmt.Errorf("kairos: negative ingress rate burst %d", burst)
+		}
+		c.ingressRateLimit, c.ingressRateBurst = qps, burst
+		return nil
+	}
+}
+
+// WithIngressAuth gates the ingress front door behind a static bearer
+// token list: HTTP clients present Authorization: Bearer <token>, TCP
+// clients pass the token at dial time. Unauthenticated submissions are
+// rejected with IngressUnauthorizedMsg. With WithIngressRateLimit, each
+// token gets its own rate bucket.
+func WithIngressAuth(tokens ...string) AutopilotOption {
+	return func(c *autopilotConfig) error {
+		if len(tokens) == 0 {
+			return fmt.Errorf("kairos: WithIngressAuth needs at least one token")
+		}
+		for _, tok := range tokens {
+			if tok == "" {
+				return fmt.Errorf("kairos: empty ingress auth token")
+			}
+		}
+		c.ingressTokens = append([]string(nil), tokens...)
+		return nil
+	}
+}
+
 // Autopilot deploys the engine as a self-managing serving system: it plans
 // the initial fleet (one configuration per served model, split from the
 // shared budget by marginal throughput-per-dollar), launches the fleet
@@ -246,8 +319,19 @@ func (e *Engine) Autopilot(timeScale float64, opts AutopilotOptions, extra ...Au
 			return nil, err
 		}
 	}
-	if cfg.ingressQueue > 0 && cfg.ingressHTTP == "" && cfg.ingressTCP == "" {
-		return nil, fmt.Errorf("kairos: WithIngressQueue without WithIngress")
+	if cfg.ingressHTTP == "" && cfg.ingressTCP == "" {
+		if cfg.ingressQueue > 0 {
+			return nil, fmt.Errorf("kairos: WithIngressQueue without WithIngress")
+		}
+		if cfg.ingressShards > 0 {
+			return nil, fmt.Errorf("kairos: WithIngressShards without WithIngress")
+		}
+		if cfg.ingressRateLimit > 0 {
+			return nil, fmt.Errorf("kairos: WithIngressRateLimit without WithIngress")
+		}
+		if len(cfg.ingressTokens) > 0 {
+			return nil, fmt.Errorf("kairos: WithIngressAuth without WithIngress")
+		}
 	}
 	if opts.OnDemandFloor < 0 {
 		return nil, fmt.Errorf("kairos: negative on-demand floor %v", opts.OnDemandFloor)
@@ -361,10 +445,14 @@ func (e *Engine) Autopilot(timeScale float64, opts AutopilotOptions, extra ...Au
 	var ingOpts *ingress.Options
 	if cfg.ingressHTTP != "" || cfg.ingressTCP != "" {
 		ingOpts = &ingress.Options{
-			HTTPAddr: cfg.ingressHTTP,
-			TCPAddr:  cfg.ingressTCP,
-			MaxQueue: cfg.ingressQueue,
-			Logf:     opts.Logf,
+			HTTPAddr:   cfg.ingressHTTP,
+			TCPAddr:    cfg.ingressTCP,
+			MaxQueue:   cfg.ingressQueue,
+			Shards:     cfg.ingressShards,
+			AuthTokens: cfg.ingressTokens,
+			RateLimit:  cfg.ingressRateLimit,
+			RateBurst:  cfg.ingressRateBurst,
+			Logf:       opts.Logf,
 		}
 	}
 	ap, err := autopilot.New(ctrl, provider, initial, autopilot.Options{

@@ -159,6 +159,14 @@ func main() {
 	ingressHTTP := flag.String("ingress", "", "HTTP ingress address for external queries (e.g. 127.0.0.1:8080; empty = disabled)")
 	ingressTCP := flag.String("ingress-tcp", "", "binary-TCP ingress address for external queries (empty = disabled)")
 	ingressQueue := flag.Int("ingress-queue", 0, "per-model bound on admitted-but-unfinished ingress queries (0 = default 1024)")
+	ingressShards := flag.Int("ingress-shards", 0, "independent ingress front-door shards: accept loops + admission state (0 = 1)")
+	rateLimit := flag.Float64("rate-limit", 0, "per-client ingress rate limit in queries/second (0 = unlimited)")
+	rateBurst := flag.Int("rate-burst", 0, "ingress rate-limit burst depth (0 = max(1, -rate-limit))")
+	var authTokens []string
+	flag.Func("auth-token", "static ingress bearer token (repeatable; any set makes auth mandatory)", func(v string) error {
+		authTokens = append(authTokens, v)
+		return nil
+	})
 	queries := flag.Int("queries", 2000, "number of queries to send (spread across models); 0 = generate no load, serve ingress traffic until interrupted")
 	rate := flag.Float64("rate", 300, "Poisson arrival rate (queries/second, model time)")
 	mixSpec := flag.String("mix", "gaussian:45:15", "phase-1 batch mix (trace | gaussian:M:S | uniform:LO:HI | fixed:N)")
@@ -183,6 +191,10 @@ func main() {
 	// real kairosd processes under -provider exec.
 	if *queries == 0 && *ingressHTTP == "" && *ingressTCP == "" {
 		log.Fatal("kairos-autopilot: -queries 0 needs an ingress (-ingress and/or -ingress-tcp)")
+	}
+	if *ingressHTTP == "" && *ingressTCP == "" &&
+		(*ingressShards != 0 || *rateLimit != 0 || *rateBurst != 0 || len(authTokens) > 0) {
+		log.Fatal("kairos-autopilot: ingress flags (-ingress-shards/-rate-limit/-rate-burst/-auth-token) need an ingress (-ingress and/or -ingress-tcp)")
 	}
 	mix, err := parseMix(*mixSpec)
 	if err != nil {
@@ -240,6 +252,15 @@ func main() {
 			// negative bound errors instead of silently running with the
 			// default.
 			extra = append(extra, kairos.WithIngressQueue(*ingressQueue))
+		}
+		if *ingressShards != 0 {
+			extra = append(extra, kairos.WithIngressShards(*ingressShards))
+		}
+		if *rateLimit != 0 {
+			extra = append(extra, kairos.WithIngressRateLimit(*rateLimit, *rateBurst))
+		}
+		if len(authTokens) > 0 {
+			extra = append(extra, kairos.WithIngressAuth(authTokens...))
 		}
 	}
 	ap, err := engine.Autopilot(*timeScale, kairos.AutopilotOptions{

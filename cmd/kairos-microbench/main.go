@@ -279,8 +279,14 @@ func controllerThroughputBench() func(*testing.B) {
 // cluster behind an HTTP + binary-TCP front-end): ns/op is the sustained
 // external Submit→complete cost of the whole path, front-end included.
 func ingressBench(tcp bool) func(*testing.B) {
+	return ingressBenchSharded(tcp, 0)
+}
+
+// ingressBenchSharded is ingressBench over a front door split into the
+// given number of accept/admission shards.
+func ingressBenchSharded(tcp bool, shards int) func(*testing.B) {
 	return func(b *testing.B) {
-		fix, err := ingress.StartBenchIngress(1e-6)
+		fix, err := ingress.StartBenchIngressSharded(1e-6, shards)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -349,6 +355,10 @@ func main() {
 		name string
 		fn   func(*testing.B)
 	}{"IngressSubmitHTTP", ingressBench(false)})
+	benches = append(benches, struct {
+		name string
+		fn   func(*testing.B)
+	}{"IngressSubmitTCPSharded", ingressBenchSharded(true, 4)})
 
 	rep := report{
 		GoVersion: runtime.Version(),

@@ -116,6 +116,14 @@ func main() {
 	provider := flag.String("provider", "inprocess", "actuation provider: inprocess (loopback servers) or exec (real kairosd processes)")
 	kairosdBin := flag.String("kairosd", "", "kairosd binary for -provider exec (default: next to this binary, then PATH)")
 	ingressQueue := flag.Int("ingress-queue", 8192, "per-model bound on admitted-but-unfinished ingress queries")
+	ingressShards := flag.Int("ingress-shards", 0, "independent ingress front-door shards: accept loops + admission state (0 = 1)")
+	rateLimit := flag.Float64("rate-limit", 0, "per-client ingress rate limit in queries/second (0 = unlimited)")
+	rateBurst := flag.Int("rate-burst", 0, "ingress rate-limit burst depth (0 = max(1, -rate-limit))")
+	var authTokens []string
+	flag.Func("auth-token", "static ingress bearer token (repeatable; the replay clients present the first one)", func(v string) error {
+		authTokens = append(authTokens, v)
+		return nil
+	})
 	emptyHold := flag.Duration("empty-hold", 30*time.Second, "how long a model's queries park when a fault takes its last instance")
 	converge := flag.Duration("converge-timeout", 30*time.Second, "post-replay drain and re-convergence bound")
 	out := flag.String("o", "BENCH_soak.json", "output path for the soak report")
@@ -176,7 +184,10 @@ func main() {
 	decisions := make(map[string][]kairos.AutopilotDecisionEvent, len(scenarios))
 	for _, sc := range scenarios {
 		report, decs, err := runScenario(sc, pool, modelNames, faults, *budget, *onDemandFloor,
-			*timeScale, *seed, binPath, *ingressQueue, *emptyHold, *converge, logf)
+			*timeScale, *seed, binPath, ingressConfig{
+				queue: *ingressQueue, shards: *ingressShards,
+				rateLimit: *rateLimit, rateBurst: *rateBurst, tokens: authTokens,
+			}, *emptyHold, *converge, logf)
 		if err != nil {
 			log.Fatalf("kairos-soak: %s: %v", sc.Name, err)
 		}
@@ -243,10 +254,19 @@ func decisionsPath(out string) string {
 	return strings.TrimSuffix(out, ext) + "_decisions" + ext
 }
 
+// ingressConfig collects the front-door knobs a soak run forwards into
+// the autopilot's ingress.
+type ingressConfig struct {
+	queue, shards int
+	rateLimit     float64
+	rateBurst     int
+	tokens        []string
+}
+
 // runScenario launches a fresh fleet, replays one scenario against it,
 // and tears everything down — faults never leak across runs.
 func runScenario(sc kairos.Scenario, pool kairos.Pool, modelNames []string, faults []soak.FaultSpec,
-	budget, onDemandFloor, timeScale float64, seed int64, binPath string, ingressQueue int,
+	budget, onDemandFloor, timeScale float64, seed int64, binPath string, ing ingressConfig,
 	emptyHold, converge time.Duration, logf func(string, ...any)) (*soak.Report, []kairos.AutopilotDecisionEvent, error) {
 	// The initial plan is sized for the scenario's opening mix.
 	rng := rand.New(rand.NewSource(seed))
@@ -273,15 +293,25 @@ func runScenario(sc kairos.Scenario, pool kairos.Pool, modelNames []string, faul
 		inner = kairos.NewFleet(timeScale, engine.Models()...)
 	}
 	chaos := soak.WrapChaos(inner)
+	apOpts := []kairos.AutopilotOption{
+		kairos.WithProvider(chaos),
+		kairos.WithIngress("", "127.0.0.1:0"),
+		kairos.WithIngressQueue(ing.queue),
+	}
+	if ing.shards != 0 {
+		apOpts = append(apOpts, kairos.WithIngressShards(ing.shards))
+	}
+	if ing.rateLimit != 0 {
+		apOpts = append(apOpts, kairos.WithIngressRateLimit(ing.rateLimit, ing.rateBurst))
+	}
+	if len(ing.tokens) > 0 {
+		apOpts = append(apOpts, kairos.WithIngressAuth(ing.tokens...))
+	}
 	ap, err := engine.Autopilot(timeScale, kairos.AutopilotOptions{
 		Interval:      50 * time.Millisecond,
 		OnDemandFloor: onDemandFloor,
 		Logf:          logf,
-	},
-		kairos.WithProvider(chaos),
-		kairos.WithIngress("", "127.0.0.1:0"),
-		kairos.WithIngressQueue(ingressQueue),
-	)
+	}, apOpts...)
 	if err != nil {
 		chaos.Close()
 		return nil, nil, err
@@ -289,6 +319,10 @@ func runScenario(sc kairos.Scenario, pool kairos.Pool, modelNames []string, faul
 	defer ap.Close()
 	ap.Start()
 
+	token := ""
+	if len(ing.tokens) > 0 {
+		token = ing.tokens[0]
+	}
 	report, err := soak.Run(soak.System{AP: ap, Chaos: chaos}, soak.Config{
 		Scenario:        sc,
 		Seed:            seed,
@@ -297,6 +331,7 @@ func runScenario(sc kairos.Scenario, pool kairos.Pool, modelNames []string, faul
 		Faults:          faults,
 		EmptyHold:       emptyHold,
 		ConvergeTimeout: converge,
+		Token:           token,
 		Logf:            logf,
 	})
 	// Snapshot the decision journal before the deferred Close tears the

@@ -437,7 +437,12 @@ func (a *Autopilot) StartAdmin(addr string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	srv := &http.Server{Handler: a.AdminHandler()}
+	srv := &http.Server{
+		Handler: a.AdminHandler(),
+		// Slowloris guard: a client trickling header bytes must not pin an
+		// admin connection (and its goroutine) forever.
+		ReadHeaderTimeout: 10 * time.Second,
+	}
 	a.adminMu.Lock()
 	if a.adminClosed {
 		a.adminMu.Unlock()

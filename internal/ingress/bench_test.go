@@ -9,8 +9,8 @@ import (
 // cost through each transport over the shared fixture (see benchutil.go);
 // cmd/kairos-microbench runs the same loops into BENCH_micro.json.
 
-func benchTransport(b *testing.B, tcp bool) {
-	fix, err := StartBenchIngress(1e-6)
+func benchTransport(b *testing.B, tcp bool, shards int) {
+	fix, err := StartBenchIngressSharded(1e-6, shards)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -33,5 +33,10 @@ func benchTransport(b *testing.B, tcp bool) {
 	})
 }
 
-func BenchmarkIngressSubmitTCP(b *testing.B)  { benchTransport(b, true) }
-func BenchmarkIngressSubmitHTTP(b *testing.B) { benchTransport(b, false) }
+func BenchmarkIngressSubmitTCP(b *testing.B)  { benchTransport(b, true, 0) }
+func BenchmarkIngressSubmitHTTP(b *testing.B) { benchTransport(b, false, 0) }
+
+// The sharded variant spreads the same parallel TCP load over four
+// accept/admission shards — the contended-counter and accept-loop
+// scaling the single-shard benchmark cannot show.
+func BenchmarkIngressSubmitTCPSharded(b *testing.B) { benchTransport(b, true, 4) }

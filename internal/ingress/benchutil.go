@@ -1,10 +1,12 @@
 package ingress
 
 import (
+	"bufio"
 	"bytes"
 	"fmt"
 	"io"
-	"net/http"
+	"net"
+	"strconv"
 	"sync"
 
 	"kairos/internal/server"
@@ -24,16 +26,19 @@ type BenchIngress struct {
 	Cluster *server.BenchCluster
 	Ing     *Server
 
-	httpClient *http.Client
-	httpURL    string
-
 	mu      sync.Mutex
-	clients []*Client
+	clients []io.Closer
 }
 
-// StartBenchIngress boots the fixture. scale compresses emulated service
-// time (1e-6 makes the front-end + controller path the measured cost).
+// StartBenchIngress boots the unsharded fixture. scale compresses
+// emulated service time (1e-6 makes the front-end + controller path the
+// measured cost).
 func StartBenchIngress(scale float64) (*BenchIngress, error) {
+	return StartBenchIngressSharded(scale, 0)
+}
+
+// StartBenchIngressSharded boots the fixture with a sharded front door.
+func StartBenchIngressSharded(scale float64, shards int) (*BenchIngress, error) {
 	cluster, err := server.StartBenchCluster(scale, nil)
 	if err != nil {
 		return nil, err
@@ -42,20 +47,13 @@ func StartBenchIngress(scale float64) (*BenchIngress, error) {
 		HTTPAddr: "127.0.0.1:0",
 		TCPAddr:  "127.0.0.1:0",
 		MaxQueue: 4096,
+		Shards:   shards,
 	})
 	if err != nil {
 		cluster.Close()
 		return nil, err
 	}
-	return &BenchIngress{
-		Cluster: cluster,
-		Ing:     ing,
-		httpClient: &http.Client{Transport: &http.Transport{
-			MaxIdleConns:        512,
-			MaxIdleConnsPerHost: 512,
-		}},
-		httpURL: "http://" + ing.HTTPAddr() + "/submit",
-	}, nil
+	return &BenchIngress{Cluster: cluster, Ing: ing}, nil
 }
 
 // Close tears the front-end, controller, and servers down.
@@ -71,6 +69,12 @@ func (b *BenchIngress) Close() {
 	b.Cluster.Close()
 }
 
+func (b *BenchIngress) track(c io.Closer) {
+	b.mu.Lock()
+	b.clients = append(b.clients, c)
+	b.mu.Unlock()
+}
+
 // TCPWorker is one closed-loop binary-TCP submitter on its own
 // connection, alternating models by worker index; next() keeps it running
 // (testing.PB's Next, typically).
@@ -79,9 +83,7 @@ func (b *BenchIngress) TCPWorker(w int64, next func() bool) error {
 	if err != nil {
 		return err
 	}
-	b.mu.Lock()
-	b.clients = append(b.clients, cli)
-	b.mu.Unlock()
+	b.track(cli)
 	model := b.Cluster.ModelNames[w%2]
 	batch := 1 + int(w%8)*20
 	for next() {
@@ -96,22 +98,75 @@ func (b *BenchIngress) TCPWorker(w int64, next func() bool) error {
 	return nil
 }
 
-// HTTPWorker is one closed-loop HTTP submitter over the fixture's shared
-// keep-alive transport.
+// HTTPWorker is one closed-loop HTTP submitter on its own keep-alive
+// connection. It speaks raw HTTP/1.1 over a preformatted request —
+// net/http's client costs ~30 allocations per request, which would
+// drown the front door's allocation budget in client-side noise.
 func (b *BenchIngress) HTTPWorker(w int64, next func() bool) error {
+	conn, err := net.Dial("tcp", b.Ing.HTTPAddr())
+	if err != nil {
+		return err
+	}
+	b.track(conn)
 	model := b.Cluster.ModelNames[w%2]
 	batch := 1 + int(w%8)*20
-	body := []byte(fmt.Sprintf(`{"model":%q,"batch":%d}`, model, batch))
+	body := fmt.Sprintf(`{"model":%q,"batch":%d}`, model, batch)
+	req := []byte(fmt.Sprintf(
+		"POST /submit HTTP/1.1\r\nHost: bench\r\nContent-Type: application/json\r\nContent-Length: %d\r\n\r\n%s",
+		len(body), body))
+	br := bufio.NewReaderSize(conn, 16<<10)
 	for next() {
-		resp, err := b.httpClient.Post(b.httpURL, "application/json", bytes.NewReader(body))
+		if _, err := conn.Write(req); err != nil {
+			return err
+		}
+		status, clen, err := readBenchResponse(br)
 		if err != nil {
 			return err
 		}
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			return fmt.Errorf("ingress bench: HTTP %d", resp.StatusCode)
+		if _, err := br.Discard(clen); err != nil {
+			return err
+		}
+		if status != 200 {
+			return fmt.Errorf("ingress bench: HTTP %d", status)
 		}
 	}
 	return nil
+}
+
+// readBenchResponse parses a response's status code and Content-Length,
+// leaving the reader positioned at the body.
+func readBenchResponse(br *bufio.Reader) (status, clen int, err error) {
+	line, err := readHTTPLine(br)
+	if err != nil {
+		return 0, 0, err
+	}
+	sp := bytes.IndexByte(line, ' ')
+	if sp < 0 || len(line) < sp+4 {
+		return 0, 0, fmt.Errorf("ingress bench: bad status line %q", line)
+	}
+	status, err = strconv.Atoi(string(line[sp+1 : sp+4]))
+	if err != nil {
+		return 0, 0, err
+	}
+	clen = -1
+	for {
+		h, err := readHTTPLine(br)
+		if err != nil {
+			return 0, 0, err
+		}
+		if len(h) == 0 {
+			break
+		}
+		colon := bytes.IndexByte(h, ':')
+		if colon > 0 && asciiEqualFold(h[:colon], "content-length") {
+			clen, err = strconv.Atoi(string(trimOWS(h[colon+1:])))
+			if err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	if clen < 0 {
+		return 0, 0, fmt.Errorf("ingress bench: response without content length")
+	}
+	return status, clen, nil
 }

@@ -6,16 +6,20 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"kairos/internal/server"
 )
 
 // Client speaks the front-end's TCP protocol: one connection, concurrent
-// Submit callers, O(1) reply correlation. Dial negotiates the binary
-// codec from the Hello banner exactly like the controller does against an
-// instance server; a legacy (JSON-only) front-end degrades transparently.
+// Submit callers, O(1) reply correlation. Dial negotiates the wire
+// version from the Hello banner exactly like the controller does against
+// an instance server; a legacy (JSON-only) front-end degrades
+// transparently, and a legacy binary front-end simply never sees the
+// session request kind.
 type Client struct {
 	conn   net.Conn
+	proto  int
 	binary bool
 	nextID atomic.Int64
 
@@ -27,8 +31,28 @@ type Client struct {
 	err     error // terminal read-loop error; set before pending close
 }
 
+// DialOptions carry client identity for token-gated front doors.
+type DialOptions struct {
+	// Token authenticates the connection (the HTTP transport's
+	// Authorization: Bearer equivalent). Ignored by open front doors.
+	Token string
+}
+
+// SubmitOptions tag one query.
+type SubmitOptions struct {
+	// Session is the affinity key: queries sharing it prefer the same
+	// serving instance.
+	Session string
+	// Deadline bounds how long the query may wait for dispatch; 0 means
+	// no deadline. Resolution is milliseconds (the wire unit).
+	Deadline time.Duration
+}
+
 // Dial connects to a front-end's TCP endpoint.
-func Dial(addr string) (*Client, error) {
+func Dial(addr string) (*Client, error) { return DialWith(addr, DialOptions{}) }
+
+// DialWith connects with client identity.
+func DialWith(addr string, opts DialOptions) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -41,7 +65,11 @@ func Dial(addr string) (*Client, error) {
 	}
 	c := &Client{conn: conn, pending: make(map[int64]chan server.Reply)}
 	if hello.Proto >= server.ProtoBinary {
-		if err := server.WriteFrame(conn, server.HelloAck{Proto: server.ProtoBinary}); err != nil {
+		c.proto = hello.Proto
+		if c.proto > server.ProtoSession {
+			c.proto = server.ProtoSession
+		}
+		if err := server.WriteFrame(conn, server.HelloAck{Proto: c.proto, Token: opts.Token}); err != nil {
 			conn.Close()
 			return nil, err
 		}
@@ -51,27 +79,51 @@ func Dial(addr string) (*Client, error) {
 	return c, nil
 }
 
+// replyChans pools the one-shot reply channels so a steady-state Submit
+// allocates nothing for correlation. A channel is only returned to the
+// pool on the normal receive path — channels closed by a dying readLoop
+// are dropped.
+var replyChans = sync.Pool{New: func() any { return make(chan server.Reply, 1) }}
+
 // Submit sends one query for the named model and blocks for its reply.
 // The returned error is a transport failure; a serving failure or
-// backpressure NACK arrives in Reply.Err (compare against QueueFullMsg).
-// On success Reply.ServiceMS carries the end-to-end serving latency in
-// model milliseconds.
+// front-door rejection arrives in Reply.Err (compare against
+// QueueFullMsg, RateLimitedMsg, UnauthorizedMsg). On success
+// Reply.ServiceMS carries the end-to-end serving latency in model
+// milliseconds.
 func (c *Client) Submit(model string, batch int) (server.Reply, error) {
+	return c.SubmitOpts(model, batch, SubmitOptions{})
+}
+
+// SubmitOpts is Submit with a session key and deadline. A front door
+// older than ProtoSession silently drops both (they are hints, not
+// correctness constraints).
+func (c *Client) SubmitOpts(model string, batch int, opts SubmitOptions) (server.Reply, error) {
 	id := c.nextID.Add(1)
-	ch := make(chan server.Reply, 1)
+	ch := replyChans.Get().(chan server.Reply)
 	c.mu.Lock()
 	if c.err != nil {
 		err := c.err
 		c.mu.Unlock()
+		replyChans.Put(ch)
 		return server.Reply{}, err
 	}
 	c.pending[id] = ch
 	c.mu.Unlock()
 
+	req := server.Request{ID: id, Model: model, Batch: batch}
+	if opts.Session != "" || opts.Deadline > 0 {
+		// Only a ProtoSession peer decodes the session request kind; an
+		// older binary peer gets a plain request instead.
+		if !c.binary || c.proto >= server.ProtoSession {
+			req.Session = opts.Session
+			req.DeadlineMS = int64(opts.Deadline / time.Millisecond)
+		}
+	}
 	c.wmu.Lock()
 	var werr error
 	if c.binary {
-		frame, err := server.AppendRequestFrame(c.wbuf[:0], server.Request{ID: id, Model: model, Batch: batch})
+		frame, err := server.AppendRequestFrame(c.wbuf[:0], req)
 		if err == nil {
 			c.wbuf = frame
 			_, werr = c.conn.Write(frame)
@@ -79,13 +131,14 @@ func (c *Client) Submit(model string, batch int) (server.Reply, error) {
 			werr = err
 		}
 	} else {
-		werr = server.WriteFrame(c.conn, server.Request{ID: id, Model: model, Batch: batch})
+		werr = server.WriteFrame(c.conn, req)
 	}
 	c.wmu.Unlock()
 	if werr != nil {
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
+		replyChans.Put(ch)
 		return server.Reply{}, werr
 	}
 
@@ -99,6 +152,7 @@ func (c *Client) Submit(model string, batch int) (server.Reply, error) {
 		}
 		return server.Reply{}, err
 	}
+	replyChans.Put(ch)
 	return rep, nil
 }
 

@@ -11,16 +11,22 @@
 // the controller's Stats snapshot (server.SetStatsAugmenter), so
 // kairosctl and the autopilot admin /metrics see front-end and serving
 // counters on one surface.
+//
+// The front door is sharded (Options.Shards): each shard owns an accept
+// loop per transport (over SO_REUSEPORT where the platform has it), a
+// slice of every model's admission quota, a pooled-waiter set for the
+// TCP path, and a stripe of the front-door stage histograms — so at
+// saturation the shards contend on nothing. Queries may carry a session
+// key routed with consistent-hash-bounded-load affinity and a deadline
+// enforced by the controller's dispatch loop; untrusted clients are
+// gated by a static bearer-token list and per-client rate limits.
 package ingress
 
 import (
-	"bufio"
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
-	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -39,65 +45,136 @@ const DefaultMaxQueue = 1024
 // serving failures.
 const QueueFullMsg = "ingress: queue full"
 
+// RateLimitedMsg is the exact error string a per-client rate-limit
+// rejection carries on both transports — distinct from QueueFullMsg, so
+// a client can tell "you are over your budget" from "the system is
+// full".
+const RateLimitedMsg = "ingress: rate limited"
+
+// UnauthorizedMsg is the exact error string an unauthenticated
+// submission receives when the front door has a token list.
+const UnauthorizedMsg = "ingress: unauthorized"
+
+// writeTimeout bounds every reply write: a client that stops reading
+// (full kernel send buffer) stalls only its own connection, and only for
+// this long — reply flushers must never be parked on a dead peer
+// forever or Close could not drain them.
+const writeTimeout = 30 * time.Second
+
 // Options configure a front-end. At least one of HTTPAddr and TCPAddr
 // must be set.
 type Options struct {
 	// HTTPAddr binds the JSON endpoint ("" disables; "127.0.0.1:0" for an
-	// ephemeral port). Routes: POST /submit, GET /stats, GET /healthz.
+	// ephemeral port). Routes: POST /submit, GET /stats, GET /shardz,
+	// GET /healthz.
 	HTTPAddr string
 	// TCPAddr binds the binary endpoint ("" disables).
 	TCPAddr string
 	// MaxQueue bounds each model's admitted-but-unfinished queries;
 	// submissions beyond it are rejected with 429/NACK. 0 uses
-	// DefaultMaxQueue.
+	// DefaultMaxQueue. The bound is split evenly across shards.
 	MaxQueue int
+	// Shards is the number of independent front-door shards: accept
+	// loops per transport, admission quota slices, waiter pools, and
+	// histogram stripes. 0 or 1 runs unsharded.
+	Shards int
+	// AuthTokens is the static bearer-token allow list. Non-empty makes
+	// both transports require a token (HTTP: Authorization: Bearer; TCP:
+	// HelloAck.Token); unauthenticated submissions get UnauthorizedMsg.
+	// Empty leaves the front door open.
+	AuthTokens []string
+	// RateLimit caps each client's sustained submit rate in queries/sec
+	// (token bucket, one per auth token — or one shared anonymous bucket
+	// when no tokens are configured). 0 disables rate limiting.
+	RateLimit float64
+	// RateBurst is the token bucket depth; 0 derives max(1, RateLimit).
+	RateBurst int
 	// Logf, when set, receives one line per lifecycle event.
 	Logf func(format string, args ...any)
 }
 
-// modelFront is one served model's admission state and accounting. All
-// fields are atomic: the hot path never takes a lock.
-type modelFront struct {
+// frontShard is one shard's slice of a model's admission state and
+// accounting. All fields are atomic and the whole struct is padded to
+// its own cache lines: the hot path never takes a lock and shards never
+// false-share.
+type frontShard struct {
 	queue     atomic.Int64 // admitted-but-unfinished
 	submitted atomic.Int64
 	http      atomic.Int64
 	tcp       atomic.Int64
 	rejected  atomic.Int64
+	limited   atomic.Int64
 	completed atomic.Int64
 	failed    atomic.Int64
-	// mo is the model's flight-recorder shard (shared with the
-	// controller): the front-end stamps StageAdmit and StageIngress.
-	mo *obs.ModelObs
+	_         [64]byte // keep the next shard's counters off this line
 }
 
-// admit reserves one slot in the model's bounded queue; false rejects.
-func (m *modelFront) admit(max int64) bool {
+// admit reserves one slot in the shard's bounded queue; false rejects.
+func (fs *frontShard) admit(max int64) bool {
 	for {
-		cur := m.queue.Load()
+		cur := fs.queue.Load()
 		if cur >= max {
 			return false
 		}
-		if m.queue.CompareAndSwap(cur, cur+1) {
+		if fs.queue.CompareAndSwap(cur, cur+1) {
 			return true
 		}
 	}
 }
 
-// snapshot renders the model's counters. Submitted is read first and
-// queue before the outcome counters: combined with the writers' ordering
-// (admit raises queue before submitted; serveOne records the outcome
-// before releasing the slot), completed+failed+queue never falls short
-// of submitted in any snapshot — a concurrent query may transiently
+// modelFront is one served model's admission state: a quota slice per
+// shard plus the model's flight-recorder shard (shared with the
+// controller), where the front-end stamps StageAdmit and StageIngress.
+type modelFront struct {
+	name   string
+	mo     *obs.ModelObs
+	shards []frontShard
+}
+
+// snapshot sums the model's counters across shards. Submitted is read
+// first (all shards) and queue before the outcome counters: combined
+// with the writers' ordering (admit raises queue before submitted; the
+// waiter records the outcome before releasing the slot), each shard —
+// and therefore the sum — never lets completed+failed+queue fall short
+// of submitted in any snapshot. A concurrent query may transiently
 // count twice, never zero times.
 func (m *modelFront) snapshot() server.IngressStats {
-	st := server.IngressStats{Submitted: m.submitted.Load()}
-	st.Queue = m.queue.Load()
-	st.Completed = m.completed.Load()
-	st.Failed = m.failed.Load()
-	st.Rejected = m.rejected.Load()
-	st.HTTP = m.http.Load()
-	st.TCP = m.tcp.Load()
+	var st server.IngressStats
+	for i := range m.shards {
+		st.Submitted += m.shards[i].submitted.Load()
+	}
+	for i := range m.shards {
+		st.Queue += m.shards[i].queue.Load()
+	}
+	for i := range m.shards {
+		fs := &m.shards[i]
+		st.Completed += fs.completed.Load()
+		st.Failed += fs.failed.Load()
+		st.Rejected += fs.rejected.Load()
+		st.RateLimited += fs.limited.Load()
+		st.HTTP += fs.http.Load()
+		st.TCP += fs.tcp.Load()
+	}
 	return st
+}
+
+// shard is one front-door lane: its TCP waiter pool and connection
+// accounting. Per-model admission counters live in modelFront.shards,
+// indexed by the shard's id.
+type shard struct {
+	id    int
+	conns atomic.Int64 // accepted connections, both transports
+	pool  waiterPool
+}
+
+// ShardStats is one shard's cross-model accounting, for GET /shardz.
+type ShardStats struct {
+	Shard       int   `json:"shard"`
+	Conns       int64 `json:"conns"`
+	Submitted   int64 `json:"submitted"`
+	Rejected    int64 `json:"rejected"`
+	RateLimited int64 `json:"rate_limited"`
+	Queue       int64 `json:"queue"`
 }
 
 // Server is one running front-end over a controller. Build it with New
@@ -106,17 +183,24 @@ func (m *modelFront) snapshot() server.IngressStats {
 // delivered — an orderly Close drops nothing.
 type Server struct {
 	ctrl     *server.Controller
-	maxQueue int64
+	perShard int64 // per-shard, per-model admission quota
+	nshards  int
 	logf     func(format string, args ...any)
+	auth     *authTable // nil: no auth, no rate limiting
 
 	models map[string]*modelFront
 	order  []string
 
-	httpLn  net.Listener
-	httpSrv *http.Server
-	tcpLn   net.Listener
+	// unrouted counts rejections that never resolved to a model section
+	// — unknown-model submissions and unauthenticated clients — surfaced
+	// as Stats.IngressUnrouted through the augmenter.
+	unrouted atomic.Int64
 
-	wg        sync.WaitGroup // accept loop + per-connection loops + query waiters
+	shards  []*shard
+	httpLns []net.Listener
+	tcpLns  []net.Listener
+
+	wg        sync.WaitGroup // accept loops + connection loops + waiters
 	closed    chan struct{}
 	closeOnce sync.Once
 
@@ -135,14 +219,36 @@ func New(ctrl *server.Controller, opts Options) (*Server, error) {
 	if opts.MaxQueue < 0 {
 		return nil, fmt.Errorf("ingress: negative queue bound %d", opts.MaxQueue)
 	}
+	if opts.Shards < 0 {
+		return nil, fmt.Errorf("ingress: negative shard count %d", opts.Shards)
+	}
+	if opts.RateLimit < 0 {
+		return nil, fmt.Errorf("ingress: negative rate limit %v", opts.RateLimit)
+	}
+	if opts.RateBurst < 0 {
+		return nil, fmt.Errorf("ingress: negative rate burst %d", opts.RateBurst)
+	}
+	for _, tok := range opts.AuthTokens {
+		if tok == "" {
+			return nil, errors.New("ingress: empty auth token")
+		}
+	}
 	maxQueue := int64(opts.MaxQueue)
 	if maxQueue == 0 {
 		maxQueue = DefaultMaxQueue
 	}
+	nshards := opts.Shards
+	if nshards < 1 {
+		nshards = 1
+	}
 	s := &Server{
-		ctrl:     ctrl,
-		maxQueue: maxQueue,
+		ctrl: ctrl,
+		// Ceil split: the aggregate bound rounds up to keep every shard
+		// nonzero; with one shard it is exactly MaxQueue.
+		perShard: (maxQueue + int64(nshards) - 1) / int64(nshards),
+		nshards:  nshards,
 		logf:     opts.Logf,
+		auth:     newAuthTable(opts.AuthTokens, opts.RateLimit, opts.RateBurst),
 		models:   make(map[string]*modelFront),
 		closed:   make(chan struct{}),
 	}
@@ -150,56 +256,130 @@ func New(ctrl *server.Controller, opts Options) (*Server, error) {
 		s.logf = func(string, ...any) {}
 	}
 	for _, name := range ctrl.Models() {
-		s.models[name] = &modelFront{mo: ctrl.Obs().Model(name)}
+		s.models[name] = &modelFront{
+			name:   name,
+			mo:     ctrl.Obs().Model(name),
+			shards: make([]frontShard, nshards),
+		}
 		s.order = append(s.order, name)
 	}
+	for i := 0; i < nshards; i++ {
+		sh := &shard{id: i}
+		sh.pool.wg = &s.wg
+		sh.pool.run = s.runWait
+		s.shards = append(s.shards, sh)
+	}
+	closeAll := func() {
+		for _, ln := range s.httpLns {
+			ln.Close()
+		}
+		for _, ln := range s.tcpLns {
+			ln.Close()
+		}
+	}
+	var err error
 	if opts.HTTPAddr != "" {
-		ln, err := net.Listen("tcp", opts.HTTPAddr)
-		if err != nil {
+		if s.httpLns, err = listenShards(opts.HTTPAddr, nshards); err != nil {
 			return nil, fmt.Errorf("ingress: binding HTTP %s: %w", opts.HTTPAddr, err)
 		}
-		s.httpLn = ln
-		s.httpSrv = &http.Server{Handler: s.HTTPHandler()}
-		go s.httpSrv.Serve(ln)
 	}
 	if opts.TCPAddr != "" {
-		ln, err := net.Listen("tcp", opts.TCPAddr)
-		if err != nil {
-			if s.httpLn != nil {
-				// Close the listener directly: httpSrv.Close alone races
-				// the Serve goroutine's listener registration and could
-				// leave the port bound.
-				s.httpLn.Close()
-				s.httpSrv.Close()
-			}
+		if s.tcpLns, err = listenShards(opts.TCPAddr, nshards); err != nil {
+			closeAll()
 			return nil, fmt.Errorf("ingress: binding TCP %s: %w", opts.TCPAddr, err)
 		}
-		s.tcpLn = ln
-		s.wg.Add(1)
-		go s.acceptLoop()
+	}
+	for i, sh := range s.shards {
+		if len(s.httpLns) > 0 {
+			s.wg.Add(1)
+			go s.acceptLoop(s.httpLns[i%len(s.httpLns)], sh, s.serveHTTPConn)
+		}
+		if len(s.tcpLns) > 0 {
+			s.wg.Add(1)
+			go s.acceptLoop(s.tcpLns[i%len(s.tcpLns)], sh, s.serveTCPConn)
+		}
 	}
 	ctrl.SetStatsAugmenter(s.augment)
-	s.logf("ingress: serving (http %s, tcp %s, queue %d per model)", s.HTTPAddr(), s.TCPAddr(), maxQueue)
+	s.logf("ingress: serving (http %s, tcp %s, queue %d per model, %d shard(s))",
+		s.HTTPAddr(), s.TCPAddr(), maxQueue, nshards)
 	return s, nil
+}
+
+// listenShards binds n listeners to addr with SO_REUSEPORT so the kernel
+// spreads connections across the shards' accept loops. Platforms without
+// reuseport (and the n==1 case) get a single listener; with fewer
+// listeners than shards the accept loops share them.
+func listenShards(addr string, n int) ([]net.Listener, error) {
+	if n <= 1 || !reusePortOK {
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		return []net.Listener{ln}, nil
+	}
+	lc := net.ListenConfig{Control: reusePortControl}
+	first, err := lc.Listen(context.Background(), "tcp", addr)
+	if err != nil {
+		// The control hook can fail on exotic socket setups; a single
+		// plain listener shared by every shard's accept loop still works.
+		ln, err2 := net.Listen("tcp", addr)
+		if err2 != nil {
+			return nil, err
+		}
+		return []net.Listener{ln}, nil
+	}
+	lns := []net.Listener{first}
+	// The remaining binds reuse the first listener's concrete port (addr
+	// may have asked for an ephemeral one).
+	concrete := first.Addr().String()
+	for i := 1; i < n; i++ {
+		ln, err := lc.Listen(context.Background(), "tcp", concrete)
+		if err != nil {
+			// Degrade to the listeners bound so far; accept loops share.
+			break
+		}
+		lns = append(lns, ln)
+	}
+	return lns, nil
+}
+
+// acceptLoop feeds one listener's connections to one shard's serve
+// function. With reuseport each shard accepts from its own listener;
+// otherwise the shards' loops share one listener and the kernel
+// round-robins Accept wakeups.
+func (s *Server) acceptLoop(ln net.Listener, sh *shard, serve func(net.Conn, *shard)) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		sh.conns.Add(1)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			serve(conn, sh)
+		}()
+	}
 }
 
 // HTTPAddr returns the bound HTTP address, "" when disabled.
 func (s *Server) HTTPAddr() string {
-	if s.httpLn == nil {
+	if len(s.httpLns) == 0 {
 		return ""
 	}
-	return s.httpLn.Addr().String()
+	return s.httpLns[0].Addr().String()
 }
 
 // TCPAddr returns the bound binary-TCP address, "" when disabled.
 func (s *Server) TCPAddr() string {
-	if s.tcpLn == nil {
+	if len(s.tcpLns) == 0 {
 		return ""
 	}
-	return s.tcpLn.Addr().String()
+	return s.tcpLns[0].Addr().String()
 }
 
-// Stats snapshots the per-model front-end counters.
+// Stats snapshots the per-model front-end counters, summed over shards.
 func (s *Server) Stats() map[string]server.IngressStats {
 	out := make(map[string]server.IngressStats, len(s.order))
 	for _, name := range s.order {
@@ -207,6 +387,28 @@ func (s *Server) Stats() map[string]server.IngressStats {
 	}
 	return out
 }
+
+// ShardStats snapshots the per-shard accounting across models.
+func (s *Server) ShardStats() []ShardStats {
+	out := make([]ShardStats, s.nshards)
+	for i, sh := range s.shards {
+		st := &out[i]
+		st.Shard = i
+		st.Conns = sh.conns.Load()
+		for _, name := range s.order {
+			fs := &s.models[name].shards[i]
+			st.Submitted += fs.submitted.Load()
+			st.Rejected += fs.rejected.Load()
+			st.RateLimited += fs.limited.Load()
+			st.Queue += fs.queue.Load()
+		}
+	}
+	return out
+}
+
+// Unrouted reports the front-door rejections that never resolved to a
+// model: unknown-model submissions and unauthenticated clients.
+func (s *Server) Unrouted() int64 { return s.unrouted.Load() }
 
 // augment merges the front-end counters into a controller Stats snapshot.
 func (s *Server) augment(st *server.Stats) {
@@ -216,245 +418,20 @@ func (s *Server) augment(st *server.Stats) {
 	for _, name := range s.order {
 		st.Ingress[name] = s.models[name].snapshot()
 	}
+	st.IngressUnrouted = s.unrouted.Load()
 }
 
-// serveOne runs one admitted query to completion, accounting the outcome
-// and releasing its queue slot. The outcome counter moves before the
-// slot releases (and admit raises queue before submitted), so a
-// concurrent stats snapshot may transiently overcount the in-progress
-// query but never sees completed+failed+queue fall short of submitted;
-// the counters are exactly equal at quiescence.
-func (s *Server) serveOne(mf *modelFront, model string, batch int) server.QueryResult {
-	res := s.ctrl.SubmitWait(model, batch)
-	if res.Err != nil {
-		mf.failed.Add(1)
-	} else {
-		mf.completed.Add(1)
+// submitOpts converts a request's wire hints into controller submit
+// options; t0 anchors the deadline.
+func submitOpts(session []byte, deadlineMS int64, t0 time.Time) server.SubmitOptions {
+	var opts server.SubmitOptions
+	if len(session) > 0 {
+		opts.SessionHash = server.SessionHash(session)
 	}
-	mf.queue.Add(-1)
-	return res
-}
-
-// --- HTTP transport ---
-
-// submitRequest is the POST /submit body.
-type submitRequest struct {
-	Model string `json:"model"`
-	Batch int    `json:"batch"`
-}
-
-// submitReply is the POST /submit response body.
-type submitReply struct {
-	Model string `json:"model"`
-	Batch int    `json:"batch"`
-	// LatencyMS is the end-to-end serving latency in model milliseconds.
-	LatencyMS float64 `json:"latency_ms"`
-	// Instance is the serving instance type.
-	Instance string `json:"instance,omitempty"`
-	// Error carries a rejection or serving failure; empty on success.
-	Error string `json:"error,omitempty"`
-}
-
-// HTTPHandler returns the JSON endpoint's routes: POST /submit (one
-// query, synchronous), GET /stats (per-model front-end counters), and
-// GET /healthz. Exposed so callers can mount the front-end under their
-// own mux; New's HTTPAddr serves exactly this handler.
-func (s *Server) HTTPHandler() http.Handler {
-	mux := http.NewServeMux()
-	writeJSON := func(w http.ResponseWriter, code int, v any) {
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(code)
-		json.NewEncoder(w).Encode(v)
+	if deadlineMS > 0 {
+		opts.Deadline = t0.Add(time.Duration(deadlineMS) * time.Millisecond)
 	}
-	mux.HandleFunc("/submit", func(w http.ResponseWriter, r *http.Request) {
-		t0 := time.Now()
-		if r.Method != http.MethodPost {
-			writeJSON(w, http.StatusMethodNotAllowed, submitReply{Error: "ingress: POST only"})
-			return
-		}
-		var req submitRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeJSON(w, http.StatusBadRequest, submitReply{Error: "ingress: bad request: " + err.Error()})
-			return
-		}
-		mf := s.models[req.Model]
-		if mf == nil {
-			writeJSON(w, http.StatusBadRequest, submitReply{
-				Model: req.Model, Batch: req.Batch,
-				Error: fmt.Sprintf("ingress: unknown model %q (serving %v)", req.Model, s.order),
-			})
-			return
-		}
-		if !mf.admit(s.maxQueue) {
-			mf.rejected.Add(1)
-			w.Header().Set("Retry-After", "1")
-			writeJSON(w, http.StatusTooManyRequests, submitReply{Model: req.Model, Batch: req.Batch, Error: QueueFullMsg})
-			return
-		}
-		mf.submitted.Add(1)
-		mf.http.Add(1)
-		mf.mo.Record(obs.StageAdmit, time.Since(t0))
-		res := s.serveOne(mf, req.Model, req.Batch)
-		mf.mo.Record(obs.StageIngress, time.Since(t0))
-		if res.Err != nil {
-			writeJSON(w, http.StatusBadGateway, submitReply{Model: req.Model, Batch: req.Batch, Error: res.Err.Error()})
-			return
-		}
-		writeJSON(w, http.StatusOK, submitReply{
-			Model: req.Model, Batch: req.Batch,
-			LatencyMS: res.LatencyMS, Instance: res.Instance,
-		})
-	})
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, s.Stats())
-	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "models": s.order})
-	})
-	return mux
-}
-
-// --- binary TCP transport ---
-
-// writeTimeout bounds every reply write: a client that stops reading
-// (full kernel send buffer) stalls only its own connection, and only for
-// this long — waiter goroutines must never be parked on a dead peer
-// forever or Close could not drain them.
-const writeTimeout = 30 * time.Second
-
-// replyWriter serializes whole-frame reply writes from concurrent query
-// waiters onto one connection.
-type replyWriter struct {
-	mu   sync.Mutex
-	conn net.Conn
-	buf  []byte
-}
-
-func (w *replyWriter) writeJSON(v any) error {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	w.conn.SetWriteDeadline(time.Now().Add(writeTimeout))
-	return server.WriteFrame(w.conn, v)
-}
-
-func (w *replyWriter) send(rep server.Reply, binary bool) error {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	w.conn.SetWriteDeadline(time.Now().Add(writeTimeout))
-	if !binary {
-		return server.WriteFrame(w.conn, rep)
-	}
-	frame, err := server.AppendReplyFrame(w.buf[:0], rep)
-	if err != nil {
-		return err
-	}
-	w.buf = frame
-	_, err = w.conn.Write(frame)
-	return err
-}
-
-func (s *Server) acceptLoop() {
-	defer s.wg.Done()
-	for {
-		conn, err := s.tcpLn.Accept()
-		if err != nil {
-			return
-		}
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			s.serveConn(conn)
-		}()
-	}
-}
-
-// serveConn handles one external TCP client: banner, version negotiation,
-// then a request loop. Requests are admitted synchronously (a NACK is
-// written in request order) and served concurrently, each waiter writing
-// its reply when the controller delivers — so one slow query never blocks
-// the client's other in-flight queries.
-func (s *Server) serveConn(conn net.Conn) {
-	w := &replyWriter{conn: conn}
-	var inflight sync.WaitGroup
-	defer func() {
-		// Admitted queries still complete and reply after a read error or
-		// a drain; the connection closes only when the last reply is out.
-		inflight.Wait()
-		conn.Close()
-	}()
-	defer s.tracker.Track(conn)()
-	if err := w.writeJSON(server.Hello{TypeName: "ingress", Proto: server.ProtoBinary}); err != nil {
-		return
-	}
-	br := bufio.NewReaderSize(conn, 16<<10)
-	payload, err := server.ReadRawFrame(br, nil)
-	if err != nil {
-		return
-	}
-	var probe server.HandshakeProbe
-	if err := json.Unmarshal(payload, &probe); err != nil {
-		return
-	}
-	binary := false
-	if probe.Proto != nil {
-		binary = *probe.Proto >= server.ProtoBinary
-	} else {
-		// Legacy JSON client: the probe frame was its first query.
-		s.handle(probe.ID, probe.Model, probe.Batch, w, false, &inflight, time.Now())
-	}
-	var rbuf []byte
-	for {
-		if binary {
-			p, err := server.ReadRawFrame(br, rbuf)
-			if err != nil {
-				return
-			}
-			rbuf = p[:0]
-			id, batch, model, _, err := server.DecodeRequestFrame(p)
-			if err != nil {
-				return
-			}
-			s.handle(id, string(model), batch, w, true, &inflight, time.Now())
-		} else {
-			var req server.Request
-			if err := server.ReadFrame(br, &req); err != nil {
-				return
-			}
-			s.handle(req.ID, req.Model, req.Batch, w, false, &inflight, time.Now())
-		}
-	}
-}
-
-// handle admits one TCP query and spawns its waiter; rejections are
-// answered inline. t0 is the request's receive timestamp, the anchor
-// for the front-door flight-recorder stages.
-func (s *Server) handle(id int64, model string, batch int, w *replyWriter, binary bool, inflight *sync.WaitGroup, t0 time.Time) {
-	mf := s.models[model]
-	if mf == nil {
-		w.send(server.Reply{ID: id, Err: fmt.Sprintf("ingress: unknown model %q (serving %v)", model, s.order)}, binary)
-		return
-	}
-	if !mf.admit(s.maxQueue) {
-		mf.rejected.Add(1)
-		w.send(server.Reply{ID: id, Err: QueueFullMsg}, binary)
-		return
-	}
-	mf.submitted.Add(1)
-	mf.tcp.Add(1)
-	mf.mo.Record(obs.StageAdmit, time.Since(t0))
-	inflight.Add(1)
-	s.wg.Add(1)
-	go func() {
-		defer s.wg.Done()
-		defer inflight.Done()
-		res := s.serveOne(mf, model, batch)
-		mf.mo.Record(obs.StageIngress, time.Since(t0))
-		rep := server.Reply{ID: id, ServiceMS: res.LatencyMS}
-		if res.Err != nil {
-			rep.Err = res.Err.Error()
-		}
-		w.send(rep, binary)
-	}()
+	return opts
 }
 
 // Close stops the front-end in order: listeners go away (nothing new is
@@ -464,20 +441,22 @@ func (s *Server) handle(id int64, model string, batch int, w *replyWriter, binar
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
 		close(s.closed)
-		if s.tcpLn != nil {
-			s.tcpLn.Close()
+		for _, ln := range s.tcpLns {
+			ln.Close()
+		}
+		for _, ln := range s.httpLns {
+			ln.Close()
 		}
 		// Pop the per-connection read loops out of their blocked reads;
 		// their waiters finish and reply before the conns close.
 		s.tracker.SweepReadDeadlines()
-		if s.httpSrv != nil {
-			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-			s.httpSrv.Shutdown(ctx)
-			cancel()
-			s.httpSrv.Close()
+		// Stop the idle waiters; busy ones finish their query first, and
+		// late work falls back to fresh goroutines.
+		for _, sh := range s.shards {
+			sh.pool.close()
 		}
 		// Bounded drain: reply writes carry writeTimeout deadlines, so
-		// waiters on a stalled client unblock on their own; the
+		// flushers on a stalled client unblock on their own; the
 		// force-close below is the backstop that guarantees Close always
 		// returns (an unkillable Close would wedge Autopilot.Close).
 		done := make(chan struct{})

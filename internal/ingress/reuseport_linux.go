@@ -1,0 +1,27 @@
+//go:build linux
+
+package ingress
+
+import "syscall"
+
+// soReusePort is SO_REUSEPORT, spelled numerically because this
+// toolchain's syscall package predates the constant. 0xf (15) has been
+// the Linux value since the option appeared in 3.9.
+const soReusePort = 0xf
+
+// reusePortOK reports that listenShards can bind several listeners to
+// one address and let the kernel spread connections across them.
+const reusePortOK = true
+
+// reusePortControl is the net.ListenConfig hook that flips SO_REUSEPORT
+// on before bind.
+func reusePortControl(network, address string, c syscall.RawConn) error {
+	var serr error
+	err := c.Control(func(fd uintptr) {
+		serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+	})
+	if err != nil {
+		return err
+	}
+	return serr
+}

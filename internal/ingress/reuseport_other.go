@@ -1,0 +1,12 @@
+//go:build !linux
+
+package ingress
+
+import "syscall"
+
+// Non-Linux platforms run the sharded front door over a single shared
+// listener: every shard still gets its own accept loop, admission state,
+// and waiter pool — only the kernel-level connection spreading is lost.
+const reusePortOK = false
+
+func reusePortControl(network, address string, c syscall.RawConn) error { return nil }

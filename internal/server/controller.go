@@ -100,6 +100,9 @@ type modelGroup struct {
 	mu        sync.Mutex
 	instances []*remoteInstance
 	waiting   []*pendingQuery
+	// ring is the session-affinity hash ring over the non-draining
+	// instances; rebuilt on every membership or draining change.
+	ring affinityRing
 	// holdTimer bounds an empty-hold window: it is armed when the group
 	// loses its last instance while queries wait (see SetEmptyHold) and
 	// stopped when capacity returns.
@@ -113,7 +116,15 @@ type modelGroup struct {
 	taken     []bool
 	dispatch  []dispatchItem
 	flushSet  []*remoteInstance
+	// expired collects deadline-exceeded queries swept out of the queue
+	// by a round; they are failed outside the lock by groupRound.
+	expired []*pendingQuery
 }
+
+// rebuildRingLocked re-derives the session-affinity ring from the
+// group's non-draining instances; call after any membership or draining
+// change. Callers hold g.mu.
+func (g *modelGroup) rebuildRingLocked() { g.ring.rebuild(g.instances) }
 
 // wake nudges the group's scheduler without blocking.
 func (g *modelGroup) wake() {
@@ -164,7 +175,13 @@ type pendingQuery struct {
 	// traced marks a sampled query: it carries the trace flag on the wire
 	// and writes a ring record on completion.
 	traced bool
-	done   chan QueryResult
+	// session, when nonzero, is the affinity hash: the dispatch loop
+	// prefers the ring-assigned instance while it is under the load bound.
+	session uint64
+	// deadline, when nonzero, bounds how long the query may sit in the
+	// central queue before it is failed with DeadlineExceededMsg.
+	deadline time.Time
+	done     chan QueryResult
 	// completed flips exactly once: the first completion path (reply,
 	// eviction, close, failed write) wins the delivery.
 	completed atomic.Bool
@@ -234,6 +251,9 @@ type IngressStats struct {
 	// Rejected counts queries pushed back by the bounded admission queue
 	// (HTTP 429 / binary NACK). They never reached the controller.
 	Rejected int64 `json:"rejected"`
+	// RateLimited counts queries refused by per-client rate limiting,
+	// separately from queue rejections. They never reached the controller.
+	RateLimited int64 `json:"rate_limited,omitempty"`
 	// Completed and Failed count delivered outcomes of admitted queries.
 	Completed int64 `json:"completed"`
 	Failed    int64 `json:"failed"`
@@ -261,6 +281,11 @@ type Stats struct {
 	// Ingress carries per-model front-end accounting when an ingress is
 	// attached (see SetStatsAugmenter); nil otherwise.
 	Ingress map[string]IngressStats `json:"ingress,omitempty"`
+	// IngressUnrouted counts front-door rejections that never resolved to
+	// a model section — unknown-model submissions and unauthenticated
+	// clients — so /stats accounts for every arrival, not just the routed
+	// ones. Set by the ingress augmenter; 0 without one.
+	IngressUnrouted int64 `json:"ingress_unrouted,omitempty"`
 }
 
 // NewController dials the instance servers and starts the scheduling loop
@@ -313,7 +338,10 @@ func NewMultiController(groups map[string]GroupSpec, timeScale float64, addrs []
 			return nil, err
 		}
 		g := c.groups[ri.model]
+		g.mu.Lock()
 		g.instances = append(g.instances, ri)
+		g.rebuildRingLocked()
+		g.mu.Unlock()
 		c.wg.Add(1)
 		go c.readLoop(ri)
 	}
@@ -403,6 +431,7 @@ func (c *Controller) AddInstance(addr string) (string, error) {
 	default:
 	}
 	g.instances = append(g.instances, ri)
+	g.rebuildRingLocked()
 	if g.holdTimer != nil {
 		// Capacity is back; held queries are dispatchable again.
 		g.holdTimer.Stop()
@@ -443,6 +472,7 @@ func (c *Controller) RemoveInstance(model, typeName string) (string, error) {
 		return "", fmt.Errorf("server: no removable instance of type %s serving %s", typeName, model)
 	}
 	target.draining = true
+	g.rebuildRingLocked()
 	g.mu.Unlock()
 	g.wake() // re-dispatch anything the policy was routing here
 
@@ -494,6 +524,7 @@ func (c *Controller) RemoveInstanceAddr(addr string) (model, typeName string, di
 			if ri.addr == addr && !ri.draining {
 				g, target = grp, ri
 				target.draining = true
+				grp.rebuildRingLocked()
 				break
 			}
 		}
@@ -813,16 +844,43 @@ var queryPool = sync.Pool{New: func() any {
 // submitted on any path.
 func (c *Controller) Submit(model string, batch int) <-chan QueryResult {
 	q := &pendingQuery{done: make(chan QueryResult, 1)}
-	c.submit(model, batch, q)
+	c.submit(model, batch, q, SubmitOptions{})
 	return q.done
 }
+
+// SubmitOptions carry a query's optional routing hints: a session
+// affinity hash (see SessionHash) and a dispatch deadline. The zero
+// value means "no hints" on both.
+type SubmitOptions struct {
+	// SessionHash, when nonzero, asks the dispatch loop to prefer the
+	// session's ring-assigned instance while it is under the bounded-load
+	// cap. A hint, never a constraint: an overloaded or vanished
+	// preferred instance falls back to the model's policy.
+	SessionHash uint64
+	// Deadline, when nonzero, bounds how long the query may wait in the
+	// central queue; an expired query fails with DeadlineExceededMsg
+	// instead of dispatching. Queries already dispatched are served.
+	Deadline time.Time
+}
+
+// DeadlineExceededMsg is the exact error text a deadline expiry
+// delivers, so front-ends and clients can classify it.
+const DeadlineExceededMsg = "server: deadline exceeded"
+
+var errDeadlineExceeded = errors.New(DeadlineExceededMsg)
 
 // SubmitWait submits and blocks for the result. Unlike Submit it recycles
 // the query bookkeeping, so a closed-loop submitter allocates nothing per
 // query in steady state.
 func (c *Controller) SubmitWait(model string, batch int) QueryResult {
+	return c.SubmitWaitOpts(model, batch, SubmitOptions{})
+}
+
+// SubmitWaitOpts is SubmitWait with routing hints: the ingress front
+// door's submit path for session-affine, deadline-bounded queries.
+func (c *Controller) SubmitWaitOpts(model string, batch int, opts SubmitOptions) QueryResult {
 	q := queryPool.Get().(*pendingQuery)
-	c.submit(model, batch, q)
+	c.submit(model, batch, q, opts)
 	res := <-q.done
 	// Every delivery path sends exactly once (the atomic claim in deliver)
 	// and touches q only before the send, so after the receive the query
@@ -833,9 +891,11 @@ func (c *Controller) SubmitWait(model string, batch int) QueryResult {
 }
 
 // submit enqueues q — freshly allocated or pooled — for the named model.
-func (c *Controller) submit(model string, batch int, q *pendingQuery) {
+func (c *Controller) submit(model string, batch int, q *pendingQuery, opts SubmitOptions) {
 	q.model, q.batch = model, batch
 	q.traced = false // pooled queries carry the previous query's flag
+	// Unconditional: pooled queries carry the previous query's hints.
+	q.session, q.deadline = opts.SessionHash, opts.Deadline
 	g, ok := c.groups[model]
 	if !ok {
 		c.deliver(q, QueryResult{
@@ -888,6 +948,15 @@ func (c *Controller) submit(model string, batch int, q *pendingQuery) {
 	g.submitted.Add(1)
 	g.waiting = append(g.waiting, q)
 	g.mu.Unlock()
+	if !q.deadline.IsZero() {
+		// The scheduler loop only wakes on kicks; a query that can't
+		// dispatch would outsleep its deadline without this one-shot
+		// alarm. Firing after the query completed is a harmless spurious
+		// round, so the timer is never cancelled.
+		if d := time.Until(q.deadline); d > 0 {
+			time.AfterFunc(d+time.Millisecond, g.wake)
+		}
+	}
 	g.wake()
 }
 
@@ -979,6 +1048,7 @@ func (c *Controller) evict(ri *remoteInstance, cause error) {
 	// An instance already dropped by RemoveInstance died of its own close;
 	// that is an orderly removal, not a fault worth reporting.
 	wasMember := dropLocked(g, ri)
+	g.rebuildRingLocked()
 	if len(stranded) > 0 {
 		// Head of the queue, original enqueue times intact: redispatched
 		// queries keep their accumulated wait for latency accounting and
@@ -1039,6 +1109,15 @@ func (c *Controller) groupRound(g *modelGroup) {
 	g.mu.Lock()
 	dispatch := c.groupRoundLocked(g, time.Now())
 	g.mu.Unlock()
+	// Deadline expiries swept by the round fail outside the lock; only
+	// the group's scheduler goroutine touches the expired scratch.
+	if len(g.expired) > 0 {
+		for i, q := range g.expired {
+			c.deliver(q, QueryResult{Err: errDeadlineExceeded})
+			g.expired[i] = nil
+		}
+		g.expired = g.expired[:0]
+	}
 	if len(dispatch) == 0 {
 		return
 	}
@@ -1105,19 +1184,69 @@ func (c *Controller) undoDispatch(g *modelGroup, d dispatchItem, cause error) {
 	d.ri.dispatched--
 	d.ri.busyUntil = d.ri.busyUntil.Add(-d.reserve)
 	d.ri.draining = true
+	g.rebuildRingLocked()
 	g.waiting = append([]*pendingQuery{d.q}, g.waiting...)
 	g.mu.Unlock()
 	g.wake()
 }
 
-// groupRoundLocked builds one model group's policy views and collects its
-// assignments. Draining instances are invisible to the policy, so a
-// removal never receives new work. The view and dispatch slices are the
-// group's reusable scratch — a steady-state round allocates nothing.
-// Callers hold g.mu.
+// takeLocked dispatches one query to one instance: the busy-time
+// reservation, pending/byID bookkeeping, and flight-recorder stamp every
+// dispatch path shares. Callers hold g.mu.
+func (c *Controller) takeLocked(g *modelGroup, q *pendingQuery, ri *remoteInstance, now time.Time) dispatchItem {
+	service := g.predict(ri.typeName, q.batch)
+	scaled := time.Duration(service * c.TimeScale * float64(time.Millisecond))
+	if ri.busyUntil.Before(now) {
+		ri.busyUntil = now
+	}
+	ri.busyUntil = ri.busyUntil.Add(scaled)
+	ri.pending = append(ri.pending, q)
+	ri.byID[q.id] = q
+	ri.dispatched++
+	// Flight-recorder stamp: the round's clock read doubles as the
+	// dispatch timestamp — scheduler wait is enqueue → here.
+	q.dispatched = now
+	g.obs.Record(obs.StageQueue, now.Sub(q.enqueued))
+	return dispatchItem{q: q, ri: ri, id: q.id, batch: q.batch, traced: q.traced, reserve: scaled}
+}
+
+// groupRoundLocked runs one model group's dispatch round: sweep expired
+// deadlines, dispatch session-affine queries to their ring-preferred
+// instances, then build the policy views over what remains and collect
+// the policy's assignments. Draining instances are invisible to both
+// passes, so a removal never receives new work. The view and dispatch
+// slices are the group's reusable scratch — a steady-state round
+// allocates nothing. Callers hold g.mu.
 func (c *Controller) groupRoundLocked(g *modelGroup, now time.Time) []dispatchItem {
 	if len(g.waiting) == 0 {
 		return nil
+	}
+	// Deadline sweep: expired queries leave the queue before any
+	// dispatch decision — it runs even with zero capacity, so a deadline
+	// bounds an empty-hold park too. The common all-alive case is a
+	// single scan; the compaction pass only runs when something expired.
+	nexp := 0
+	for _, q := range g.waiting {
+		if !q.deadline.IsZero() && now.After(q.deadline) {
+			nexp++
+		}
+	}
+	if nexp > 0 {
+		next := g.waiting[:0]
+		for _, q := range g.waiting {
+			if !q.deadline.IsZero() && now.After(q.deadline) {
+				g.expired = append(g.expired, q)
+			} else {
+				next = append(next, q)
+			}
+		}
+		for i := len(next); i < len(g.waiting); i++ {
+			g.waiting[i] = nil
+		}
+		g.waiting = next
+		if len(g.waiting) == 0 {
+			return nil
+		}
 	}
 	active := g.active[:0]
 	for _, ri := range g.instances {
@@ -1135,10 +1264,47 @@ func (c *Controller) groupRoundLocked(g *modelGroup, now time.Time) []dispatchIt
 		}
 		return float64(d) / float64(time.Millisecond) / c.TimeScale
 	}
+	if cap(g.taken) < len(g.waiting) {
+		g.taken = make([]bool, len(g.waiting))
+	}
+	taken := g.taken[:len(g.waiting)]
+	for i := range taken {
+		taken[i] = false
+	}
+	dispatch := g.dispatch[:0]
+	ntaken := 0
+	// Affinity pass: session-keyed queries try their ring-preferred
+	// instance first, under the bounded-load cap, before the policy sees
+	// the queue. The pass updates pending and busy time as it takes, so
+	// the policy's instance views include the affinity dispatches.
+	if len(g.ring.entries) > 0 {
+		backlog := 0
+		for _, ri := range active {
+			backlog += len(ri.pending)
+		}
+		for i, q := range g.waiting {
+			if q.session == 0 {
+				continue
+			}
+			ri := g.ring.pick(q.session, affinityBound(backlog, len(active)))
+			if ri == nil {
+				continue // saturated ring: the policy routes this one
+			}
+			taken[i] = true
+			ntaken++
+			backlog++
+			dispatch = append(dispatch, c.takeLocked(g, q, ri, now))
+		}
+	}
 	qviews := g.qviews[:0]
 	for i, q := range g.waiting {
-		// ID carries the stable arrival sequence number; partitioned
-		// policies key on it across scheduling rounds.
+		if taken[i] {
+			continue
+		}
+		// Index is the query's position in g.waiting (affinity-taken
+		// entries are skipped but keep their slots, so indices stay
+		// stable); ID carries the stable arrival sequence number that
+		// partitioned policies key on across scheduling rounds.
 		qviews = append(qviews, sim.QueryView{Index: i, ID: int(q.id), Batch: q.batch, WaitMS: toModelMS(now.Sub(q.enqueued))})
 	}
 	g.qviews = qviews
@@ -1183,39 +1349,16 @@ func (c *Controller) groupRoundLocked(g *modelGroup, now time.Time) []dispatchIt
 	}
 	g.iviews = iviews
 	g.queuedBuf = qb
-	assignments := g.policy.Assign(toModelMS(time.Duration(now.UnixNano())), qviews, iviews)
-
-	if cap(g.taken) < len(g.waiting) {
-		g.taken = make([]bool, len(g.waiting))
-	}
-	taken := g.taken[:len(g.waiting)]
-	for i := range taken {
-		taken[i] = false
-	}
-	dispatch := g.dispatch[:0]
-	ntaken := 0
-	for _, a := range assignments {
-		if a.Query < 0 || a.Query >= len(g.waiting) || a.Instance < 0 || a.Instance >= len(active) || taken[a.Query] {
-			continue
+	if len(qviews) > 0 {
+		assignments := g.policy.Assign(toModelMS(time.Duration(now.UnixNano())), qviews, iviews)
+		for _, a := range assignments {
+			if a.Query < 0 || a.Query >= len(g.waiting) || a.Instance < 0 || a.Instance >= len(active) || taken[a.Query] {
+				continue
+			}
+			taken[a.Query] = true
+			ntaken++
+			dispatch = append(dispatch, c.takeLocked(g, g.waiting[a.Query], active[a.Instance], now))
 		}
-		taken[a.Query] = true
-		ntaken++
-		q := g.waiting[a.Query]
-		ri := active[a.Instance]
-		service := g.predict(ri.typeName, q.batch)
-		scaled := time.Duration(service * c.TimeScale * float64(time.Millisecond))
-		if ri.busyUntil.Before(now) {
-			ri.busyUntil = now
-		}
-		ri.busyUntil = ri.busyUntil.Add(scaled)
-		ri.pending = append(ri.pending, q)
-		ri.byID[q.id] = q
-		ri.dispatched++
-		// Flight-recorder stamp: the round's clock read doubles as the
-		// dispatch timestamp — scheduler wait is enqueue → here.
-		q.dispatched = now
-		g.obs.Record(obs.StageQueue, now.Sub(q.enqueued))
-		dispatch = append(dispatch, dispatchItem{q: q, ri: ri, id: q.id, batch: q.batch, traced: q.traced, reserve: scaled})
 	}
 	g.dispatch = dispatch
 	if ntaken > 0 {

@@ -36,6 +36,11 @@ const (
 	// traced reply carrying the instance-side wait time. Peers that
 	// negotiated ProtoBinary never see the new kinds.
 	ProtoTraced = 2
+	// ProtoSession extends ProtoTraced with the session request kind: a
+	// request carrying an optional session-affinity key and per-request
+	// deadline. Only the ingress front door speaks it; controller →
+	// instance traffic never uses the new kind.
+	ProtoSession = 3
 )
 
 // Request asks an instance server to serve one batched query.
@@ -51,6 +56,14 @@ type Request struct {
 	// wait and echoes a traced reply. On the wire it is the frame kind
 	// (binary) or this field (JSON fallback); legacy peers ignore it.
 	Trace bool `json:"trace,omitempty"`
+	// Session is an optional client session key for affinity routing:
+	// queries with the same key prefer the same instance. Only the
+	// ingress front door interprets it (ProtoSession); legacy peers
+	// ignore the field.
+	Session string `json:"session,omitempty"`
+	// DeadlineMS bounds how long the query may wait for dispatch,
+	// relative to its arrival at the front door. 0 means no deadline.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 // Reply reports a served query.
@@ -86,6 +99,9 @@ type Hello struct {
 // distinguishable from a JSON Request by its "proto" key).
 type HelloAck struct {
 	Proto int `json:"proto"`
+	// Token authenticates the client to a front door configured with a
+	// static token list; peers that enforce no auth ignore it.
+	Token string `json:"token,omitempty"`
 }
 
 // HandshakeProbe decodes the first post-banner frame of a serving-side
@@ -95,9 +111,15 @@ type HelloAck struct {
 // probe shape lives here once.
 type HandshakeProbe struct {
 	Proto *int   `json:"proto"`
+	Token string `json:"token"`
 	ID    int64  `json:"id"`
 	Model string `json:"model"`
 	Batch int    `json:"batch"`
+	// Session and DeadlineMS mirror the Request fields so a legacy JSON
+	// peer whose first frame is a query keeps its affinity key and
+	// deadline through the probe.
+	Session    string `json:"session"`
+	DeadlineMS int64  `json:"deadline_ms"`
 }
 
 // WriteFrame writes one length-prefixed JSON message.
@@ -167,24 +189,59 @@ func readRawFrame(r io.Reader, buf []byte) ([]byte, error) {
 // byte carries the flag), and a traced reply inserts the instance-side
 // wait before the error string.
 //
-//	Request:       kind(1) id(8) batch(4) modelLen(1) model
-//	Reply:         kind(1) id(8) serviceMS(8) errLen(2) err
-//	RequestTraced: kind(1) id(8) batch(4) modelLen(1) model
-//	ReplyTraced:   kind(1) id(8) serviceMS(8) waitNS(8) errLen(2) err
+//	Request:        kind(1) id(8) batch(4) modelLen(1) model
+//	Reply:          kind(1) id(8) serviceMS(8) errLen(2) err
+//	RequestTraced:  kind(1) id(8) batch(4) modelLen(1) model
+//	ReplyTraced:    kind(1) id(8) serviceMS(8) waitNS(8) errLen(2) err
+//	RequestSession: kind(1) id(8) batch(4) deadlineMS(4) flags(1) modelLen(1) model sessLen(1) sess
+//
+// The session request (ProtoSession) folds the trace flag into a flags
+// byte instead of minting yet another kind, and bounds the deadline at
+// ~49 days (uint32 milliseconds) — deadlines are per-request, not epochs.
 const (
-	frameRequest       = 0x01
-	frameReply         = 0x02
-	frameRequestTraced = 0x03
-	frameReplyTraced   = 0x04
+	frameRequest        = 0x01
+	frameReply          = 0x02
+	frameRequestTraced  = 0x03
+	frameReplyTraced    = 0x04
+	frameRequestSession = 0x05
+
+	sessionFlagTraced = 0x01
 )
 
 // AppendRequestFrame appends the length-prefixed binary encoding of req.
+// A request carrying a session key or deadline encodes as the session
+// kind, which only ProtoSession peers decode; the caller gates on the
+// negotiated version.
 func AppendRequestFrame(buf []byte, req Request) ([]byte, error) {
 	if len(req.Model) > math.MaxUint8 {
 		return buf, fmt.Errorf("server: model name of %d bytes exceeds limit", len(req.Model))
 	}
 	if req.Batch < math.MinInt32 || req.Batch > math.MaxInt32 {
 		return buf, fmt.Errorf("server: batch %d outside the wire range", req.Batch)
+	}
+	if req.Session != "" || req.DeadlineMS != 0 {
+		if len(req.Session) > math.MaxUint8 {
+			return buf, fmt.Errorf("server: session key of %d bytes exceeds limit", len(req.Session))
+		}
+		if req.DeadlineMS < 0 || req.DeadlineMS > math.MaxUint32 {
+			return buf, fmt.Errorf("server: deadline %dms outside the wire range", req.DeadlineMS)
+		}
+		n := 1 + 8 + 4 + 4 + 1 + 1 + len(req.Model) + 1 + len(req.Session)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(n))
+		buf = append(buf, frameRequestSession)
+		buf = binary.BigEndian.AppendUint64(buf, uint64(req.ID))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(int32(req.Batch)))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(req.DeadlineMS))
+		var flags byte
+		if req.Trace {
+			flags |= sessionFlagTraced
+		}
+		buf = append(buf, flags)
+		buf = append(buf, byte(len(req.Model)))
+		buf = append(buf, req.Model...)
+		buf = append(buf, byte(len(req.Session)))
+		buf = append(buf, req.Session...)
+		return buf, nil
 	}
 	n := 1 + 8 + 4 + 1 + len(req.Model)
 	buf = binary.BigEndian.AppendUint32(buf, uint32(n))
@@ -200,9 +257,51 @@ func AppendRequestFrame(buf []byte, req Request) ([]byte, error) {
 	return buf, nil
 }
 
+// RequestView is a zero-copy decoded binary request: Model and Session
+// alias the frame buffer and are only valid until it is reused.
+type RequestView struct {
+	ID         int64
+	Batch      int
+	Model      []byte
+	Session    []byte
+	DeadlineMS int64
+	Traced     bool
+}
+
+// DecodeRequestView parses any binary request kind without copying.
+func DecodeRequestView(p []byte) (RequestView, error) {
+	var rv RequestView
+	if len(p) >= 1 && p[0] == frameRequestSession {
+		if len(p) < 20 {
+			return rv, fmt.Errorf("server: malformed session request frame (%d bytes)", len(p))
+		}
+		rv.ID = int64(binary.BigEndian.Uint64(p[1:9]))
+		rv.Batch = int(int32(binary.BigEndian.Uint32(p[9:13])))
+		rv.DeadlineMS = int64(binary.BigEndian.Uint32(p[13:17]))
+		rv.Traced = p[17]&sessionFlagTraced != 0
+		mlen := int(p[18])
+		if len(p) < 19+mlen+1 {
+			return rv, fmt.Errorf("server: malformed session request frame (%d bytes)", len(p))
+		}
+		rv.Model = p[19 : 19+mlen]
+		slen := int(p[19+mlen])
+		if len(p) != 20+mlen+slen {
+			return rv, fmt.Errorf("server: session request frame length %d, want %d", len(p), 20+mlen+slen)
+		}
+		rv.Session = p[20+mlen:]
+		return rv, nil
+	}
+	id, batch, model, traced, err := DecodeRequestFrame(p)
+	if err != nil {
+		return rv, err
+	}
+	return RequestView{ID: id, Batch: batch, Model: model, Traced: traced}, nil
+}
+
 // DecodeRequestFrame parses a binary request payload without copying: the
 // returned model bytes alias p and are only valid until p is reused.
 // Both request kinds decode here; traced reports which one arrived.
+// Session requests need DecodeRequestView.
 func DecodeRequestFrame(p []byte) (id int64, batch int, model []byte, traced bool, err error) {
 	if len(p) < 14 || (p[0] != frameRequest && p[0] != frameRequestTraced) {
 		return 0, 0, nil, false, fmt.Errorf("server: malformed binary request frame (%d bytes)", len(p))

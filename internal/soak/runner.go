@@ -60,6 +60,9 @@ type Config struct {
 	// Clients is the number of concurrent ingress TCP connections
 	// (default 4).
 	Clients int
+	// Token is the bearer token the replay clients present at dial
+	// time; required when the ingress front door is auth-gated.
+	Token string
 	// EmptyHold is how long the controller parks a model's queries when
 	// a fault takes its last instance, giving the heal time to relaunch
 	// (default 30s wall clock; see server.Controller.SetEmptyHold).
@@ -131,7 +134,7 @@ func Run(sys System, cfg Config) (*Report, error) {
 
 	clients := make([]*ingress.Client, cfg.Clients)
 	for i := range clients {
-		c, err := ingress.Dial(ing.TCPAddr())
+		c, err := ingress.DialWith(ing.TCPAddr(), ingress.DialOptions{Token: cfg.Token})
 		if err != nil {
 			for _, prev := range clients[:i] {
 				prev.Close()
@@ -218,7 +221,9 @@ func Run(sys System, cfg Config) (*Report, error) {
 			switch {
 			case err != nil:
 				failed.Add(1)
-			case rep.Err == ingress.QueueFullMsg:
+			case rep.Err == ingress.QueueFullMsg, rep.Err == ingress.RateLimitedMsg:
+				// Both are pre-admission turn-aways: the query never
+				// entered the system, so it is rejected, not dropped.
 				rejected.Add(1)
 			case rep.Err != "":
 				admitted.Add(1)
